@@ -1,0 +1,58 @@
+// Regenerates paper Figure 5: average extraction time of a necessary (5a)
+// and a sufficient (5b) explanation, per model and dataset. Expected shape:
+// sufficient slower than necessary (each candidate is post-trained once per
+// conversion entity); the densest dataset (FB15k) slowest.
+#include "bench/bench_util.h"
+
+#include "math/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace kelpie;
+  using namespace kelpie::bench;
+  BenchOptions options = ParseArgs(argc, argv);
+  const size_t per_cell = options.full ? 10 : 4;
+
+  std::printf("Figure 5: average extraction times in seconds "
+              "(%zu predictions per cell)\n\n",
+              per_cell);
+  PrintRow({"Dataset", "Model", "Necessary(s)", "Sufficient(s)",
+            "PT/nec", "PT/suf"},
+           14);
+  PrintRule(6, 14);
+
+  for (BenchmarkDataset d : AllBenchmarkDatasets()) {
+    Dataset dataset = MakeBenchmark(d, options.dataset_scale(), options.seed);
+    for (ModelKind kind : options.models()) {
+      auto model = TrainModel(kind, dataset, options.seed + 1);
+      Rng rng(options.seed + 2);
+      std::vector<Triple> predictions =
+          SampleCorrectTailPredictions(*model, dataset, per_cell, rng);
+      if (predictions.empty()) continue;
+      KelpieExplainer kelpie(*model, dataset, MakeKelpieOptions(options));
+      RunningStats nec_time, suf_time, nec_pt, suf_pt;
+      Rng conv_rng(options.seed + 4);
+      for (const Triple& p : predictions) {
+        Explanation nx = kelpie.ExplainNecessary(p, PredictionTarget::kTail);
+        nec_time.Add(nx.seconds);
+        nec_pt.Add(static_cast<double>(nx.post_trainings));
+        std::vector<EntityId> conversion_set = SampleConversionEntities(
+            *model, dataset, p, PredictionTarget::kTail,
+            options.conversion_size(), conv_rng);
+        if (conversion_set.empty()) continue;
+        Explanation sx =
+            kelpie.ExplainSufficient(p, PredictionTarget::kTail,
+                                     conversion_set);
+        suf_time.Add(sx.seconds);
+        suf_pt.Add(static_cast<double>(sx.post_trainings));
+      }
+      PrintRow({std::string(BenchmarkDatasetName(d)),
+                std::string(ModelKindName(kind)),
+                FormatDouble(nec_time.mean(), 3),
+                FormatDouble(suf_time.mean(), 3),
+                FormatDouble(nec_pt.mean(), 1),
+                FormatDouble(suf_pt.mean(), 1)},
+               14);
+    }
+  }
+  return 0;
+}

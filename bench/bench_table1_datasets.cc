@@ -1,0 +1,28 @@
+// Regenerates paper Table 1: statistics of the five LP datasets (here:
+// their synthetic stand-ins — see DESIGN.md §3 for the substitution).
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace kelpie;
+  using namespace kelpie::bench;
+  BenchOptions options = ParseArgs(argc, argv);
+
+  std::printf("Table 1: Statistics of the LP datasets we employ "
+              "(synthetic stand-ins, scale=%.2f)\n\n",
+              options.dataset_scale());
+  PrintRow({"Dataset", "Entities", "Relations", "Train", "Valid", "Test",
+            "MeanDeg", "MaxDeg"});
+  PrintRule(8);
+  for (BenchmarkDataset d : AllBenchmarkDatasets()) {
+    Dataset dataset = MakeBenchmark(d, options.dataset_scale(), options.seed);
+    DatasetStats stats = ComputeStats(dataset);
+    PrintRow({stats.name, std::to_string(stats.num_entities),
+              std::to_string(stats.num_relations),
+              std::to_string(stats.num_train),
+              std::to_string(stats.num_valid),
+              std::to_string(stats.num_test),
+              FormatDouble(stats.mean_entity_degree, 1),
+              std::to_string(stats.max_entity_degree)});
+  }
+  return 0;
+}

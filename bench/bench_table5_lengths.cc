@@ -1,0 +1,56 @@
+// Regenerates paper Table 5: average length (and standard deviation) of the
+// extracted Kelpie explanations, per scenario, model and dataset. Expected
+// shape: necessary explanations longer than sufficient ones; sufficient
+// lengths near 1 on the WordNet-style datasets (one symmetric/inverse fact
+// suffices).
+#include "bench/bench_util.h"
+
+#include "math/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace kelpie;
+  using namespace kelpie::bench;
+  BenchOptions options = ParseArgs(argc, argv);
+
+  std::printf("Table 5: Lengths of the extracted explanations (AVG / STD)\n\n");
+  PrintRow({"Dataset", "Model", "Nec.AVG", "Nec.STD", "Suf.AVG", "Suf.STD"});
+  PrintRule(6);
+
+  for (BenchmarkDataset d : options.datasets()) {
+    Dataset dataset = MakeBenchmark(d, options.dataset_scale(), options.seed);
+    for (ModelKind kind : options.models()) {
+      auto model = TrainModel(kind, dataset, options.seed + 1);
+      Rng sample_rng(options.seed + 2);
+      std::vector<Triple> predictions = SampleCorrectTailPredictions(
+          *model, dataset, options.num_predictions(), sample_rng);
+      if (predictions.size() < 3) continue;
+
+      KelpieExplainer kelpie(*model, dataset, MakeKelpieOptions(options));
+      RunningStats necessary_lengths, sufficient_lengths;
+      Rng conv_rng(options.seed + 4);
+      for (const Triple& p : predictions) {
+        Explanation nx =
+            kelpie.ExplainNecessary(p, PredictionTarget::kTail);
+        if (!nx.empty()) {
+          necessary_lengths.Add(static_cast<double>(nx.size()));
+        }
+        std::vector<EntityId> conversion_set = SampleConversionEntities(
+            *model, dataset, p, PredictionTarget::kTail,
+            options.conversion_size(), conv_rng);
+        if (conversion_set.empty()) continue;
+        Explanation sx = kelpie.ExplainSufficient(
+            p, PredictionTarget::kTail, conversion_set);
+        if (!sx.empty()) {
+          sufficient_lengths.Add(static_cast<double>(sx.size()));
+        }
+      }
+      PrintRow({std::string(BenchmarkDatasetName(d)),
+                std::string(ModelKindName(kind)),
+                FormatDouble(necessary_lengths.mean(), 2),
+                FormatDouble(necessary_lengths.stddev(), 2),
+                FormatDouble(sufficient_lengths.mean(), 2),
+                FormatDouble(sufficient_lengths.stddev(), 2)});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Regenerates paper Table 7: qualitative necessary explanations for
+// YAGO3-10 <actor, acted_in, movie> predictions. Expected shape: each
+// explanation consists of *other films of the same actor* — the recurring
+// acting ensembles the generator plants (and the original YAGO3-10
+// exhibits) are recovered purely from the model's behaviour.
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace kelpie;
+  using namespace kelpie::bench;
+  BenchOptions options = ParseArgs(argc, argv);
+
+  Dataset dataset = MakeBenchmark(BenchmarkDataset::kYago310,
+                                  options.dataset_scale(), options.seed);
+  Result<int32_t> acted = dataset.relations().Find("acted_in");
+  if (!acted.ok()) {
+    std::printf("acted_in relation missing\n");
+    return 1;
+  }
+
+  std::printf("Table 7: Kelpie necessary explanations for <actor, acted_in, "
+              "movie> predictions (ComplEx, YAGO3-10)\n\n");
+  auto model = TrainModel(ModelKind::kComplEx, dataset, options.seed + 1);
+  KelpieExplainer kelpie(*model, dataset, MakeKelpieOptions(options));
+
+  size_t shown = 0;
+  const size_t to_show = options.full ? 5 : 3;
+  for (const Triple& t : dataset.test()) {
+    if (shown >= to_show) break;
+    if (t.relation != acted.value()) continue;
+    if (FilteredTailRank(*model, dataset, t) != 1) continue;
+    Explanation x = kelpie.ExplainNecessary(t, PredictionTarget::kTail);
+    if (x.empty()) continue;
+    ++shown;
+    std::printf("Prediction : %s\n", dataset.TripleToString(t).c_str());
+    size_t same_relation = 0;
+    for (const Triple& f : x.facts) {
+      std::printf("  explains : %s\n", dataset.TripleToString(f).c_str());
+      if (f.relation == acted.value()) ++same_relation;
+    }
+    std::printf("  (%zu/%zu facts are other acted_in facts of the same "
+                "actor; relevance %.2f)\n\n",
+                same_relation, x.size(), x.relevance);
+  }
+  if (shown == 0) {
+    std::printf("no correctly predicted acted_in test facts at this scale; "
+                "rerun with --full\n");
+  }
+  return 0;
+}

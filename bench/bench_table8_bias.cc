@@ -1,0 +1,59 @@
+// Regenerates paper Table 8: dataset bias unveiled by sufficient
+// explanations. YAGO3-10 <person, born_in, city> predictions are explained
+// by *football facts* (plays_for / affiliated_to), revealing that the model
+// predicts birthplaces through the team-city correlation rather than
+// personal data — exactly the bias the generator plants (and the paper
+// found in the real YAGO3-10).
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace kelpie;
+  using namespace kelpie::bench;
+  BenchOptions options = ParseArgs(argc, argv);
+
+  Dataset dataset = MakeBenchmark(BenchmarkDataset::kYago310,
+                                  options.dataset_scale(), options.seed);
+  Result<int32_t> born = dataset.relations().Find("born_in");
+  Result<int32_t> plays = dataset.relations().Find("plays_for");
+  Result<int32_t> affiliated = dataset.relations().Find("affiliated_to");
+  if (!born.ok() || !plays.ok() || !affiliated.ok()) {
+    std::printf("expected YAGO3-10 relations missing\n");
+    return 1;
+  }
+
+  std::printf("Table 8: dataset bias unveiled by Kelpie sufficient "
+              "explanations (ComplEx, YAGO3-10)\n\n");
+  auto model = TrainModel(ModelKind::kComplEx, dataset, options.seed + 1);
+  KelpieExplainer kelpie(*model, dataset, MakeKelpieOptions(options));
+
+  size_t shown = 0, football_explained = 0;
+  const size_t to_show = options.full ? 7 : 4;
+  Rng conv_rng(options.seed + 4);
+  for (const Triple& t : dataset.test()) {
+    if (shown >= to_show) break;
+    if (t.relation != born.value()) continue;
+    if (FilteredTailRank(*model, dataset, t) != 1) continue;
+    std::vector<EntityId> conversion_set = SampleConversionEntities(
+        *model, dataset, t, PredictionTarget::kTail,
+        options.conversion_size(), conv_rng);
+    if (conversion_set.empty()) continue;
+    Explanation x =
+        kelpie.ExplainSufficient(t, PredictionTarget::kTail, conversion_set);
+    if (x.empty()) continue;
+    ++shown;
+    bool football = false;
+    std::printf("Prediction : %s\n", dataset.TripleToString(t).c_str());
+    for (const Triple& f : x.facts) {
+      std::printf("  explains : %s\n", dataset.TripleToString(f).c_str());
+      if (f.relation == plays.value() || f.relation == affiliated.value()) {
+        football = true;
+      }
+    }
+    if (football) ++football_explained;
+    std::printf("\n");
+  }
+  std::printf("%zu/%zu birthplace predictions explained through football "
+              "facts — the dataset bias of paper Table 8.\n",
+              football_explained, shown);
+  return 0;
+}

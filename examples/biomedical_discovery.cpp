@@ -1,0 +1,101 @@
+// Drug repurposing with explainable link prediction — the motivating
+// scenario of the paper's introduction (Bonner et al. / Gaudelet et al.):
+// LP models propose drug->disease "treats" links, and domain experts only
+// trust proposals whose supporting evidence they can inspect.
+//
+// We build a synthetic biomedical KG with the mechanism
+//   treats(Drug, Disease) <- targets(Drug, Protein) AND
+//                            implicated_in(Protein, Disease)
+// train ComplEx, and use Kelpie to surface the mechanism behind each
+// predicted therapy: explanations naming a shared protein target are
+// biologically plausible; anything else flags a spurious correlation.
+#include <cstdio>
+
+#include "core/kelpie.h"
+#include "datagen/generator.h"
+#include "eval/ranking.h"
+#include "models/factory.h"
+#include "xp/pipeline.h"
+
+using namespace kelpie;
+
+namespace {
+
+GeneratorSpec BioMedSpec() {
+  GeneratorSpec spec;
+  spec.name = "biomed";
+  spec.seed = 17;
+  spec.types = {{"Drug", 120}, {"Protein", 150}, {"Disease", 60},
+                {"Pathway", 25}, {"SideEffect", 30}};
+  spec.relations = {
+      {.name = "targets", .domain = "Drug", .range = "Protein",
+       .facts_per_head = 1.6, .zipf_exponent = 1.5},
+      {.name = "implicated_in", .domain = "Protein", .range = "Disease",
+       .facts_per_head = 1.0, .zipf_exponent = 1.4},
+      {.name = "participates_in", .domain = "Protein", .range = "Pathway",
+       .facts_per_head = 1.2, .zipf_exponent = 1.3},
+      {.name = "causes", .domain = "Drug", .range = "SideEffect",
+       .facts_per_head = 1.0, .zipf_exponent = 1.4},
+      // Populated by the mechanism rule below; this is the relation whose
+      // missing links drug repurposing predicts.
+      {.name = "treats", .domain = "Drug", .range = "Disease",
+       .facts_per_head = 0.0},
+  };
+  spec.rules = {{.premise1 = "targets", .premise2 = "implicated_in",
+                 .conclusion = "treats", .apply_prob = 0.7}};
+  spec.valid_fraction = 0.05;
+  spec.test_fraction = 0.15;
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  Result<Dataset> generated = GenerateDataset(BioMedSpec());
+  if (!generated.ok()) {
+    std::printf("generation failed: %s\n",
+                generated.status().ToString().c_str());
+    return 1;
+  }
+  Dataset dataset = std::move(generated).value();
+  std::printf("biomedical KG: %zu entities, %zu facts; %zu held-out "
+              "treats links\n\n",
+              dataset.num_entities(), dataset.train().size(),
+              dataset.test().size());
+
+  auto model = CreateAndTrain(ModelKind::kComplEx, dataset, 42);
+  Result<int32_t> targets = dataset.relations().Find("targets");
+  Result<int32_t> implicated = dataset.relations().Find("implicated_in");
+
+  Kelpie kelpie(*model, dataset, KelpieOptions{});
+  size_t shown = 0, mechanistic = 0;
+  for (const Triple& proposal : dataset.test()) {
+    if (shown >= 5) break;
+    if (FilteredTailRank(*model, dataset, proposal) != 1) continue;
+    ++shown;
+    std::printf("proposed therapy: %s\n",
+                dataset.TripleToString(proposal).c_str());
+    Explanation why = kelpie.ExplainNecessary(proposal);
+    bool has_target_evidence = false;
+    for (const Triple& fact : why.facts) {
+      std::printf("  evidence: %s\n", dataset.TripleToString(fact).c_str());
+      if (targets.ok() && fact.relation == targets.value()) {
+        has_target_evidence = true;
+      }
+      if (implicated.ok() && fact.relation == implicated.value()) {
+        has_target_evidence = true;
+      }
+    }
+    if (has_target_evidence) {
+      ++mechanistic;
+      std::printf("  -> mechanistically plausible (protein-target "
+                  "evidence)\n\n");
+    } else {
+      std::printf("  -> WARNING: no mechanistic evidence; treat as a "
+                  "spurious correlation\n\n");
+    }
+  }
+  std::printf("%zu/%zu correct proposals backed by mechanistic evidence\n",
+              mechanistic, shown);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Auditing a dataset for bias with sufficient explanations — the workflow
+// behind the paper's Table 8 and its Section 1 claim that explainability
+// frameworks "can support the identification of biases and even errors in
+// the original KGs".
+//
+// The YAGO3-10 stand-in predicts birthplaces suspiciously well for a graph
+// with almost no personal data. Sufficient explanations reveal why: the
+// model infers born_in from football-club membership — a dataset bias, not
+// world knowledge. The audit below quantifies it.
+#include <cstdio>
+#include <map>
+
+#include "core/kelpie.h"
+#include "datagen/datasets.h"
+#include "eval/ranking.h"
+#include "models/factory.h"
+#include "xp/pipeline.h"
+
+using namespace kelpie;
+
+int main() {
+  Dataset dataset = MakeBenchmark(BenchmarkDataset::kYago310, 0.5, 7);
+  auto model = CreateAndTrain(ModelKind::kComplEx, dataset, 42);
+
+  Result<int32_t> born = dataset.relations().Find("born_in");
+  if (!born.ok()) {
+    std::printf("no born_in relation in this dataset\n");
+    return 1;
+  }
+
+  KelpieOptions options;
+  options.engine.conversion_set_size = 5;
+  Kelpie kelpie(*model, dataset, options);
+
+  // Audit every correctly predicted birthplace: which relations does the
+  // model actually lean on?
+  std::map<std::string, int> evidence_relations;
+  size_t audited = 0;
+  Rng rng(23);
+  for (const Triple& t : dataset.test()) {
+    if (audited >= 8) break;
+    if (t.relation != born.value()) continue;
+    if (FilteredTailRank(*model, dataset, t) != 1) continue;
+    std::vector<EntityId> conversion_set = SampleConversionEntities(
+        *model, dataset, t, PredictionTarget::kTail, 5, rng);
+    if (conversion_set.empty()) continue;
+    Explanation x = kelpie.ExplainSufficientWithSet(
+        t, PredictionTarget::kTail, conversion_set);
+    if (x.empty()) continue;
+    ++audited;
+    std::printf("%s is explained by:\n", dataset.TripleToString(t).c_str());
+    for (const Triple& fact : x.facts) {
+      std::printf("  %s\n", dataset.TripleToString(fact).c_str());
+      ++evidence_relations[dataset.relations().NameOf(fact.relation)];
+    }
+  }
+
+  std::printf("\n=== audit summary over %zu predictions ===\n", audited);
+  for (const auto& [relation, count] : evidence_relations) {
+    std::printf("  evidence via %-16s x%d\n", relation.c_str(), count);
+  }
+  int football = evidence_relations["plays_for"] +
+                 evidence_relations["affiliated_to"];
+  int total = 0;
+  for (const auto& [relation, count] : evidence_relations) total += count;
+  if (total > 0 && football * 2 > total) {
+    std::printf("\nBIAS DETECTED: the model infers birthplaces mostly from "
+                "football-club membership\n(%d of %d evidence facts). The "
+                "dataset under-represents personal facts;\nconsider "
+                "enriching it before trusting born_in predictions.\n",
+                football, total);
+  } else {
+    std::printf("\nno dominant single-domain bias detected in this "
+                "sample.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+#ifndef KELPIE_BASELINES_CRIAGE_H_
+#define KELPIE_BASELINES_CRIAGE_H_
+
+#include "baselines/explainer.h"
+#include "models/model.h"
+
+namespace kelpie {
+
+/// The Criage baseline (Pezeshkpour et al., NAACL 2019), re-implemented
+/// following its published first-order influence-function formulation.
+///
+/// Criage estimates how removing (or adding) a training fact changes the
+/// score of the prediction by a first-order Taylor approximation of the
+/// retrained embedding: the influence of fact f on prediction p through a
+/// shared entity e is proportional to the alignment of the score gradients,
+/// ∇_e φ(p) · ∇_e φ(f), with the inverse Hessian approximated by a scaled
+/// identity (the simplification that keeps it tractable).
+///
+/// Faithful to the original's structural limitation (paper Section 3.2),
+/// only candidate facts whose *tail* is the prediction's head h or tail t
+/// are considered — the main reason for its weak end-to-end results.
+/// Like DP, it yields single-fact explanations.
+class CriageExplainer final : public Explainer {
+ public:
+  CriageExplainer(const LinkPredictionModel& model, const Dataset& dataset)
+      : model_(model), dataset_(dataset) {}
+
+  std::string_view Name() const override { return "Criage"; }
+
+  Explanation ExplainNecessary(const Triple& prediction,
+                               PredictionTarget target) override;
+  Explanation ExplainSufficient(
+      const Triple& prediction, PredictionTarget target,
+      const std::vector<EntityId>& conversion_set) override;
+
+ private:
+  /// Candidate facts per Criage's restriction: training facts of the
+  /// source entity whose tail is the prediction's head or tail.
+  std::vector<Triple> CandidateFacts(const Triple& prediction,
+                                     PredictionTarget target) const;
+
+  /// Influence of `fact` on `prediction` through their shared entity
+  /// (gradient-alignment approximation).
+  double Influence(const Triple& prediction, const Triple& fact,
+                   EntityId shared) const;
+
+  const LinkPredictionModel& model_;
+  const Dataset& dataset_;
+};
+
+}  // namespace kelpie
+
+#endif  // KELPIE_BASELINES_CRIAGE_H_

@@ -1,0 +1,162 @@
+#include "baselines/data_poisoning.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "math/vec.h"
+
+namespace kelpie {
+
+std::vector<Triple> DataPoisoningExplainer::AdversarialAdditions(
+    const Triple& prediction, PredictionTarget target, size_t k) const {
+  const EntityId source = SourceEntity(prediction, target);
+  // Shift the source embedding in the direction that worsens the
+  // prediction; a fake fact whose own score *improves* under that shift
+  // pulls training in the poisoned direction.
+  std::vector<float> grad = GradWrtEntity(prediction, source);
+  std::vector<float> shifted(model_.EntityEmbedding(source).begin(),
+                             model_.EntityEmbedding(source).end());
+  Axpy(-options_.epsilon, grad, std::span<float>(shifted));
+
+  struct Candidate {
+    double improvement;
+    Triple fact;
+  };
+  std::vector<Candidate> candidates;
+  std::vector<float> original_scores(model_.num_entities());
+  std::vector<float> shifted_scores(model_.num_entities());
+  for (RelationId r = 0;
+       r < static_cast<RelationId>(model_.num_relations()); ++r) {
+    model_.ScoreAllTails(source, r, original_scores);
+    model_.ScoreAllTailsWithHeadVec(shifted, r, shifted_scores);
+    for (size_t e = 0; e < model_.num_entities(); ++e) {
+      EntityId tail = static_cast<EntityId>(e);
+      if (tail == source) continue;
+      Triple fake(source, r, tail);
+      if (fake == prediction) continue;
+      if (dataset_.train_graph().Contains(fake)) continue;
+      candidates.push_back(
+          {static_cast<double>(shifted_scores[e] - original_scores[e]),
+           fake});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.improvement != b.improvement) {
+                return a.improvement > b.improvement;
+              }
+              return a.fact < b.fact;
+            });
+  std::vector<Triple> out;
+  for (size_t i = 0; i < candidates.size() && i < k; ++i) {
+    out.push_back(candidates[i].fact);
+  }
+  return out;
+}
+
+std::vector<float> DataPoisoningExplainer::GradWrtEntity(
+    const Triple& fact, EntityId entity) const {
+  KELPIE_CHECK(fact.Mentions(entity));
+  if (fact.head == entity) {
+    return model_.ScoreGradWrtHead(fact);
+  }
+  return model_.ScoreGradWrtTail(fact);
+}
+
+Explanation DataPoisoningExplainer::ExplainNecessary(
+    const Triple& prediction, PredictionTarget target) {
+  Stopwatch timer;
+  Explanation result;
+  result.kind = ExplanationKind::kNecessary;
+
+  const EntityId source = SourceEntity(prediction, target);
+  std::vector<Triple> facts = dataset_.train_graph().FactsOf(source);
+  facts.erase(std::remove(facts.begin(), facts.end(), prediction),
+              facts.end());
+  if (facts.empty()) {
+    result.seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+  // Shift the source embedding against the prediction score's gradient:
+  // the direction that worsens φ(prediction).
+  std::vector<float> grad = GradWrtEntity(prediction, source);
+  std::vector<float> shifted(model_.EntityEmbedding(source).begin(),
+                             model_.EntityEmbedding(source).end());
+  Axpy(-options_.epsilon, grad, std::span<float>(shifted));
+
+  // The fact whose own score degrades the most under the shift is the one
+  // most aligned with the prediction.
+  double best_drop = -1e30;
+  Triple best_fact = facts.front();
+  for (const Triple& fact : facts) {
+    const float original = model_.Score(fact);
+    const float perturbed = model_.ScoreWithEntityVec(fact, source, shifted);
+    const double drop = static_cast<double>(original - perturbed);
+    if (drop > best_drop) {
+      best_drop = drop;
+      best_fact = fact;
+    }
+  }
+  result.facts = {best_fact};
+  result.relevance = best_drop;
+  result.accepted = true;
+  result.visited_candidates = facts.size();
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+Explanation DataPoisoningExplainer::ExplainSufficient(
+    const Triple& prediction, PredictionTarget target,
+    const std::vector<EntityId>& conversion_set) {
+  Stopwatch timer;
+  Explanation result;
+  result.kind = ExplanationKind::kSufficient;
+
+  const EntityId source = SourceEntity(prediction, target);
+  std::vector<Triple> facts = dataset_.train_graph().FactsOf(source);
+  facts.erase(std::remove(facts.begin(), facts.end(), prediction),
+              facts.end());
+  if (facts.empty() || conversion_set.empty()) {
+    result.seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+  // For each entity c to convert, shift c's embedding in the direction that
+  // improves φ(<c, r, t>) and vote for the transferred fact whose score
+  // improves the most; the fact with the highest mean improvement wins.
+  std::vector<double> total_improvement(facts.size(), 0.0);
+  for (EntityId c : conversion_set) {
+    Triple converted = prediction;
+    if (target == PredictionTarget::kTail) {
+      converted.head = c;
+    } else {
+      converted.tail = c;
+    }
+    std::vector<float> grad = GradWrtEntity(converted, c);
+    std::vector<float> shifted(model_.EntityEmbedding(c).begin(),
+                               model_.EntityEmbedding(c).end());
+    Axpy(+options_.epsilon, grad, std::span<float>(shifted));
+    for (size_t i = 0; i < facts.size(); ++i) {
+      Triple transferred = TransferFact(facts[i], source, c);
+      const float original = model_.Score(transferred);
+      const float perturbed =
+          model_.ScoreWithEntityVec(transferred, c, shifted);
+      total_improvement[i] += static_cast<double>(perturbed - original);
+    }
+  }
+  size_t best = 0;
+  for (size_t i = 1; i < facts.size(); ++i) {
+    if (total_improvement[i] > total_improvement[best]) best = i;
+  }
+  result.facts = {facts[best]};
+  result.relevance =
+      total_improvement[best] / static_cast<double>(conversion_set.size());
+  result.accepted = true;
+  result.visited_candidates = facts.size() * conversion_set.size();
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace kelpie

@@ -1,0 +1,66 @@
+#ifndef KELPIE_BASELINES_DATA_POISONING_H_
+#define KELPIE_BASELINES_DATA_POISONING_H_
+
+#include "baselines/explainer.h"
+#include "models/model.h"
+
+namespace kelpie {
+
+/// Options of the Data Poisoning baseline.
+struct DataPoisoningOptions {
+  /// Magnitude ε of the embedding perturbation applied to the source
+  /// entity's embedding along the score gradient.
+  float epsilon = 0.1f;
+};
+
+/// The Data Poisoning baseline (Zhang et al., IJCAI 2019), re-implemented
+/// from the published formulation as in the paper's Section 5.2.
+///
+/// Necessary mode: the source entity's embedding is shifted by
+/// -ε·∂φ(h,r,t)/∂h (the direction that worsens the prediction); the
+/// training fact of the source entity whose own score *degrades the most*
+/// under the shifted embedding is the one presumed to work in the
+/// prediction's favour, and is returned as the (single-fact) explanation.
+///
+/// Sufficient mode (the paper's symmetric adaptation): for each entity c to
+/// convert, c's embedding is shifted by +ε·∂φ(c,r,t)/∂c (the direction that
+/// improves the target prediction); each source-entity fact is transferred
+/// to c and the fact whose score *improves the most* under the shift is
+/// selected. Votes are aggregated over the conversion set.
+class DataPoisoningExplainer final : public Explainer {
+ public:
+  DataPoisoningExplainer(const LinkPredictionModel& model,
+                         const Dataset& dataset,
+                         DataPoisoningOptions options = {})
+      : model_(model), dataset_(dataset), options_(options) {}
+
+  std::string_view Name() const override { return "DP"; }
+
+  Explanation ExplainNecessary(const Triple& prediction,
+                               PredictionTarget target) override;
+  Explanation ExplainSufficient(
+      const Triple& prediction, PredictionTarget target,
+      const std::vector<EntityId>& conversion_set) override;
+
+  /// The DP paper's symmetric *addition* attack (paper Section 3.2): the
+  /// `k` fake facts featuring the source entity that, if added to G_train,
+  /// are expected to worsen the prediction the most. Candidates are all
+  /// <source, r', e> (and the shift direction mirrors the removal mode);
+  /// facts already in training are skipped. Used for robustness studies,
+  /// not for explanations.
+  std::vector<Triple> AdversarialAdditions(const Triple& prediction,
+                                           PredictionTarget target,
+                                           size_t k) const;
+
+ private:
+  /// The score gradient w.r.t. the embedding of `entity` within `fact`.
+  std::vector<float> GradWrtEntity(const Triple& fact, EntityId entity) const;
+
+  const LinkPredictionModel& model_;
+  const Dataset& dataset_;
+  DataPoisoningOptions options_;
+};
+
+}  // namespace kelpie
+
+#endif  // KELPIE_BASELINES_DATA_POISONING_H_

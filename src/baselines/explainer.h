@@ -1,0 +1,69 @@
+#ifndef KELPIE_BASELINES_EXPLAINER_H_
+#define KELPIE_BASELINES_EXPLAINER_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/explanation.h"
+#include "core/kelpie.h"
+
+namespace kelpie {
+
+/// Uniform interface over every explanation framework the experiments
+/// compare: Kelpie, its single-fact variant K1, Data Poisoning, and Criage.
+/// The end-to-end pipeline (src/xp) drives all of them identically.
+class Explainer {
+ public:
+  virtual ~Explainer() = default;
+
+  /// Framework display name as it appears in the paper's tables.
+  virtual std::string_view Name() const = 0;
+
+  /// Extracts a necessary explanation of `prediction`.
+  virtual Explanation ExplainNecessary(const Triple& prediction,
+                                       PredictionTarget target) = 0;
+
+  /// Extracts a sufficient explanation of `prediction` against the given
+  /// conversion set (shared across frameworks for fair comparison).
+  virtual Explanation ExplainSufficient(
+      const Triple& prediction, PredictionTarget target,
+      const std::vector<EntityId>& conversion_set) = 0;
+};
+
+/// Kelpie (or K1, with `k1_only`) behind the Explainer interface.
+class KelpieExplainer final : public Explainer {
+ public:
+  KelpieExplainer(const LinkPredictionModel& model, const Dataset& dataset,
+                  KelpieOptions options, bool k1_only = false)
+      : k1_only_(k1_only) {
+    options.builder.k1_only = k1_only;
+    kelpie_ = std::make_unique<Kelpie>(model, dataset, options);
+  }
+
+  std::string_view Name() const override {
+    return k1_only_ ? "K1" : "Kelpie";
+  }
+
+  Explanation ExplainNecessary(const Triple& prediction,
+                               PredictionTarget target) override {
+    return kelpie_->ExplainNecessary(prediction, target);
+  }
+
+  Explanation ExplainSufficient(
+      const Triple& prediction, PredictionTarget target,
+      const std::vector<EntityId>& conversion_set) override {
+    return kelpie_->ExplainSufficientWithSet(prediction, target,
+                                             conversion_set);
+  }
+
+  Kelpie& kelpie() { return *kelpie_; }
+
+ private:
+  bool k1_only_;
+  std::unique_ptr<Kelpie> kelpie_;
+};
+
+}  // namespace kelpie
+
+#endif  // KELPIE_BASELINES_EXPLAINER_H_

@@ -1,0 +1,79 @@
+#ifndef KELPIE_COMMON_LOGGING_H_
+#define KELPIE_COMMON_LOGGING_H_
+
+#include <cassert>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace kelpie {
+
+/// Severity levels for the minimal logging facility. The library logs very
+/// sparingly; experiments and benches use INFO for progress lines.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+/// Defaults to kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Accumulates one log line and flushes it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Logs and aborts; used by KELPIE_CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace kelpie
+
+#define KELPIE_LOG(level)                                               \
+  ::kelpie::internal_logging::LogMessage(::kelpie::LogLevel::k##level, \
+                                         __FILE__, __LINE__)
+
+/// Invariant check: logs the failed condition and aborts. Used for
+/// programmer errors (index bounds, dimension mismatches), never for
+/// recoverable conditions — those return Status.
+#define KELPIE_CHECK(condition)                                       \
+  if (!(condition))                                                   \
+  ::kelpie::internal_logging::FatalLogMessage(__FILE__, __LINE__,     \
+                                              #condition)
+
+#define KELPIE_DCHECK(condition) assert(condition)
+
+#endif  // KELPIE_COMMON_LOGGING_H_

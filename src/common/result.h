@@ -1,0 +1,90 @@
+#ifndef KELPIE_COMMON_RESULT_H_
+#define KELPIE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace kelpie {
+
+/// A value-or-error wrapper in the style of arrow::Result / absl::StatusOr.
+///
+/// A `Result<T>` holds either a `T` (when `ok()`) or a non-OK `Status`.
+/// Accessing the value of an errored result aborts in debug builds; callers
+/// are expected to check `ok()` first or use the KELPIE_ASSIGN_OR_RETURN
+/// macro.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value: `return some_t;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status: `return Status::NotFound(...)`.
+  /// Constructing from an OK status is a programming error and is converted
+  /// to an Internal error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// Returns the error status, or OK when a value is held.
+  const Status& status() const { return status_; }
+
+  /// Returns the held value. Requires `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if present, `fallback` otherwise.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+}  // namespace kelpie
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the status, otherwise
+/// move-assigns the value into `lhs`. Usable in functions returning Status
+/// or Result<U>.
+#define KELPIE_ASSIGN_OR_RETURN(lhs, rexpr)     \
+  KELPIE_ASSIGN_OR_RETURN_IMPL_(                \
+      KELPIE_RESULT_CONCAT_(kelpie_result_, __LINE__), lhs, rexpr)
+
+#define KELPIE_RESULT_CONCAT_INNER_(a, b) a##b
+#define KELPIE_RESULT_CONCAT_(a, b) KELPIE_RESULT_CONCAT_INNER_(a, b)
+#define KELPIE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) {                                     \
+    return tmp.status();                               \
+  }                                                    \
+  lhs = std::move(tmp).value()
+
+#endif  // KELPIE_COMMON_RESULT_H_

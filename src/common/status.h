@@ -1,0 +1,100 @@
+#ifndef KELPIE_COMMON_STATUS_H_
+#define KELPIE_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace kelpie {
+
+/// Error categories used across the library. Mirrors the coarse-grained
+/// error taxonomy of mature storage engines: callers branch on the code,
+/// humans read the message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code ("Ok",
+/// "InvalidArgument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value. Fallible operations in this library
+/// return `Status` (or `Result<T>`, see result.h) instead of throwing:
+/// exceptions are never used on library paths.
+///
+/// The class is cheap to copy in the success case (no allocation) and carries
+/// a message only on error.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. An empty message is
+  /// allowed but discouraged for non-OK codes.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace kelpie
+
+/// Propagates a non-OK status to the caller. Usable only in functions
+/// returning Status.
+#define KELPIE_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::kelpie::Status kelpie_status_macro_s_ = (expr); \
+    if (!kelpie_status_macro_s_.ok()) {               \
+      return kelpie_status_macro_s_;                  \
+    }                                                 \
+  } while (false)
+
+#endif  // KELPIE_COMMON_STATUS_H_

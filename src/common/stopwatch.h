@@ -1,0 +1,31 @@
+#ifndef KELPIE_COMMON_STOPWATCH_H_
+#define KELPIE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace kelpie {
+
+/// Wall-clock stopwatch used by the timing experiments (Figures 5 and 6).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the reference point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Restart(), in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace kelpie
+
+#endif  // KELPIE_COMMON_STOPWATCH_H_

@@ -1,0 +1,31 @@
+#ifndef KELPIE_COMMON_STRING_UTIL_H_
+#define KELPIE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kelpie {
+
+/// Splits `text` on `sep`, keeping empty fields. Split("a\t\tb", '\t') ->
+/// {"a", "", "b"}.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Formats a double with `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision);
+
+/// Formats a signed delta with an explicit sign, e.g. "+0.319" / "-0.490".
+std::string FormatSigned(double value, int precision);
+
+}  // namespace kelpie
+
+#endif  // KELPIE_COMMON_STRING_UTIL_H_

@@ -1,0 +1,86 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace kelpie {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t count = std::max<size_t>(1, num_threads);
+  workers_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) {
+        all_done_.notify_all();
+      }
+    }
+  }
+}
+
+void ParallelFor(ThreadPool& pool, size_t count,
+                 const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  // Chunked dispatch: one task per worker strand, each claiming indices
+  // from a shared atomic counter — cheap and balanced for heterogeneous
+  // per-index costs (head ranks vary wildly across models).
+  std::atomic<size_t> next{0};
+  const size_t strands = std::min(pool.num_threads(), count);
+  for (size_t s = 0; s < strands; ++s) {
+    pool.Submit([&next, count, &fn] {
+      while (true) {
+        size_t i = next.fetch_add(1);
+        if (i >= count) break;
+        fn(i);
+      }
+    });
+  }
+  pool.Wait();
+}
+
+}  // namespace kelpie

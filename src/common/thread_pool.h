@@ -1,0 +1,57 @@
+#ifndef KELPIE_COMMON_THREAD_POOL_H_
+#define KELPIE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace kelpie {
+
+/// A fixed-size worker pool for embarrassingly parallel read-only work
+/// (evaluation ranks every test fact independently against an immutable
+/// model). Training stays single-threaded by design — its update order is
+/// part of the deterministic contract.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues one task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs fn(i) for i in [0, count) across the pool and waits for completion.
+/// fn must be safe to call concurrently for distinct indices; iteration
+/// order is unspecified but every index runs exactly once.
+void ParallelFor(ThreadPool& pool, size_t count,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace kelpie
+
+#endif  // KELPIE_COMMON_THREAD_POOL_H_

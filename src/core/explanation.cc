@@ -1,0 +1,70 @@
+#include "core/explanation.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "kgraph/paths.h"
+
+namespace kelpie {
+
+std::string Explanation::ToString(const Dataset& dataset) const {
+  std::string out =
+      kind == ExplanationKind::kNecessary ? "necessary{" : "sufficient{";
+  for (size_t i = 0; i < facts.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += dataset.TripleToString(facts[i]);
+  }
+  out += "} relevance=";
+  out += FormatDouble(relevance, 3);
+  if (!accepted) out += " (best-effort)";
+  return out;
+}
+
+std::string ExplainWithPaths(const Explanation& explanation,
+                             const Dataset& dataset,
+                             const Triple& prediction,
+                             PredictionTarget target) {
+  const EntityId source = SourceEntity(prediction, target);
+  const EntityId predicted = PredictedEntity(prediction, target);
+  std::string out;
+  for (const Triple& fact : explanation.facts) {
+    out += dataset.TripleToString(fact);
+    out += "\n";
+    const EntityId other = fact.head == source ? fact.tail : fact.head;
+    if (other == predicted) {
+      out += "    (mentions the predicted entity directly)\n";
+      continue;
+    }
+    std::vector<PathStep> path = ShortestPath(
+        dataset.train_graph(), other, predicted, &prediction);
+    if (path.empty()) {
+      out += "    (no training path to the predicted entity)\n";
+      continue;
+    }
+    out += "    via ";
+    for (size_t i = 0; i < path.size(); ++i) {
+      if (i > 0) out += ", ";
+      const PathStep& step = path[i];
+      const std::string& rel =
+          dataset.relations().NameOf(step.triple.relation);
+      if (step.forward) {
+        out += dataset.entities().NameOf(step.triple.head) + " -" + rel +
+               "-> " + dataset.entities().NameOf(step.triple.tail);
+      } else {
+        out += dataset.entities().NameOf(step.triple.tail) + " <-" + rel +
+               "- " + dataset.entities().NameOf(step.triple.head);
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Triple TransferFact(const Triple& fact, EntityId from, EntityId to) {
+  KELPIE_CHECK(fact.Mentions(from));
+  Triple out = fact;
+  if (out.head == from) out.head = to;
+  if (out.tail == from) out.tail = to;
+  return out;
+}
+
+}  // namespace kelpie

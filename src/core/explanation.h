@@ -1,0 +1,86 @@
+#ifndef KELPIE_CORE_EXPLANATION_H_
+#define KELPIE_CORE_EXPLANATION_H_
+
+#include <string>
+#include <vector>
+
+#include "kgraph/dataset.h"
+#include "kgraph/triple.h"
+
+namespace kelpie {
+
+/// The scenario of an explanation (Section 2.2 of the paper).
+enum class ExplanationKind {
+  /// Smallest set of source-entity training facts whose *removal* changes
+  /// the top-ranked answer.
+  kNecessary,
+  /// Smallest set of source-entity training facts whose *addition* to other
+  /// entities converts their prediction to the same answer.
+  kSufficient,
+};
+
+/// An extracted explanation X*: the facts, the relevance the Relevance
+/// Engine assigned to it, and extraction metadata.
+struct Explanation {
+  ExplanationKind kind = ExplanationKind::kNecessary;
+  /// The facts of X*, all featuring the prediction's source entity.
+  std::vector<Triple> facts;
+  /// ξ of the returned combination (rank worsening for necessary; mean rank
+  /// improvement ratio for sufficient).
+  double relevance = 0.0;
+  /// True if the acceptance criterion was met; false for best-effort
+  /// returns after an exhausted search.
+  bool accepted = false;
+  /// Number of post-trainings spent (the search-cost unit the paper uses to
+  /// compare against KernelSHAP).
+  size_t post_trainings = 0;
+  /// Number of candidate combinations whose true relevance was computed.
+  size_t visited_candidates = 0;
+  /// Wall-clock extraction time.
+  double seconds = 0.0;
+
+  size_t size() const { return facts.size(); }
+  bool empty() const { return facts.empty(); }
+
+  /// Renders the explanation with entity/relation names.
+  std::string ToString(const Dataset& dataset) const;
+};
+
+/// Returns the source entity of a prediction: the head for tail
+/// predictions, the tail for head predictions. Explanations are built from
+/// this entity's training facts.
+inline EntityId SourceEntity(const Triple& prediction,
+                             PredictionTarget target) {
+  return target == PredictionTarget::kTail ? prediction.head
+                                           : prediction.tail;
+}
+
+/// Returns the predicted entity: the tail for tail predictions, the head
+/// for head predictions.
+inline EntityId PredictedEntity(const Triple& prediction,
+                                PredictionTarget target) {
+  return target == PredictionTarget::kTail ? prediction.tail
+                                           : prediction.head;
+}
+
+/// Rewrites `fact` (a fact featuring `from`) so it features `to` instead;
+/// used when transferring sufficient-explanation facts onto entities to
+/// convert.
+Triple TransferFact(const Triple& fact, EntityId from, EntityId to);
+
+/// Rich rendering of an explanation: each fact is annotated with the
+/// shortest training-graph path connecting its other endpoint to the
+/// predicted entity — the topological reason the Pre-Filter deemed it
+/// promising, and a human-readable account of how the evidence reaches the
+/// answer. Example output:
+///
+///   <Barack_Obama, born_in, Honolulu>
+///     via Honolulu -located_in-> USA
+std::string ExplainWithPaths(const Explanation& explanation,
+                             const Dataset& dataset,
+                             const Triple& prediction,
+                             PredictionTarget target);
+
+}  // namespace kelpie
+
+#endif  // KELPIE_CORE_EXPLANATION_H_

@@ -1,0 +1,258 @@
+#include "core/explanation_builder.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace kelpie {
+
+namespace {
+
+/// A candidate combination with its preliminary relevance.
+struct ScoredCombo {
+  double preliminary;
+  std::vector<size_t> indices;
+};
+
+/// Enumerates all k-combinations of {0..n-1} *lazily* and returns the
+/// `limit` best by preliminary relevance (mean of `individual` over the
+/// members), in descending order with deterministic lexicographic
+/// tie-breaking. Avoids materializing the full combination space, which is
+/// binomial in n — the exact blowup the Pre-Filter exists to prevent, and
+/// which this builder must survive when the Pre-Filter is ablated
+/// (Figure 6).
+std::vector<ScoredCombo> TopCombinationsByPreliminary(
+    size_t n, size_t k, const std::vector<double>& individual,
+    size_t limit) {
+  std::vector<ScoredCombo> heap;  // min-heap on (preliminary, -lex order)
+  auto worse = [](const ScoredCombo& a, const ScoredCombo& b) {
+    if (a.preliminary != b.preliminary) {
+      return a.preliminary > b.preliminary;  // min-heap: smallest on top
+    }
+    return a.indices < b.indices;  // among ties, lexicographically later
+                                   // combos are evicted first
+  };
+  std::vector<size_t> current(k);
+  std::iota(current.begin(), current.end(), 0);
+  if (k == 0 || k > n || limit == 0) return {};
+  double sum = 0.0;
+  for (size_t idx : current) sum += individual[idx];
+  while (true) {
+    double preliminary = sum / static_cast<double>(k);
+    if (heap.size() < limit) {
+      heap.push_back({preliminary, current});
+      std::push_heap(heap.begin(), heap.end(), worse);
+    } else if (preliminary > heap.front().preliminary) {
+      std::pop_heap(heap.begin(), heap.end(), worse);
+      heap.back() = {preliminary, current};
+      std::push_heap(heap.begin(), heap.end(), worse);
+    }
+    // Advance to the next lexicographic combination, maintaining `sum`.
+    size_t i = k;
+    bool advanced = false;
+    while (i > 0) {
+      --i;
+      if (current[i] != i + n - k) {
+        sum -= individual[current[i]];
+        ++current[i];
+        sum += individual[current[i]];
+        for (size_t j = i + 1; j < k; ++j) {
+          sum -= individual[current[j]];
+          current[j] = current[j - 1] + 1;
+          sum += individual[current[j]];
+        }
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) break;
+  }
+  std::sort(heap.begin(), heap.end(),
+            [](const ScoredCombo& a, const ScoredCombo& b) {
+              if (a.preliminary != b.preliminary) {
+                return a.preliminary > b.preliminary;
+              }
+              return a.indices < b.indices;
+            });
+  return heap;
+}
+
+}  // namespace
+
+std::vector<std::vector<size_t>> IndexCombinations(size_t n, size_t k) {
+  std::vector<std::vector<size_t>> out;
+  if (k == 0 || k > n) return out;
+  std::vector<size_t> current(k);
+  std::iota(current.begin(), current.end(), 0);
+  while (true) {
+    out.push_back(current);
+    // Advance to the next lexicographic combination.
+    size_t i = k;
+    while (i > 0) {
+      --i;
+      if (current[i] != i + n - k) {
+        ++current[i];
+        for (size_t j = i + 1; j < k; ++j) {
+          current[j] = current[j - 1] + 1;
+        }
+        break;
+      }
+      if (i == 0) return out;
+    }
+  }
+}
+
+Explanation ExplanationBuilder::BuildNecessary(
+    const Triple& prediction, PredictionTarget target,
+    const CandidateObserver& observer) {
+  auto relevance = [&](const std::vector<Triple>& candidate) {
+    return engine_.NecessaryRelevance(prediction, target, candidate);
+  };
+  return Search(ExplanationKind::kNecessary, prediction, target,
+                options_.necessary_threshold, relevance, observer);
+}
+
+Explanation ExplanationBuilder::BuildSufficient(
+    const Triple& prediction, PredictionTarget target,
+    const std::vector<EntityId>& conversion_set,
+    const CandidateObserver& observer) {
+  auto relevance = [&](const std::vector<Triple>& candidate) {
+    return engine_.SufficientRelevance(prediction, target, candidate,
+                                       conversion_set);
+  };
+  return Search(ExplanationKind::kSufficient, prediction, target,
+                options_.sufficient_threshold, relevance, observer);
+}
+
+Explanation ExplanationBuilder::Search(ExplanationKind kind,
+                                       const Triple& prediction,
+                                       PredictionTarget target,
+                                       double threshold,
+                                       const RelevanceFn& relevance,
+                                       const CandidateObserver& observer) {
+  Stopwatch timer;
+  const size_t start_post_trainings = engine_.post_training_count();
+  Rng rng(options_.seed ^ TripleHash()(prediction));
+
+  Explanation result;
+  result.kind = kind;
+
+  const std::vector<Triple> facts =
+      prefilter_.MostPromisingFacts(prediction, target);
+  if (facts.empty()) {
+    result.seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+  // ---- S_1: individual relevances (Algorithm 3, lines 1-3). ----
+  std::vector<double> individual(facts.size());
+  size_t visited = 0;
+  double best_relevance = 0.0;
+  std::vector<Triple> best_facts;
+  bool have_best = false;
+  for (size_t i = 0; i < facts.size(); ++i) {
+    std::vector<Triple> candidate{facts[i]};
+    individual[i] = relevance(candidate);
+    ++visited;
+    if (observer) observer(1, individual[i], individual[i]);
+    if (!have_best || individual[i] > best_relevance) {
+      best_relevance = individual[i];
+      best_facts = candidate;
+      have_best = true;
+    }
+  }
+  if (best_relevance >= threshold) {
+    result.facts = best_facts;
+    result.relevance = best_relevance;
+    result.accepted = true;
+    result.visited_candidates = visited;
+    result.post_trainings =
+        engine_.post_training_count() - start_post_trainings;
+    result.seconds = timer.ElapsedSeconds();
+    return result;
+  }
+  if (options_.k1_only) {
+    result.facts = best_facts;
+    result.relevance = best_relevance;
+    result.accepted = false;
+    result.visited_candidates = visited;
+    result.post_trainings =
+        engine_.post_training_count() - start_post_trainings;
+    result.seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+  // ---- S_i for i >= 2 (Algorithm 3, lines 4-21). ----
+  const size_t i_max =
+      std::min(options_.max_explanation_length, facts.size());
+  for (size_t size = 2; size <= i_max; ++size) {
+    // Preliminary relevance ranking (lines 7-9): the best
+    // max_visits_per_size combinations by mean individual relevance,
+    // selected lazily (the visit loop can never consume more than that).
+    std::vector<ScoredCombo> combos = TopCombinationsByPreliminary(
+        facts.size(), size, individual, options_.max_visits_per_size);
+
+    // Visit in descending preliminary relevance (lines 10-21).
+    double best_in_size = 0.0;
+    bool have_best_in_size = false;
+    std::deque<double> recent;
+    size_t visits_in_size = 0;
+    for (const ScoredCombo& combo : combos) {
+      if (visits_in_size >= options_.max_visits_per_size) break;
+      std::vector<Triple> candidate;
+      candidate.reserve(size);
+      for (size_t idx : combo.indices) {
+        candidate.push_back(facts[idx]);
+      }
+      const double cur = relevance(candidate);
+      ++visited;
+      ++visits_in_size;
+      if (observer) observer(size, combo.preliminary, cur);
+      recent.push_back(cur);
+      if (recent.size() > options_.rho_window) recent.pop_front();
+
+      if (cur >= threshold) {
+        result.facts = candidate;
+        result.relevance = cur;
+        result.accepted = true;
+        result.visited_candidates = visited;
+        result.post_trainings =
+            engine_.post_training_count() - start_post_trainings;
+        result.seconds = timer.ElapsedSeconds();
+        return result;
+      }
+      if (cur > best_relevance) {
+        best_relevance = cur;
+        best_facts = candidate;
+      }
+      if (!have_best_in_size || cur > best_in_size) {
+        best_in_size = cur;
+        have_best_in_size = true;
+      } else if (!options_.exhaustive) {
+        // ρ_i: smoothed current relevance over the best in S_i
+        // (footnote 2), clamped to [0, 1]; stop S_i with prob 1 - ρ_i.
+        double smoothed =
+            std::accumulate(recent.begin(), recent.end(), 0.0) /
+            static_cast<double>(recent.size());
+        double rho = best_in_size > 0.0 ? smoothed / best_in_size : 1.0;
+        rho = std::clamp(rho, 0.0, 1.0);
+        if (rng.UniformDouble() > rho) break;
+      }
+    }
+  }
+
+  // Best-effort (Section 4.3): no candidate met the threshold.
+  result.facts = best_facts;
+  result.relevance = best_relevance;
+  result.accepted = false;
+  result.visited_candidates = visited;
+  result.post_trainings =
+      engine_.post_training_count() - start_post_trainings;
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace kelpie

@@ -1,0 +1,92 @@
+#ifndef KELPIE_CORE_EXPLANATION_BUILDER_H_
+#define KELPIE_CORE_EXPLANATION_BUILDER_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/explanation.h"
+#include "core/prefilter.h"
+#include "core/relevance_engine.h"
+
+namespace kelpie {
+
+/// Options of the Explanation Builder (Section 4.3).
+struct ExplanationBuilderOptions {
+  /// i_max: the largest combination size explored (paper default: 4).
+  size_t max_explanation_length = 4;
+  /// ξ_n0: necessary acceptance threshold — expected rank worsening (paper
+  /// default: 5).
+  double necessary_threshold = 5.0;
+  /// ξ_s0: sufficient acceptance threshold — expected fraction of the ideal
+  /// rank improvement (paper default: 0.9).
+  double sufficient_threshold = 0.9;
+  /// Restrict to single-fact explanations (the paper's K1 baseline).
+  bool k1_only = false;
+  /// Footnote 2: ρ_i uses the average relevance of the last `rho_window`
+  /// visited candidates for robustness to outliers.
+  size_t rho_window = 10;
+  /// Wall-clock guard: hard cap on true-relevance evaluations per size
+  /// (generous; the stochastic policy almost always stops earlier).
+  size_t max_visits_per_size = 150;
+  /// Disables the stochastic early termination (every candidate up to
+  /// max_visits_per_size is evaluated). Used by analysis benches such as
+  /// the Figure 4 correlation study; never needed in production use.
+  bool exhaustive = false;
+  /// Seed of the probabilistic early-termination draws.
+  uint64_t seed = 99;
+};
+
+/// Observes every candidate the builder submits to the Relevance Engine;
+/// arguments are (combination size, preliminary relevance, true relevance).
+/// Used to reproduce Figure 4.
+using CandidateObserver =
+    std::function<void(size_t, double, double)>;
+
+/// The Explanation Builder searches the space of candidate explanations —
+/// combinations of the Pre-Filtered facts — for the smallest combination
+/// whose relevance passes the acceptance threshold (Algorithm 3).
+///
+/// Search order within each size class S_i follows *preliminary relevance*
+/// (the mean of the member facts' individual relevances), and a
+/// simulated-annealing-inspired stochastic policy abandons S_i when the
+/// stream of true relevances decays relative to the best seen
+/// (P(stop) = 1 - ρ_i).
+class ExplanationBuilder {
+ public:
+  ExplanationBuilder(RelevanceEngine& engine, const PreFilter& prefilter,
+                     ExplanationBuilderOptions options)
+      : engine_(engine), prefilter_(prefilter), options_(options) {}
+
+  /// Extracts a necessary explanation for `prediction`.
+  Explanation BuildNecessary(const Triple& prediction,
+                             PredictionTarget target,
+                             const CandidateObserver& observer = nullptr);
+
+  /// Extracts a sufficient explanation for `prediction` against the given
+  /// conversion set.
+  Explanation BuildSufficient(const Triple& prediction,
+                              PredictionTarget target,
+                              const std::vector<EntityId>& conversion_set,
+                              const CandidateObserver& observer = nullptr);
+
+ private:
+  using RelevanceFn = std::function<double(const std::vector<Triple>&)>;
+
+  Explanation Search(ExplanationKind kind, const Triple& prediction,
+                     PredictionTarget target, double threshold,
+                     const RelevanceFn& relevance,
+                     const CandidateObserver& observer);
+
+  RelevanceEngine& engine_;
+  const PreFilter& prefilter_;
+  ExplanationBuilderOptions options_;
+};
+
+/// Enumerates all size-`k` index combinations of {0, ..., n-1} in
+/// lexicographic order. Exposed for tests and for the SHAP-comparison
+/// bench.
+std::vector<std::vector<size_t>> IndexCombinations(size_t n, size_t k);
+
+}  // namespace kelpie
+
+#endif  // KELPIE_CORE_EXPLANATION_BUILDER_H_

@@ -1,0 +1,39 @@
+#include "core/kelpie.h"
+
+namespace kelpie {
+
+Kelpie::Kelpie(const LinkPredictionModel& model, const Dataset& dataset,
+               KelpieOptions options)
+    : options_(options),
+      prefilter_(dataset, options.prefilter),
+      engine_(model, dataset, options.engine),
+      builder_(engine_, prefilter_, options.builder) {}
+
+Explanation Kelpie::ExplainNecessary(const Triple& prediction,
+                                     PredictionTarget target,
+                                     const CandidateObserver& observer) {
+  return builder_.BuildNecessary(prediction, target, observer);
+}
+
+Explanation Kelpie::ExplainSufficient(const Triple& prediction,
+                                      PredictionTarget target,
+                                      std::vector<EntityId>* conversion_set_out,
+                                      const CandidateObserver& observer) {
+  std::vector<EntityId> conversion_set =
+      engine_.SampleConversionSet(prediction, target);
+  if (conversion_set_out != nullptr) {
+    *conversion_set_out = conversion_set;
+  }
+  return builder_.BuildSufficient(prediction, target, conversion_set,
+                                  observer);
+}
+
+Explanation Kelpie::ExplainSufficientWithSet(
+    const Triple& prediction, PredictionTarget target,
+    const std::vector<EntityId>& conversion_set,
+    const CandidateObserver& observer) {
+  return builder_.BuildSufficient(prediction, target, conversion_set,
+                                  observer);
+}
+
+}  // namespace kelpie

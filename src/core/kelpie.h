@@ -1,0 +1,78 @@
+#ifndef KELPIE_CORE_KELPIE_H_
+#define KELPIE_CORE_KELPIE_H_
+
+#include <memory>
+
+#include "core/explanation_builder.h"
+#include "core/prefilter.h"
+#include "core/relevance_engine.h"
+
+namespace kelpie {
+
+/// Bundled options of the three Kelpie modules.
+struct KelpieOptions {
+  PreFilterOptions prefilter;
+  RelevanceEngineOptions engine;
+  ExplanationBuilderOptions builder;
+};
+
+/// The Kelpie framework facade (Figure 1): wires the Pre-Filter, the
+/// Relevance Engine and the Explanation Builder over a trained model and
+/// its dataset, and exposes the two extraction entry points.
+///
+/// The model and dataset must outlive the Kelpie instance. One instance may
+/// explain any number of predictions; homologous-mimic caches are kept
+/// across calls (they are keyed by entity and query).
+///
+/// Typical use:
+///
+///   Kelpie kelpie(*model, dataset, {});
+///   Explanation x = kelpie.ExplainNecessary(prediction);
+///   std::cout << x.ToString(dataset) << "\n";
+class Kelpie {
+ public:
+  Kelpie(const LinkPredictionModel& model, const Dataset& dataset,
+         KelpieOptions options = {});
+
+  /// Extracts the necessary explanation of `prediction`: the smallest set
+  /// of source-entity training facts whose removal is expected to change
+  /// the predicted answer.
+  Explanation ExplainNecessary(const Triple& prediction,
+                               PredictionTarget target =
+                                   PredictionTarget::kTail,
+                               const CandidateObserver& observer = nullptr);
+
+  /// Extracts the sufficient explanation of `prediction`: the smallest set
+  /// of source-entity training facts that converts a random set C of other
+  /// entities to the same answer. The conversion set is sampled internally;
+  /// pass `conversion_set_out` to retrieve it (e.g. for end-to-end
+  /// verification).
+  Explanation ExplainSufficient(const Triple& prediction,
+                                PredictionTarget target =
+                                    PredictionTarget::kTail,
+                                std::vector<EntityId>* conversion_set_out =
+                                    nullptr,
+                                const CandidateObserver& observer = nullptr);
+
+  /// Sufficient explanation against a caller-provided conversion set (used
+  /// by the end-to-end pipeline so that all frameworks convert the same
+  /// entities).
+  Explanation ExplainSufficientWithSet(
+      const Triple& prediction, PredictionTarget target,
+      const std::vector<EntityId>& conversion_set,
+      const CandidateObserver& observer = nullptr);
+
+  RelevanceEngine& engine() { return engine_; }
+  const PreFilter& prefilter() const { return prefilter_; }
+  const KelpieOptions& options() const { return options_; }
+
+ private:
+  KelpieOptions options_;
+  PreFilter prefilter_;
+  RelevanceEngine engine_;
+  ExplanationBuilder builder_;
+};
+
+}  // namespace kelpie
+
+#endif  // KELPIE_CORE_KELPIE_H_

@@ -1,0 +1,134 @@
+#include "core/prefilter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+#include "kgraph/graph.h"
+
+namespace kelpie {
+
+namespace {
+
+/// The endpoint of `fact` other than `source` (for self-loops, the source
+/// itself).
+EntityId OtherEndpoint(const Triple& fact, EntityId source) {
+  return fact.head == source ? fact.tail : fact.head;
+}
+
+/// Relation-incidence signature of an entity: counts of each (relation,
+/// direction) among its training facts, used as a proxy for its type.
+std::vector<double> RelationSignature(const GraphIndex& graph,
+                                      size_t num_relations, EntityId e) {
+  std::vector<double> sig(2 * num_relations, 0.0);
+  for (uint32_t i : graph.FactIndicesOf(e)) {
+    const Triple& t = graph.triples()[i];
+    if (t.head == e) {
+      sig[static_cast<size_t>(t.relation)] += 1.0;
+    }
+    if (t.tail == e) {
+      sig[num_relations + static_cast<size_t>(t.relation)] += 1.0;
+    }
+  }
+  return sig;
+}
+
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+}  // namespace
+
+std::vector<double> PreFilter::TopologyGamma(
+    const Triple& prediction, PredictionTarget target,
+    const std::vector<Triple>& facts) const {
+  const EntityId predicted = PredictedEntity(prediction, target);
+  const EntityId source = SourceEntity(prediction, target);
+  // One undirected BFS from the predicted entity gives the shortest-path
+  // distance of every fact endpoint; the prediction triple is ignored so
+  // closeness is measured independently of the edge being explained.
+  std::vector<int32_t> dist =
+      DistancesFrom(dataset_.train_graph(), predicted, &prediction);
+  std::vector<double> gamma(facts.size());
+  for (size_t i = 0; i < facts.size(); ++i) {
+    EntityId q = OtherEndpoint(facts[i], source);
+    int32_t d = dist[static_cast<size_t>(q)];
+    // q == predicted gives γ = 0, the best value, matching the paper's
+    // example. Unreachable endpoints get +inf (always filtered last).
+    gamma[i] = (d < 0) ? std::numeric_limits<double>::infinity()
+                       : static_cast<double>(d);
+  }
+  return gamma;
+}
+
+std::vector<double> PreFilter::TypeGamma(
+    const Triple& prediction, PredictionTarget target,
+    const std::vector<Triple>& facts) const {
+  const EntityId predicted = PredictedEntity(prediction, target);
+  const EntityId source = SourceEntity(prediction, target);
+  const GraphIndex& graph = dataset_.train_graph();
+  std::vector<double> target_sig =
+      RelationSignature(graph, dataset_.num_relations(), predicted);
+  std::vector<double> gamma(facts.size());
+  for (size_t i = 0; i < facts.size(); ++i) {
+    EntityId q = OtherEndpoint(facts[i], source);
+    std::vector<double> sig =
+        RelationSignature(graph, dataset_.num_relations(), q);
+    gamma[i] = 1.0 - CosineSimilarity(target_sig, sig);
+  }
+  return gamma;
+}
+
+std::vector<double> PreFilter::Promisingness(
+    const Triple& prediction, PredictionTarget target,
+    const std::vector<Triple>& facts) const {
+  switch (options_.policy) {
+    case PromisingnessPolicy::kTopology:
+      return TopologyGamma(prediction, target, facts);
+    case PromisingnessPolicy::kTypeSimilarity:
+      return TypeGamma(prediction, target, facts);
+    case PromisingnessPolicy::kNone:
+      return std::vector<double>(facts.size(), 0.0);
+  }
+  return {};
+}
+
+std::vector<Triple> PreFilter::MostPromisingFacts(
+    const Triple& prediction, PredictionTarget target) const {
+  const EntityId source = SourceEntity(prediction, target);
+  std::vector<Triple> facts = dataset_.train_graph().FactsOf(source);
+  // The prediction itself may appear in training when explaining training
+  // facts or applying the framework to wrong predictions; never offer it
+  // as its own explanation.
+  facts.erase(std::remove(facts.begin(), facts.end(), prediction),
+              facts.end());
+  if (options_.policy == PromisingnessPolicy::kNone ||
+      facts.size() <= options_.top_k) {
+    return facts;
+  }
+  std::vector<double> gamma = Promisingness(prediction, target, facts);
+  std::vector<size_t> order(facts.size());
+  std::iota(order.begin(), order.end(), 0);
+  // Stable sort keeps the original fact order among equals, making the
+  // selection deterministic.
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return gamma[a] < gamma[b]; });
+  std::vector<Triple> out;
+  out.reserve(options_.top_k);
+  for (size_t i = 0; i < options_.top_k; ++i) {
+    out.push_back(facts[order[i]]);
+  }
+  return out;
+}
+
+}  // namespace kelpie

@@ -1,0 +1,69 @@
+#ifndef KELPIE_CORE_PREFILTER_H_
+#define KELPIE_CORE_PREFILTER_H_
+
+#include <vector>
+
+#include "core/explanation.h"
+#include "kgraph/dataset.h"
+
+namespace kelpie {
+
+/// How the Pre-Filter measures the promisingness γ of a source-entity fact
+/// (Section 4.1).
+enum class PromisingnessPolicy {
+  /// γ(<h, s, q>) = length of the shortest undirected path from q to the
+  /// predicted entity, ignoring the prediction triple itself. Lower is
+  /// more promising. The paper's default.
+  kTopology,
+  /// Type-similarity variant mentioned in Section 4.1: facts whose other
+  /// endpoint has a relation signature similar to the predicted entity's
+  /// are prioritized (γ = 1 - cosine similarity of relation-incidence
+  /// vectors). Reported in the paper's repository as comparable to the
+  /// topology policy.
+  kTypeSimilarity,
+  /// No filtering: returns all source-entity facts (the Figure 6 ablation).
+  kNone,
+};
+
+/// Options of the Pre-Filter module.
+struct PreFilterOptions {
+  PromisingnessPolicy policy = PromisingnessPolicy::kTopology;
+  /// The top-k cut applied on promisingness values (paper default: 20).
+  size_t top_k = 20;
+};
+
+/// The Pre-Filter reduces G^h_train — all training facts of the prediction's
+/// source entity — to the top-k most promising facts F^h_train, preventing
+/// combinatorial explosion for high-degree entities.
+class PreFilter {
+ public:
+  PreFilter(const Dataset& dataset, PreFilterOptions options)
+      : dataset_(dataset), options_(options) {}
+
+  /// Returns the most promising facts of the prediction's source entity,
+  /// ordered by increasing γ (most promising first). The prediction triple
+  /// itself is never returned.
+  std::vector<Triple> MostPromisingFacts(const Triple& prediction,
+                                         PredictionTarget target) const;
+
+  /// γ values aligned with the facts MostPromisingFacts would sort; exposed
+  /// for tests and the ablation bench.
+  std::vector<double> Promisingness(const Triple& prediction,
+                                    PredictionTarget target,
+                                    const std::vector<Triple>& facts) const;
+
+ private:
+  std::vector<double> TopologyGamma(const Triple& prediction,
+                                    PredictionTarget target,
+                                    const std::vector<Triple>& facts) const;
+  std::vector<double> TypeGamma(const Triple& prediction,
+                                PredictionTarget target,
+                                const std::vector<Triple>& facts) const;
+
+  const Dataset& dataset_;
+  PreFilterOptions options_;
+};
+
+}  // namespace kelpie
+
+#endif  // KELPIE_CORE_PREFILTER_H_

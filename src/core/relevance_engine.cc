@@ -1,0 +1,170 @@
+#include "core/relevance_engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "eval/ranking.h"
+
+namespace kelpie {
+
+namespace {
+
+/// Removes every triple of `to_remove` from `facts` (exact matches).
+std::vector<Triple> WithoutFacts(const std::vector<Triple>& facts,
+                                 const std::vector<Triple>& to_remove) {
+  std::vector<Triple> out;
+  out.reserve(facts.size());
+  for (const Triple& f : facts) {
+    if (std::find(to_remove.begin(), to_remove.end(), f) == to_remove.end()) {
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+uint64_t RankCacheKey(EntityId entity, const Triple& prediction,
+                      PredictionTarget target) {
+  uint64_t key = static_cast<uint32_t>(entity);
+  key = key * 1315423911ULL + static_cast<uint32_t>(prediction.relation);
+  key = key * 1315423911ULL +
+        static_cast<uint32_t>(PredictedEntity(prediction, target));
+  key = key * 1315423911ULL + (target == PredictionTarget::kTail ? 1 : 2);
+  return key;
+}
+
+}  // namespace
+
+RelevanceEngine::RelevanceEngine(const LinkPredictionModel& model,
+                                 const Dataset& dataset,
+                                 RelevanceEngineOptions options)
+    : model_(model),
+      dataset_(dataset),
+      options_(options),
+      rng_(options.seed) {}
+
+std::vector<float> RelevanceEngine::PostTrain(
+    EntityId entity, const std::vector<Triple>& facts) {
+  ++post_training_count_;
+  return model_.PostTrainMimic(dataset_, entity, facts, rng_);
+}
+
+int RelevanceEngine::RankWithMimic(const Triple& prediction,
+                                   PredictionTarget target, EntityId source,
+                                   std::span<const float> mimic_vec) const {
+  if (target == PredictionTarget::kTail) {
+    return FilteredTailRankWithHeadVec(model_, dataset_, source, mimic_vec,
+                                       prediction.relation, prediction.tail);
+  }
+  return FilteredHeadRankWithTailVec(model_, dataset_, source, mimic_vec,
+                                     prediction.relation, prediction.head);
+}
+
+int RelevanceEngine::HomologousRank(EntityId entity, const Triple& prediction,
+                                    PredictionTarget target) {
+  const uint64_t key = RankCacheKey(entity, prediction, target);
+  auto it = homologous_rank_cache_.find(key);
+  if (it != homologous_rank_cache_.end()) {
+    return it->second;
+  }
+  int rank;
+  if (options_.use_original_rank_baseline) {
+    // Ablation mode: compare non-homologous mimics against the original
+    // entity's rank directly (no baseline post-training).
+    rank = RankWithMimic(prediction, target, entity,
+                         model_.EntityEmbedding(entity));
+  } else {
+    std::vector<Triple> facts = dataset_.train_graph().FactsOf(entity);
+    std::vector<float> mimic = PostTrain(entity, facts);
+    rank = RankWithMimic(prediction, target, entity, mimic);
+  }
+  homologous_rank_cache_.emplace(key, rank);
+  return rank;
+}
+
+double RelevanceEngine::NecessaryRelevance(
+    const Triple& prediction, PredictionTarget target,
+    const std::vector<Triple>& candidate) {
+  const EntityId source = SourceEntity(prediction, target);
+  // Algorithm 1, lines 1-2: homologous mimic h' on G^h_train and
+  // non-homologous mimic h'_{-X} on G^h_train \ X.
+  const int homologous_rank = HomologousRank(source, prediction, target);
+  std::vector<Triple> facts = dataset_.train_graph().FactsOf(source);
+  std::vector<Triple> reduced = WithoutFacts(facts, candidate);
+  std::vector<float> mimic = PostTrain(source, reduced);
+  const int removed_rank = RankWithMimic(prediction, target, source, mimic);
+  // Line 5: the rank deterioration is the necessary relevance.
+  return static_cast<double>(removed_rank - homologous_rank);
+}
+
+double RelevanceEngine::SufficientRelevance(
+    const Triple& prediction, PredictionTarget target,
+    const std::vector<Triple>& candidate,
+    const std::vector<EntityId>& conversion_set) {
+  const EntityId source = SourceEntity(prediction, target);
+  if (conversion_set.empty()) return 0.0;
+  double total = 0.0;
+  size_t used = 0;
+  for (EntityId c : conversion_set) {
+    // Homologous mimic c' of the entity to convert.
+    const int base_rank = HomologousRank(c, prediction, target);
+    if (base_rank <= 1) {
+      // Already converted (post-training fluctuation); the ideal
+      // improvement is zero — treat as fully achieved.
+      total += 1.0;
+      ++used;
+      continue;
+    }
+    // Non-homologous mimic c'_{+X}: c's facts plus the candidate facts
+    // transferred from the source entity to c.
+    std::vector<Triple> facts = dataset_.train_graph().FactsOf(c);
+    for (const Triple& f : candidate) {
+      Triple transferred = TransferFact(f, source, c);
+      if (std::find(facts.begin(), facts.end(), transferred) == facts.end()) {
+        facts.push_back(transferred);
+      }
+    }
+    std::vector<float> mimic = PostTrain(c, facts);
+    const int added_rank = RankWithMimic(prediction, target, c, mimic);
+    // Line 7: achieved over ideal rank improvement.
+    const double achieved = static_cast<double>(base_rank - added_rank);
+    const double ideal = static_cast<double>(base_rank - 1);
+    total += achieved / ideal;
+    ++used;
+  }
+  return used == 0 ? 0.0 : total / static_cast<double>(used);
+}
+
+std::vector<EntityId> RelevanceEngine::SampleConversionSet(
+    const Triple& prediction, PredictionTarget target) {
+  const EntityId source = SourceEntity(prediction, target);
+  const EntityId predicted = PredictedEntity(prediction, target);
+  std::vector<EntityId> out;
+  const size_t n = dataset_.num_entities();
+  // Rejection-sample entities whose (unmodified) prediction of the target
+  // answer is not already rank 1 and that have at least one training fact.
+  size_t attempts = 0;
+  const size_t max_attempts = 50 * options_.conversion_set_size + 200;
+  while (out.size() < options_.conversion_set_size &&
+         attempts < max_attempts) {
+    ++attempts;
+    EntityId c = static_cast<EntityId>(rng_.UniformUint64(n));
+    if (c == source || c == predicted) continue;
+    if (std::find(out.begin(), out.end(), c) != out.end()) continue;
+    if (dataset_.train_graph().Degree(c) == 0) continue;
+    Triple converted = prediction;
+    if (target == PredictionTarget::kTail) {
+      converted.head = c;
+    } else {
+      converted.tail = c;
+    }
+    if (dataset_.IsKnown(converted)) continue;
+    int rank = FilteredRank(model_, dataset_, converted, target);
+    if (rank <= 1) continue;  // model already predicts it; nothing to convert
+    out.push_back(c);
+  }
+  return out;
+}
+
+void RelevanceEngine::ClearCaches() { homologous_rank_cache_.clear(); }
+
+}  // namespace kelpie

@@ -1,0 +1,225 @@
+#include "datagen/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace kelpie {
+
+namespace {
+
+size_t Scaled(size_t count, double scale) {
+  return std::max<size_t>(5, static_cast<size_t>(std::lround(
+                                 static_cast<double>(count) * scale)));
+}
+
+/// Shared Freebase-like core (types, base relations, rules, clusters);
+/// FB15k adds inverse relations on top, FB15k-237 does not.
+GeneratorSpec FreebaseCore(double scale, uint64_t seed) {
+  GeneratorSpec spec;
+  spec.seed = seed;
+  spec.types = {
+      {"Person", Scaled(400, scale)},  {"City", Scaled(60, scale)},
+      {"Country", Scaled(12, scale)},  {"Film", Scaled(120, scale)},
+      {"Profession", Scaled(15, scale)},
+      {"Organization", Scaled(60, scale)}, {"Genre", Scaled(10, scale)},
+  };
+  spec.relations = {
+      {.name = "born_in", .domain = "Person", .range = "City",
+       .facts_per_head = 1.0, .zipf_exponent = 1.6, .functional = true},
+      {.name = "located_in", .domain = "City", .range = "Country",
+       .facts_per_head = 1.0, .zipf_exponent = 1.4, .functional = true},
+      {.name = "lives_in", .domain = "Person", .range = "City",
+       .facts_per_head = 1.2, .zipf_exponent = 1.6},
+      {.name = "works_for", .domain = "Person", .range = "Organization",
+       .facts_per_head = 1.2, .zipf_exponent = 1.6},
+      {.name = "org_based_in", .domain = "Organization", .range = "City",
+       .facts_per_head = 1.0, .zipf_exponent = 1.4, .functional = true},
+      {.name = "profession", .domain = "Person", .range = "Profession",
+       .facts_per_head = 1.8, .zipf_exponent = 1.5},
+      {.name = "acted_in", .domain = "Person", .range = "Film",
+       .facts_per_head = 0.8, .zipf_exponent = 1.5},
+      {.name = "film_genre", .domain = "Film", .range = "Genre",
+       .facts_per_head = 1.4, .zipf_exponent = 1.3},
+      // Rule-populated relations.
+      {.name = "nationality", .domain = "Person", .range = "Country",
+       .facts_per_head = 0.0},
+      {.name = "lives_in_country", .domain = "Person", .range = "Country",
+       .facts_per_head = 0.0},
+  };
+  spec.rules = {
+      {.premise1 = "born_in", .premise2 = "located_in",
+       .conclusion = "nationality", .apply_prob = 0.85},
+      {.premise1 = "lives_in", .premise2 = "located_in",
+       .conclusion = "lives_in_country", .apply_prob = 0.7},
+  };
+  spec.clusters = {
+      {.member_type = "Person", .relation = "acted_in", .item_type = "Film",
+       .num_groups = Scaled(14, scale), .members_per_group = 5,
+       .items_per_group = 7, .membership_prob = 0.85},
+  };
+  spec.valid_fraction = 0.05;
+  spec.test_fraction = 0.10;
+  spec.max_eval_facts = 350;
+  return spec;
+}
+
+/// Shared WordNet-like core; WN18 adds inverse relations, WN18RR does not.
+GeneratorSpec WordNetCore(double scale, uint64_t seed) {
+  GeneratorSpec spec;
+  spec.seed = seed;
+  spec.types = {{"Word", Scaled(600, scale)}};
+  spec.relations = {
+      {.name = "hypernym", .domain = "Word", .range = "Word",
+       .facts_per_head = 1.3, .zipf_exponent = 1.8},
+      {.name = "part_of", .domain = "Word", .range = "Word",
+       .facts_per_head = 0.6, .zipf_exponent = 1.7},
+      {.name = "member_of_domain", .domain = "Word", .range = "Word",
+       .facts_per_head = 0.5, .zipf_exponent = 1.9},
+      {.name = "similar_to", .domain = "Word", .range = "Word",
+       .facts_per_head = 0.7, .zipf_exponent = 1.2, .symmetric = true,
+       .symmetric_prob = 0.9},
+      {.name = "derivationally_related", .domain = "Word", .range = "Word",
+       .facts_per_head = 0.9, .zipf_exponent = 1.2, .symmetric = true,
+       .symmetric_prob = 0.9},
+      {.name = "also_see", .domain = "Word", .range = "Word",
+       .facts_per_head = 0.4, .zipf_exponent = 1.2, .symmetric = true,
+       .symmetric_prob = 0.85},
+  };
+  spec.valid_fraction = 0.06;
+  spec.test_fraction = 0.12;
+  spec.max_eval_facts = 350;
+  return spec;
+}
+
+void AddInverse(GeneratorSpec& spec, const std::string& base,
+                const std::string& inverse_name, const std::string& domain,
+                const std::string& range) {
+  RelationSpec inv;
+  inv.name = inverse_name;
+  inv.domain = domain;
+  inv.range = range;
+  inv.inverse_of = base;
+  inv.inverse_prob = 0.85;
+  spec.relations.push_back(inv);
+}
+
+}  // namespace
+
+std::string_view BenchmarkDatasetName(BenchmarkDataset d) {
+  switch (d) {
+    case BenchmarkDataset::kFb15k:
+      return "FB15k";
+    case BenchmarkDataset::kFb15k237:
+      return "FB15k-237";
+    case BenchmarkDataset::kWn18:
+      return "WN18";
+    case BenchmarkDataset::kWn18rr:
+      return "WN18RR";
+    case BenchmarkDataset::kYago310:
+      return "YAGO3-10";
+  }
+  return "Unknown";
+}
+
+std::vector<BenchmarkDataset> AllBenchmarkDatasets() {
+  return {BenchmarkDataset::kFb15k, BenchmarkDataset::kFb15k237,
+          BenchmarkDataset::kWn18, BenchmarkDataset::kWn18rr,
+          BenchmarkDataset::kYago310};
+}
+
+GeneratorSpec BenchmarkSpec(BenchmarkDataset d, double scale, uint64_t seed) {
+  switch (d) {
+    case BenchmarkDataset::kFb15k: {
+      GeneratorSpec spec = FreebaseCore(scale, seed);
+      spec.name = "FB15k";
+      // The test-leakage inverse relations of the original FB15k.
+      AddInverse(spec, "born_in", "person_born_here", "City", "Person");
+      AddInverse(spec, "acted_in", "has_actor", "Film", "Person");
+      AddInverse(spec, "located_in", "contains", "Country", "City");
+      AddInverse(spec, "works_for", "employs", "Organization", "Person");
+      return spec;
+    }
+    case BenchmarkDataset::kFb15k237: {
+      GeneratorSpec spec = FreebaseCore(scale, seed);
+      spec.name = "FB15k-237";
+      return spec;
+    }
+    case BenchmarkDataset::kWn18: {
+      GeneratorSpec spec = WordNetCore(scale, seed);
+      spec.name = "WN18";
+      AddInverse(spec, "hypernym", "hyponym", "Word", "Word");
+      AddInverse(spec, "part_of", "has_part", "Word", "Word");
+      AddInverse(spec, "member_of_domain", "domain_member", "Word", "Word");
+      return spec;
+    }
+    case BenchmarkDataset::kWn18rr: {
+      GeneratorSpec spec = WordNetCore(scale, seed);
+      spec.name = "WN18RR";
+      return spec;
+    }
+    case BenchmarkDataset::kYago310: {
+      GeneratorSpec spec;
+      spec.seed = seed;
+      spec.name = "YAGO3-10";
+      spec.types = {
+          {"Player", Scaled(400, scale)}, {"Team", Scaled(60, scale)},
+          {"City", Scaled(60, scale)},    {"Country", Scaled(15, scale)},
+          {"Actor", Scaled(100, scale)},  {"Film", Scaled(120, scale)},
+      };
+      spec.relations = {
+          {.name = "plays_for", .domain = "Player", .range = "Team",
+           .facts_per_head = 1.5, .zipf_exponent = 1.5},
+          {.name = "affiliated_to", .domain = "Player", .range = "Team",
+           .facts_per_head = 1.2, .zipf_exponent = 1.5},
+          {.name = "team_based_in", .domain = "Team", .range = "City",
+           .facts_per_head = 1.0, .zipf_exponent = 1.3, .functional = true},
+          {.name = "located_in", .domain = "City", .range = "Country",
+           .facts_per_head = 1.0, .zipf_exponent = 1.3, .functional = true},
+          {.name = "acted_in", .domain = "Actor", .range = "Film",
+           .facts_per_head = 1.5, .zipf_exponent = 1.4},
+          {.name = "citizen_of", .domain = "Actor", .range = "Country",
+           .facts_per_head = 0.6, .zipf_exponent = 1.4},
+          // Populated by the bias correlation / rules below.
+          {.name = "born_in", .domain = "Player", .range = "City",
+           .facts_per_head = 0.0},
+          {.name = "nationality", .domain = "Player", .range = "Country",
+           .facts_per_head = 0.0},
+      };
+      // The Table-8 bias: birthplaces follow the player's football team.
+      spec.correlations = {
+          {.subject_type = "Player", .via_relation = "plays_for",
+           .anchor_relation = "team_based_in", .target_relation = "born_in",
+           .strength = 0.75},
+      };
+      // Personal facts are rare in YAGO3-10 (the source of the Table-8
+      // bias); only a minority of players get an explicit nationality.
+      spec.rules = {
+          {.premise1 = "born_in", .premise2 = "located_in",
+           .conclusion = "nationality", .apply_prob = 0.3},
+      };
+      // The recurring acting ensembles of paper Table 7.
+      spec.clusters = {
+          {.member_type = "Actor", .relation = "acted_in",
+           .item_type = "Film", .num_groups = Scaled(14, scale),
+           .members_per_group = 5, .items_per_group = 7,
+           .membership_prob = 0.85},
+      };
+      spec.valid_fraction = 0.06;
+      spec.test_fraction = 0.12;
+      spec.max_eval_facts = 350;
+      return spec;
+    }
+  }
+  KELPIE_CHECK(false);
+  return {};
+}
+
+Dataset MakeBenchmark(BenchmarkDataset d, double scale, uint64_t seed) {
+  Result<Dataset> result = GenerateDataset(BenchmarkSpec(d, scale, seed));
+  KELPIE_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+}  // namespace kelpie

@@ -1,0 +1,41 @@
+#ifndef KELPIE_DATAGEN_DATASETS_H_
+#define KELPIE_DATAGEN_DATASETS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "datagen/generator.h"
+
+namespace kelpie {
+
+/// The five benchmark datasets of the paper's Table 1, as synthetic
+/// stand-ins (DESIGN.md §3). Each preserves the structural signature of its
+/// namesake:
+///  - kFb15k:    many relations, rich composition, inverse-relation leakage;
+///  - kFb15k237: kFb15k with the inverse relations removed;
+///  - kWn18:     lexical hierarchy with inverse pairs (hypernym/hyponym ...);
+///  - kWn18rr:   kWn18 without inverse pairs; symmetric relations dominate;
+///  - kYago310:  sparse personal facts, acting ensembles, and the
+///               football-team/birthplace bias of paper Table 8.
+enum class BenchmarkDataset { kFb15k, kFb15k237, kWn18, kWn18rr, kYago310 };
+
+/// Display name matching the paper ("FB15k", "FB15k-237", ...).
+std::string_view BenchmarkDatasetName(BenchmarkDataset d);
+
+/// All five datasets in Table-1 order.
+std::vector<BenchmarkDataset> AllBenchmarkDatasets();
+
+/// Generator spec of a benchmark stand-in. `scale` multiplies entity counts
+/// (and cluster counts); 1.0 is the default experiment scale, smaller
+/// values give quick test fixtures.
+GeneratorSpec BenchmarkSpec(BenchmarkDataset d, double scale = 1.0,
+                            uint64_t seed = 7);
+
+/// Generates the dataset (convenience wrapper; aborts on spec errors, which
+/// would be programming bugs for the built-in specs).
+Dataset MakeBenchmark(BenchmarkDataset d, double scale = 1.0,
+                      uint64_t seed = 7);
+
+}  // namespace kelpie
+
+#endif  // KELPIE_DATAGEN_DATASETS_H_

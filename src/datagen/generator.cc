@@ -1,0 +1,373 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "math/rng.h"
+
+namespace kelpie {
+
+namespace {
+
+/// Contiguous id range of one entity type.
+struct TypeRange {
+  EntityId begin = 0;
+  EntityId end = 0;  // exclusive
+  size_t size() const { return static_cast<size_t>(end - begin); }
+};
+
+/// A fact plus its provenance: derived facts are eligible for valid/test.
+struct TaggedFact {
+  Triple triple;
+  bool derived = false;
+};
+
+/// Working state of one generation run.
+struct Builder {
+  const GeneratorSpec& spec;
+  Rng rng;
+  Dictionary entities;
+  Dictionary relations;
+  std::unordered_map<std::string, TypeRange> type_ranges;
+  std::unordered_map<std::string, RelationId> relation_ids;
+  std::unordered_map<std::string, const RelationSpec*> relation_specs;
+  // Per-relation popularity permutation of the range type, for Zipf tails.
+  std::unordered_map<std::string, std::vector<EntityId>> popularity;
+  std::vector<TaggedFact> facts;
+  std::unordered_set<uint64_t> seen;
+
+  explicit Builder(const GeneratorSpec& s) : spec(s), rng(s.seed) {}
+
+  bool AddFact(const Triple& t, bool derived) {
+    if (t.head == t.tail) return false;
+    if (!seen.insert(t.Key()).second) return false;
+    facts.push_back({t, derived});
+    return true;
+  }
+};
+
+Status BuildTypes(Builder& b) {
+  for (const TypeSpec& type : b.spec.types) {
+    if (type.count == 0) {
+      return Status::InvalidArgument("type with zero entities: " + type.name);
+    }
+    if (b.type_ranges.count(type.name)) {
+      return Status::InvalidArgument("duplicate type: " + type.name);
+    }
+    TypeRange range;
+    range.begin = static_cast<EntityId>(b.entities.size());
+    for (size_t i = 0; i < type.count; ++i) {
+      b.entities.GetOrAdd(type.name + "_" + std::to_string(i));
+    }
+    range.end = static_cast<EntityId>(b.entities.size());
+    b.type_ranges[type.name] = range;
+  }
+  return Status::Ok();
+}
+
+Result<TypeRange> FindType(const Builder& b, const std::string& name) {
+  auto it = b.type_ranges.find(name);
+  if (it == b.type_ranges.end()) {
+    return Status::InvalidArgument("unknown type: " + name);
+  }
+  return it->second;
+}
+
+Status BuildRelations(Builder& b) {
+  for (const RelationSpec& rel : b.spec.relations) {
+    if (b.relation_ids.count(rel.name)) {
+      return Status::InvalidArgument("duplicate relation: " + rel.name);
+    }
+    TypeRange domain, range;
+    KELPIE_ASSIGN_OR_RETURN(domain, FindType(b, rel.domain));
+    KELPIE_ASSIGN_OR_RETURN(range, FindType(b, rel.range));
+    (void)domain;
+    b.relation_ids[rel.name] = b.relations.GetOrAdd(rel.name);
+    b.relation_specs[rel.name] = &rel;
+    // Popularity permutation over the range type for Zipf tails.
+    std::vector<EntityId> perm(range.size());
+    for (size_t i = 0; i < perm.size(); ++i) {
+      perm[i] = range.begin + static_cast<EntityId>(i);
+    }
+    b.rng.Shuffle(perm);
+    b.popularity[rel.name] = std::move(perm);
+  }
+  // Validate inverse references.
+  for (const RelationSpec& rel : b.spec.relations) {
+    if (!rel.inverse_of.empty() && !b.relation_ids.count(rel.inverse_of)) {
+      return Status::InvalidArgument("inverse_of references unknown relation: " +
+                                     rel.inverse_of);
+    }
+  }
+  return Status::Ok();
+}
+
+/// Draws a tail for `rel` using its popularity permutation and Zipf skew.
+EntityId DrawTail(Builder& b, const RelationSpec& rel) {
+  const std::vector<EntityId>& perm = b.popularity[rel.name];
+  size_t idx;
+  if (rel.zipf_exponent > 1.0) {
+    idx = SampleZipf(b.rng, perm.size(), rel.zipf_exponent);
+  } else {
+    idx = static_cast<size_t>(b.rng.UniformUint64(perm.size()));
+  }
+  return perm[idx];
+}
+
+Status BuildBaseFacts(Builder& b) {
+  for (const RelationSpec& rel : b.spec.relations) {
+    if (rel.facts_per_head <= 0.0 || !rel.inverse_of.empty()) continue;
+    TypeRange domain;
+    KELPIE_ASSIGN_OR_RETURN(domain, FindType(b, rel.domain));
+    const RelationId rid = b.relation_ids[rel.name];
+    for (EntityId h = domain.begin; h < domain.end; ++h) {
+      size_t count;
+      if (rel.functional) {
+        count = b.rng.Bernoulli(std::min(rel.facts_per_head, 1.0)) ? 1 : 0;
+      } else {
+        double mean = rel.facts_per_head;
+        count = static_cast<size_t>(mean);
+        if (b.rng.Bernoulli(mean - static_cast<double>(count))) ++count;
+      }
+      for (size_t i = 0; i < count; ++i) {
+        // Bounded retries against duplicates/self-loops.
+        for (int attempt = 0; attempt < 8; ++attempt) {
+          EntityId t = DrawTail(b, rel);
+          if (b.AddFact(Triple(h, rid, t), /*derived=*/false)) break;
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status BuildCorrelations(Builder& b) {
+  for (const CorrelationSpec& corr : b.spec.correlations) {
+    auto via_it = b.relation_ids.find(corr.via_relation);
+    auto anchor_it = b.relation_ids.find(corr.anchor_relation);
+    auto target_it = b.relation_ids.find(corr.target_relation);
+    if (via_it == b.relation_ids.end() || anchor_it == b.relation_ids.end() ||
+        target_it == b.relation_ids.end()) {
+      return Status::InvalidArgument("correlation references unknown relation");
+    }
+    TypeRange subjects;
+    KELPIE_ASSIGN_OR_RETURN(subjects, FindType(b, corr.subject_type));
+    const RelationSpec* target_spec = b.relation_specs[corr.target_relation];
+    TypeRange target_range;
+    KELPIE_ASSIGN_OR_RETURN(target_range, FindType(b, target_spec->range));
+
+    // Index via and anchor facts (first match wins, deterministically).
+    std::unordered_map<EntityId, EntityId> via_map;     // subject -> anchor
+    std::unordered_map<EntityId, EntityId> anchor_map;  // anchor -> value
+    for (const TaggedFact& f : b.facts) {
+      if (f.triple.relation == via_it->second &&
+          !via_map.count(f.triple.head)) {
+        via_map[f.triple.head] = f.triple.tail;
+      }
+      if (f.triple.relation == anchor_it->second &&
+          !anchor_map.count(f.triple.head)) {
+        anchor_map[f.triple.head] = f.triple.tail;
+      }
+    }
+    for (EntityId s = subjects.begin; s < subjects.end; ++s) {
+      auto via = via_map.find(s);
+      if (via == via_map.end()) continue;
+      auto anchor = anchor_map.find(via->second);
+      if (anchor == anchor_map.end()) continue;
+      EntityId value;
+      if (b.rng.Bernoulli(corr.strength)) {
+        value = anchor->second;
+      } else {
+        value = target_range.begin + static_cast<EntityId>(b.rng.UniformUint64(
+                                         target_range.size()));
+      }
+      b.AddFact(Triple(s, target_it->second, value), /*derived=*/true);
+    }
+  }
+  return Status::Ok();
+}
+
+Status BuildRules(Builder& b) {
+  for (const RuleSpec& rule : b.spec.rules) {
+    auto p1 = b.relation_ids.find(rule.premise1);
+    auto p2 = b.relation_ids.find(rule.premise2);
+    auto con = b.relation_ids.find(rule.conclusion);
+    if (p1 == b.relation_ids.end() || p2 == b.relation_ids.end() ||
+        con == b.relation_ids.end()) {
+      return Status::InvalidArgument("rule references unknown relation");
+    }
+    // premise2 index: Y -> {Z}.
+    std::unordered_map<EntityId, std::vector<EntityId>> p2_index;
+    std::vector<Triple> p1_facts;
+    for (const TaggedFact& f : b.facts) {
+      if (f.triple.relation == p2->second) {
+        p2_index[f.triple.head].push_back(f.triple.tail);
+      }
+      if (f.triple.relation == p1->second) {
+        p1_facts.push_back(f.triple);
+      }
+    }
+    for (const Triple& f : p1_facts) {
+      auto it = p2_index.find(f.tail);
+      if (it == p2_index.end()) continue;
+      for (EntityId z : it->second) {
+        if (b.rng.Bernoulli(rule.apply_prob)) {
+          b.AddFact(Triple(f.head, con->second, z), /*derived=*/true);
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status BuildSymmetricAndInverse(Builder& b) {
+  // Snapshot: copies are generated from the current fact list only.
+  const std::vector<TaggedFact> snapshot = b.facts;
+  for (const RelationSpec& rel : b.spec.relations) {
+    if (rel.symmetric) {
+      const RelationId rid = b.relation_ids[rel.name];
+      for (const TaggedFact& f : snapshot) {
+        if (f.triple.relation != rid) continue;
+        if (b.rng.Bernoulli(rel.symmetric_prob)) {
+          b.AddFact(Triple(f.triple.tail, rid, f.triple.head),
+                    /*derived=*/true);
+        }
+      }
+    }
+    if (!rel.inverse_of.empty()) {
+      const RelationId rid = b.relation_ids[rel.name];
+      const RelationId base = b.relation_ids[rel.inverse_of];
+      for (const TaggedFact& f : snapshot) {
+        if (f.triple.relation != base) continue;
+        if (b.rng.Bernoulli(rel.inverse_prob)) {
+          b.AddFact(Triple(f.triple.tail, rid, f.triple.head),
+                    /*derived=*/true);
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status BuildClusters(Builder& b) {
+  for (const ClusterSpec& cluster : b.spec.clusters) {
+    auto rel_it = b.relation_ids.find(cluster.relation);
+    if (rel_it == b.relation_ids.end()) {
+      return Status::InvalidArgument("cluster references unknown relation: " +
+                                     cluster.relation);
+    }
+    TypeRange members, items;
+    KELPIE_ASSIGN_OR_RETURN(members, FindType(b, cluster.member_type));
+    KELPIE_ASSIGN_OR_RETURN(items, FindType(b, cluster.item_type));
+    const size_t need_members = cluster.num_groups * cluster.members_per_group;
+    const size_t need_items = cluster.num_groups * cluster.items_per_group;
+    if (need_members > members.size() || need_items > items.size()) {
+      return Status::InvalidArgument("cluster spec larger than its types: " +
+                                     cluster.relation);
+    }
+    std::vector<size_t> member_pick =
+        b.rng.SampleWithoutReplacement(members.size(), need_members);
+    std::vector<size_t> item_pick =
+        b.rng.SampleWithoutReplacement(items.size(), need_items);
+    size_t mi = 0, ii = 0;
+    for (size_t g = 0; g < cluster.num_groups; ++g) {
+      std::vector<EntityId> group_members, group_items;
+      for (size_t i = 0; i < cluster.members_per_group; ++i) {
+        group_members.push_back(members.begin +
+                                static_cast<EntityId>(member_pick[mi++]));
+      }
+      for (size_t i = 0; i < cluster.items_per_group; ++i) {
+        group_items.push_back(items.begin +
+                              static_cast<EntityId>(item_pick[ii++]));
+      }
+      for (EntityId m : group_members) {
+        for (EntityId item : group_items) {
+          if (b.rng.Bernoulli(cluster.membership_prob)) {
+            b.AddFact(Triple(m, rel_it->second, item), /*derived=*/true);
+          }
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Dataset> GenerateDataset(const GeneratorSpec& spec) {
+  if (spec.types.empty() || spec.relations.empty()) {
+    return Status::InvalidArgument("spec needs at least one type and relation");
+  }
+  Builder b(spec);
+  KELPIE_RETURN_IF_ERROR(BuildTypes(b));
+  KELPIE_RETURN_IF_ERROR(BuildRelations(b));
+  KELPIE_RETURN_IF_ERROR(BuildBaseFacts(b));
+  KELPIE_RETURN_IF_ERROR(BuildCorrelations(b));
+  KELPIE_RETURN_IF_ERROR(BuildRules(b));
+  KELPIE_RETURN_IF_ERROR(BuildClusters(b));
+  KELPIE_RETURN_IF_ERROR(BuildSymmetricAndInverse(b));
+
+  // Split: derived facts are eligible for valid/test.
+  std::vector<size_t> derived_indices;
+  for (size_t i = 0; i < b.facts.size(); ++i) {
+    if (b.facts[i].derived) derived_indices.push_back(i);
+  }
+  b.rng.Shuffle(derived_indices);
+  size_t n_test = static_cast<size_t>(
+      static_cast<double>(derived_indices.size()) * spec.test_fraction);
+  size_t n_valid = static_cast<size_t>(
+      static_cast<double>(derived_indices.size()) * spec.valid_fraction);
+  if (spec.max_eval_facts > 0) {
+    n_test = std::min(n_test, spec.max_eval_facts);
+    n_valid = std::min(n_valid, spec.max_eval_facts);
+  }
+
+  std::vector<char> assignment(b.facts.size(), 0);  // 0 train, 1 valid, 2 test
+  for (size_t i = 0; i < n_test; ++i) {
+    assignment[derived_indices[i]] = 2;
+  }
+  for (size_t i = n_test; i < n_test + n_valid; ++i) {
+    assignment[derived_indices[i]] = 1;
+  }
+
+  // Every entity referenced by an eval fact must keep at least one training
+  // fact; demote eval facts that would orphan an entity.
+  std::vector<int> train_degree(b.entities.size(), 0);
+  for (size_t i = 0; i < b.facts.size(); ++i) {
+    if (assignment[i] == 0) {
+      ++train_degree[static_cast<size_t>(b.facts[i].triple.head)];
+      ++train_degree[static_cast<size_t>(b.facts[i].triple.tail)];
+    }
+  }
+  for (size_t i = 0; i < b.facts.size(); ++i) {
+    if (assignment[i] == 0) continue;
+    const Triple& t = b.facts[i].triple;
+    if (train_degree[static_cast<size_t>(t.head)] == 0 ||
+        train_degree[static_cast<size_t>(t.tail)] == 0) {
+      assignment[i] = 0;
+      ++train_degree[static_cast<size_t>(t.head)];
+      ++train_degree[static_cast<size_t>(t.tail)];
+    }
+  }
+
+  std::vector<Triple> train, valid, test;
+  for (size_t i = 0; i < b.facts.size(); ++i) {
+    switch (assignment[i]) {
+      case 0:
+        train.push_back(b.facts[i].triple);
+        break;
+      case 1:
+        valid.push_back(b.facts[i].triple);
+        break;
+      default:
+        test.push_back(b.facts[i].triple);
+        break;
+    }
+  }
+  return Dataset(spec.name, std::move(b.entities), std::move(b.relations),
+                 std::move(train), std::move(valid), std::move(test));
+}
+
+}  // namespace kelpie

@@ -1,0 +1,127 @@
+#ifndef KELPIE_DATAGEN_GENERATOR_H_
+#define KELPIE_DATAGEN_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "kgraph/dataset.h"
+
+namespace kelpie {
+
+/// ---------------------------------------------------------------------------
+/// Synthetic knowledge-graph generation.
+///
+/// The environment has no access to the five benchmark datasets the paper
+/// uses, so this module builds scaled-down synthetic stand-ins that preserve
+/// the structural properties the paper's experiments probe (DESIGN.md §3):
+///  - typed entities with relation signatures;
+///  - heavily skewed (Zipf) degree distributions;
+///  - compositional 2-hop rules (the "born_in ∘ located_in ⇒ nationality"
+///    pattern that makes explanations meaningful);
+///  - inverse-relation pairs (FB15k/WN18 test leakage) and their removal;
+///  - symmetric relations (WN18RR's dominant pattern);
+///  - co-participation clusters (YAGO3-10's recurring acting groups);
+///  - engineered correlations (YAGO3-10's football-team/birthplace bias).
+///
+/// Test and validation facts are sampled only from *derivable* facts — those
+/// produced by rules, symmetry, inversion, clusters, or correlations — so
+/// every evaluation fact is entailed by training evidence, which is exactly
+/// the property explanation extraction investigates.
+/// ---------------------------------------------------------------------------
+
+/// A class of entities ("Person", "City", ...). Entities are named
+/// "<name>_<i>".
+struct TypeSpec {
+  std::string name;
+  size_t count = 0;
+};
+
+/// A relation with a type signature and generation parameters.
+struct RelationSpec {
+  std::string name;
+  std::string domain;  // type of heads
+  std::string range;   // type of tails
+  /// Average number of base facts generated per domain entity; 0 means the
+  /// relation is populated only by rules/correlations/clusters/inverses.
+  double facts_per_head = 0.0;
+  /// Zipf exponent for tail popularity (> 1); <= 1 means uniform.
+  double zipf_exponent = 1.6;
+  /// At most one base fact per head.
+  bool functional = false;
+  /// Each fact <h, r, t> also yields <t, r, h> with probability
+  /// `symmetric_prob` (as a derived fact).
+  bool symmetric = false;
+  double symmetric_prob = 0.9;
+  /// Non-empty: this relation is generated purely as the inverse of the
+  /// named relation — every <h, that, t> yields <t, this, h> with
+  /// probability `inverse_prob` (as a derived fact). FB15k/WN18 leakage.
+  std::string inverse_of;
+  double inverse_prob = 0.9;
+};
+
+/// A 2-hop composition rule: conclusion(X, Z) <- premise1(X, Y) AND
+/// premise2(Y, Z), applied with the given probability per (X, Y, Z) match.
+/// Conclusions are derived facts.
+struct RuleSpec {
+  std::string premise1;
+  std::string premise2;
+  std::string conclusion;
+  double apply_prob = 0.9;
+};
+
+/// Co-participation clusters: `num_groups` disjoint groups of
+/// `members_per_group` entities of `member_type` are each linked to the
+/// same `items_per_group` entities of `item_type` through `relation`
+/// (YAGO3-10's recurring acting ensembles). Each member-item link is
+/// created with probability `membership_prob`; all links are derived facts
+/// (each is predictable from the co-members' links).
+struct ClusterSpec {
+  std::string member_type;
+  std::string relation;
+  std::string item_type;
+  size_t num_groups = 0;
+  size_t members_per_group = 0;
+  size_t items_per_group = 0;
+  double membership_prob = 0.9;
+};
+
+/// An engineered statistical bias: for each entity X of `subject_type`
+/// having via_relation(X, A) and anchor_relation(A, V), add
+/// target_relation(X, V) with probability `strength`; with probability
+/// 1 - strength the value V is replaced by a uniform draw from the target
+/// relation's range type. Both outcomes are derived facts. This reproduces
+/// YAGO3-10's "players tend to play for teams from their birthplace" bias
+/// (paper Table 8) — with causality reversed so that the *target* relation
+/// is the biased, explainable one.
+struct CorrelationSpec {
+  std::string subject_type;
+  std::string via_relation;
+  std::string anchor_relation;
+  std::string target_relation;
+  double strength = 0.7;
+};
+
+/// Full description of a synthetic dataset.
+struct GeneratorSpec {
+  std::string name;
+  std::vector<TypeSpec> types;
+  std::vector<RelationSpec> relations;
+  std::vector<RuleSpec> rules;
+  std::vector<ClusterSpec> clusters;
+  std::vector<CorrelationSpec> correlations;
+  /// Fractions of *derived* facts moved to the validation/test splits.
+  double valid_fraction = 0.05;
+  double test_fraction = 0.08;
+  /// Hard cap on each of the valid/test splits (0 = unlimited).
+  size_t max_eval_facts = 400;
+  uint64_t seed = 7;
+};
+
+/// Generates the dataset described by `spec`. Fails if the spec references
+/// unknown types/relations or is otherwise inconsistent.
+Result<Dataset> GenerateDataset(const GeneratorSpec& spec);
+
+}  // namespace kelpie
+
+#endif  // KELPIE_DATAGEN_GENERATOR_H_

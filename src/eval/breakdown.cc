@@ -1,0 +1,59 @@
+#include "eval/breakdown.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+#include "eval/metrics.h"
+#include "eval/ranking.h"
+
+namespace kelpie {
+
+std::vector<RelationMetrics> EvaluatePerRelation(
+    const LinkPredictionModel& model, const Dataset& dataset,
+    const std::vector<Triple>& facts, bool include_heads) {
+  std::map<RelationId, MetricsAccumulator> per_relation;
+  for (const Triple& fact : facts) {
+    MetricsAccumulator& acc = per_relation[fact.relation];
+    acc.AddRank(FilteredTailRank(model, dataset, fact));
+    if (include_heads) {
+      acc.AddRank(FilteredHeadRank(model, dataset, fact));
+    }
+  }
+  std::vector<RelationMetrics> rows;
+  rows.reserve(per_relation.size());
+  for (const auto& [relation, acc] : per_relation) {
+    RelationMetrics row;
+    row.relation = relation;
+    row.num_facts = include_heads ? acc.count() / 2 : acc.count();
+    row.hits_at_1 = acc.HitsAt(1);
+    row.mrr = acc.Mrr();
+    rows.push_back(row);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const RelationMetrics& a, const RelationMetrics& b) {
+              if (a.num_facts != b.num_facts) {
+                return a.num_facts > b.num_facts;
+              }
+              return a.relation < b.relation;
+            });
+  return rows;
+}
+
+std::string FormatBreakdown(const std::vector<RelationMetrics>& rows,
+                            const Dataset& dataset) {
+  std::string out;
+  for (const RelationMetrics& row : rows) {
+    out += "  ";
+    std::string name = dataset.relations().NameOf(row.relation);
+    name.resize(std::max<size_t>(name.size(), 24), ' ');
+    out += name;
+    out += "  n=" + std::to_string(row.num_facts);
+    out += "  H@1=" + FormatDouble(row.hits_at_1, 3);
+    out += "  MRR=" + FormatDouble(row.mrr, 3);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace kelpie

@@ -1,0 +1,35 @@
+#ifndef KELPIE_EVAL_BREAKDOWN_H_
+#define KELPIE_EVAL_BREAKDOWN_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/evaluator.h"
+
+namespace kelpie {
+
+/// Per-relation slice of an evaluation — the standard diagnostic for
+/// understanding *which* relations a model has learned (e.g. TransE's
+/// WN18RR collapse is entirely concentrated on symmetric relations; the
+/// YAGO3-10 bias shows up as suspiciously strong born_in numbers).
+struct RelationMetrics {
+  RelationId relation = kNoRelation;
+  size_t num_facts = 0;
+  double hits_at_1 = 0.0;
+  double mrr = 0.0;
+};
+
+/// Evaluates `facts` per relation (filtered setting, tail direction by
+/// default, both directions when `include_heads`). Rows are sorted by
+/// descending fact count, ties by relation id.
+std::vector<RelationMetrics> EvaluatePerRelation(
+    const LinkPredictionModel& model, const Dataset& dataset,
+    const std::vector<Triple>& facts, bool include_heads = false);
+
+/// Text table of a per-relation breakdown.
+std::string FormatBreakdown(const std::vector<RelationMetrics>& rows,
+                            const Dataset& dataset);
+
+}  // namespace kelpie
+
+#endif  // KELPIE_EVAL_BREAKDOWN_H_

@@ -1,0 +1,63 @@
+#include "eval/evaluator.h"
+
+#include "common/thread_pool.h"
+
+namespace kelpie {
+
+double EvalResult::HitsAt1() const { return HitsAt(1); }
+
+double EvalResult::HitsAt(int k) const {
+  const size_t n = tail_ranks.count() + head_ranks.count();
+  if (n == 0) return 0.0;
+  double hits = tail_ranks.HitsAt(k) * static_cast<double>(tail_ranks.count()) +
+                head_ranks.HitsAt(k) * static_cast<double>(head_ranks.count());
+  return hits / static_cast<double>(n);
+}
+
+double EvalResult::Mrr() const {
+  const size_t n = tail_ranks.count() + head_ranks.count();
+  if (n == 0) return 0.0;
+  double acc = tail_ranks.Mrr() * static_cast<double>(tail_ranks.count()) +
+               head_ranks.Mrr() * static_cast<double>(head_ranks.count());
+  return acc / static_cast<double>(n);
+}
+
+EvalResult Evaluate(const LinkPredictionModel& model, const Dataset& dataset,
+                    const std::vector<Triple>& facts,
+                    const EvalOptions& options) {
+  EvalResult result;
+  if (options.num_threads <= 1 || facts.size() < 2) {
+    for (const Triple& fact : facts) {
+      result.tail_ranks.AddRank(FilteredTailRank(model, dataset, fact));
+      if (options.include_heads) {
+        result.head_ranks.AddRank(FilteredHeadRank(model, dataset, fact));
+      }
+    }
+    return result;
+  }
+  // Parallel path: rank into per-fact slots, then accumulate in fact order
+  // so the result is identical to the sequential path.
+  std::vector<int> tail_ranks(facts.size());
+  std::vector<int> head_ranks(options.include_heads ? facts.size() : 0);
+  ThreadPool pool(options.num_threads);
+  ParallelFor(pool, facts.size(), [&](size_t i) {
+    tail_ranks[i] = FilteredTailRank(model, dataset, facts[i]);
+    if (options.include_heads) {
+      head_ranks[i] = FilteredHeadRank(model, dataset, facts[i]);
+    }
+  });
+  for (size_t i = 0; i < facts.size(); ++i) {
+    result.tail_ranks.AddRank(tail_ranks[i]);
+    if (options.include_heads) {
+      result.head_ranks.AddRank(head_ranks[i]);
+    }
+  }
+  return result;
+}
+
+EvalResult EvaluateTest(const LinkPredictionModel& model,
+                        const Dataset& dataset, const EvalOptions& options) {
+  return Evaluate(model, dataset, dataset.test(), options);
+}
+
+}  // namespace kelpie

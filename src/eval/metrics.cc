@@ -1,0 +1,32 @@
+#include "eval/metrics.h"
+
+namespace kelpie {
+
+double MetricsAccumulator::HitsAt(int k) const {
+  if (ranks_.empty()) return 0.0;
+  size_t hits = 0;
+  for (int r : ranks_) {
+    if (r <= k) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(ranks_.size());
+}
+
+double MetricsAccumulator::Mrr() const {
+  if (ranks_.empty()) return 0.0;
+  double acc = 0.0;
+  for (int r : ranks_) {
+    acc += 1.0 / static_cast<double>(r);
+  }
+  return acc / static_cast<double>(ranks_.size());
+}
+
+double MetricsAccumulator::MeanRank() const {
+  if (ranks_.empty()) return 0.0;
+  double acc = 0.0;
+  for (int r : ranks_) {
+    acc += static_cast<double>(r);
+  }
+  return acc / static_cast<double>(ranks_.size());
+}
+
+}  // namespace kelpie

@@ -1,0 +1,42 @@
+#ifndef KELPIE_EVAL_METRICS_H_
+#define KELPIE_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace kelpie {
+
+/// Accumulates ranks into the paper's aggregate metrics: Hits@K
+/// (Equation 3) and Mean Reciprocal Rank (Equation 4). Both lie in [0, 1];
+/// higher is better.
+class MetricsAccumulator {
+ public:
+  /// Records one (1-based) rank.
+  void AddRank(int rank) { ranks_.push_back(rank); }
+
+  size_t count() const { return ranks_.size(); }
+
+  /// Fraction of ranks <= k.
+  double HitsAt(int k) const;
+
+  /// Mean of 1/rank.
+  double Mrr() const;
+
+  /// Arithmetic mean rank.
+  double MeanRank() const;
+
+  const std::vector<int>& ranks() const { return ranks_; }
+
+ private:
+  std::vector<int> ranks_;
+};
+
+/// A (H@1, MRR) pair — the two columns every results table reports.
+struct LpMetrics {
+  double hits_at_1 = 0.0;
+  double mrr = 0.0;
+};
+
+}  // namespace kelpie
+
+#endif  // KELPIE_EVAL_METRICS_H_

@@ -1,0 +1,69 @@
+#include "eval/ranking.h"
+
+#include <vector>
+
+#include "common/logging.h"
+
+namespace kelpie {
+
+int RankFromScores(std::span<const float> scores, EntityId target,
+                   const std::unordered_set<EntityId>* filtered_out) {
+  KELPIE_CHECK(target >= 0 && static_cast<size_t>(target) < scores.size());
+  const float target_score = scores[static_cast<size_t>(target)];
+  int rank = 0;
+  for (size_t e = 0; e < scores.size(); ++e) {
+    EntityId id = static_cast<EntityId>(e);
+    if (id != target && filtered_out != nullptr && filtered_out->count(id)) {
+      continue;
+    }
+    if (scores[e] >= target_score) {
+      ++rank;
+    }
+  }
+  return rank;
+}
+
+int FilteredTailRank(const LinkPredictionModel& model, const Dataset& dataset,
+                     const Triple& fact) {
+  std::vector<float> scores(model.num_entities());
+  model.ScoreAllTails(fact.head, fact.relation, scores);
+  return RankFromScores(scores, fact.tail,
+                        &dataset.KnownTails(fact.head, fact.relation));
+}
+
+int FilteredHeadRank(const LinkPredictionModel& model, const Dataset& dataset,
+                     const Triple& fact) {
+  std::vector<float> scores(model.num_entities());
+  model.ScoreAllHeads(fact.relation, fact.tail, scores);
+  return RankFromScores(scores, fact.head,
+                        &dataset.KnownHeads(fact.relation, fact.tail));
+}
+
+int FilteredTailRankWithHeadVec(const LinkPredictionModel& model,
+                                const Dataset& dataset, EntityId head_entity,
+                                std::span<const float> head_vec,
+                                RelationId relation, EntityId target_tail) {
+  std::vector<float> scores(model.num_entities());
+  model.ScoreAllTailsWithHeadVec(head_vec, relation, scores);
+  return RankFromScores(scores, target_tail,
+                        &dataset.KnownTails(head_entity, relation));
+}
+
+int FilteredHeadRankWithTailVec(const LinkPredictionModel& model,
+                                const Dataset& dataset, EntityId tail_entity,
+                                std::span<const float> tail_vec,
+                                RelationId relation, EntityId target_head) {
+  std::vector<float> scores(model.num_entities());
+  model.ScoreAllHeadsWithTailVec(relation, tail_vec, scores);
+  return RankFromScores(scores, target_head,
+                        &dataset.KnownHeads(relation, tail_entity));
+}
+
+int FilteredRank(const LinkPredictionModel& model, const Dataset& dataset,
+                 const Triple& fact, PredictionTarget target) {
+  return target == PredictionTarget::kTail
+             ? FilteredTailRank(model, dataset, fact)
+             : FilteredHeadRank(model, dataset, fact);
+}
+
+}  // namespace kelpie

@@ -1,0 +1,35 @@
+#include "kgraph/dictionary.h"
+
+#include "common/logging.h"
+
+namespace kelpie {
+
+int32_t Dictionary::GetOrAdd(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  int32_t id = static_cast<int32_t>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+Result<int32_t> Dictionary::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) {
+    return Status::NotFound("name not in dictionary: " + std::string(name));
+  }
+  return it->second;
+}
+
+bool Dictionary::Contains(std::string_view name) const {
+  return ids_.find(std::string(name)) != ids_.end();
+}
+
+const std::string& Dictionary::NameOf(int32_t id) const {
+  KELPIE_CHECK(id >= 0 && static_cast<size_t>(id) < names_.size());
+  return names_[static_cast<size_t>(id)];
+}
+
+}  // namespace kelpie

@@ -1,0 +1,47 @@
+#ifndef KELPIE_KGRAPH_DICTIONARY_H_
+#define KELPIE_KGRAPH_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "kgraph/triple.h"
+
+namespace kelpie {
+
+/// Bidirectional mapping between human-readable names and dense integer ids.
+/// Used once for entities and once for relations in every Dataset.
+/// Ids are assigned densely in insertion order starting from 0.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Returns the id of `name`, inserting it if absent.
+  int32_t GetOrAdd(std::string_view name);
+
+  /// Returns the id of `name`, or a NotFound status.
+  Result<int32_t> Find(std::string_view name) const;
+
+  /// True if `name` is present.
+  bool Contains(std::string_view name) const;
+
+  /// Returns the name for `id`. Requires 0 <= id < size().
+  const std::string& NameOf(int32_t id) const;
+
+  /// Number of distinct names.
+  size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+  /// All names, indexed by id.
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, int32_t> ids_;
+};
+
+}  // namespace kelpie
+
+#endif  // KELPIE_KGRAPH_DICTIONARY_H_

@@ -1,0 +1,102 @@
+#include "kgraph/graph.h"
+
+#include <deque>
+
+#include "common/logging.h"
+
+namespace kelpie {
+
+GraphIndex::GraphIndex(std::vector<Triple> triples, size_t num_entities)
+    : num_entities_(num_entities), triples_(std::move(triples)) {
+  facts_of_.resize(num_entities_);
+  membership_.reserve(triples_.size() * 2);
+  for (uint32_t i = 0; i < triples_.size(); ++i) {
+    const Triple& t = triples_[i];
+    KELPIE_CHECK(t.head >= 0 &&
+                 static_cast<size_t>(t.head) < num_entities_);
+    KELPIE_CHECK(t.tail >= 0 &&
+                 static_cast<size_t>(t.tail) < num_entities_);
+    membership_.insert(t.Key());
+    facts_of_[static_cast<size_t>(t.head)].push_back(i);
+    if (t.tail != t.head) {
+      facts_of_[static_cast<size_t>(t.tail)].push_back(i);
+    }
+  }
+}
+
+std::vector<Triple> GraphIndex::FactsOf(EntityId e) const {
+  KELPIE_CHECK(e >= 0 && static_cast<size_t>(e) < num_entities_);
+  std::vector<Triple> out;
+  const auto& indices = facts_of_[static_cast<size_t>(e)];
+  out.reserve(indices.size());
+  for (uint32_t i : indices) {
+    out.push_back(triples_[i]);
+  }
+  return out;
+}
+
+std::vector<EntityId> GraphIndex::NeighborsOf(EntityId e) const {
+  std::vector<EntityId> out;
+  std::unordered_set<EntityId> seen;
+  for (uint32_t i : FactIndicesOf(e)) {
+    const Triple& t = triples_[i];
+    EntityId other = (t.head == e) ? t.tail : t.head;
+    if (other != e && seen.insert(other).second) {
+      out.push_back(other);
+    }
+  }
+  return out;
+}
+
+std::vector<int32_t> DistancesFrom(const GraphIndex& graph, EntityId start,
+                                   const Triple* ignored) {
+  KELPIE_CHECK(start >= 0 &&
+               static_cast<size_t>(start) < graph.num_entities());
+  std::vector<int32_t> dist(graph.num_entities(), -1);
+  dist[static_cast<size_t>(start)] = 0;
+  std::deque<EntityId> frontier{start};
+  while (!frontier.empty()) {
+    EntityId cur = frontier.front();
+    frontier.pop_front();
+    int32_t next_dist = dist[static_cast<size_t>(cur)] + 1;
+    for (uint32_t i : graph.FactIndicesOf(cur)) {
+      const Triple& t = graph.triples()[i];
+      if (ignored != nullptr && t == *ignored) continue;
+      EntityId other = (t.head == cur) ? t.tail : t.head;
+      if (dist[static_cast<size_t>(other)] < 0) {
+        dist[static_cast<size_t>(other)] = next_dist;
+        frontier.push_back(other);
+      }
+    }
+  }
+  return dist;
+}
+
+int32_t ShortestPathLength(const GraphIndex& graph, EntityId from,
+                           EntityId to, const Triple* ignored) {
+  KELPIE_CHECK(from >= 0 &&
+               static_cast<size_t>(from) < graph.num_entities());
+  KELPIE_CHECK(to >= 0 && static_cast<size_t>(to) < graph.num_entities());
+  if (from == to) return 0;
+  std::vector<int32_t> dist(graph.num_entities(), -1);
+  dist[static_cast<size_t>(from)] = 0;
+  std::deque<EntityId> frontier{from};
+  while (!frontier.empty()) {
+    EntityId cur = frontier.front();
+    frontier.pop_front();
+    int32_t next_dist = dist[static_cast<size_t>(cur)] + 1;
+    for (uint32_t i : graph.FactIndicesOf(cur)) {
+      const Triple& t = graph.triples()[i];
+      if (ignored != nullptr && t == *ignored) continue;
+      EntityId other = (t.head == cur) ? t.tail : t.head;
+      if (other == to) return next_dist;
+      if (dist[static_cast<size_t>(other)] < 0) {
+        dist[static_cast<size_t>(other)] = next_dist;
+        frontier.push_back(other);
+      }
+    }
+  }
+  return -1;
+}
+
+}  // namespace kelpie

@@ -1,0 +1,81 @@
+#ifndef KELPIE_KGRAPH_GRAPH_H_
+#define KELPIE_KGRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "kgraph/triple.h"
+
+namespace kelpie {
+
+/// An indexed view over a set of triples (usually the training split).
+///
+/// Provides the access paths Kelpie needs:
+///  - `FactsOf(e)`: all triples mentioning entity e (the paper's G^e_train);
+///  - O(1) membership tests;
+///  - undirected adjacency for BFS promisingness (Pre-Filter);
+///  - per-entity degrees (skew statistics, Figure 6's degree buckets).
+///
+/// The index is immutable after construction; Kelpie never mutates the
+/// training graph in place — modified graphs are built explicitly by the
+/// end-to-end pipeline.
+class GraphIndex {
+ public:
+  GraphIndex() = default;
+
+  /// Builds the index. `num_entities` must exceed every entity id in
+  /// `triples`.
+  GraphIndex(std::vector<Triple> triples, size_t num_entities);
+
+  size_t num_entities() const { return num_entities_; }
+  size_t num_triples() const { return triples_.size(); }
+  const std::vector<Triple>& triples() const { return triples_; }
+
+  /// True if the exact triple is present.
+  bool Contains(const Triple& t) const {
+    return membership_.count(t.Key()) > 0;
+  }
+
+  /// All triples mentioning `e` as head or tail. A self-loop <e, r, e>
+  /// appears once.
+  std::vector<Triple> FactsOf(EntityId e) const;
+
+  /// Number of triples mentioning `e`.
+  size_t Degree(EntityId e) const {
+    return facts_of_[static_cast<size_t>(e)].size();
+  }
+
+  /// Indices (into triples()) of the triples mentioning `e`.
+  const std::vector<uint32_t>& FactIndicesOf(EntityId e) const {
+    return facts_of_[static_cast<size_t>(e)];
+  }
+
+  /// Undirected neighbor entities of `e` (deduplicated).
+  std::vector<EntityId> NeighborsOf(EntityId e) const;
+
+ private:
+  size_t num_entities_ = 0;
+  std::vector<Triple> triples_;
+  std::unordered_set<uint64_t> membership_;
+  std::vector<std::vector<uint32_t>> facts_of_;  // entity -> triple indices
+};
+
+/// Multi-hop distance oracle: unoriented BFS over a GraphIndex.
+///
+/// `DistancesFrom(start)` returns, for every entity, the length of the
+/// shortest undirected path from `start`, or -1 if unreachable. An optional
+/// `ignored` triple is treated as absent — the Pre-Filter excludes the very
+/// prediction being explained when measuring promisingness.
+std::vector<int32_t> DistancesFrom(const GraphIndex& graph, EntityId start,
+                                   const Triple* ignored = nullptr);
+
+/// Length of the shortest undirected path between `from` and `to`
+/// (early-exits once `to` is reached), or -1 if disconnected.
+int32_t ShortestPathLength(const GraphIndex& graph, EntityId from,
+                           EntityId to, const Triple* ignored = nullptr);
+
+}  // namespace kelpie
+
+#endif  // KELPIE_KGRAPH_GRAPH_H_

@@ -1,0 +1,95 @@
+#include "kgraph/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace kelpie {
+
+Status SaveTriplesTsv(const Dataset& dataset,
+                      const std::vector<Triple>& triples,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  for (const Triple& t : triples) {
+    out << dataset.entities().NameOf(t.head) << '\t'
+        << dataset.relations().NameOf(t.relation) << '\t'
+        << dataset.entities().NameOf(t.tail) << '\n';
+  }
+  if (!out) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+Status SaveDatasetTsv(const Dataset& dataset, const std::string& dir) {
+  KELPIE_RETURN_IF_ERROR(
+      SaveTriplesTsv(dataset, dataset.train(), dir + "/train.txt"));
+  KELPIE_RETURN_IF_ERROR(
+      SaveTriplesTsv(dataset, dataset.valid(), dir + "/valid.txt"));
+  KELPIE_RETURN_IF_ERROR(
+      SaveTriplesTsv(dataset, dataset.test(), dir + "/test.txt"));
+  return Status::Ok();
+}
+
+Result<std::vector<Triple>> ParseTriplesTsv(const std::string& text,
+                                            Dictionary& entities,
+                                            Dictionary& relations) {
+  std::vector<Triple> out;
+  std::istringstream stream(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) continue;
+    std::vector<std::string> fields = Split(stripped, '\t');
+    if (fields.size() != 3) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": expected 3 tab-separated fields, got " +
+                                     std::to_string(fields.size()));
+    }
+    EntityId h = entities.GetOrAdd(StripWhitespace(fields[0]));
+    RelationId r = relations.GetOrAdd(StripWhitespace(fields[1]));
+    EntityId t = entities.GetOrAdd(StripWhitespace(fields[2]));
+    out.emplace_back(h, r, t);
+  }
+  return out;
+}
+
+namespace {
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return contents.str();
+}
+
+}  // namespace
+
+Result<Dataset> LoadDatasetTsv(const std::string& name,
+                               const std::string& dir) {
+  Dictionary entities;
+  Dictionary relations;
+  std::string text;
+  KELPIE_ASSIGN_OR_RETURN(text, ReadWholeFile(dir + "/train.txt"));
+  std::vector<Triple> train;
+  KELPIE_ASSIGN_OR_RETURN(train, ParseTriplesTsv(text, entities, relations));
+  KELPIE_ASSIGN_OR_RETURN(text, ReadWholeFile(dir + "/valid.txt"));
+  std::vector<Triple> valid;
+  KELPIE_ASSIGN_OR_RETURN(valid, ParseTriplesTsv(text, entities, relations));
+  KELPIE_ASSIGN_OR_RETURN(text, ReadWholeFile(dir + "/test.txt"));
+  std::vector<Triple> test;
+  KELPIE_ASSIGN_OR_RETURN(test, ParseTriplesTsv(text, entities, relations));
+  return Dataset(name, std::move(entities), std::move(relations),
+                 std::move(train), std::move(valid), std::move(test));
+}
+
+}  // namespace kelpie

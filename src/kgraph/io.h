@@ -1,0 +1,36 @@
+#ifndef KELPIE_KGRAPH_IO_H_
+#define KELPIE_KGRAPH_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "kgraph/dataset.h"
+
+namespace kelpie {
+
+/// Writes triples as tab-separated "head<TAB>relation<TAB>tail" lines using
+/// the dataset dictionaries, the interchange format of the standard LP
+/// benchmark distributions (FB15k, WN18, ...).
+Status SaveTriplesTsv(const Dataset& dataset,
+                      const std::vector<Triple>& triples,
+                      const std::string& path);
+
+/// Saves all three splits of `dataset` as <dir>/train.txt, valid.txt,
+/// test.txt. `dir` must already exist.
+Status SaveDatasetTsv(const Dataset& dataset, const std::string& dir);
+
+/// Loads a dataset from <dir>/train.txt, valid.txt, test.txt in the TSV
+/// format above. Entity/relation ids are assigned in order of first
+/// appearance (train first).
+Result<Dataset> LoadDatasetTsv(const std::string& name,
+                               const std::string& dir);
+
+/// Parses triples from in-memory TSV text, growing the dictionaries.
+Result<std::vector<Triple>> ParseTriplesTsv(const std::string& text,
+                                            Dictionary& entities,
+                                            Dictionary& relations);
+
+}  // namespace kelpie
+
+#endif  // KELPIE_KGRAPH_IO_H_

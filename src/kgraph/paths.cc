@@ -1,0 +1,64 @@
+#include "kgraph/paths.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.h"
+
+namespace kelpie {
+
+std::vector<PathStep> ShortestPath(const GraphIndex& graph, EntityId from,
+                                   EntityId to, const Triple* ignored) {
+  KELPIE_CHECK(from >= 0 &&
+               static_cast<size_t>(from) < graph.num_entities());
+  KELPIE_CHECK(to >= 0 && static_cast<size_t>(to) < graph.num_entities());
+  if (from == to) return {};
+
+  // BFS with parent pointers: parent_edge[e] is the index of the triple
+  // through which e was discovered; kUnvisited marks the frontier.
+  constexpr uint32_t kUnvisited = static_cast<uint32_t>(-1);
+  std::vector<uint32_t> parent_edge(graph.num_entities(), kUnvisited);
+  std::vector<EntityId> parent_node(graph.num_entities(), kNoEntity);
+  std::deque<EntityId> frontier{from};
+  std::vector<char> visited(graph.num_entities(), 0);
+  visited[static_cast<size_t>(from)] = 1;
+  bool found = false;
+
+  while (!frontier.empty() && !found) {
+    EntityId cur = frontier.front();
+    frontier.pop_front();
+    for (uint32_t i : graph.FactIndicesOf(cur)) {
+      const Triple& t = graph.triples()[i];
+      if (ignored != nullptr && t == *ignored) continue;
+      EntityId other = (t.head == cur) ? t.tail : t.head;
+      if (visited[static_cast<size_t>(other)]) continue;
+      visited[static_cast<size_t>(other)] = 1;
+      parent_edge[static_cast<size_t>(other)] = i;
+      parent_node[static_cast<size_t>(other)] = cur;
+      if (other == to) {
+        found = true;
+        break;
+      }
+      frontier.push_back(other);
+    }
+  }
+  if (!found) return {};
+
+  // Walk parents back from `to` and reverse.
+  std::vector<PathStep> path;
+  EntityId cur = to;
+  while (cur != from) {
+    uint32_t edge = parent_edge[static_cast<size_t>(cur)];
+    EntityId prev = parent_node[static_cast<size_t>(cur)];
+    const Triple& t = graph.triples()[edge];
+    PathStep step;
+    step.triple = t;
+    step.forward = (t.head == prev);  // walked head -> tail
+    path.push_back(step);
+    cur = prev;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace kelpie

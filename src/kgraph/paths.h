@@ -1,0 +1,31 @@
+#ifndef KELPIE_KGRAPH_PATHS_H_
+#define KELPIE_KGRAPH_PATHS_H_
+
+#include <vector>
+
+#include "kgraph/graph.h"
+
+namespace kelpie {
+
+/// One step of an undirected path: the traversed triple plus the direction
+/// it was walked in (forward = head-to-tail).
+struct PathStep {
+  Triple triple;
+  bool forward = true;
+};
+
+/// Reconstructs one shortest undirected path from `from` to `to` over the
+/// graph (BFS parent-pointers; deterministic: the first-discovered parent
+/// wins, which follows the graph's fact insertion order). Returns an empty
+/// vector when `from == to` and when no path exists — use
+/// ShortestPathLength to distinguish the two.
+///
+/// `ignored`, when non-null, is treated as absent from the graph (the
+/// Pre-Filter's convention of excluding the prediction being explained).
+std::vector<PathStep> ShortestPath(const GraphIndex& graph, EntityId from,
+                                   EntityId to,
+                                   const Triple* ignored = nullptr);
+
+}  // namespace kelpie
+
+#endif  // KELPIE_KGRAPH_PATHS_H_

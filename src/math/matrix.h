@@ -1,0 +1,77 @@
+#ifndef KELPIE_MATH_MATRIX_H_
+#define KELPIE_MATH_MATRIX_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace kelpie {
+
+/// A dense row-major float matrix. This is the storage type for embedding
+/// tables and for the small neural weights of ConvE. It is a plain
+/// container: all numerical work happens in the vec.h kernels operating on
+/// row spans.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// Creates a rows x cols matrix initialized to zero.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Mutable view of row `r`.
+  std::span<float> Row(size_t r) {
+    KELPIE_DCHECK(r < rows_);
+    return std::span<float>(data_.data() + r * cols_, cols_);
+  }
+
+  /// Const view of row `r`.
+  std::span<const float> Row(size_t r) const {
+    KELPIE_DCHECK(r < rows_);
+    return std::span<const float>(data_.data() + r * cols_, cols_);
+  }
+
+  float& At(size_t r, size_t c) {
+    KELPIE_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float At(size_t r, size_t c) const {
+    KELPIE_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Whole backing buffer (row-major).
+  std::span<float> Data() { return data_; }
+  std::span<const float> Data() const { return data_; }
+
+  /// Sets every element to `value`.
+  void Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Resizes to rows x cols, zero-filling; existing contents are discarded.
+  void Reset(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0f);
+  }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<float> data_;
+};
+
+}  // namespace kelpie
+
+#endif  // KELPIE_MATH_MATRIX_H_

@@ -1,0 +1,66 @@
+#include "math/stats.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace kelpie {
+
+namespace {
+
+/// Converts values to average-ranks (1-based; ties share their mean rank).
+std::vector<double> AverageRanks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) {
+      ++j;
+    }
+    double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0
+                      + 1.0;
+    for (size_t k = i; k <= j; ++k) {
+      ranks[order[k]] = avg_rank;
+    }
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  KELPIE_CHECK(xs.size() == ys.size());
+  const size_t n = xs.size();
+  if (n < 2) return 0.0;
+  double mean_x = std::accumulate(xs.begin(), xs.end(), 0.0) /
+                  static_cast<double>(n);
+  double mean_y = std::accumulate(ys.begin(), ys.end(), 0.0) /
+                  static_cast<double>(n);
+  double cov = 0.0, var_x = 0.0, var_y = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double dx = xs[i] - mean_x;
+    double dy = ys[i] - mean_y;
+    cov += dx * dy;
+    var_x += dx * dx;
+    var_y += dy * dy;
+  }
+  if (var_x <= 0.0 || var_y <= 0.0) return 0.0;
+  return cov / std::sqrt(var_x * var_y);
+}
+
+double SpearmanCorrelation(const std::vector<double>& xs,
+                           const std::vector<double>& ys) {
+  KELPIE_CHECK(xs.size() == ys.size());
+  if (xs.size() < 2) return 0.0;
+  return PearsonCorrelation(AverageRanks(xs), AverageRanks(ys));
+}
+
+}  // namespace kelpie

@@ -1,0 +1,61 @@
+#ifndef KELPIE_MATH_STATS_H_
+#define KELPIE_MATH_STATS_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace kelpie {
+
+/// Single-pass mean/variance accumulator (Welford). Used for the
+/// explanation-length statistics of Table 5 and for timing aggregation.
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  /// Adds one observation.
+  void Add(double x) {
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (count_ == 1 || x < min_) min_ = x;
+    if (count_ == 1 || x > max_) max_ = x;
+  }
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+  /// Population variance (divides by N).
+  double variance() const {
+    return count_ == 0 ? 0.0 : m2_ / static_cast<double>(count_);
+  }
+
+  /// Population standard deviation.
+  double stddev() const { return std::sqrt(variance()); }
+
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Pearson correlation coefficient between two equal-length series.
+/// Returns 0 when either series has zero variance. Used to report the
+/// preliminary-vs-true-relevance correlation of Figure 4.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// Spearman rank correlation between two equal-length series (average
+/// ranks for ties).
+double SpearmanCorrelation(const std::vector<double>& xs,
+                           const std::vector<double>& ys);
+
+}  // namespace kelpie
+
+#endif  // KELPIE_MATH_STATS_H_

@@ -1,0 +1,104 @@
+#include "math/vec.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace kelpie {
+
+float Dot(std::span<const float> a, std::span<const float> b) {
+  KELPIE_DCHECK(a.size() == b.size());
+  float acc = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
+void Axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  KELPIE_DCHECK(x.size() == y.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+void Scale(std::span<float> x, float alpha) {
+  for (float& v : x) {
+    v *= alpha;
+  }
+}
+
+void Fill(std::span<float> x, float value) {
+  std::fill(x.begin(), x.end(), value);
+}
+
+void Copy(std::span<const float> src, std::span<float> dst) {
+  KELPIE_DCHECK(src.size() == dst.size());
+  if (!src.empty()) {
+    std::memcpy(dst.data(), src.data(), src.size() * sizeof(float));
+  }
+}
+
+float SquaredNorm(std::span<const float> x) { return Dot(x, x); }
+
+float Norm(std::span<const float> x) { return std::sqrt(SquaredNorm(x)); }
+
+float L1Norm(std::span<const float> x) {
+  float acc = 0.0f;
+  for (float v : x) {
+    acc += std::fabs(v);
+  }
+  return acc;
+}
+
+float SquaredDistance(std::span<const float> a, std::span<const float> b) {
+  KELPIE_DCHECK(a.size() == b.size());
+  float acc = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+float L1Distance(std::span<const float> a, std::span<const float> b) {
+  KELPIE_DCHECK(a.size() == b.size());
+  float acc = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc += std::fabs(a[i] - b[i]);
+  }
+  return acc;
+}
+
+void ProjectToL2Ball(std::span<float> x, float radius) {
+  float norm = Norm(x);
+  if (norm > radius && norm > 0.0f) {
+    Scale(x, radius / norm);
+  }
+}
+
+double LogSumExp(std::span<const float> scores) {
+  KELPIE_DCHECK(!scores.empty());
+  float max_score = *std::max_element(scores.begin(), scores.end());
+  double acc = 0.0;
+  for (float s : scores) {
+    acc += std::exp(static_cast<double>(s - max_score));
+  }
+  return static_cast<double>(max_score) + std::log(acc);
+}
+
+void SoftmaxInPlace(std::span<float> scores) {
+  if (scores.empty()) return;
+  float max_score = *std::max_element(scores.begin(), scores.end());
+  double total = 0.0;
+  for (float& s : scores) {
+    s = std::exp(s - max_score);
+    total += s;
+  }
+  for (float& s : scores) {
+    s = static_cast<float>(s / total);
+  }
+}
+
+}  // namespace kelpie

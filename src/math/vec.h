@@ -1,0 +1,67 @@
+#ifndef KELPIE_MATH_VEC_H_
+#define KELPIE_MATH_VEC_H_
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace kelpie {
+
+/// Dense float vector kernels. Embeddings are stored as contiguous float
+/// rows; these free functions implement the handful of BLAS-1 style
+/// operations the models need. All functions require equal-length spans.
+
+/// Inner product of `a` and `b`.
+float Dot(std::span<const float> a, std::span<const float> b);
+
+/// y += alpha * x.
+void Axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/// x *= alpha.
+void Scale(std::span<float> x, float alpha);
+
+/// Fills `x` with `value`.
+void Fill(std::span<float> x, float value);
+
+/// Copies `src` into `dst`.
+void Copy(std::span<const float> src, std::span<float> dst);
+
+/// Squared Euclidean norm.
+float SquaredNorm(std::span<const float> x);
+
+/// Euclidean norm.
+float Norm(std::span<const float> x);
+
+/// L1 norm (sum of absolute values).
+float L1Norm(std::span<const float> x);
+
+/// Squared Euclidean distance between `a` and `b`.
+float SquaredDistance(std::span<const float> a, std::span<const float> b);
+
+/// L1 distance between `a` and `b`.
+float L1Distance(std::span<const float> a, std::span<const float> b);
+
+/// Projects `x` onto the L2 ball of the given radius (used by TransE's
+/// entity-norm constraint). No-op if the norm is already within the ball.
+void ProjectToL2Ball(std::span<float> x, float radius);
+
+/// Numerically stable log(sum(exp(scores))).
+double LogSumExp(std::span<const float> scores);
+
+/// In-place numerically stable softmax.
+void SoftmaxInPlace(std::span<float> scores);
+
+/// Logistic sigmoid.
+inline float Sigmoid(float x) {
+  if (x >= 0) {
+    float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  float z = std::exp(x);
+  return z / (1.0f + z);
+}
+
+}  // namespace kelpie
+
+#endif  // KELPIE_MATH_VEC_H_

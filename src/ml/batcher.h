@@ -1,0 +1,53 @@
+#ifndef KELPIE_ML_BATCHER_H_
+#define KELPIE_ML_BATCHER_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "math/rng.h"
+
+namespace kelpie {
+
+/// Produces shuffled mini-batches of indices into a sample array. One
+/// instance is reused across epochs; Reshuffle() is called at each epoch
+/// start. The final batch of an epoch may be smaller than `batch_size`.
+class Batcher {
+ public:
+  Batcher(size_t num_samples, size_t batch_size)
+      : batch_size_(batch_size == 0 ? 1 : batch_size), order_(num_samples) {
+    for (size_t i = 0; i < num_samples; ++i) {
+      order_[i] = i;
+    }
+  }
+
+  /// Shuffles the visiting order and rewinds to the first batch.
+  void Reshuffle(Rng& rng) {
+    rng.Shuffle(order_);
+    cursor_ = 0;
+  }
+
+  /// Returns the next batch of indices, or an empty span at epoch end.
+  std::span<const size_t> NextBatch() {
+    if (cursor_ >= order_.size()) {
+      return {};
+    }
+    size_t count = std::min(batch_size_, order_.size() - cursor_);
+    std::span<const size_t> batch(order_.data() + cursor_, count);
+    cursor_ += count;
+    return batch;
+  }
+
+  size_t num_batches() const {
+    return (order_.size() + batch_size_ - 1) / batch_size_;
+  }
+
+ private:
+  size_t batch_size_;
+  size_t cursor_ = 0;
+  std::vector<size_t> order_;
+};
+
+}  // namespace kelpie
+
+#endif  // KELPIE_ML_BATCHER_H_

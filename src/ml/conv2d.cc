@@ -1,0 +1,152 @@
+#include "ml/conv2d.h"
+
+#include "common/logging.h"
+#include "math/vec.h"
+#include "ml/embedding_table.h"
+
+namespace kelpie {
+
+Conv2d::Conv2d(size_t in_h, size_t in_w, size_t kernel_h, size_t kernel_w,
+               size_t out_channels)
+    : in_h_(in_h),
+      in_w_(in_w),
+      kernel_h_(kernel_h),
+      kernel_w_(kernel_w),
+      out_channels_(out_channels),
+      weights_(out_channels, kernel_h * kernel_w),
+      bias_(out_channels, 0.0f) {
+  KELPIE_CHECK(kernel_h <= in_h && kernel_w <= in_w);
+}
+
+void Conv2d::Init(Rng& rng) {
+  for (size_t oc = 0; oc < out_channels_; ++oc) {
+    InitRow(weights_.Row(oc), InitScheme::kXavierUniform, 0.0, rng,
+            kernel_h_ * kernel_w_, out_h() * out_w());
+  }
+  std::fill(bias_.begin(), bias_.end(), 0.0f);
+}
+
+void Conv2d::Forward(std::span<const float> input,
+                     std::span<float> output) const {
+  KELPIE_DCHECK(input.size() == in_h_ * in_w_);
+  KELPIE_DCHECK(output.size() == OutputSize());
+  const size_t oh = out_h();
+  const size_t ow = out_w();
+  size_t out_idx = 0;
+  for (size_t oc = 0; oc < out_channels_; ++oc) {
+    std::span<const float> kernel = weights_.Row(oc);
+    const float b = bias_[oc];
+    for (size_t y = 0; y < oh; ++y) {
+      for (size_t x = 0; x < ow; ++x) {
+        float acc = b;
+        for (size_t ky = 0; ky < kernel_h_; ++ky) {
+          const float* in_row = input.data() + (y + ky) * in_w_ + x;
+          const float* k_row = kernel.data() + ky * kernel_w_;
+          for (size_t kx = 0; kx < kernel_w_; ++kx) {
+            acc += k_row[kx] * in_row[kx];
+          }
+        }
+        output[out_idx++] = acc;
+      }
+    }
+  }
+}
+
+void Conv2d::Backward(std::span<const float> input,
+                      std::span<const float> grad_output,
+                      std::span<float> grad_weights,
+                      std::span<float> grad_bias,
+                      std::span<float> grad_input) const {
+  KELPIE_DCHECK(input.size() == in_h_ * in_w_);
+  KELPIE_DCHECK(grad_output.size() == OutputSize());
+  const size_t oh = out_h();
+  const size_t ow = out_w();
+  const size_t ksize = kernel_h_ * kernel_w_;
+  size_t out_idx = 0;
+  for (size_t oc = 0; oc < out_channels_; ++oc) {
+    std::span<const float> kernel = weights_.Row(oc);
+    for (size_t y = 0; y < oh; ++y) {
+      for (size_t x = 0; x < ow; ++x) {
+        const float g = grad_output[out_idx++];
+        if (g == 0.0f) continue;
+        if (!grad_bias.empty()) {
+          grad_bias[oc] += g;
+        }
+        for (size_t ky = 0; ky < kernel_h_; ++ky) {
+          const size_t in_off = (y + ky) * in_w_ + x;
+          const size_t k_off = ky * kernel_w_;
+          for (size_t kx = 0; kx < kernel_w_; ++kx) {
+            if (!grad_weights.empty()) {
+              grad_weights[oc * ksize + k_off + kx] += g * input[in_off + kx];
+            }
+            if (!grad_input.empty()) {
+              grad_input[in_off + kx] += g * kernel[k_off + kx];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+DenseLayer::DenseLayer(size_t in_size, size_t out_size)
+    : in_size_(in_size),
+      out_size_(out_size),
+      weights_(out_size, in_size),
+      bias_(out_size, 0.0f) {}
+
+void DenseLayer::Init(Rng& rng) {
+  for (size_t o = 0; o < out_size_; ++o) {
+    InitRow(weights_.Row(o), InitScheme::kXavierUniform, 0.0, rng, in_size_,
+            out_size_);
+  }
+  std::fill(bias_.begin(), bias_.end(), 0.0f);
+}
+
+void DenseLayer::Forward(std::span<const float> input,
+                         std::span<float> output) const {
+  KELPIE_DCHECK(input.size() == in_size_);
+  KELPIE_DCHECK(output.size() == out_size_);
+  for (size_t o = 0; o < out_size_; ++o) {
+    output[o] = bias_[o] + Dot(weights_.Row(o), input);
+  }
+}
+
+void DenseLayer::Backward(std::span<const float> input,
+                          std::span<const float> grad_output,
+                          std::span<float> grad_weights,
+                          std::span<float> grad_bias,
+                          std::span<float> grad_input) const {
+  KELPIE_DCHECK(grad_output.size() == out_size_);
+  for (size_t o = 0; o < out_size_; ++o) {
+    const float g = grad_output[o];
+    if (g == 0.0f) continue;
+    if (!grad_bias.empty()) {
+      grad_bias[o] += g;
+    }
+    std::span<const float> w_row = weights_.Row(o);
+    for (size_t i = 0; i < in_size_; ++i) {
+      if (!grad_weights.empty()) {
+        grad_weights[o * in_size_ + i] += g * input[i];
+      }
+      if (!grad_input.empty()) {
+        grad_input[i] += g * w_row[i];
+      }
+    }
+  }
+}
+
+void ReluInPlace(std::span<float> x) {
+  for (float& v : x) {
+    if (v < 0.0f) v = 0.0f;
+  }
+}
+
+void ReluBackward(std::span<const float> activations, std::span<float> grad) {
+  KELPIE_DCHECK(activations.size() == grad.size());
+  for (size_t i = 0; i < grad.size(); ++i) {
+    if (activations[i] <= 0.0f) grad[i] = 0.0f;
+  }
+}
+
+}  // namespace kelpie

@@ -1,0 +1,38 @@
+#include "ml/embedding_table.h"
+
+#include <cmath>
+
+namespace kelpie {
+
+void InitRow(std::span<float> row, InitScheme scheme, double scale, Rng& rng,
+             size_t fan_in, size_t fan_out) {
+  switch (scheme) {
+    case InitScheme::kNormal:
+      for (float& v : row) {
+        v = static_cast<float>(rng.Normal(0.0, scale));
+      }
+      break;
+    case InitScheme::kUniform:
+      for (float& v : row) {
+        v = static_cast<float>(rng.UniformDouble(-scale, scale));
+      }
+      break;
+    case InitScheme::kXavierUniform: {
+      double fan = static_cast<double>(fan_in + fan_out);
+      if (fan <= 0.0) fan = static_cast<double>(row.size());
+      double bound = std::sqrt(6.0 / fan);
+      for (float& v : row) {
+        v = static_cast<float>(rng.UniformDouble(-bound, bound));
+      }
+      break;
+    }
+  }
+}
+
+void InitMatrix(Matrix& m, InitScheme scheme, double scale, Rng& rng) {
+  for (size_t r = 0; r < m.rows(); ++r) {
+    InitRow(m.Row(r), scheme, scale, rng, m.cols(), m.rows());
+  }
+}
+
+}  // namespace kelpie

@@ -1,0 +1,33 @@
+#ifndef KELPIE_ML_EMBEDDING_TABLE_H_
+#define KELPIE_ML_EMBEDDING_TABLE_H_
+
+#include <span>
+
+#include "math/matrix.h"
+#include "math/rng.h"
+
+namespace kelpie {
+
+/// Initialization schemes for embedding and weight matrices.
+enum class InitScheme {
+  /// N(0, scale).
+  kNormal,
+  /// U(-scale, scale).
+  kUniform,
+  /// Xavier/Glorot uniform: U(-sqrt(6/(fan_in+fan_out)), +...). The `scale`
+  /// argument is ignored.
+  kXavierUniform,
+};
+
+/// Fills `m` according to `scheme`; draws come from `rng` in row-major
+/// order, so initialization is deterministic given the seed.
+void InitMatrix(Matrix& m, InitScheme scheme, double scale, Rng& rng);
+
+/// Fills a single row-like span; used to initialize mimic embeddings during
+/// post-training exactly like ordinary entities are initialized in training.
+void InitRow(std::span<float> row, InitScheme scheme, double scale, Rng& rng,
+             size_t fan_in = 0, size_t fan_out = 0);
+
+}  // namespace kelpie
+
+#endif  // KELPIE_ML_EMBEDDING_TABLE_H_

@@ -1,0 +1,33 @@
+#include "ml/negative_sampling.h"
+
+namespace kelpie {
+
+Triple NegativeSampler::Corrupt(const Triple& positive, bool corrupt_tail,
+                                Rng& rng) const {
+  const size_t n = graph_.num_entities();
+  // Bounded retries: on pathological graphs (everything known) fall back to
+  // the last draw rather than looping forever.
+  constexpr int kMaxRetries = 32;
+  Triple corrupted = positive;
+  for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
+    EntityId replacement = static_cast<EntityId>(rng.UniformUint64(n));
+    if (corrupt_tail) {
+      if (replacement == positive.tail) continue;
+      corrupted.tail = replacement;
+    } else {
+      if (replacement == positive.head) continue;
+      corrupted.head = replacement;
+    }
+    if (!filtered_ || !graph_.Contains(corrupted)) {
+      return corrupted;
+    }
+  }
+  return corrupted;
+}
+
+Triple NegativeSampler::CorruptEitherSide(const Triple& positive,
+                                          Rng& rng) const {
+  return Corrupt(positive, rng.Bernoulli(0.5), rng);
+}
+
+}  // namespace kelpie

@@ -1,0 +1,36 @@
+#ifndef KELPIE_ML_NEGATIVE_SAMPLING_H_
+#define KELPIE_ML_NEGATIVE_SAMPLING_H_
+
+#include "kgraph/graph.h"
+#include "kgraph/triple.h"
+#include "math/rng.h"
+
+namespace kelpie {
+
+/// Negative-sample generator for pairwise-ranking training (TransE).
+/// Corrupts the head or the tail of a positive triple with a uniformly
+/// drawn entity; with `filtered` set, corruptions that produce a known
+/// training fact are rejected and re-drawn (bounded retries).
+class NegativeSampler {
+ public:
+  /// `graph` is the training graph used for filtering; it must outlive the
+  /// sampler.
+  NegativeSampler(const GraphIndex& graph, bool filtered)
+      : graph_(graph), filtered_(filtered) {}
+
+  /// Returns a corruption of `positive`. `corrupt_tail` selects which side
+  /// to replace; the replacement is guaranteed to differ from the original
+  /// entity on that side.
+  Triple Corrupt(const Triple& positive, bool corrupt_tail, Rng& rng) const;
+
+  /// Bernoulli(0.5) choice of side, then Corrupt().
+  Triple CorruptEitherSide(const Triple& positive, Rng& rng) const;
+
+ private:
+  const GraphIndex& graph_;
+  bool filtered_;
+};
+
+}  // namespace kelpie
+
+#endif  // KELPIE_ML_NEGATIVE_SAMPLING_H_

@@ -1,0 +1,79 @@
+#ifndef KELPIE_ML_OPTIMIZER_H_
+#define KELPIE_ML_OPTIMIZER_H_
+
+#include <cstddef>
+#include <span>
+
+#include "math/matrix.h"
+
+namespace kelpie {
+
+/// Per-row Adagrad state for sparse embedding updates. Each parameter keeps
+/// an accumulated squared gradient; rows that never receive gradients pay no
+/// cost. This is the optimizer the ComplEx/DistMult trainers use (following
+/// Lacroix et al.'s canonical-decomposition setup).
+class RowAdagrad {
+ public:
+  RowAdagrad() = default;
+
+  /// Allocates accumulators shaped like `params`.
+  RowAdagrad(size_t rows, size_t cols, float learning_rate,
+             float epsilon = 1e-8f)
+      : accum_(rows, cols), learning_rate_(learning_rate), epsilon_(epsilon) {}
+
+  /// Applies one Adagrad step to `params` row `row` with gradient `grad`.
+  void Step(Matrix& params, size_t row, std::span<const float> grad);
+
+  /// Applies a step to an arbitrary parameter span using accumulator row
+  /// `row` (used for mimic rows, which live outside the main table).
+  void StepSpan(std::span<float> params, size_t row,
+                std::span<const float> grad);
+
+  float learning_rate() const { return learning_rate_; }
+
+ private:
+  Matrix accum_;
+  float learning_rate_ = 0.0f;
+  float epsilon_ = 1e-8f;
+};
+
+/// Dense Adam optimizer for a single parameter matrix; used for the ConvE
+/// convolution/FC weights and, with a 1-row matrix, for bias vectors.
+class DenseAdam {
+ public:
+  DenseAdam() = default;
+
+  DenseAdam(size_t rows, size_t cols, float learning_rate,
+            float beta1 = 0.9f, float beta2 = 0.999f, float epsilon = 1e-8f)
+      : m_(rows, cols),
+        v_(rows, cols),
+        learning_rate_(learning_rate),
+        beta1_(beta1),
+        beta2_(beta2),
+        epsilon_(epsilon) {}
+
+  /// Applies one Adam step. `grad` must have the same total size as the
+  /// parameter matrix.
+  void Step(Matrix& params, std::span<const float> grad);
+
+  /// Applies one Adam step to a flat parameter span (e.g. a bias vector);
+  /// the state matrix must have been sized to match.
+  void StepSpan(std::span<float> params, std::span<const float> grad);
+
+ private:
+  Matrix m_;
+  Matrix v_;
+  float learning_rate_ = 0.0f;
+  float beta1_ = 0.9f;
+  float beta2_ = 0.999f;
+  float epsilon_ = 1e-8f;
+  int64_t t_ = 0;
+};
+
+/// Plain SGD helper: params -= lr * grad. TransE's original optimizer.
+void SgdStep(std::span<float> params, std::span<const float> grad,
+             float learning_rate);
+
+}  // namespace kelpie
+
+#endif  // KELPIE_ML_OPTIMIZER_H_

@@ -1,0 +1,80 @@
+#include "models/complex.h"
+
+#include "common/logging.h"
+
+namespace kelpie {
+
+ComplEx::ComplEx(size_t num_entities, size_t num_relations,
+                 TrainConfig config)
+    : BilinearModel(num_entities, num_relations, std::move(config)) {
+  KELPIE_CHECK(config_.dim % 2 == 0);
+}
+
+// Notation: h = a + bi, r = c + di, t = e + fi (componentwise).
+// φ = Re(<h ∘ r, conj(t)>) = Σ e(ac - bd) + f(ad + bc).
+
+void ComplEx::TailQuery(std::span<const float> h, std::span<const float> r,
+                        std::span<float> out) const {
+  const size_t k = rank();
+  for (size_t i = 0; i < k; ++i) {
+    const float a = h[i], b = h[k + i];
+    const float c = r[i], d = r[k + i];
+    out[i] = a * c - b * d;      // real part of h∘r
+    out[k + i] = a * d + b * c;  // imaginary part of h∘r
+  }
+}
+
+void ComplEx::HeadQuery(std::span<const float> r, std::span<const float> t,
+                        std::span<float> out) const {
+  const size_t k = rank();
+  for (size_t i = 0; i < k; ++i) {
+    const float c = r[i], d = r[k + i];
+    const float e = t[i], f = t[k + i];
+    out[i] = c * e + d * f;      // ∂φ/∂a
+    out[k + i] = c * f - d * e;  // ∂φ/∂b
+  }
+}
+
+void ComplEx::BackpropTailQuery(std::span<const float> h,
+                                std::span<const float> r,
+                                std::span<const float> dq,
+                                std::span<float> gh,
+                                std::span<float> gr) const {
+  const size_t k = rank();
+  for (size_t i = 0; i < k; ++i) {
+    const float a = h[i], b = h[k + i];
+    const float c = r[i], d = r[k + i];
+    const float dre = dq[i], dim = dq[k + i];
+    if (!gh.empty()) {
+      gh[i] += dre * c + dim * d;
+      gh[k + i] += -dre * d + dim * c;
+    }
+    if (!gr.empty()) {
+      gr[i] += dre * a + dim * b;
+      gr[k + i] += -dre * b + dim * a;
+    }
+  }
+}
+
+void ComplEx::BackpropHeadQuery(std::span<const float> r,
+                                std::span<const float> t,
+                                std::span<const float> dw,
+                                std::span<float> gr,
+                                std::span<float> gt) const {
+  const size_t k = rank();
+  for (size_t i = 0; i < k; ++i) {
+    const float c = r[i], d = r[k + i];
+    const float e = t[i], f = t[k + i];
+    const float dre = dw[i], dim = dw[k + i];
+    if (!gr.empty()) {
+      gr[i] += dre * e + dim * f;
+      gr[k + i] += dre * f - dim * e;
+    }
+    if (!gt.empty()) {
+      gt[i] += dre * c - dim * d;
+      gt[k + i] += dre * d + dim * c;
+    }
+  }
+}
+
+}  // namespace kelpie

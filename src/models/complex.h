@@ -1,0 +1,40 @@
+#ifndef KELPIE_MODELS_COMPLEX_H_
+#define KELPIE_MODELS_COMPLEX_H_
+
+#include "models/bilinear.h"
+
+namespace kelpie {
+
+/// ComplEx (Trouillon et al., ICML 2016): tensor-decomposition model with
+/// embeddings in ℂ^rank, scored with the Hermitian product
+/// φ(h, r, t) = Re(Σ_k h_k · r_k · conj(t_k)). The asymmetric conjugation
+/// lets it model asymmetric relations. Trained, as in the paper, with the
+/// multiclass NLL + N3 regularizer recipe of Lacroix et al. (ICML 2018).
+///
+/// Storage layout: each embedding row is [real half | imaginary half], so
+/// `entity_dim() == 2 * rank` and TrainConfig::dim must be even.
+class ComplEx final : public BilinearModel {
+ public:
+  ComplEx(size_t num_entities, size_t num_relations, TrainConfig config);
+
+  std::string_view Name() const override { return "ComplEx"; }
+
+  /// Complex rank (= dim / 2).
+  size_t rank() const { return entity_dim() / 2; }
+
+ protected:
+  void TailQuery(std::span<const float> h, std::span<const float> r,
+                 std::span<float> out) const override;
+  void HeadQuery(std::span<const float> r, std::span<const float> t,
+                 std::span<float> out) const override;
+  void BackpropTailQuery(std::span<const float> h, std::span<const float> r,
+                         std::span<const float> dq, std::span<float> gh,
+                         std::span<float> gr) const override;
+  void BackpropHeadQuery(std::span<const float> r, std::span<const float> t,
+                         std::span<const float> dw, std::span<float> gr,
+                         std::span<float> gt) const override;
+};
+
+}  // namespace kelpie
+
+#endif  // KELPIE_MODELS_COMPLEX_H_

@@ -1,0 +1,52 @@
+#ifndef KELPIE_MODELS_DISTMULT_H_
+#define KELPIE_MODELS_DISTMULT_H_
+
+#include "models/bilinear.h"
+
+namespace kelpie {
+
+/// DistMult (Yang et al., ICLR 2015): the simplest tensor-decomposition
+/// model, φ(h, r, t) = Σ_k h_k · r_k · t_k. Inherently symmetric in h and
+/// t; included as an extra multiplicative model beyond the paper's three
+/// (it is the architecture Criage's derivations target most directly).
+class DistMult final : public BilinearModel {
+ public:
+  DistMult(size_t num_entities, size_t num_relations, TrainConfig config)
+      : BilinearModel(num_entities, num_relations, std::move(config)) {}
+
+  std::string_view Name() const override { return "DistMult"; }
+
+ protected:
+  void TailQuery(std::span<const float> h, std::span<const float> r,
+                 std::span<float> out) const override {
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i] = h[i] * r[i];
+    }
+  }
+  void HeadQuery(std::span<const float> r, std::span<const float> t,
+                 std::span<float> out) const override {
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i] = r[i] * t[i];
+    }
+  }
+  void BackpropTailQuery(std::span<const float> h, std::span<const float> r,
+                         std::span<const float> dq, std::span<float> gh,
+                         std::span<float> gr) const override {
+    for (size_t i = 0; i < dq.size(); ++i) {
+      if (!gh.empty()) gh[i] += dq[i] * r[i];
+      if (!gr.empty()) gr[i] += dq[i] * h[i];
+    }
+  }
+  void BackpropHeadQuery(std::span<const float> r, std::span<const float> t,
+                         std::span<const float> dw, std::span<float> gr,
+                         std::span<float> gt) const override {
+    for (size_t i = 0; i < dw.size(); ++i) {
+      if (!gr.empty()) gr[i] += dw[i] * t[i];
+      if (!gt.empty()) gt[i] += dw[i] * r[i];
+    }
+  }
+};
+
+}  // namespace kelpie
+
+#endif  // KELPIE_MODELS_DISTMULT_H_

@@ -1,0 +1,114 @@
+#include "models/factory.h"
+
+#include "models/complex.h"
+#include "models/conve.h"
+#include "models/distmult.h"
+#include "models/rotate.h"
+#include "models/transe.h"
+
+namespace kelpie {
+
+std::string_view ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kTransE:
+      return "TransE";
+    case ModelKind::kComplEx:
+      return "ComplEx";
+    case ModelKind::kConvE:
+      return "ConvE";
+    case ModelKind::kDistMult:
+      return "DistMult";
+    case ModelKind::kRotatE:
+      return "RotatE";
+  }
+  return "Unknown";
+}
+
+Result<ModelKind> ParseModelKind(std::string_view name) {
+  if (name == "TransE") return ModelKind::kTransE;
+  if (name == "ComplEx") return ModelKind::kComplEx;
+  if (name == "ConvE") return ModelKind::kConvE;
+  if (name == "DistMult") return ModelKind::kDistMult;
+  if (name == "RotatE") return ModelKind::kRotatE;
+  return Status::InvalidArgument("unknown model kind: " + std::string(name));
+}
+
+TrainConfig DefaultConfig(ModelKind kind, const Dataset& dataset) {
+  TrainConfig config;
+  config.dim = 32;
+  // A little extra optimization for larger graphs.
+  const bool large = dataset.train().size() > 8000;
+  switch (kind) {
+    case ModelKind::kTransE:
+      config.epochs = large ? 60 : 40;
+      config.batch_size = 512;
+      config.learning_rate = 0.03f;
+      config.margin = 2.0f;
+      config.negatives_per_positive = 5;
+      config.post_training_epochs = 30;
+      config.post_training_lr = 0.05f;
+      break;
+    case ModelKind::kRotatE:
+      config.epochs = large ? 60 : 40;
+      config.batch_size = 512;
+      config.learning_rate = 0.05f;
+      config.margin = 3.0f;
+      config.negatives_per_positive = 5;
+      config.post_training_epochs = 30;
+      config.post_training_lr = 0.05f;
+      break;
+    case ModelKind::kComplEx:
+    case ModelKind::kDistMult:
+      config.epochs = large ? 30 : 20;
+      config.batch_size = 512;
+      config.learning_rate = 0.1f;
+      config.regularization = 5e-3f;
+      config.post_training_epochs = 25;
+      config.post_training_lr = 0.1f;
+      break;
+    case ModelKind::kConvE:
+      config.epochs = large ? 60 : 50;
+      config.batch_size = 256;
+      config.learning_rate = 0.1f;  // Adagrad, embeddings + biases
+      config.conv_lr = 0.01f;       // Adam, conv/FC weights
+      config.conv_channels = 8;
+      config.conv_kernel = 3;
+      config.reshape_height = 4;
+      config.label_smoothing = 0.1f;
+      config.post_training_epochs = 25;
+      config.post_training_lr = 0.1f;
+      break;
+  }
+  return config;
+}
+
+std::unique_ptr<LinkPredictionModel> CreateModel(ModelKind kind,
+                                                 const Dataset& dataset,
+                                                 const TrainConfig& config) {
+  const size_t n_ent = dataset.num_entities();
+  const size_t n_rel = dataset.num_relations();
+  switch (kind) {
+    case ModelKind::kTransE:
+      return std::make_unique<TransE>(n_ent, n_rel, config);
+    case ModelKind::kComplEx:
+      return std::make_unique<ComplEx>(n_ent, n_rel, config);
+    case ModelKind::kConvE:
+      return std::make_unique<ConvE>(n_ent, n_rel, config);
+    case ModelKind::kDistMult:
+      return std::make_unique<DistMult>(n_ent, n_rel, config);
+    case ModelKind::kRotatE:
+      return std::make_unique<RotatE>(n_ent, n_rel, config);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<LinkPredictionModel> CreateAndTrain(ModelKind kind,
+                                                    const Dataset& dataset,
+                                                    uint64_t seed) {
+  auto model = CreateModel(kind, dataset, DefaultConfig(kind, dataset));
+  Rng rng(seed);
+  model->Train(dataset, rng);
+  return model;
+}
+
+}  // namespace kelpie

@@ -1,0 +1,157 @@
+#ifndef KELPIE_MODELS_MODEL_H_
+#define KELPIE_MODELS_MODEL_H_
+
+#include <iostream>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "kgraph/dataset.h"
+#include "kgraph/triple.h"
+#include "math/rng.h"
+
+namespace kelpie {
+
+/// Hyperparameters shared by all model trainers. Every model reads the
+/// fields that apply to its architecture and ignores the rest; the factory
+/// (factory.h) provides per-model, per-dataset defaults.
+struct TrainConfig {
+  /// Entity/relation embedding width in floats. For ComplEx this is twice
+  /// the complex rank ([real | imaginary] halves).
+  size_t dim = 32;
+  size_t epochs = 40;
+  size_t batch_size = 512;
+  float learning_rate = 0.1f;
+  /// Regularization weight: N3 for ComplEx/DistMult, L2 elsewhere.
+  float regularization = 0.0f;
+
+  // Pairwise-ranking specifics (TransE).
+  float margin = 2.0f;
+  int negatives_per_positive = 5;
+
+  // ConvE specifics.
+  size_t conv_channels = 8;
+  size_t conv_kernel = 3;
+  /// Adam learning rate of the shared conv/FC weights (embeddings use
+  /// `learning_rate`).
+  float conv_lr = 0.01f;
+  /// Height of the 2D reshape of an embedding; dim must be divisible by it.
+  size_t reshape_height = 4;
+  float label_smoothing = 0.1f;
+  /// The original ConvE's three dropout rates (training-time only, with
+  /// deterministic seeded masks).
+  float input_dropout = 0.2f;
+  float feature_dropout = 0.2f;
+  float hidden_dropout = 0.3f;
+
+  // Post-training (Relevance Engine) specifics.
+  size_t post_training_epochs = 30;
+  /// Learning rate for post-training; <= 0 means "reuse learning_rate".
+  float post_training_lr = -1.0f;
+};
+
+/// Abstract embedding-based link-prediction model.
+///
+/// This is the single surface the rest of the library sees. It exposes what
+/// the paper's framework requires of any model:
+///  - the scoring function φ (higher = more plausible), over stored
+///    embeddings and over "override" vectors standing in for an entity;
+///  - batched all-candidates scoring for ranking;
+///  - ∂φ/∂(entity embedding), needed by the Data Poisoning and Criage
+///    baselines;
+///  - full training (used for original models and end-to-end retraining);
+///  - *post-training* (Section 4.2): training one fresh embedding row — a
+///    mimic — on a chosen fact set while every other parameter is frozen.
+class LinkPredictionModel {
+ public:
+  virtual ~LinkPredictionModel() = default;
+
+  /// Short architecture name ("TransE", "ComplEx", "ConvE", ...).
+  virtual std::string_view Name() const = 0;
+
+  virtual size_t num_entities() const = 0;
+  virtual size_t num_relations() const = 0;
+  /// Floats per entity embedding row.
+  virtual size_t entity_dim() const = 0;
+
+  const TrainConfig& config() const { return config_; }
+
+  /// Trains from random initialization on `dataset.train()`; any previous
+  /// parameters are discarded. Deterministic given `rng`'s state.
+  virtual void Train(const Dataset& dataset, Rng& rng) = 0;
+
+  /// φ(h, r, t) with stored embeddings.
+  virtual float Score(const Triple& t) const = 0;
+
+  /// Writes φ(h, r, e) for every entity e into `out`
+  /// (out.size() == num_entities()).
+  virtual void ScoreAllTails(EntityId h, RelationId r,
+                             std::span<float> out) const = 0;
+
+  /// Writes the head-ranking score of every candidate entity e for the
+  /// query <?, r, t> into `out`. For most models this is φ(e, r, t);
+  /// models trained with reciprocal relations (ConvE) implement it as the
+  /// inverse tail query φ(t, r_inv, e), matching their training protocol.
+  virtual void ScoreAllHeads(RelationId r, EntityId t,
+                             std::span<float> out) const = 0;
+
+  /// ScoreAllTails with the head embedding replaced by `head_vec`
+  /// (entity_dim floats). This is how mimic entities are evaluated.
+  virtual void ScoreAllTailsWithHeadVec(std::span<const float> head_vec,
+                                        RelationId r,
+                                        std::span<float> out) const = 0;
+
+  /// ScoreAllHeads with the tail embedding replaced by `tail_vec`.
+  virtual void ScoreAllHeadsWithTailVec(RelationId r,
+                                        std::span<const float> tail_vec,
+                                        std::span<float> out) const = 0;
+
+  /// φ(t) where the embedding of entity `which` is `vec` instead of the
+  /// stored row. If `which` appears on both sides, `vec` is used for both.
+  virtual float ScoreWithEntityVec(const Triple& t, EntityId which,
+                                   std::span<const float> vec) const = 0;
+
+  /// ∂φ(t)/∂h — gradient of the score w.r.t. the head embedding, evaluated
+  /// at the stored embeddings. entity_dim floats.
+  virtual std::vector<float> ScoreGradWrtHead(const Triple& t) const = 0;
+
+  /// ∂φ(t)/∂t (tail embedding).
+  virtual std::vector<float> ScoreGradWrtTail(const Triple& t) const = 0;
+
+  /// Post-training (the Relevance Engine primitive): returns a freshly
+  /// initialized embedding row trained on `facts` — in which every mention
+  /// of `entity` denotes the mimic — with all other parameters frozen.
+  /// `dataset` supplies candidate pools for sampled/contrast terms.
+  virtual std::vector<float> PostTrainMimic(
+      const Dataset& dataset, EntityId entity,
+      const std::vector<Triple>& facts, Rng& rng) const = 0;
+
+  /// Stored embedding row of entity `e`.
+  virtual std::span<const float> EntityEmbedding(EntityId e) const = 0;
+
+  /// Mutable access for adversarial-perturbation baselines and tests.
+  virtual std::span<float> MutableEntityEmbedding(EntityId e) = 0;
+
+  /// Serializes every learned parameter (embeddings, shared weights) in a
+  /// portable binary format. Hyperparameters are not stored; the model
+  /// must be constructed with matching shapes before LoadParameters.
+  virtual Status SaveParameters(std::ostream& out) const = 0;
+
+  /// Restores parameters written by SaveParameters. Fails with
+  /// InvalidArgument on any shape mismatch and IoError on truncated
+  /// streams; the model state is unspecified after a failed load.
+  virtual Status LoadParameters(std::istream& in) = 0;
+
+ protected:
+  explicit LinkPredictionModel(TrainConfig config)
+      : config_(std::move(config)) {}
+
+  TrainConfig config_;
+};
+
+}  // namespace kelpie
+
+#endif  // KELPIE_MODELS_MODEL_H_

@@ -1,0 +1,143 @@
+#include "models/model_store.h"
+
+#include <fstream>
+
+#include "ml/serialization.h"
+#include "models/complex.h"
+#include "models/conve.h"
+#include "models/distmult.h"
+#include "models/rotate.h"
+#include "models/transe.h"
+
+namespace kelpie {
+
+namespace {
+
+constexpr std::string_view kMagic = "KELPIEMD";
+constexpr uint64_t kVersion = 1;
+
+Status WriteConfig(std::ostream& out, const TrainConfig& c) {
+  KELPIE_RETURN_IF_ERROR(WriteU64(out, c.dim));
+  KELPIE_RETURN_IF_ERROR(WriteU64(out, c.epochs));
+  KELPIE_RETURN_IF_ERROR(WriteU64(out, c.batch_size));
+  std::vector<float> floats{
+      c.learning_rate,  c.regularization, c.margin,
+      static_cast<float>(c.negatives_per_positive),
+      c.conv_lr,        c.label_smoothing, c.input_dropout,
+      c.feature_dropout, c.hidden_dropout, c.post_training_lr};
+  KELPIE_RETURN_IF_ERROR(WriteFloats(out, floats));
+  KELPIE_RETURN_IF_ERROR(WriteU64(out, c.conv_channels));
+  KELPIE_RETURN_IF_ERROR(WriteU64(out, c.conv_kernel));
+  KELPIE_RETURN_IF_ERROR(WriteU64(out, c.reshape_height));
+  return WriteU64(out, c.post_training_epochs);
+}
+
+Status ReadConfig(std::istream& in, TrainConfig& c) {
+  uint64_t v = 0;
+  KELPIE_RETURN_IF_ERROR(ReadU64(in, v));
+  c.dim = v;
+  KELPIE_RETURN_IF_ERROR(ReadU64(in, v));
+  c.epochs = v;
+  KELPIE_RETURN_IF_ERROR(ReadU64(in, v));
+  c.batch_size = v;
+  std::vector<float> floats;
+  KELPIE_RETURN_IF_ERROR(ReadFloats(in, floats, 64));
+  if (floats.size() != 10) {
+    return Status::InvalidArgument("bad config float block");
+  }
+  c.learning_rate = floats[0];
+  c.regularization = floats[1];
+  c.margin = floats[2];
+  c.negatives_per_positive = static_cast<int>(floats[3]);
+  c.conv_lr = floats[4];
+  c.label_smoothing = floats[5];
+  c.input_dropout = floats[6];
+  c.feature_dropout = floats[7];
+  c.hidden_dropout = floats[8];
+  c.post_training_lr = floats[9];
+  KELPIE_RETURN_IF_ERROR(ReadU64(in, v));
+  c.conv_channels = v;
+  KELPIE_RETURN_IF_ERROR(ReadU64(in, v));
+  c.conv_kernel = v;
+  KELPIE_RETURN_IF_ERROR(ReadU64(in, v));
+  c.reshape_height = v;
+  KELPIE_RETURN_IF_ERROR(ReadU64(in, v));
+  c.post_training_epochs = v;
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::unique_ptr<LinkPredictionModel> CreateModelWithSizes(
+    ModelKind kind, size_t num_entities, size_t num_relations,
+    const TrainConfig& config) {
+  switch (kind) {
+    case ModelKind::kTransE:
+      return std::make_unique<TransE>(num_entities, num_relations, config);
+    case ModelKind::kComplEx:
+      return std::make_unique<ComplEx>(num_entities, num_relations, config);
+    case ModelKind::kConvE:
+      return std::make_unique<ConvE>(num_entities, num_relations, config);
+    case ModelKind::kDistMult:
+      return std::make_unique<DistMult>(num_entities, num_relations, config);
+    case ModelKind::kRotatE:
+      return std::make_unique<RotatE>(num_entities, num_relations, config);
+  }
+  return nullptr;
+}
+
+Status SaveModel(const LinkPredictionModel& model, ModelKind kind,
+                 const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out.write(kMagic.data(), static_cast<std::streamsize>(kMagic.size()));
+  KELPIE_RETURN_IF_ERROR(WriteU64(out, kVersion));
+  KELPIE_RETURN_IF_ERROR(WriteString(out, ModelKindName(kind)));
+  KELPIE_RETURN_IF_ERROR(WriteU64(out, model.num_entities()));
+  KELPIE_RETURN_IF_ERROR(WriteU64(out, model.num_relations()));
+  KELPIE_RETURN_IF_ERROR(WriteConfig(out, model.config()));
+  KELPIE_RETURN_IF_ERROR(model.SaveParameters(out));
+  if (!out) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<LinkPredictionModel>> LoadModel(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::string magic(kMagic.size(), '\0');
+  in.read(magic.data(), static_cast<std::streamsize>(magic.size()));
+  if (!in || magic != kMagic) {
+    return Status::InvalidArgument("not a kelpie model file: " + path);
+  }
+  uint64_t version = 0;
+  KELPIE_RETURN_IF_ERROR(ReadU64(in, version));
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported model file version " +
+                                   std::to_string(version));
+  }
+  std::string kind_name;
+  KELPIE_RETURN_IF_ERROR(ReadString(in, kind_name));
+  ModelKind kind;
+  KELPIE_ASSIGN_OR_RETURN(kind, ParseModelKind(kind_name));
+  uint64_t num_entities = 0, num_relations = 0;
+  KELPIE_RETURN_IF_ERROR(ReadU64(in, num_entities));
+  KELPIE_RETURN_IF_ERROR(ReadU64(in, num_relations));
+  TrainConfig config;
+  KELPIE_RETURN_IF_ERROR(ReadConfig(in, config));
+  std::unique_ptr<LinkPredictionModel> model =
+      CreateModelWithSizes(kind, num_entities, num_relations, config);
+  if (model == nullptr) {
+    return Status::Internal("model construction failed");
+  }
+  KELPIE_RETURN_IF_ERROR(model->LoadParameters(in));
+  return model;
+}
+
+}  // namespace kelpie

@@ -1,0 +1,38 @@
+#ifndef KELPIE_MODELS_MODEL_STORE_H_
+#define KELPIE_MODELS_MODEL_STORE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "models/factory.h"
+
+namespace kelpie {
+
+/// File-level model persistence. The on-disk format is self-describing:
+/// magic + version, the architecture kind, entity/relation counts, the
+/// full TrainConfig (so a loaded model can be post-trained with the exact
+/// hyperparameters it was trained with — which is what the Relevance
+/// Engine's fidelity depends on), then the raw parameters.
+///
+/// Typical flow: train once, SaveModel(); later sessions LoadModel() and
+/// run Kelpie extractions without retraining.
+
+/// Writes `model` to `path`, overwriting.
+Status SaveModel(const LinkPredictionModel& model, ModelKind kind,
+                 const std::string& path);
+
+/// Reconstructs a model from `path`. The returned model is ready for
+/// scoring, explanation extraction and post-training.
+Result<std::unique_ptr<LinkPredictionModel>> LoadModel(
+    const std::string& path);
+
+/// Instantiates an untrained model directly from sizes (used by LoadModel
+/// and by callers that do not hold a Dataset).
+std::unique_ptr<LinkPredictionModel> CreateModelWithSizes(
+    ModelKind kind, size_t num_entities, size_t num_relations,
+    const TrainConfig& config);
+
+}  // namespace kelpie
+
+#endif  // KELPIE_MODELS_MODEL_STORE_H_

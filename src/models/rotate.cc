@@ -1,0 +1,345 @@
+#include "models/rotate.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "math/vec.h"
+#include "ml/batcher.h"
+#include "ml/embedding_table.h"
+#include "ml/negative_sampling.h"
+#include "ml/serialization.h"
+
+namespace kelpie {
+
+namespace {
+constexpr float kDistanceEpsilon = 1e-9f;
+}  // namespace
+
+RotatE::RotatE(size_t num_entities, size_t num_relations, TrainConfig config)
+    : LinkPredictionModel(std::move(config)),
+      entity_embeddings_(num_entities, config_.dim),
+      relation_phases_(num_relations, config_.dim / 2) {
+  KELPIE_CHECK(config_.dim % 2 == 0);
+}
+
+void RotatE::Rotate(std::span<const float> h, RelationId r,
+                    std::span<float> out) const {
+  const size_t k = rank();
+  std::span<const float> theta =
+      relation_phases_.Row(static_cast<size_t>(r));
+  for (size_t j = 0; j < k; ++j) {
+    const float c = std::cos(theta[j]);
+    const float s = std::sin(theta[j]);
+    out[j] = h[j] * c - h[k + j] * s;
+    out[k + j] = h[j] * s + h[k + j] * c;
+  }
+}
+
+void RotatE::RotateInverse(std::span<const float> t, RelationId r,
+                           std::span<float> out) const {
+  const size_t k = rank();
+  std::span<const float> theta =
+      relation_phases_.Row(static_cast<size_t>(r));
+  for (size_t j = 0; j < k; ++j) {
+    const float c = std::cos(theta[j]);
+    const float s = std::sin(theta[j]);
+    out[j] = t[j] * c + t[k + j] * s;
+    out[k + j] = -t[j] * s + t[k + j] * c;
+  }
+}
+
+float RotatE::ScoreVecs(std::span<const float> h, RelationId r,
+                        std::span<const float> t) const {
+  std::vector<float> rotated(entity_dim());
+  Rotate(h, r, rotated);
+  return -std::sqrt(SquaredDistance(rotated, t));
+}
+
+float RotatE::Score(const Triple& t) const {
+  return ScoreVecs(entity_embeddings_.Row(static_cast<size_t>(t.head)),
+                   t.relation,
+                   entity_embeddings_.Row(static_cast<size_t>(t.tail)));
+}
+
+void RotatE::ScoreAllTails(EntityId h, RelationId r,
+                           std::span<float> out) const {
+  ScoreAllTailsWithHeadVec(entity_embeddings_.Row(static_cast<size_t>(h)), r,
+                           out);
+}
+
+void RotatE::ScoreAllTailsWithHeadVec(std::span<const float> head_vec,
+                                      RelationId r,
+                                      std::span<float> out) const {
+  KELPIE_DCHECK(out.size() == num_entities());
+  std::vector<float> rotated(entity_dim());
+  Rotate(head_vec, r, rotated);
+  for (size_t e = 0; e < num_entities(); ++e) {
+    out[e] = -std::sqrt(SquaredDistance(rotated, entity_embeddings_.Row(e)));
+  }
+}
+
+void RotatE::ScoreAllHeads(RelationId r, EntityId t,
+                           std::span<float> out) const {
+  ScoreAllHeadsWithTailVec(r, entity_embeddings_.Row(static_cast<size_t>(t)),
+                           out);
+}
+
+void RotatE::ScoreAllHeadsWithTailVec(RelationId r,
+                                      std::span<const float> tail_vec,
+                                      std::span<float> out) const {
+  KELPIE_DCHECK(out.size() == num_entities());
+  // Rotations are isometries: ||e∘r - t|| == ||e - t∘r⁻¹||.
+  std::vector<float> target(entity_dim());
+  RotateInverse(tail_vec, r, target);
+  for (size_t e = 0; e < num_entities(); ++e) {
+    out[e] = -std::sqrt(SquaredDistance(target, entity_embeddings_.Row(e)));
+  }
+}
+
+float RotatE::ScoreWithEntityVec(const Triple& t, EntityId which,
+                                 std::span<const float> vec) const {
+  std::span<const float> h =
+      (t.head == which) ? vec
+                        : entity_embeddings_.Row(static_cast<size_t>(t.head));
+  std::span<const float> tl =
+      (t.tail == which) ? vec
+                        : entity_embeddings_.Row(static_cast<size_t>(t.tail));
+  return ScoreVecs(h, t.relation, tl);
+}
+
+std::vector<float> RotatE::ScoreGradWrtHead(const Triple& t) const {
+  // φ = -||d||, d = h∘r - t. ∂φ/∂h = -(rotate⁻¹ applied to the unit
+  // residual): ∂φ/∂h_re[j] = -(d_re c + d_im s)/||d||,
+  // ∂φ/∂h_im[j] = -(-d_re s + d_im c)/||d||.
+  const size_t k = rank();
+  std::vector<float> rotated(entity_dim());
+  Rotate(entity_embeddings_.Row(static_cast<size_t>(t.head)), t.relation,
+         rotated);
+  std::span<const float> tail =
+      entity_embeddings_.Row(static_cast<size_t>(t.tail));
+  std::vector<float> d(entity_dim());
+  float norm_sq = 0.0f;
+  for (size_t i = 0; i < d.size(); ++i) {
+    d[i] = rotated[i] - tail[i];
+    norm_sq += d[i] * d[i];
+  }
+  const float norm = std::sqrt(norm_sq) + kDistanceEpsilon;
+  std::span<const float> theta =
+      relation_phases_.Row(static_cast<size_t>(t.relation));
+  std::vector<float> grad(entity_dim());
+  for (size_t j = 0; j < k; ++j) {
+    const float c = std::cos(theta[j]);
+    const float s = std::sin(theta[j]);
+    grad[j] = -(d[j] * c + d[k + j] * s) / norm;
+    grad[k + j] = -(-d[j] * s + d[k + j] * c) / norm;
+  }
+  return grad;
+}
+
+std::vector<float> RotatE::ScoreGradWrtTail(const Triple& t) const {
+  // ∂φ/∂t = +d/||d||.
+  std::vector<float> rotated(entity_dim());
+  Rotate(entity_embeddings_.Row(static_cast<size_t>(t.head)), t.relation,
+         rotated);
+  std::span<const float> tail =
+      entity_embeddings_.Row(static_cast<size_t>(t.tail));
+  std::vector<float> d(entity_dim());
+  float norm_sq = 0.0f;
+  for (size_t i = 0; i < d.size(); ++i) {
+    d[i] = rotated[i] - tail[i];
+    norm_sq += d[i] * d[i];
+  }
+  const float norm = std::sqrt(norm_sq) + kDistanceEpsilon;
+  for (float& v : d) {
+    v /= norm;
+  }
+  return d;
+}
+
+namespace {
+
+/// Gradient pieces of one margin-loss term for RotatE. Given the residual
+/// direction u = (h∘r - t)/||h∘r - t||, the distance gradients are:
+/// ∂d/∂t = -u; ∂d/∂h = rotate⁻¹(u); ∂d/∂θ_j = u · ∂(h∘r)/∂θ_j.
+struct RotateGrads {
+  std::vector<float> unit;     // u, 2k floats (zero when d ~ 0)
+  std::vector<float> rotated;  // h∘r, cached
+};
+
+RotateGrads ComputeResidual(std::span<const float> rotated,
+                            std::span<const float> t) {
+  RotateGrads out;
+  out.rotated.assign(rotated.begin(), rotated.end());
+  out.unit.resize(rotated.size());
+  float norm_sq = 0.0f;
+  for (size_t i = 0; i < rotated.size(); ++i) {
+    out.unit[i] = rotated[i] - t[i];
+    norm_sq += out.unit[i] * out.unit[i];
+  }
+  float norm = std::sqrt(norm_sq);
+  if (norm < kDistanceEpsilon) {
+    std::fill(out.unit.begin(), out.unit.end(), 0.0f);
+  } else {
+    for (float& v : out.unit) {
+      v /= norm;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void RotatE::Train(const Dataset& dataset, Rng& rng) {
+  const size_t k = rank();
+  InitMatrix(entity_embeddings_, InitScheme::kUniform, 0.5, rng);
+  // Phases uniform over [-π, π].
+  for (size_t r = 0; r < relation_phases_.rows(); ++r) {
+    for (float& v : relation_phases_.Row(r)) {
+      v = static_cast<float>(rng.UniformDouble(-M_PI, M_PI));
+    }
+  }
+
+  const std::vector<Triple>& train = dataset.train();
+  if (train.empty()) return;
+  NegativeSampler sampler(dataset.train_graph(), /*filtered=*/true);
+  Batcher batcher(train.size(), config_.batch_size);
+  const float lr = config_.learning_rate;
+  const float margin = config_.margin;
+  std::vector<float> rotated(entity_dim());
+
+  // Applies one side (positive: sign=+1 pulls the distance down; negative:
+  // sign=-1 pushes it up) of the margin loss.
+  auto apply = [&](const Triple& triple, float sign) {
+    const size_t h = static_cast<size_t>(triple.head);
+    const size_t r = static_cast<size_t>(triple.relation);
+    const size_t t = static_cast<size_t>(triple.tail);
+    Rotate(entity_embeddings_.Row(h), triple.relation, rotated);
+    RotateGrads g =
+        ComputeResidual(rotated, entity_embeddings_.Row(t));
+    std::span<float> theta = relation_phases_.Row(r);
+    std::span<float> head = entity_embeddings_.Row(h);
+    std::span<float> tail = entity_embeddings_.Row(t);
+    for (size_t j = 0; j < k; ++j) {
+      const float c = std::cos(theta[j]);
+      const float s = std::sin(theta[j]);
+      const float u_re = g.unit[j];
+      const float u_im = g.unit[k + j];
+      // ∂d/∂h (inverse rotation of u).
+      const float gh_re = u_re * c + u_im * s;
+      const float gh_im = -u_re * s + u_im * c;
+      // ∂d/∂θ = u_re * (-(h∘r)_im) + u_im * (h∘r)_re.
+      const float gtheta =
+          -u_re * g.rotated[k + j] + u_im * g.rotated[j];
+      head[j] -= sign * lr * gh_re;
+      head[k + j] -= sign * lr * gh_im;
+      tail[j] += sign * lr * u_re;
+      tail[k + j] += sign * lr * u_im;
+      theta[j] -= sign * lr * gtheta;
+    }
+  };
+
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    batcher.Reshuffle(rng);
+    for (std::span<const size_t> batch = batcher.NextBatch(); !batch.empty();
+         batch = batcher.NextBatch()) {
+      for (size_t idx : batch) {
+        const Triple& pos = train[idx];
+        for (int n = 0; n < config_.negatives_per_positive; ++n) {
+          Triple neg = sampler.CorruptEitherSide(pos, rng);
+          float pos_dist = -Score(pos);
+          float neg_dist = -Score(neg);
+          if (margin + pos_dist - neg_dist <= 0.0f) continue;
+          apply(pos, +1.0f);
+          apply(neg, -1.0f);
+        }
+      }
+    }
+  }
+}
+
+std::vector<float> RotatE::PostTrainMimic(const Dataset& dataset,
+                                          EntityId entity,
+                                          const std::vector<Triple>& facts,
+                                          Rng& rng) const {
+  const size_t k = rank();
+  std::vector<float> mimic(entity_dim());
+  InitRow(mimic, InitScheme::kUniform, 0.5, rng);
+  if (facts.empty()) return mimic;
+
+  NegativeSampler sampler(dataset.train_graph(), /*filtered=*/false);
+  const float lr = config_.post_training_lr > 0 ? config_.post_training_lr
+                                                : config_.learning_rate;
+  const float margin = config_.margin;
+  std::vector<size_t> order(facts.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<float> rotated(entity_dim());
+
+  auto resolve = [&](EntityId e) -> std::span<const float> {
+    return e == entity ? std::span<const float>(mimic)
+                       : entity_embeddings_.Row(static_cast<size_t>(e));
+  };
+  // Accumulates only the mimic's gradient for one loss term.
+  auto apply_mimic = [&](const Triple& triple, float sign) {
+    Rotate(resolve(triple.head), triple.relation, rotated);
+    RotateGrads g = ComputeResidual(rotated, resolve(triple.tail));
+    std::span<const float> theta =
+        relation_phases_.Row(static_cast<size_t>(triple.relation));
+    for (size_t j = 0; j < k; ++j) {
+      const float u_re = g.unit[j];
+      const float u_im = g.unit[k + j];
+      if (triple.head == entity) {
+        const float c = std::cos(theta[j]);
+        const float s = std::sin(theta[j]);
+        mimic[j] -= sign * lr * (u_re * c + u_im * s);
+        mimic[k + j] -= sign * lr * (-u_re * s + u_im * c);
+      }
+      if (triple.tail == entity) {
+        mimic[j] += sign * lr * u_re;
+        mimic[k + j] += sign * lr * u_im;
+      }
+    }
+  };
+
+  for (size_t epoch = 0; epoch < config_.post_training_epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t idx : order) {
+      const Triple& pos = facts[idx];
+      for (int n = 0; n < config_.negatives_per_positive; ++n) {
+        bool mimic_is_head = (pos.head == entity);
+        Triple neg = sampler.Corrupt(pos, /*corrupt_tail=*/mimic_is_head, rng);
+        Rotate(resolve(pos.head), pos.relation, rotated);
+        float pos_dist = std::sqrt(
+            SquaredDistance(rotated, resolve(pos.tail)));
+        Rotate(resolve(neg.head), neg.relation, rotated);
+        float neg_dist = std::sqrt(
+            SquaredDistance(rotated, resolve(neg.tail)));
+        if (margin + pos_dist - neg_dist <= 0.0f) continue;
+        apply_mimic(pos, +1.0f);
+        apply_mimic(neg, -1.0f);
+      }
+    }
+  }
+  return mimic;
+}
+
+Status RotatE::SaveParameters(std::ostream& out) const {
+  KELPIE_RETURN_IF_ERROR(WriteMatrix(out, entity_embeddings_));
+  return WriteMatrix(out, relation_phases_);
+}
+
+Status RotatE::LoadParameters(std::istream& in) {
+  Matrix entities, phases;
+  KELPIE_RETURN_IF_ERROR(ReadMatrix(in, entities));
+  KELPIE_RETURN_IF_ERROR(ReadMatrix(in, phases));
+  if (entities.rows() != entity_embeddings_.rows() ||
+      entities.cols() != entity_embeddings_.cols() ||
+      phases.rows() != relation_phases_.rows() ||
+      phases.cols() != relation_phases_.cols()) {
+    return Status::InvalidArgument("RotatE parameter shape mismatch");
+  }
+  entity_embeddings_ = std::move(entities);
+  relation_phases_ = std::move(phases);
+  return Status::Ok();
+}
+
+}  // namespace kelpie

@@ -1,0 +1,85 @@
+#ifndef KELPIE_MODELS_ROTATE_H_
+#define KELPIE_MODELS_ROTATE_H_
+
+#include "math/matrix.h"
+#include "models/model.h"
+
+namespace kelpie {
+
+/// RotatE (Sun et al., ICLR 2019): entities live in ℂ^k and each relation
+/// is a rotation — a vector of phases θ with unit-modulus elements e^{iθ}:
+///
+///   φ(h, r, t) = -|| h ∘ e^{iθ_r} - t ||₂
+///
+/// Unlike TransE, rotations can model symmetric (θ = π), inverse
+/// (θ' = -θ) and compositional (θ'' = θ + θ') relations, which is why it
+/// is included as an extension beyond the paper's three models: it gives
+/// the framework a geometric model that does not collapse on WN18RR.
+/// Trained with pairwise ranking loss over uniformly corrupted negatives
+/// and plain SGD (the original's self-adversarial weighting is omitted —
+/// a documented simplification; see DESIGN.md §3).
+///
+/// Storage: entity rows are [real half | imaginary half] (entity_dim() ==
+/// 2k, TrainConfig::dim must be even); relation rows store the k phases.
+class RotatE final : public LinkPredictionModel {
+ public:
+  RotatE(size_t num_entities, size_t num_relations, TrainConfig config);
+
+  std::string_view Name() const override { return "RotatE"; }
+  size_t num_entities() const override { return entity_embeddings_.rows(); }
+  size_t num_relations() const override {
+    return relation_phases_.rows();
+  }
+  size_t entity_dim() const override { return entity_embeddings_.cols(); }
+
+  /// Complex rank k (= dim / 2).
+  size_t rank() const { return entity_dim() / 2; }
+
+  void Train(const Dataset& dataset, Rng& rng) override;
+
+  float Score(const Triple& t) const override;
+  void ScoreAllTails(EntityId h, RelationId r,
+                     std::span<float> out) const override;
+  void ScoreAllHeads(RelationId r, EntityId t,
+                     std::span<float> out) const override;
+  void ScoreAllTailsWithHeadVec(std::span<const float> head_vec, RelationId r,
+                                std::span<float> out) const override;
+  void ScoreAllHeadsWithTailVec(RelationId r,
+                                std::span<const float> tail_vec,
+                                std::span<float> out) const override;
+  float ScoreWithEntityVec(const Triple& t, EntityId which,
+                           std::span<const float> vec) const override;
+  std::vector<float> ScoreGradWrtHead(const Triple& t) const override;
+  std::vector<float> ScoreGradWrtTail(const Triple& t) const override;
+  std::vector<float> PostTrainMimic(const Dataset& dataset, EntityId entity,
+                                    const std::vector<Triple>& facts,
+                                    Rng& rng) const override;
+  Status SaveParameters(std::ostream& out) const override;
+  Status LoadParameters(std::istream& in) override;
+
+  std::span<const float> EntityEmbedding(EntityId e) const override {
+    return entity_embeddings_.Row(static_cast<size_t>(e));
+  }
+  std::span<float> MutableEntityEmbedding(EntityId e) override {
+    return entity_embeddings_.Row(static_cast<size_t>(e));
+  }
+
+ private:
+  /// out = h rotated by relation r's phases (2k floats).
+  void Rotate(std::span<const float> h, RelationId r,
+              std::span<float> out) const;
+  /// out = t rotated by the *inverse* of r (used for head queries: the
+  /// rotation is an isometry, so ||e∘r - t|| == ||e - t∘r⁻¹||).
+  void RotateInverse(std::span<const float> t, RelationId r,
+                     std::span<float> out) const;
+
+  float ScoreVecs(std::span<const float> h, RelationId r,
+                  std::span<const float> t) const;
+
+  Matrix entity_embeddings_;  // num_entities x 2k
+  Matrix relation_phases_;    // num_relations x k
+};
+
+}  // namespace kelpie
+
+#endif  // KELPIE_MODELS_ROTATE_H_

@@ -1,0 +1,287 @@
+#include "models/transe.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "math/vec.h"
+#include "ml/batcher.h"
+#include "ml/embedding_table.h"
+#include "ml/negative_sampling.h"
+#include "ml/serialization.h"
+
+namespace kelpie {
+
+namespace {
+constexpr float kDistanceEpsilon = 1e-9f;
+}  // namespace
+
+TransE::TransE(size_t num_entities, size_t num_relations, TrainConfig config)
+    : LinkPredictionModel(std::move(config)),
+      entity_embeddings_(num_entities, config_.dim),
+      relation_embeddings_(num_relations, config_.dim) {}
+
+float TransE::ScoreVecs(std::span<const float> h, std::span<const float> r,
+                        std::span<const float> t) const {
+  float acc = 0.0f;
+  for (size_t i = 0; i < h.size(); ++i) {
+    float d = h[i] + r[i] - t[i];
+    acc += d * d;
+  }
+  return -std::sqrt(acc);
+}
+
+float TransE::Score(const Triple& t) const {
+  return ScoreVecs(entity_embeddings_.Row(static_cast<size_t>(t.head)),
+                   relation_embeddings_.Row(static_cast<size_t>(t.relation)),
+                   entity_embeddings_.Row(static_cast<size_t>(t.tail)));
+}
+
+void TransE::ScoreAllTails(EntityId h, RelationId r,
+                           std::span<float> out) const {
+  ScoreAllTailsWithHeadVec(entity_embeddings_.Row(static_cast<size_t>(h)), r,
+                           out);
+}
+
+void TransE::ScoreAllTailsWithHeadVec(std::span<const float> head_vec,
+                                      RelationId r,
+                                      std::span<float> out) const {
+  KELPIE_DCHECK(out.size() == num_entities());
+  std::span<const float> rel =
+      relation_embeddings_.Row(static_cast<size_t>(r));
+  std::vector<float> translated(entity_dim());
+  for (size_t i = 0; i < translated.size(); ++i) {
+    translated[i] = head_vec[i] + rel[i];
+  }
+  for (size_t e = 0; e < num_entities(); ++e) {
+    out[e] = -std::sqrt(
+        SquaredDistance(translated, entity_embeddings_.Row(e)));
+  }
+}
+
+void TransE::ScoreAllHeads(RelationId r, EntityId t,
+                           std::span<float> out) const {
+  ScoreAllHeadsWithTailVec(r, entity_embeddings_.Row(static_cast<size_t>(t)),
+                           out);
+}
+
+void TransE::ScoreAllHeadsWithTailVec(RelationId r,
+                                      std::span<const float> tail_vec,
+                                      std::span<float> out) const {
+  KELPIE_DCHECK(out.size() == num_entities());
+  std::span<const float> rel =
+      relation_embeddings_.Row(static_cast<size_t>(r));
+  // φ(e, r, t) = -||e - (t - r)||.
+  std::vector<float> target(entity_dim());
+  for (size_t i = 0; i < target.size(); ++i) {
+    target[i] = tail_vec[i] - rel[i];
+  }
+  for (size_t e = 0; e < num_entities(); ++e) {
+    out[e] =
+        -std::sqrt(SquaredDistance(target, entity_embeddings_.Row(e)));
+  }
+}
+
+float TransE::ScoreWithEntityVec(const Triple& t, EntityId which,
+                                 std::span<const float> vec) const {
+  std::span<const float> h =
+      (t.head == which) ? vec
+                        : entity_embeddings_.Row(static_cast<size_t>(t.head));
+  std::span<const float> tl =
+      (t.tail == which) ? vec
+                        : entity_embeddings_.Row(static_cast<size_t>(t.tail));
+  return ScoreVecs(h, relation_embeddings_.Row(static_cast<size_t>(t.relation)),
+                   tl);
+}
+
+std::vector<float> TransE::ScoreGradWrtHead(const Triple& t) const {
+  // φ = -||h + r - t||; ∂φ/∂h = -(h + r - t)/||h + r - t||.
+  std::span<const float> h =
+      entity_embeddings_.Row(static_cast<size_t>(t.head));
+  std::span<const float> r =
+      relation_embeddings_.Row(static_cast<size_t>(t.relation));
+  std::span<const float> tl =
+      entity_embeddings_.Row(static_cast<size_t>(t.tail));
+  std::vector<float> delta(entity_dim());
+  float norm_sq = 0.0f;
+  for (size_t i = 0; i < delta.size(); ++i) {
+    delta[i] = h[i] + r[i] - tl[i];
+    norm_sq += delta[i] * delta[i];
+  }
+  float norm = std::sqrt(norm_sq) + kDistanceEpsilon;
+  for (float& v : delta) {
+    v = -v / norm;
+  }
+  return delta;
+}
+
+std::vector<float> TransE::ScoreGradWrtTail(const Triple& t) const {
+  // ∂φ/∂t = +(h + r - t)/||h + r - t|| = -∂φ/∂h.
+  std::vector<float> grad = ScoreGradWrtHead(t);
+  for (float& v : grad) {
+    v = -v;
+  }
+  return grad;
+}
+
+namespace {
+
+/// Computes the gradient direction of the distance d = ||h + r - t|| w.r.t.
+/// its argument vectors: ∂d/∂h = ∂d/∂r = delta/d, ∂d/∂t = -delta/d.
+/// Returns delta/d (the unit residual), or zeros when d ~ 0.
+std::vector<float> UnitResidual(std::span<const float> h,
+                                std::span<const float> r,
+                                std::span<const float> t) {
+  std::vector<float> delta(h.size());
+  float norm_sq = 0.0f;
+  for (size_t i = 0; i < delta.size(); ++i) {
+    delta[i] = h[i] + r[i] - t[i];
+    norm_sq += delta[i] * delta[i];
+  }
+  float norm = std::sqrt(norm_sq);
+  if (norm < kDistanceEpsilon) {
+    std::fill(delta.begin(), delta.end(), 0.0f);
+    return delta;
+  }
+  for (float& v : delta) {
+    v /= norm;
+  }
+  return delta;
+}
+
+}  // namespace
+
+void TransE::Train(const Dataset& dataset, Rng& rng) {
+  const double init_bound = 6.0 / std::sqrt(static_cast<double>(config_.dim));
+  InitMatrix(entity_embeddings_, InitScheme::kUniform, init_bound, rng);
+  InitMatrix(relation_embeddings_, InitScheme::kUniform, init_bound, rng);
+  for (size_t r = 0; r < relation_embeddings_.rows(); ++r) {
+    ProjectToL2Ball(relation_embeddings_.Row(r), 1.0f);
+  }
+
+  const std::vector<Triple>& train = dataset.train();
+  if (train.empty()) return;
+  NegativeSampler sampler(dataset.train_graph(), /*filtered=*/true);
+  Batcher batcher(train.size(), config_.batch_size);
+  const float lr = config_.learning_rate;
+  const float margin = config_.margin;
+
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    batcher.Reshuffle(rng);
+    for (std::span<const size_t> batch = batcher.NextBatch(); !batch.empty();
+         batch = batcher.NextBatch()) {
+      for (size_t idx : batch) {
+        const Triple& pos = train[idx];
+        // Original TransE renormalizes entity embeddings before each step.
+        ProjectToL2Ball(
+            entity_embeddings_.Row(static_cast<size_t>(pos.head)), 1.0f);
+        ProjectToL2Ball(
+            entity_embeddings_.Row(static_cast<size_t>(pos.tail)), 1.0f);
+        for (int n = 0; n < config_.negatives_per_positive; ++n) {
+          Triple neg = sampler.CorruptEitherSide(pos, rng);
+          float pos_dist = -Score(pos);
+          float neg_dist = -Score(neg);
+          if (margin + pos_dist - neg_dist <= 0.0f) continue;
+          // Loss = margin + d(pos) - d(neg); descend.
+          std::vector<float> pos_dir = UnitResidual(
+              entity_embeddings_.Row(static_cast<size_t>(pos.head)),
+              relation_embeddings_.Row(static_cast<size_t>(pos.relation)),
+              entity_embeddings_.Row(static_cast<size_t>(pos.tail)));
+          std::vector<float> neg_dir = UnitResidual(
+              entity_embeddings_.Row(static_cast<size_t>(neg.head)),
+              relation_embeddings_.Row(static_cast<size_t>(neg.relation)),
+              entity_embeddings_.Row(static_cast<size_t>(neg.tail)));
+          // Positive triple: pull d(pos) down.
+          Axpy(-lr, pos_dir,
+               entity_embeddings_.Row(static_cast<size_t>(pos.head)));
+          Axpy(-lr, pos_dir,
+               relation_embeddings_.Row(static_cast<size_t>(pos.relation)));
+          Axpy(+lr, pos_dir,
+               entity_embeddings_.Row(static_cast<size_t>(pos.tail)));
+          // Negative triple: push d(neg) up.
+          Axpy(+lr, neg_dir,
+               entity_embeddings_.Row(static_cast<size_t>(neg.head)));
+          Axpy(+lr, neg_dir,
+               relation_embeddings_.Row(static_cast<size_t>(neg.relation)));
+          Axpy(-lr, neg_dir,
+               entity_embeddings_.Row(static_cast<size_t>(neg.tail)));
+        }
+      }
+    }
+  }
+}
+
+std::vector<float> TransE::PostTrainMimic(const Dataset& dataset,
+                                          EntityId entity,
+                                          const std::vector<Triple>& facts,
+                                          Rng& rng) const {
+  const double init_bound = 6.0 / std::sqrt(static_cast<double>(config_.dim));
+  std::vector<float> mimic(entity_dim());
+  InitRow(mimic, InitScheme::kUniform, init_bound, rng);
+  ProjectToL2Ball(mimic, 1.0f);
+  if (facts.empty()) return mimic;
+
+  NegativeSampler sampler(dataset.train_graph(), /*filtered=*/false);
+  const float lr =
+      config_.post_training_lr > 0 ? config_.post_training_lr
+                                   : config_.learning_rate;
+  const float margin = config_.margin;
+  std::vector<size_t> order(facts.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (size_t epoch = 0; epoch < config_.post_training_epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t idx : order) {
+      const Triple& pos = facts[idx];
+      for (int n = 0; n < config_.negatives_per_positive; ++n) {
+        // Corrupt the side NOT held by the mimic so the mimic embedding
+        // receives gradient from both the positive and the negative term.
+        bool mimic_is_head = (pos.head == entity);
+        Triple neg = sampler.Corrupt(pos, /*corrupt_tail=*/mimic_is_head, rng);
+
+        auto resolve = [&](EntityId e) -> std::span<const float> {
+          return e == entity
+                     ? std::span<const float>(mimic)
+                     : entity_embeddings_.Row(static_cast<size_t>(e));
+        };
+        std::span<const float> rel =
+            relation_embeddings_.Row(static_cast<size_t>(pos.relation));
+        float pos_dist = -ScoreVecs(resolve(pos.head), rel, resolve(pos.tail));
+        float neg_dist = -ScoreVecs(resolve(neg.head), rel, resolve(neg.tail));
+        if (margin + pos_dist - neg_dist <= 0.0f) continue;
+        std::vector<float> pos_dir =
+            UnitResidual(resolve(pos.head), rel, resolve(pos.tail));
+        std::vector<float> neg_dir =
+            UnitResidual(resolve(neg.head), rel, resolve(neg.tail));
+        // Only the mimic row moves; frozen parameters get no updates.
+        if (pos.head == entity) Axpy(-lr, pos_dir, std::span<float>(mimic));
+        if (pos.tail == entity) Axpy(+lr, pos_dir, std::span<float>(mimic));
+        if (neg.head == entity) Axpy(+lr, neg_dir, std::span<float>(mimic));
+        if (neg.tail == entity) Axpy(-lr, neg_dir, std::span<float>(mimic));
+      }
+      ProjectToL2Ball(mimic, 1.0f);
+    }
+  }
+  return mimic;
+}
+
+Status TransE::SaveParameters(std::ostream& out) const {
+  KELPIE_RETURN_IF_ERROR(WriteMatrix(out, entity_embeddings_));
+  return WriteMatrix(out, relation_embeddings_);
+}
+
+Status TransE::LoadParameters(std::istream& in) {
+  Matrix entities, relations;
+  KELPIE_RETURN_IF_ERROR(ReadMatrix(in, entities));
+  KELPIE_RETURN_IF_ERROR(ReadMatrix(in, relations));
+  if (entities.rows() != entity_embeddings_.rows() ||
+      entities.cols() != entity_embeddings_.cols() ||
+      relations.rows() != relation_embeddings_.rows() ||
+      relations.cols() != relation_embeddings_.cols()) {
+    return Status::InvalidArgument("TransE parameter shape mismatch");
+  }
+  entity_embeddings_ = std::move(entities);
+  relation_embeddings_ = std::move(relations);
+  return Status::Ok();
+}
+
+}  // namespace kelpie

@@ -1,0 +1,65 @@
+#ifndef KELPIE_MODELS_TRANSE_H_
+#define KELPIE_MODELS_TRANSE_H_
+
+#include "math/matrix.h"
+#include "models/model.h"
+
+namespace kelpie {
+
+/// TransE (Bordes et al., NeurIPS 2013): the pioneering geometric model.
+/// Relations are translations in the embedding space; the score is the
+/// negated L2 distance  φ(h, r, t) = -||h + r - t||₂  (higher = better).
+/// Trained with pairwise ranking loss over uniformly corrupted negatives,
+/// plain SGD, and the original paper's unit-ball normalization of entity
+/// embeddings.
+class TransE final : public LinkPredictionModel {
+ public:
+  TransE(size_t num_entities, size_t num_relations, TrainConfig config);
+
+  std::string_view Name() const override { return "TransE"; }
+  size_t num_entities() const override { return entity_embeddings_.rows(); }
+  size_t num_relations() const override {
+    return relation_embeddings_.rows();
+  }
+  size_t entity_dim() const override { return entity_embeddings_.cols(); }
+
+  void Train(const Dataset& dataset, Rng& rng) override;
+
+  float Score(const Triple& t) const override;
+  void ScoreAllTails(EntityId h, RelationId r,
+                     std::span<float> out) const override;
+  void ScoreAllHeads(RelationId r, EntityId t,
+                     std::span<float> out) const override;
+  void ScoreAllTailsWithHeadVec(std::span<const float> head_vec, RelationId r,
+                                std::span<float> out) const override;
+  void ScoreAllHeadsWithTailVec(RelationId r,
+                                std::span<const float> tail_vec,
+                                std::span<float> out) const override;
+  float ScoreWithEntityVec(const Triple& t, EntityId which,
+                           std::span<const float> vec) const override;
+  std::vector<float> ScoreGradWrtHead(const Triple& t) const override;
+  std::vector<float> ScoreGradWrtTail(const Triple& t) const override;
+  std::vector<float> PostTrainMimic(const Dataset& dataset, EntityId entity,
+                                    const std::vector<Triple>& facts,
+                                    Rng& rng) const override;
+  Status SaveParameters(std::ostream& out) const override;
+  Status LoadParameters(std::istream& in) override;
+
+  std::span<const float> EntityEmbedding(EntityId e) const override {
+    return entity_embeddings_.Row(static_cast<size_t>(e));
+  }
+  std::span<float> MutableEntityEmbedding(EntityId e) override {
+    return entity_embeddings_.Row(static_cast<size_t>(e));
+  }
+
+ private:
+  float ScoreVecs(std::span<const float> h, std::span<const float> r,
+                  std::span<const float> t) const;
+
+  Matrix entity_embeddings_;
+  Matrix relation_embeddings_;
+};
+
+}  // namespace kelpie
+
+#endif  // KELPIE_MODELS_TRANSE_H_

@@ -1,0 +1,113 @@
+#include "xp/pattern_miner.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace kelpie {
+
+void PatternMiner::Add(const Triple& prediction,
+                       const Explanation& explanation) {
+  if (explanation.empty()) return;
+  auto& row = cells_[prediction.relation];
+  ++explanation_counts_[prediction.relation];
+  std::set<RelationId> seen_in_this_explanation;
+  for (const Triple& fact : explanation.facts) {
+    Cell& cell = row[fact.relation];
+    ++cell.fact_count;
+    ++total_facts_[prediction.relation];
+    if (seen_in_this_explanation.insert(fact.relation).second) {
+      ++cell.support;
+      cell.relevance_sum += explanation.relevance;
+    }
+  }
+}
+
+std::vector<EvidencePattern> PatternMiner::PatternsFor(
+    RelationId relation) const {
+  std::vector<EvidencePattern> out;
+  auto row_it = cells_.find(relation);
+  if (row_it == cells_.end()) return out;
+  auto total_it = total_facts_.find(relation);
+  const double total =
+      total_it == total_facts_.end() ? 0.0
+                                     : static_cast<double>(total_it->second);
+  for (const auto& [evidence, cell] : row_it->second) {
+    EvidencePattern pattern;
+    pattern.prediction_relation = relation;
+    pattern.evidence_relation = evidence;
+    pattern.support = cell.support;
+    pattern.fact_count = cell.fact_count;
+    pattern.share =
+        total > 0.0 ? static_cast<double>(cell.fact_count) / total : 0.0;
+    pattern.mean_relevance =
+        cell.support > 0
+            ? cell.relevance_sum / static_cast<double>(cell.support)
+            : 0.0;
+    out.push_back(pattern);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EvidencePattern& a, const EvidencePattern& b) {
+              if (a.fact_count != b.fact_count) {
+                return a.fact_count > b.fact_count;
+              }
+              return a.evidence_relation < b.evidence_relation;
+            });
+  return out;
+}
+
+std::vector<EvidencePattern> PatternMiner::AllPatterns() const {
+  std::vector<RelationId> relations;
+  for (const auto& [relation, row] : cells_) {
+    relations.push_back(relation);
+  }
+  std::sort(relations.begin(), relations.end());
+  std::vector<EvidencePattern> out;
+  for (RelationId r : relations) {
+    std::vector<EvidencePattern> row = PatternsFor(r);
+    out.insert(out.end(), row.begin(), row.end());
+  }
+  return out;
+}
+
+std::vector<EvidencePattern> PatternMiner::BiasCandidates(
+    double share_threshold) const {
+  std::vector<EvidencePattern> out;
+  for (const EvidencePattern& pattern : AllPatterns()) {
+    if (pattern.evidence_relation != pattern.prediction_relation &&
+        pattern.share >= share_threshold) {
+      out.push_back(pattern);
+    }
+  }
+  return out;
+}
+
+size_t PatternMiner::ExplanationCount(RelationId relation) const {
+  auto it = explanation_counts_.find(relation);
+  return it == explanation_counts_.end() ? 0 : it->second;
+}
+
+std::string PatternMiner::Report(const Dataset& dataset,
+                                 size_t top_k) const {
+  std::string out;
+  std::vector<RelationId> relations;
+  for (const auto& [relation, row] : cells_) {
+    relations.push_back(relation);
+  }
+  std::sort(relations.begin(), relations.end());
+  for (RelationId r : relations) {
+    out += "predictions of '" + dataset.relations().NameOf(r) + "' (" +
+           std::to_string(ExplanationCount(r)) + " explanations):\n";
+    std::vector<EvidencePattern> patterns = PatternsFor(r);
+    for (size_t i = 0; i < patterns.size() && i < top_k; ++i) {
+      const EvidencePattern& p = patterns[i];
+      out += "  <- " + dataset.relations().NameOf(p.evidence_relation) +
+             "  share=" + FormatDouble(p.share, 2) +
+             " support=" + std::to_string(p.support) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace kelpie

@@ -1,0 +1,75 @@
+#ifndef KELPIE_XP_PATTERN_MINER_H_
+#define KELPIE_XP_PATTERN_MINER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/explanation.h"
+#include "kgraph/dataset.h"
+
+namespace kelpie {
+
+/// A relation-level evidence pattern: predictions of `prediction_relation`
+/// tend to be explained through facts of `evidence_relation`.
+struct EvidencePattern {
+  RelationId prediction_relation = kNoRelation;
+  RelationId evidence_relation = kNoRelation;
+  /// Number of explanations (predictions) containing this evidence
+  /// relation at least once.
+  size_t support = 0;
+  /// Total evidence facts of this relation across the explanations.
+  size_t fact_count = 0;
+  /// Fraction of all evidence facts for the prediction relation.
+  double share = 0.0;
+  /// Mean relevance of the explanations contributing the pattern.
+  double mean_relevance = 0.0;
+};
+
+/// Aggregates per-prediction explanations into global, relation-level
+/// patterns — the "Kelpie in action" workflow of the paper's Sections 5.6
+/// and 1: single explanations are local, but their aggregation exposes
+/// what a model systematically leans on (e.g. YAGO3-10's football bias) or
+/// which rules it has internalized (e.g. acting ensembles).
+///
+/// Usage: Add() every (prediction, explanation) pair, then query.
+class PatternMiner {
+ public:
+  /// Records one explanation of `prediction`.
+  void Add(const Triple& prediction, const Explanation& explanation);
+
+  /// All patterns for predictions of `relation`, sorted by descending
+  /// fact_count (deterministic tie-break on relation id).
+  std::vector<EvidencePattern> PatternsFor(RelationId relation) const;
+
+  /// All patterns across all prediction relations, same ordering within
+  /// each prediction relation.
+  std::vector<EvidencePattern> AllPatterns() const;
+
+  /// A pattern is flagged as a *bias candidate* when predictions of one
+  /// relation are dominated by evidence of a single different relation
+  /// (share >= threshold and evidence relation != prediction relation).
+  std::vector<EvidencePattern> BiasCandidates(double share_threshold = 0.5) const;
+
+  /// Number of explanations recorded for `relation`.
+  size_t ExplanationCount(RelationId relation) const;
+
+  /// Human-readable report of the top patterns per prediction relation.
+  std::string Report(const Dataset& dataset, size_t top_k = 3) const;
+
+ private:
+  struct Cell {
+    size_t support = 0;
+    size_t fact_count = 0;
+    double relevance_sum = 0.0;
+  };
+  // prediction relation -> evidence relation -> counts
+  std::unordered_map<RelationId, std::unordered_map<RelationId, Cell>>
+      cells_;
+  std::unordered_map<RelationId, size_t> explanation_counts_;
+  std::unordered_map<RelationId, size_t> total_facts_;
+};
+
+}  // namespace kelpie
+
+#endif  // KELPIE_XP_PATTERN_MINER_H_

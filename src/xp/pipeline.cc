@@ -1,0 +1,217 @@
+#include "xp/pipeline.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "eval/ranking.h"
+
+namespace kelpie {
+
+std::vector<Triple> SampleCorrectPredictions(
+    const LinkPredictionModel& model, const Dataset& dataset, size_t count,
+    PredictionTarget target, Rng& rng) {
+  const std::vector<Triple>& test = dataset.test();
+  std::vector<size_t> order(test.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+  std::vector<Triple> out;
+  for (size_t idx : order) {
+    if (out.size() >= count) break;
+    const Triple& fact = test[idx];
+    if (dataset.train_graph().Degree(SourceEntity(fact, target)) == 0) {
+      continue;
+    }
+    if (FilteredRank(model, dataset, fact, target) == 1) {
+      out.push_back(fact);
+    }
+  }
+  return out;
+}
+
+std::vector<Triple> SampleCorrectTailPredictions(
+    const LinkPredictionModel& model, const Dataset& dataset, size_t count,
+    Rng& rng) {
+  return SampleCorrectPredictions(model, dataset, count,
+                                  PredictionTarget::kTail, rng);
+}
+
+std::vector<EntityId> SampleConversionEntities(
+    const LinkPredictionModel& model, const Dataset& dataset,
+    const Triple& prediction, PredictionTarget target, size_t count,
+    Rng& rng) {
+  const EntityId source = SourceEntity(prediction, target);
+  const EntityId predicted = PredictedEntity(prediction, target);
+  std::vector<EntityId> out;
+  const size_t n = dataset.num_entities();
+  size_t attempts = 0;
+  const size_t max_attempts = 50 * count + 200;
+  while (out.size() < count && attempts < max_attempts) {
+    ++attempts;
+    EntityId c = static_cast<EntityId>(rng.UniformUint64(n));
+    if (c == source || c == predicted) continue;
+    if (std::find(out.begin(), out.end(), c) != out.end()) continue;
+    if (dataset.train_graph().Degree(c) == 0) continue;
+    Triple converted = prediction;
+    if (target == PredictionTarget::kTail) {
+      converted.head = c;
+    } else {
+      converted.tail = c;
+    }
+    if (dataset.IsKnown(converted)) continue;
+    if (FilteredRank(model, dataset, converted, target) <= 1) continue;
+    out.push_back(c);
+  }
+  return out;
+}
+
+LpMetrics RetrainAndMeasure(ModelKind kind, const Dataset& dataset,
+                            const std::vector<Triple>& predictions,
+                            const std::vector<Triple>& removed,
+                            const std::vector<Triple>& added,
+                            PredictionTarget target, uint64_t retrain_seed) {
+  Dataset modified = dataset.WithModifiedTraining(removed, added);
+  std::unique_ptr<LinkPredictionModel> model =
+      CreateModel(kind, modified, DefaultConfig(kind, modified));
+  Rng rng(retrain_seed);
+  model->Train(modified, rng);
+  MetricsAccumulator acc;
+  for (const Triple& p : predictions) {
+    acc.AddRank(FilteredRank(*model, modified, p, target));
+  }
+  return LpMetrics{acc.HitsAt(1), acc.Mrr()};
+}
+
+LpMetrics RetrainAndMeasureTails(ModelKind kind, const Dataset& dataset,
+                                 const std::vector<Triple>& predictions,
+                                 const std::vector<Triple>& removed,
+                                 const std::vector<Triple>& added,
+                                 uint64_t retrain_seed) {
+  return RetrainAndMeasure(kind, dataset, predictions, removed, added,
+                           PredictionTarget::kTail, retrain_seed);
+}
+
+NecessaryRunResult RunNecessaryEndToEnd(
+    Explainer& explainer, ModelKind kind, const Dataset& dataset,
+    const std::vector<Triple>& predictions, uint64_t retrain_seed,
+    PredictionTarget target) {
+  NecessaryRunResult result;
+  std::vector<Triple> to_remove;
+  std::unordered_set<uint64_t> seen;
+  for (const Triple& prediction : predictions) {
+    Explanation x = explainer.ExplainNecessary(prediction, target);
+    for (const Triple& fact : x.facts) {
+      if (seen.insert(fact.Key()).second) {
+        to_remove.push_back(fact);
+      }
+    }
+    result.explanations.push_back(std::move(x));
+  }
+  result.after = RetrainAndMeasure(kind, dataset, predictions, to_remove, {},
+                                   target, retrain_seed);
+  return result;
+}
+
+std::vector<Triple> ConversionPredictions(
+    const std::vector<Triple>& predictions,
+    const std::vector<std::vector<EntityId>>& conversion_sets,
+    PredictionTarget target) {
+  KELPIE_CHECK(predictions.size() == conversion_sets.size());
+  std::vector<Triple> out;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    for (EntityId c : conversion_sets[i]) {
+      Triple converted = predictions[i];
+      if (target == PredictionTarget::kTail) {
+        converted.head = c;
+      } else {
+        converted.tail = c;
+      }
+      out.push_back(converted);
+    }
+  }
+  return out;
+}
+
+std::vector<Triple> TransferredFacts(
+    const std::vector<Triple>& predictions,
+    const std::vector<Explanation>& explanations,
+    const std::vector<std::vector<EntityId>>& conversion_sets,
+    PredictionTarget target) {
+  KELPIE_CHECK(predictions.size() == explanations.size());
+  KELPIE_CHECK(predictions.size() == conversion_sets.size());
+  std::vector<Triple> out;
+  std::unordered_set<uint64_t> seen;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    const EntityId source = SourceEntity(predictions[i], target);
+    for (EntityId c : conversion_sets[i]) {
+      for (const Triple& fact : explanations[i].facts) {
+        Triple transferred = TransferFact(fact, source, c);
+        if (seen.insert(transferred.Key()).second) {
+          out.push_back(transferred);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+SufficientRunResult RunSufficientEndToEnd(
+    Explainer& explainer, const LinkPredictionModel& original_model,
+    ModelKind kind, const Dataset& dataset,
+    const std::vector<Triple>& predictions, size_t conversion_set_size,
+    Rng& rng, uint64_t retrain_seed, PredictionTarget target) {
+  SufficientRunResult result;
+  for (const Triple& prediction : predictions) {
+    std::vector<EntityId> conversion_set = SampleConversionEntities(
+        original_model, dataset, prediction, target, conversion_set_size,
+        rng);
+    Explanation x =
+        explainer.ExplainSufficient(prediction, target, conversion_set);
+    result.conversion_sets.push_back(std::move(conversion_set));
+    result.explanations.push_back(std::move(x));
+  }
+
+  // Baseline metrics of the fictitious predictions under the original
+  // model (H@1 is 0 by construction of the conversion sets).
+  std::vector<Triple> converted =
+      ConversionPredictions(predictions, result.conversion_sets, target);
+  MetricsAccumulator before;
+  for (const Triple& p : converted) {
+    before.AddRank(FilteredRank(original_model, dataset, p, target));
+  }
+  result.before = LpMetrics{before.HitsAt(1), before.Mrr()};
+
+  std::vector<Triple> added = TransferredFacts(
+      predictions, result.explanations, result.conversion_sets, target);
+  result.after = RetrainAndMeasure(kind, dataset, converted, {}, added,
+                                   target, retrain_seed);
+  return result;
+}
+
+std::vector<std::vector<Triple>> SubsampleExplanations(
+    const std::vector<Explanation>& explanations, Rng& rng) {
+  std::vector<std::vector<Triple>> out;
+  out.reserve(explanations.size());
+  for (const Explanation& x : explanations) {
+    std::vector<Triple> kept = x.facts;
+    if (kept.size() <= 1) {
+      // Length-1 explanations are minimal by definition; sub-sampling them
+      // yields the null explanation (paper footnote 7).
+      kept.clear();
+    } else {
+      size_t remove_count = static_cast<size_t>(
+          rng.UniformInt(1, static_cast<int64_t>(kept.size()) - 1));
+      rng.Shuffle(kept);
+      kept.resize(kept.size() - remove_count);
+    }
+    out.push_back(std::move(kept));
+  }
+  return out;
+}
+
+double EffectivenessLoss(double full_delta, double sub_delta) {
+  if (full_delta == 0.0) return 0.0;
+  return (sub_delta - full_delta) / full_delta;
+}
+
+}  // namespace kelpie

@@ -1,0 +1,107 @@
+#include "xp/user_study.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kgraph/graph.h"
+
+namespace kelpie {
+
+namespace {
+
+int ClampScore(double v) {
+  return static_cast<int>(std::clamp(std::lround(v), 1L, 10L));
+}
+
+}  // namespace
+
+RespondentAnswers SimulateRespondent(const ExplanationFeatures& features,
+                                     Rng& rng) {
+  RespondentAnswers out;
+
+  // Q1: clarity. Short, accepted explanations read best.
+  double clarity = 9.2 - 0.35 * static_cast<double>(features.length - 1);
+  if (!features.accepted) clarity -= 2.0;
+  out.clarity = ClampScore(rng.Normal(clarity, 0.9));
+
+  // Q2: practical comprehension. Stronger explanations are easier to
+  // reason about.
+  double p_correct =
+      std::clamp(0.55 + 0.25 * features.relevance_margin, 0.0, 0.95);
+  double draw = rng.UniformDouble();
+  if (draw < p_correct) {
+    out.effect = EffectAnswer::kCorrectEffect;
+  } else if (draw < p_correct + 0.4 * (1.0 - p_correct)) {
+    out.effect = EffectAnswer::kNothingWouldChange;
+  } else if (draw < p_correct + 0.8 * (1.0 - p_correct)) {
+    out.effect = EffectAnswer::kDontKnow;
+  } else {
+    out.effect = EffectAnswer::kNonsense;
+  }
+
+  // Q3: trust. Explanations whose facts sit close to the predicted entity
+  // look like human-intuitive evidence; distant facts look spurious.
+  double trust = 8.5 - 1.6 * features.mean_closeness;
+  if (!features.accepted) trust -= 1.5;
+  out.trust = ClampScore(rng.Normal(trust, 1.1));
+  return out;
+}
+
+UserStudyResult RunUserStudy(const std::vector<ExplanationFeatures>& pairs,
+                             size_t num_participants, Rng& rng) {
+  UserStudyResult result;
+  double clarity_sum = 0.0, trust_sum = 0.0;
+  std::array<size_t, 4> effect_counts = {0, 0, 0, 0};
+  for (size_t p = 0; p < num_participants; ++p) {
+    for (const ExplanationFeatures& features : pairs) {
+      RespondentAnswers answers = SimulateRespondent(features, rng);
+      clarity_sum += answers.clarity;
+      trust_sum += answers.trust;
+      ++effect_counts[static_cast<size_t>(answers.effect)];
+      ++result.num_answers;
+    }
+  }
+  if (result.num_answers > 0) {
+    const double n = static_cast<double>(result.num_answers);
+    result.mean_clarity = clarity_sum / n;
+    result.mean_trust = trust_sum / n;
+    for (size_t i = 0; i < 4; ++i) {
+      result.effect_distribution[i] =
+          static_cast<double>(effect_counts[i]) / n;
+    }
+  }
+  return result;
+}
+
+ExplanationFeatures ComputeFeatures(const Explanation& explanation,
+                                    const Dataset& dataset,
+                                    const Triple& prediction,
+                                    PredictionTarget target,
+                                    double threshold) {
+  ExplanationFeatures features;
+  features.length = std::max<size_t>(1, explanation.size());
+  features.accepted = explanation.accepted;
+  features.relevance_margin =
+      threshold > 0.0
+          ? std::clamp(explanation.relevance / threshold, 0.0, 2.0)
+          : 1.0;
+  // Mean BFS distance of the explanation facts' other endpoints to the
+  // predicted entity.
+  const EntityId source = SourceEntity(prediction, target);
+  const EntityId predicted = PredictedEntity(prediction, target);
+  std::vector<int32_t> dist =
+      DistancesFrom(dataset.train_graph(), predicted, &prediction);
+  double total = 0.0;
+  size_t counted = 0;
+  for (const Triple& fact : explanation.facts) {
+    EntityId other = fact.head == source ? fact.tail : fact.head;
+    int32_t d = dist[static_cast<size_t>(other)];
+    total += d < 0 ? 4.0 : static_cast<double>(d);
+    ++counted;
+  }
+  features.mean_closeness =
+      counted == 0 ? 2.0 : total / static_cast<double>(counted);
+  return features;
+}
+
+}  // namespace kelpie

@@ -1,0 +1,85 @@
+#ifndef KELPIE_XP_USER_STUDY_H_
+#define KELPIE_XP_USER_STUDY_H_
+
+#include <array>
+#include <vector>
+
+#include "core/explanation.h"
+#include "math/rng.h"
+
+namespace kelpie {
+
+/// -----------------------------------------------------------------------
+/// Simulated end-user study (paper Section 5.7, Figure 7).
+///
+/// The original is a 44-participant human study; humans cannot be re-run in
+/// this environment, so this module reproduces the *harness* — the three
+/// questions, their answer categories and the aggregation — with a
+/// stochastic respondent model whose behaviour depends on measurable
+/// explanation quality:
+///  - clarity (Q1) decreases mildly with explanation length and sharply for
+///    best-effort (non-accepted) explanations;
+///  - the practical-effect answer (Q2) is correct with a probability that
+///    grows with the explanation's relevance margin over its threshold;
+///  - trust in the model (Q3) grows with the topological closeness of the
+///    explanation facts to the predicted entity (a proxy for "matches
+///    human intuition").
+/// This is explicitly a simulation; see EXPERIMENTS.md.
+/// -----------------------------------------------------------------------
+
+/// Q2 answer categories (paper Section 5.7).
+enum class EffectAnswer {
+  kCorrectEffect = 0,
+  kNothingWouldChange = 1,
+  kDontKnow = 2,
+  kNonsense = 3,
+};
+
+/// Measured quality features of one prediction-explanation pair, the
+/// inputs of the respondent model.
+struct ExplanationFeatures {
+  size_t length = 1;
+  bool accepted = true;
+  /// relevance / acceptance-threshold, clamped to [0, 2].
+  double relevance_margin = 1.0;
+  /// Mean BFS distance of explanation-fact endpoints to the predicted
+  /// entity (0 = the facts mention it directly).
+  double mean_closeness = 1.0;
+};
+
+/// One respondent's answers to the three questions about one pair.
+struct RespondentAnswers {
+  int clarity = 0;  // Q1, 1..10
+  EffectAnswer effect = EffectAnswer::kDontKnow;
+  int trust = 0;  // Q3, 1..10
+};
+
+/// Aggregate over all respondents and pairs.
+struct UserStudyResult {
+  double mean_clarity = 0.0;
+  std::array<double, 4> effect_distribution = {0, 0, 0, 0};
+  double mean_trust = 0.0;
+  size_t num_answers = 0;
+};
+
+/// Draws one simulated respondent's answers for a pair.
+RespondentAnswers SimulateRespondent(const ExplanationFeatures& features,
+                                     Rng& rng);
+
+/// Runs `num_participants` simulated respondents over every pair and
+/// aggregates.
+UserStudyResult RunUserStudy(const std::vector<ExplanationFeatures>& pairs,
+                             size_t num_participants, Rng& rng);
+
+/// Extracts the respondent-model features from an explanation.
+/// `threshold` is the acceptance threshold the explanation was extracted
+/// with.
+ExplanationFeatures ComputeFeatures(const Explanation& explanation,
+                                    const Dataset& dataset,
+                                    const Triple& prediction,
+                                    PredictionTarget target,
+                                    double threshold);
+
+}  // namespace kelpie
+
+#endif  // KELPIE_XP_USER_STUDY_H_

@@ -1,0 +1,78 @@
+#include "ml/batcher.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace kelpie {
+namespace {
+
+TEST(BatcherTest, CoversAllSamplesExactlyOncePerEpoch) {
+  Batcher batcher(10, 3);
+  Rng rng(1);
+  batcher.Reshuffle(rng);
+  std::multiset<size_t> seen;
+  for (auto b = batcher.NextBatch(); !b.empty(); b = batcher.NextBatch()) {
+    seen.insert(b.begin(), b.end());
+  }
+  EXPECT_EQ(seen.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(seen.count(i), 1u);
+}
+
+TEST(BatcherTest, LastBatchMayBeSmaller) {
+  Batcher batcher(10, 4);
+  Rng rng(2);
+  batcher.Reshuffle(rng);
+  std::vector<size_t> sizes;
+  for (auto b = batcher.NextBatch(); !b.empty(); b = batcher.NextBatch()) {
+    sizes.push_back(b.size());
+  }
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 4u);
+  EXPECT_EQ(sizes[1], 4u);
+  EXPECT_EQ(sizes[2], 2u);
+}
+
+TEST(BatcherTest, NumBatchesRoundsUp) {
+  EXPECT_EQ(Batcher(10, 4).num_batches(), 3u);
+  EXPECT_EQ(Batcher(8, 4).num_batches(), 2u);
+  EXPECT_EQ(Batcher(0, 4).num_batches(), 0u);
+}
+
+TEST(BatcherTest, ReshuffleChangesOrder) {
+  Batcher batcher(64, 64);
+  Rng rng(3);
+  batcher.Reshuffle(rng);
+  auto b1 = batcher.NextBatch();
+  std::vector<size_t> first(b1.begin(), b1.end());
+  batcher.Reshuffle(rng);
+  auto b2 = batcher.NextBatch();
+  std::vector<size_t> second(b2.begin(), b2.end());
+  EXPECT_NE(first, second);
+}
+
+TEST(BatcherTest, ZeroBatchSizeTreatedAsOne) {
+  Batcher batcher(3, 0);
+  Rng rng(4);
+  batcher.Reshuffle(rng);
+  size_t count = 0;
+  for (auto b = batcher.NextBatch(); !b.empty(); b = batcher.NextBatch()) {
+    EXPECT_EQ(b.size(), 1u);
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(BatcherTest, ExhaustedEpochReturnsEmptyUntilReshuffle) {
+  Batcher batcher(2, 2);
+  Rng rng(5);
+  batcher.Reshuffle(rng);
+  EXPECT_FALSE(batcher.NextBatch().empty());
+  EXPECT_TRUE(batcher.NextBatch().empty());
+  EXPECT_TRUE(batcher.NextBatch().empty());
+  batcher.Reshuffle(rng);
+  EXPECT_FALSE(batcher.NextBatch().empty());
+}
+
+}  // namespace
+}  // namespace kelpie

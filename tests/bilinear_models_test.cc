@@ -1,0 +1,136 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "eval/ranking.h"
+#include "models/complex.h"
+#include "models/distmult.h"
+#include "tests/test_util.h"
+
+namespace kelpie {
+namespace {
+
+TEST(ComplExTest, ScoreMatchesHermitianProduct) {
+  TrainConfig config;
+  config.dim = 4;  // rank 2
+  ComplEx model(2, 1, config);
+  // h = (1+2i, 0), t = (3-1i, 0); relation left at zero -> score 0.
+  auto h = model.MutableEntityEmbedding(0);
+  h[0] = 1.0f;  // re_0
+  h[2] = 2.0f;  // im_0
+  auto t = model.MutableEntityEmbedding(1);
+  t[0] = 3.0f;
+  t[2] = -1.0f;
+  EXPECT_NEAR(model.Score(Triple(0, 0, 1)), 0.0f, 1e-6);
+}
+
+TEST(ComplExTest, RankAccessor) {
+  TrainConfig config;
+  config.dim = 32;
+  ComplEx model(5, 2, config);
+  EXPECT_EQ(model.rank(), 16u);
+  EXPECT_EQ(model.entity_dim(), 32u);
+}
+
+TEST(ComplExTest, CanModelAsymmetricRelations) {
+  // After training on the toy data, born_in (asymmetric by construction)
+  // should not score symmetrically.
+  Dataset dataset = testing_util::MakeToyDataset();
+  auto model = testing_util::TrainToyModel(ModelKind::kComplEx, dataset);
+  Triple fact = dataset.train().front();  // a located_in fact
+  Triple reversed(fact.tail, fact.relation, fact.head);
+  EXPECT_NE(model->Score(fact), model->Score(reversed));
+}
+
+TEST(ComplExTest, TrainingLearnsCompositionalPattern) {
+  Dataset dataset = testing_util::MakeToyDataset();
+  auto model = testing_util::TrainToyModel(ModelKind::kComplEx, dataset);
+  MetricsAccumulator acc;
+  for (const Triple& t : dataset.test()) {
+    acc.AddRank(FilteredTailRank(*model, dataset, t));
+  }
+  EXPECT_GT(acc.Mrr(), 0.5);
+}
+
+TEST(ComplExTest, KnownFactOutscoresCorruptions) {
+  Dataset dataset = testing_util::MakeToyDataset();
+  auto model = testing_util::TrainToyModel(ModelKind::kComplEx, dataset);
+  // Training fact should score above the average corruption.
+  Triple fact = dataset.train().back();
+  double corrupt_mean = 0.0;
+  int count = 0;
+  for (EntityId e = 0; e < static_cast<EntityId>(dataset.num_entities());
+       ++e) {
+    if (e == fact.tail) continue;
+    corrupt_mean += model->Score(Triple(fact.head, fact.relation, e));
+    ++count;
+  }
+  corrupt_mean /= count;
+  EXPECT_GT(model->Score(fact), corrupt_mean);
+}
+
+TEST(DistMultTest, ScoreIsTrilinearProduct) {
+  TrainConfig config;
+  config.dim = 3;
+  DistMult model(2, 1, config);
+  auto h = model.MutableEntityEmbedding(0);
+  auto t = model.MutableEntityEmbedding(1);
+  h[0] = 2.0f;
+  h[1] = 1.0f;
+  h[2] = -1.0f;
+  t[0] = 0.5f;
+  t[1] = 3.0f;
+  t[2] = 2.0f;
+  // Relation is zero -> score 0 regardless of entities.
+  EXPECT_FLOAT_EQ(model.Score(Triple(0, 0, 1)), 0.0f);
+}
+
+TEST(DistMultTest, ScoreIsSymmetricInHeadAndTail) {
+  // DistMult's well-known inherent symmetry: φ(h, r, t) == φ(t, r, h).
+  Dataset dataset = testing_util::MakeToyDataset();
+  auto model = testing_util::TrainToyModel(ModelKind::kDistMult, dataset);
+  for (const Triple& fact : dataset.test()) {
+    Triple reversed(fact.tail, fact.relation, fact.head);
+    EXPECT_NEAR(model->Score(fact), model->Score(reversed), 1e-4);
+  }
+}
+
+TEST(DistMultTest, TrainingLearnsCompositionalPattern) {
+  Dataset dataset = testing_util::MakeToyDataset();
+  auto model = testing_util::TrainToyModel(ModelKind::kDistMult, dataset);
+  MetricsAccumulator acc;
+  for (const Triple& t : dataset.test()) {
+    acc.AddRank(FilteredTailRank(*model, dataset, t));
+  }
+  EXPECT_GT(acc.Mrr(), 0.4);
+}
+
+TEST(BilinearTest, RegularizationShrinksEmbeddings) {
+  Dataset dataset = testing_util::MakeToyDataset();
+  TrainConfig weak = testing_util::FastConfig(ModelKind::kComplEx);
+  weak.regularization = 0.0f;
+  // Adagrad's per-coordinate normalization makes mild regularization
+  // non-monotone in the final norms; a dominating λ must shrink them.
+  TrainConfig strong = weak;
+  strong.regularization = 10.0f;
+  ComplEx weak_model(dataset.num_entities(), dataset.num_relations(), weak);
+  ComplEx strong_model(dataset.num_entities(), dataset.num_relations(),
+                       strong);
+  Rng r1(31), r2(31);
+  weak_model.Train(dataset, r1);
+  strong_model.Train(dataset, r2);
+  auto total_norm = [&](const ComplEx& m) {
+    double acc = 0.0;
+    for (size_t e = 0; e < m.num_entities(); ++e) {
+      for (float v : m.EntityEmbedding(static_cast<EntityId>(e))) {
+        acc += std::fabs(v);
+      }
+    }
+    return acc;
+  };
+  EXPECT_LT(total_norm(strong_model), total_norm(weak_model));
+}
+
+}  // namespace
+}  // namespace kelpie

@@ -1,0 +1,90 @@
+#include "models/conve.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "eval/ranking.h"
+#include "math/vec.h"
+#include "tests/test_util.h"
+
+namespace kelpie {
+namespace {
+
+TEST(ConvETest, RejectsDimNotDivisibleByReshapeHeight) {
+  TrainConfig config;
+  config.dim = 30;  // not divisible by reshape_height 4
+  config.reshape_height = 4;
+  EXPECT_DEATH(ConvE(5, 2, config), "");
+}
+
+TEST(ConvETest, TailGradientEqualsHiddenVector) {
+  // φ is linear in the tail embedding: ∂φ/∂t is the MLP output v, so
+  // φ(h, r, t) == <∂φ/∂t, t> + b_t.
+  Dataset dataset = testing_util::MakeToyDataset();
+  auto model = testing_util::TrainToyModel(ModelKind::kConvE, dataset);
+  Triple probe = dataset.test().front();
+  std::vector<float> v = model->ScoreGradWrtTail(probe);
+  auto* conve = dynamic_cast<ConvE*>(model.get());
+  ASSERT_NE(conve, nullptr);
+  float expected = Dot(v, model->EntityEmbedding(probe.tail)) +
+                   conve->entity_bias()[static_cast<size_t>(probe.tail)];
+  EXPECT_NEAR(model->Score(probe), expected, 1e-4);
+}
+
+TEST(ConvETest, TrainingLearnsCompositionalPattern) {
+  Dataset dataset = testing_util::MakeToyDataset();
+  auto model = testing_util::TrainToyModel(ModelKind::kConvE, dataset);
+  MetricsAccumulator acc;
+  for (const Triple& t : dataset.test()) {
+    acc.AddRank(FilteredTailRank(*model, dataset, t));
+  }
+  EXPECT_GT(acc.Mrr(), 0.3);
+}
+
+TEST(ConvETest, TrainingIsDeterministic) {
+  Dataset dataset = testing_util::MakeToyDataset();
+  auto m1 = testing_util::TrainToyModel(ModelKind::kConvE, dataset, 5);
+  auto m2 = testing_util::TrainToyModel(ModelKind::kConvE, dataset, 5);
+  Triple probe = dataset.test().front();
+  EXPECT_FLOAT_EQ(m1->Score(probe), m2->Score(probe));
+}
+
+TEST(ConvETest, EntityBiasAffectsScore) {
+  Dataset dataset = testing_util::MakeToyDataset();
+  auto model = testing_util::TrainToyModel(ModelKind::kConvE, dataset);
+  // After training the per-entity biases should have moved off zero.
+  auto* conve = dynamic_cast<ConvE*>(model.get());
+  ASSERT_NE(conve, nullptr);
+  double total = 0.0;
+  for (float b : conve->entity_bias()) total += std::abs(b);
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(ConvETest, MimicAsTailBiasExcludedFromOverrideScore) {
+  // ScoreWithEntityVec with the tail overridden must not apply the stored
+  // entity bias of the overridden tail (a mimic has no bias row).
+  Dataset dataset = testing_util::MakeToyDataset();
+  auto model = testing_util::TrainToyModel(ModelKind::kConvE, dataset);
+  auto* conve = dynamic_cast<ConvE*>(model.get());
+  ASSERT_NE(conve, nullptr);
+  Triple probe = dataset.test().front();
+  std::span<const float> stored = model->EntityEmbedding(probe.tail);
+  float with_override =
+      model->ScoreWithEntityVec(probe, probe.tail, stored);
+  float bias = conve->entity_bias()[static_cast<size_t>(probe.tail)];
+  EXPECT_NEAR(with_override + bias, model->Score(probe), 1e-4);
+}
+
+TEST(ConvETest, ScoreAllTailsWithHeadVecConsistent) {
+  Dataset dataset = testing_util::MakeToyDataset();
+  auto model = testing_util::TrainToyModel(ModelKind::kConvE, dataset);
+  Triple probe = dataset.test().front();
+  std::vector<float> scores(model->num_entities());
+  model->ScoreAllTailsWithHeadVec(model->EntityEmbedding(probe.head),
+                                  probe.relation, scores);
+  EXPECT_NEAR(scores[static_cast<size_t>(probe.tail)], model->Score(probe),
+              1e-4);
+}
+
+}  // namespace
+}  // namespace kelpie

@@ -1,0 +1,123 @@
+#include "kgraph/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace kelpie {
+namespace {
+
+Dataset MakeDataset() {
+  Dictionary entities, relations;
+  EntityId obama = entities.GetOrAdd("Barack_Obama");
+  EntityId honolulu = entities.GetOrAdd("Honolulu");
+  EntityId usa = entities.GetOrAdd("USA");
+  EntityId xi = entities.GetOrAdd("Xi_Jinping");
+  RelationId born = relations.GetOrAdd("born_in");
+  RelationId located = relations.GetOrAdd("located_in");
+  RelationId nationality = relations.GetOrAdd("nationality");
+  std::vector<Triple> train{
+      Triple(obama, born, honolulu),
+      Triple(honolulu, located, usa),
+      Triple(xi, born, honolulu),
+  };
+  std::vector<Triple> valid{Triple(xi, nationality, usa)};
+  std::vector<Triple> test{Triple(obama, nationality, usa)};
+  return Dataset("toy", std::move(entities), std::move(relations),
+                 std::move(train), std::move(valid), std::move(test));
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  Dataset d = MakeDataset();
+  EXPECT_EQ(d.name(), "toy");
+  EXPECT_EQ(d.num_entities(), 4u);
+  EXPECT_EQ(d.num_relations(), 3u);
+  EXPECT_EQ(d.train().size(), 3u);
+  EXPECT_EQ(d.valid().size(), 1u);
+  EXPECT_EQ(d.test().size(), 1u);
+}
+
+TEST(DatasetTest, TrainGraphOnlyIndexesTrainSplit) {
+  Dataset d = MakeDataset();
+  EXPECT_EQ(d.train_graph().num_triples(), 3u);
+  EXPECT_TRUE(d.train_graph().Contains(Triple(0, 0, 1)));
+  EXPECT_FALSE(d.train_graph().Contains(Triple(0, 2, 2)));  // test fact
+}
+
+TEST(DatasetTest, IsKnownCoversAllSplits) {
+  Dataset d = MakeDataset();
+  EXPECT_TRUE(d.IsKnown(Triple(0, 0, 1)));  // train
+  EXPECT_TRUE(d.IsKnown(Triple(3, 2, 2)));  // valid
+  EXPECT_TRUE(d.IsKnown(Triple(0, 2, 2)));  // test
+  EXPECT_FALSE(d.IsKnown(Triple(3, 2, 1)));
+}
+
+TEST(DatasetTest, KnownTailsAggregatesSplits) {
+  Dataset d = MakeDataset();
+  // born_in tails of Obama.
+  const auto& tails = d.KnownTails(0, 0);
+  EXPECT_EQ(tails.size(), 1u);
+  EXPECT_TRUE(tails.count(1));
+  // nationality of Obama is a test fact — still known.
+  EXPECT_TRUE(d.KnownTails(0, 2).count(2));
+  // Unknown pair gives the empty set.
+  EXPECT_TRUE(d.KnownTails(2, 0).empty());
+}
+
+TEST(DatasetTest, KnownHeadsAggregatesSplits) {
+  Dataset d = MakeDataset();
+  // Heads born in Honolulu: Obama and Xi.
+  const auto& heads = d.KnownHeads(0, 1);
+  EXPECT_EQ(heads.size(), 2u);
+  EXPECT_TRUE(heads.count(0));
+  EXPECT_TRUE(heads.count(3));
+}
+
+TEST(DatasetTest, TripleToStringUsesNames) {
+  Dataset d = MakeDataset();
+  EXPECT_EQ(d.TripleToString(Triple(0, 0, 1)),
+            "<Barack_Obama, born_in, Honolulu>");
+}
+
+TEST(DatasetTest, WithModifiedTrainingRemoves) {
+  Dataset d = MakeDataset();
+  Dataset d2 = d.WithModifiedTraining({Triple(0, 0, 1)}, {});
+  EXPECT_EQ(d2.train().size(), 2u);
+  EXPECT_FALSE(d2.train_graph().Contains(Triple(0, 0, 1)));
+  // Original unchanged.
+  EXPECT_TRUE(d.train_graph().Contains(Triple(0, 0, 1)));
+  // Valid/test preserved.
+  EXPECT_EQ(d2.valid().size(), 1u);
+  EXPECT_EQ(d2.test().size(), 1u);
+}
+
+TEST(DatasetTest, WithModifiedTrainingAddsAndDeduplicates) {
+  Dataset d = MakeDataset();
+  Triple added(3, 2, 2);
+  Dataset d2 = d.WithModifiedTraining({}, {added, added, Triple(0, 0, 1)});
+  // 'added' once; the duplicate of an existing train fact is dropped.
+  EXPECT_EQ(d2.train().size(), 4u);
+  EXPECT_TRUE(d2.train_graph().Contains(added));
+}
+
+TEST(DatasetTest, WithModifiedTrainingRemovalWinsOverAddition) {
+  Dataset d = MakeDataset();
+  Triple t(0, 0, 1);
+  Dataset d2 = d.WithModifiedTraining({t}, {t});
+  EXPECT_FALSE(d2.train_graph().Contains(t));
+}
+
+TEST(DatasetStatsTest, ComputesTable1Shape) {
+  Dataset d = MakeDataset();
+  DatasetStats stats = ComputeStats(d);
+  EXPECT_EQ(stats.name, "toy");
+  EXPECT_EQ(stats.num_entities, 4u);
+  EXPECT_EQ(stats.num_relations, 3u);
+  EXPECT_EQ(stats.num_train, 3u);
+  EXPECT_EQ(stats.num_valid, 1u);
+  EXPECT_EQ(stats.num_test, 1u);
+  // Degrees: obama 1, honolulu 3, usa 1, xi 1 -> mean 1.5, max 3.
+  EXPECT_DOUBLE_EQ(stats.mean_entity_degree, 1.5);
+  EXPECT_EQ(stats.max_entity_degree, 3u);
+}
+
+}  // namespace
+}  // namespace kelpie

@@ -1,0 +1,117 @@
+#include "datagen/datasets.h"
+
+#include <gtest/gtest.h>
+
+namespace kelpie {
+namespace {
+
+class BenchmarkDatasetTest
+    : public ::testing::TestWithParam<BenchmarkDataset> {};
+
+TEST_P(BenchmarkDatasetTest, GeneratesNonDegenerateDataset) {
+  Dataset d = MakeBenchmark(GetParam(), /*scale=*/0.5, /*seed=*/7);
+  EXPECT_GT(d.num_entities(), 100u);
+  EXPECT_GE(d.num_relations(), 3u);
+  EXPECT_GT(d.train().size(), 500u);
+  EXPECT_GT(d.test().size(), 20u);
+  EXPECT_GT(d.valid().size(), 10u);
+}
+
+TEST_P(BenchmarkDatasetTest, SplitsDisjointAndEntitiesCovered) {
+  Dataset d = MakeBenchmark(GetParam(), 0.5, 7);
+  for (const Triple& t : d.test()) {
+    EXPECT_FALSE(d.train_graph().Contains(t));
+    EXPECT_GT(d.train_graph().Degree(t.head), 0u);
+    EXPECT_GT(d.train_graph().Degree(t.tail), 0u);
+  }
+}
+
+TEST_P(BenchmarkDatasetTest, DegreeDistributionIsSkewed) {
+  Dataset d = MakeBenchmark(GetParam(), 0.5, 7);
+  DatasetStats stats = ComputeStats(d);
+  // The paper notes LP datasets have extremely skewed degree
+  // distributions; the max degree should dwarf the mean.
+  EXPECT_GT(static_cast<double>(stats.max_entity_degree),
+            4.0 * stats.mean_entity_degree);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, BenchmarkDatasetTest,
+    ::testing::ValuesIn(AllBenchmarkDatasets()),
+    [](const ::testing::TestParamInfo<BenchmarkDataset>& info) {
+      std::string name(BenchmarkDatasetName(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(BenchmarkNamesTest, MatchPaperTable1) {
+  EXPECT_EQ(BenchmarkDatasetName(BenchmarkDataset::kFb15k), "FB15k");
+  EXPECT_EQ(BenchmarkDatasetName(BenchmarkDataset::kFb15k237), "FB15k-237");
+  EXPECT_EQ(BenchmarkDatasetName(BenchmarkDataset::kWn18), "WN18");
+  EXPECT_EQ(BenchmarkDatasetName(BenchmarkDataset::kWn18rr), "WN18RR");
+  EXPECT_EQ(BenchmarkDatasetName(BenchmarkDataset::kYago310), "YAGO3-10");
+  EXPECT_EQ(AllBenchmarkDatasets().size(), 5u);
+}
+
+TEST(BenchmarkStructureTest, Fb15kHasInverseLeakageAnd237DoesNot) {
+  Dataset fb = MakeBenchmark(BenchmarkDataset::kFb15k, 0.5, 7);
+  Dataset fb237 = MakeBenchmark(BenchmarkDataset::kFb15k237, 0.5, 7);
+  EXPECT_TRUE(fb.relations().Contains("has_actor"));
+  EXPECT_TRUE(fb.relations().Contains("person_born_here"));
+  EXPECT_FALSE(fb237.relations().Contains("has_actor"));
+  EXPECT_FALSE(fb237.relations().Contains("person_born_here"));
+  // The leakage makes FB15k strictly larger.
+  EXPECT_GT(fb.train().size(), fb237.train().size());
+}
+
+TEST(BenchmarkStructureTest, Wn18HasInversePairsAndRrDoesNot) {
+  Dataset wn = MakeBenchmark(BenchmarkDataset::kWn18, 0.5, 7);
+  Dataset wnrr = MakeBenchmark(BenchmarkDataset::kWn18rr, 0.5, 7);
+  EXPECT_TRUE(wn.relations().Contains("hyponym"));
+  EXPECT_FALSE(wnrr.relations().Contains("hyponym"));
+  // Both keep the symmetric relations.
+  EXPECT_TRUE(wn.relations().Contains("similar_to"));
+  EXPECT_TRUE(wnrr.relations().Contains("similar_to"));
+}
+
+TEST(BenchmarkStructureTest, Wn18rrTestIsDominatedBySymmetricRelations) {
+  Dataset wnrr = MakeBenchmark(BenchmarkDataset::kWn18rr, 0.5, 7);
+  size_t symmetric = 0;
+  for (const Triple& t : wnrr.test()) {
+    const std::string& rel = wnrr.relations().NameOf(t.relation);
+    if (rel == "similar_to" || rel == "derivationally_related" ||
+        rel == "also_see") {
+      ++symmetric;
+    }
+  }
+  // Without inverse relations, the only derivable (hence test-eligible)
+  // facts are the symmetric copies.
+  EXPECT_EQ(symmetric, wnrr.test().size());
+}
+
+TEST(BenchmarkStructureTest, YagoHasFootballBiasRelations) {
+  Dataset yago = MakeBenchmark(BenchmarkDataset::kYago310, 0.5, 7);
+  EXPECT_TRUE(yago.relations().Contains("plays_for"));
+  EXPECT_TRUE(yago.relations().Contains("born_in"));
+  EXPECT_TRUE(yago.relations().Contains("acted_in"));
+  // born_in facts exist despite facts_per_head = 0 (from the correlation).
+  Result<int32_t> born = yago.relations().Find("born_in");
+  ASSERT_TRUE(born.ok());
+  size_t count = 0;
+  for (const Triple& t : yago.train()) {
+    if (t.relation == born.value()) ++count;
+  }
+  EXPECT_GT(count, 50u);
+}
+
+TEST(BenchmarkScaleTest, ScaleShrinksDataset) {
+  Dataset small = MakeBenchmark(BenchmarkDataset::kFb15k237, 0.3, 7);
+  Dataset large = MakeBenchmark(BenchmarkDataset::kFb15k237, 1.0, 7);
+  EXPECT_LT(small.num_entities(), large.num_entities());
+  EXPECT_LT(small.train().size(), large.train().size());
+}
+
+}  // namespace
+}  // namespace kelpie

@@ -1,0 +1,58 @@
+#include "kgraph/dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace kelpie {
+namespace {
+
+TEST(DictionaryTest, AssignsDenseIdsInInsertionOrder) {
+  Dictionary d;
+  EXPECT_EQ(d.GetOrAdd("a"), 0);
+  EXPECT_EQ(d.GetOrAdd("b"), 1);
+  EXPECT_EQ(d.GetOrAdd("c"), 2);
+  EXPECT_EQ(d.size(), 3u);
+}
+
+TEST(DictionaryTest, GetOrAddIsIdempotent) {
+  Dictionary d;
+  int32_t id = d.GetOrAdd("x");
+  EXPECT_EQ(d.GetOrAdd("x"), id);
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(DictionaryTest, FindReturnsNotFoundForMissing) {
+  Dictionary d;
+  d.GetOrAdd("present");
+  Result<int32_t> found = d.Find("present");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), 0);
+  Result<int32_t> missing = d.Find("absent");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DictionaryTest, ContainsAndNameOfRoundTrip) {
+  Dictionary d;
+  int32_t id = d.GetOrAdd("Barack_Obama");
+  EXPECT_TRUE(d.Contains("Barack_Obama"));
+  EXPECT_FALSE(d.Contains("Xi_Jinping"));
+  EXPECT_EQ(d.NameOf(id), "Barack_Obama");
+}
+
+TEST(DictionaryTest, NamesVectorAlignedWithIds) {
+  Dictionary d;
+  d.GetOrAdd("first");
+  d.GetOrAdd("second");
+  ASSERT_EQ(d.names().size(), 2u);
+  EXPECT_EQ(d.names()[0], "first");
+  EXPECT_EQ(d.names()[1], "second");
+}
+
+TEST(DictionaryTest, EmptyDictionary) {
+  Dictionary d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.size(), 0u);
+}
+
+}  // namespace
+}  // namespace kelpie

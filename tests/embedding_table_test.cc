@@ -1,0 +1,78 @@
+#include "ml/embedding_table.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace kelpie {
+namespace {
+
+TEST(InitTest, NormalInitHasRequestedMoments) {
+  Matrix m(200, 50);
+  Rng rng(1);
+  InitMatrix(m, InitScheme::kNormal, 0.1, rng);
+  double sum = 0.0, sq = 0.0;
+  for (float v : m.Data()) {
+    sum += v;
+    sq += v * v;
+  }
+  const double n = static_cast<double>(m.size());
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(std::sqrt(sq / n), 0.1, 0.01);
+}
+
+TEST(InitTest, UniformInitStaysInBounds) {
+  Matrix m(50, 20);
+  Rng rng(2);
+  InitMatrix(m, InitScheme::kUniform, 0.5, rng);
+  for (float v : m.Data()) {
+    EXPECT_GE(v, -0.5f);
+    EXPECT_LT(v, 0.5f);
+  }
+}
+
+TEST(InitTest, XavierBoundDependsOnFans) {
+  Matrix m(10, 90);
+  Rng rng(3);
+  InitMatrix(m, InitScheme::kXavierUniform, 0.0, rng);
+  const float bound = std::sqrt(6.0f / (10.0f + 90.0f));
+  for (float v : m.Data()) {
+    EXPECT_GE(v, -bound);
+    EXPECT_LE(v, bound);
+  }
+}
+
+TEST(InitTest, DeterministicGivenSeed) {
+  Matrix a(5, 5), b(5, 5);
+  Rng r1(9), r2(9);
+  InitMatrix(a, InitScheme::kNormal, 0.1, r1);
+  InitMatrix(b, InitScheme::kNormal, 0.1, r2);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.Data()[i], b.Data()[i]);
+  }
+}
+
+TEST(InitTest, InitRowUsesExplicitFans) {
+  std::vector<float> row(64);
+  Rng rng(4);
+  InitRow(row, InitScheme::kXavierUniform, 0.0, rng, 32, 32);
+  const float bound = std::sqrt(6.0f / 64.0f);
+  for (float v : row) {
+    EXPECT_GE(v, -bound);
+    EXPECT_LE(v, bound);
+  }
+}
+
+TEST(InitTest, InitRowDefaultsFanToRowSize) {
+  std::vector<float> row(24);
+  Rng rng(5);
+  InitRow(row, InitScheme::kXavierUniform, 0.0, rng);
+  const float bound = std::sqrt(6.0f / 24.0f);
+  for (float v : row) {
+    EXPECT_GE(v, -bound);
+    EXPECT_LE(v, bound);
+  }
+}
+
+}  // namespace
+}  // namespace kelpie

@@ -1,0 +1,64 @@
+#include "eval/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace kelpie {
+namespace {
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = std::make_unique<Dataset>(testing_util::MakeToyDataset());
+    model_ = testing_util::TrainToyModel(ModelKind::kComplEx, *dataset_);
+  }
+  std::unique_ptr<Dataset> dataset_;
+  std::unique_ptr<LinkPredictionModel> model_;
+};
+
+TEST_F(EvaluatorTest, EvaluatesBothDirectionsByDefault) {
+  EvalResult result = EvaluateTest(*model_, *dataset_);
+  EXPECT_EQ(result.tail_ranks.count(), dataset_->test().size());
+  EXPECT_EQ(result.head_ranks.count(), dataset_->test().size());
+}
+
+TEST_F(EvaluatorTest, TailOnlyWhenHeadsDisabled) {
+  EvalOptions options;
+  options.include_heads = false;
+  EvalResult result = EvaluateTest(*model_, *dataset_, options);
+  EXPECT_EQ(result.head_ranks.count(), 0u);
+  EXPECT_GT(result.tail_ranks.count(), 0u);
+}
+
+TEST_F(EvaluatorTest, CombinedMetricsAverageDirections) {
+  EvalResult result = EvaluateTest(*model_, *dataset_);
+  double expected_mrr =
+      (result.tail_ranks.Mrr() + result.head_ranks.Mrr()) / 2.0;
+  EXPECT_NEAR(result.Mrr(), expected_mrr, 1e-12);
+  double expected_h1 =
+      (result.tail_ranks.HitsAt(1) + result.head_ranks.HitsAt(1)) / 2.0;
+  EXPECT_NEAR(result.HitsAt1(), expected_h1, 1e-12);
+}
+
+TEST_F(EvaluatorTest, TrainedModelBeatsUntrained) {
+  auto untrained =
+      CreateModel(ModelKind::kComplEx, *dataset_,
+                  testing_util::FastConfig(ModelKind::kComplEx));
+  // Initialize without training so scores are random.
+  Rng rng(1);
+  // (No Train call: embeddings are zero -> all scores equal -> worst-case
+  // pessimistic ranks.)
+  EvalResult random_result = EvaluateTest(*untrained, *dataset_);
+  EvalResult trained_result = EvaluateTest(*model_, *dataset_);
+  EXPECT_GT(trained_result.Mrr(), random_result.Mrr());
+}
+
+TEST_F(EvaluatorTest, EmptyFactListGivesEmptyResult) {
+  EvalResult result = Evaluate(*model_, *dataset_, {});
+  EXPECT_EQ(result.tail_ranks.count(), 0u);
+  EXPECT_DOUBLE_EQ(result.Mrr(), 0.0);
+}
+
+}  // namespace
+}  // namespace kelpie

@@ -1,0 +1,310 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace kelpie {
+namespace {
+
+GeneratorSpec SimpleSpec() {
+  GeneratorSpec spec;
+  spec.name = "test";
+  spec.seed = 3;
+  spec.types = {{"Person", 40}, {"City", 10}, {"Country", 3}};
+  spec.relations = {
+      {.name = "born_in", .domain = "Person", .range = "City",
+       .facts_per_head = 1.0, .zipf_exponent = 1.5, .functional = true},
+      {.name = "located_in", .domain = "City", .range = "Country",
+       .facts_per_head = 1.0, .zipf_exponent = 0.0, .functional = true},
+      {.name = "nationality", .domain = "Person", .range = "Country",
+       .facts_per_head = 0.0},
+  };
+  spec.rules = {{.premise1 = "born_in", .premise2 = "located_in",
+                 .conclusion = "nationality", .apply_prob = 1.0}};
+  spec.valid_fraction = 0.1;
+  spec.test_fraction = 0.2;
+  return spec;
+}
+
+TEST(GeneratorTest, ProducesRequestedEntities) {
+  Result<Dataset> result = GenerateDataset(SimpleSpec());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_entities(), 53u);
+  EXPECT_EQ(result->num_relations(), 3u);
+  EXPECT_TRUE(result->entities().Contains("Person_0"));
+  EXPECT_TRUE(result->entities().Contains("City_9"));
+  EXPECT_TRUE(result->entities().Contains("Country_2"));
+}
+
+TEST(GeneratorTest, SplitsAreDisjoint) {
+  Result<Dataset> result = GenerateDataset(SimpleSpec());
+  ASSERT_TRUE(result.ok());
+  std::unordered_set<uint64_t> train_keys;
+  for (const Triple& t : result->train()) train_keys.insert(t.Key());
+  for (const Triple& t : result->valid()) {
+    EXPECT_EQ(train_keys.count(t.Key()), 0u);
+  }
+  for (const Triple& t : result->test()) {
+    EXPECT_EQ(train_keys.count(t.Key()), 0u);
+  }
+}
+
+TEST(GeneratorTest, TestFactsAreDerivedOnly) {
+  Result<Dataset> result = GenerateDataset(SimpleSpec());
+  ASSERT_TRUE(result.ok());
+  // Only nationality facts are derived in this spec.
+  Result<int32_t> nat = result->relations().Find("nationality");
+  ASSERT_TRUE(nat.ok());
+  for (const Triple& t : result->test()) {
+    EXPECT_EQ(t.relation, nat.value());
+  }
+}
+
+TEST(GeneratorTest, TestFactsHavePremisesInTraining) {
+  Result<Dataset> result = GenerateDataset(SimpleSpec());
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->test().empty());
+  Result<int32_t> born = result->relations().Find("born_in");
+  ASSERT_TRUE(born.ok());
+  // Every person with a test nationality fact must keep their born_in fact
+  // in training (premises are base facts, never moved to eval splits).
+  for (const Triple& t : result->test()) {
+    bool has_born = false;
+    for (const Triple& f : result->train_graph().FactsOf(t.head)) {
+      if (f.relation == born.value() && f.head == t.head) has_born = true;
+    }
+    EXPECT_TRUE(has_born) << "person " << t.head;
+  }
+}
+
+TEST(GeneratorTest, NoEvalEntityIsOrphaned) {
+  Result<Dataset> result = GenerateDataset(SimpleSpec());
+  ASSERT_TRUE(result.ok());
+  for (const auto* split : {&result->valid(), &result->test()}) {
+    for (const Triple& t : *split) {
+      EXPECT_GT(result->train_graph().Degree(t.head), 0u);
+      EXPECT_GT(result->train_graph().Degree(t.tail), 0u);
+    }
+  }
+}
+
+TEST(GeneratorTest, DeterministicGivenSeed) {
+  Result<Dataset> a = GenerateDataset(SimpleSpec());
+  Result<Dataset> b = GenerateDataset(SimpleSpec());
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->train().size(), b->train().size());
+  for (size_t i = 0; i < a->train().size(); ++i) {
+    EXPECT_EQ(a->train()[i], b->train()[i]);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorSpec spec1 = SimpleSpec();
+  GeneratorSpec spec2 = SimpleSpec();
+  spec2.seed = 4;
+  Result<Dataset> a = GenerateDataset(spec1);
+  Result<Dataset> b = GenerateDataset(spec2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  bool any_difference = a->train().size() != b->train().size();
+  if (!any_difference) {
+    for (size_t i = 0; i < a->train().size(); ++i) {
+      if (!(a->train()[i] == b->train()[i])) {
+        any_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(GeneratorTest, FunctionalRelationHasAtMostOneFactPerHead) {
+  Result<Dataset> result = GenerateDataset(SimpleSpec());
+  ASSERT_TRUE(result.ok());
+  Result<int32_t> born = result->relations().Find("born_in");
+  ASSERT_TRUE(born.ok());
+  std::unordered_map<EntityId, int> counts;
+  for (const auto* split :
+       {&result->train(), &result->valid(), &result->test()}) {
+    for (const Triple& t : *split) {
+      if (t.relation == born.value()) ++counts[t.head];
+    }
+  }
+  for (const auto& [head, count] : counts) {
+    EXPECT_LE(count, 1) << "person " << head;
+  }
+}
+
+TEST(GeneratorTest, SymmetricRelationHasReversePairs) {
+  GeneratorSpec spec;
+  spec.name = "sym";
+  spec.seed = 5;
+  spec.types = {{"Word", 60}};
+  spec.relations = {{.name = "similar_to", .domain = "Word",
+                     .range = "Word", .facts_per_head = 1.5,
+                     .zipf_exponent = 0.0, .symmetric = true,
+                     .symmetric_prob = 1.0}};
+  spec.test_fraction = 0.0;
+  spec.valid_fraction = 0.0;
+  Result<Dataset> result = GenerateDataset(spec);
+  ASSERT_TRUE(result.ok());
+  size_t with_reverse = 0, total = 0;
+  for (const Triple& t : result->train()) {
+    ++total;
+    if (result->train_graph().Contains(
+            Triple(t.tail, t.relation, t.head))) {
+      ++with_reverse;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_EQ(with_reverse, total);  // symmetric_prob = 1.0
+}
+
+TEST(GeneratorTest, InverseRelationMirrorsBase) {
+  GeneratorSpec spec;
+  spec.name = "inv";
+  spec.seed = 6;
+  spec.types = {{"A", 30}, {"B", 10}};
+  spec.relations = {
+      {.name = "fwd", .domain = "A", .range = "B", .facts_per_head = 1.0,
+       .zipf_exponent = 0.0},
+      {.name = "bwd", .domain = "B", .range = "A", .inverse_of = "fwd",
+       .inverse_prob = 1.0},
+  };
+  spec.test_fraction = 0.0;
+  spec.valid_fraction = 0.0;
+  Result<Dataset> result = GenerateDataset(spec);
+  ASSERT_TRUE(result.ok());
+  Result<int32_t> fwd = result->relations().Find("fwd");
+  Result<int32_t> bwd = result->relations().Find("bwd");
+  ASSERT_TRUE(fwd.ok() && bwd.ok());
+  for (const Triple& t : result->train()) {
+    if (t.relation == fwd.value()) {
+      EXPECT_TRUE(
+          result->train_graph().Contains(Triple(t.tail, bwd.value(), t.head)));
+    }
+  }
+}
+
+TEST(GeneratorTest, ClustersLinkMembersToSharedItems) {
+  GeneratorSpec spec;
+  spec.name = "clusters";
+  spec.seed = 7;
+  spec.types = {{"Actor", 30}, {"Film", 40}};
+  spec.relations = {{.name = "acted_in", .domain = "Actor", .range = "Film",
+                     .facts_per_head = 0.0}};
+  spec.clusters = {{.member_type = "Actor", .relation = "acted_in",
+                    .item_type = "Film", .num_groups = 3,
+                    .members_per_group = 4, .items_per_group = 5,
+                    .membership_prob = 1.0}};
+  spec.test_fraction = 0.0;
+  spec.valid_fraction = 0.0;
+  Result<Dataset> result = GenerateDataset(spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->train().size(), 3u * 4u * 5u);
+}
+
+TEST(GeneratorTest, CorrelationBiasesTargetRelation) {
+  GeneratorSpec spec;
+  spec.name = "corr";
+  spec.seed = 8;
+  spec.types = {{"Player", 200}, {"Team", 10}, {"City", 10}};
+  spec.relations = {
+      {.name = "plays_for", .domain = "Player", .range = "Team",
+       .facts_per_head = 1.0, .zipf_exponent = 0.0, .functional = true},
+      {.name = "based_in", .domain = "Team", .range = "City",
+       .facts_per_head = 1.0, .zipf_exponent = 0.0, .functional = true},
+      {.name = "born_in", .domain = "Player", .range = "City",
+       .facts_per_head = 0.0},
+  };
+  spec.correlations = {{.subject_type = "Player", .via_relation = "plays_for",
+                        .anchor_relation = "based_in",
+                        .target_relation = "born_in", .strength = 0.9}};
+  spec.test_fraction = 0.0;
+  spec.valid_fraction = 0.0;
+  Result<Dataset> result = GenerateDataset(spec);
+  ASSERT_TRUE(result.ok());
+  // Count how often a player's birthplace equals their team's city.
+  Result<int32_t> plays = result->relations().Find("plays_for");
+  Result<int32_t> based = result->relations().Find("based_in");
+  Result<int32_t> born = result->relations().Find("born_in");
+  ASSERT_TRUE(plays.ok() && based.ok() && born.ok());
+  std::unordered_map<EntityId, EntityId> team_of, city_of;
+  for (const Triple& t : result->train()) {
+    if (t.relation == plays.value()) team_of.emplace(t.head, t.tail);
+    if (t.relation == based.value()) city_of.emplace(t.head, t.tail);
+  }
+  size_t matches = 0, total = 0;
+  for (const Triple& t : result->train()) {
+    if (t.relation != born.value()) continue;
+    auto team = team_of.find(t.head);
+    if (team == team_of.end()) continue;
+    auto city = city_of.find(team->second);
+    if (city == city_of.end()) continue;
+    ++total;
+    if (city->second == t.tail) ++matches;
+  }
+  ASSERT_GT(total, 50u);
+  EXPECT_GT(static_cast<double>(matches) / static_cast<double>(total), 0.8);
+}
+
+TEST(GeneratorTest, RejectsUnknownTypeInRelation) {
+  GeneratorSpec spec = SimpleSpec();
+  spec.relations.push_back({.name = "bad", .domain = "Ghost",
+                            .range = "City", .facts_per_head = 1.0});
+  Result<Dataset> result = GenerateDataset(spec);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GeneratorTest, RejectsUnknownRelationInRule) {
+  GeneratorSpec spec = SimpleSpec();
+  spec.rules.push_back(
+      {.premise1 = "ghost", .premise2 = "located_in",
+       .conclusion = "nationality"});
+  Result<Dataset> result = GenerateDataset(spec);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(GeneratorTest, RejectsEmptySpec) {
+  GeneratorSpec spec;
+  spec.name = "empty";
+  Result<Dataset> result = GenerateDataset(spec);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(GeneratorTest, RejectsOversizedCluster) {
+  GeneratorSpec spec = SimpleSpec();
+  spec.clusters = {{.member_type = "Person", .relation = "born_in",
+                    .item_type = "City", .num_groups = 100,
+                    .members_per_group = 10, .items_per_group = 10}};
+  Result<Dataset> result = GenerateDataset(spec);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(GeneratorTest, ZipfSkewsTailPopularity) {
+  GeneratorSpec spec;
+  spec.name = "skew";
+  spec.seed = 9;
+  spec.types = {{"Person", 400}, {"City", 50}};
+  spec.relations = {{.name = "born_in", .domain = "Person", .range = "City",
+                     .facts_per_head = 1.0, .zipf_exponent = 1.8,
+                     .functional = true}};
+  spec.test_fraction = 0.0;
+  spec.valid_fraction = 0.0;
+  Result<Dataset> result = GenerateDataset(spec);
+  ASSERT_TRUE(result.ok());
+  std::unordered_map<EntityId, size_t> tail_counts;
+  for (const Triple& t : result->train()) ++tail_counts[t.tail];
+  size_t max_count = 0;
+  for (const auto& [tail, count] : tail_counts) {
+    max_count = std::max(max_count, count);
+  }
+  // With heavy skew, the most popular city gets far more than the uniform
+  // share (400/50 = 8).
+  EXPECT_GT(max_count, 40u);
+}
+
+}  // namespace
+}  // namespace kelpie

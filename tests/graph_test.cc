@@ -1,0 +1,110 @@
+#include "kgraph/graph.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace kelpie {
+namespace {
+
+// A small chain-with-branches graph:
+//   0 -r0-> 1 -r0-> 2 -r1-> 3,  4 -r1-> 1,  5 isolated.
+GraphIndex MakeGraph() {
+  std::vector<Triple> triples{
+      Triple(0, 0, 1),
+      Triple(1, 0, 2),
+      Triple(2, 1, 3),
+      Triple(4, 1, 1),
+  };
+  return GraphIndex(std::move(triples), 6);
+}
+
+TEST(GraphIndexTest, BasicCounts) {
+  GraphIndex g = MakeGraph();
+  EXPECT_EQ(g.num_entities(), 6u);
+  EXPECT_EQ(g.num_triples(), 4u);
+}
+
+TEST(GraphIndexTest, Contains) {
+  GraphIndex g = MakeGraph();
+  EXPECT_TRUE(g.Contains(Triple(0, 0, 1)));
+  EXPECT_FALSE(g.Contains(Triple(1, 0, 0)));  // direction matters
+  EXPECT_FALSE(g.Contains(Triple(0, 1, 1)));  // relation matters
+}
+
+TEST(GraphIndexTest, FactsOfCoversBothDirections) {
+  GraphIndex g = MakeGraph();
+  std::vector<Triple> facts = g.FactsOf(1);
+  EXPECT_EQ(facts.size(), 3u);  // 0->1, 1->2, 4->1
+  EXPECT_NE(std::find(facts.begin(), facts.end(), Triple(0, 0, 1)),
+            facts.end());
+  EXPECT_NE(std::find(facts.begin(), facts.end(), Triple(1, 0, 2)),
+            facts.end());
+  EXPECT_NE(std::find(facts.begin(), facts.end(), Triple(4, 1, 1)),
+            facts.end());
+}
+
+TEST(GraphIndexTest, DegreeMatchesFactsOf) {
+  GraphIndex g = MakeGraph();
+  EXPECT_EQ(g.Degree(1), 3u);
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(5), 0u);
+}
+
+TEST(GraphIndexTest, SelfLoopCountedOnce) {
+  GraphIndex g({Triple(0, 0, 0)}, 1);
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.FactsOf(0).size(), 1u);
+}
+
+TEST(GraphIndexTest, NeighborsAreDeduplicated) {
+  GraphIndex g({Triple(0, 0, 1), Triple(0, 1, 1), Triple(1, 0, 2)}, 3);
+  std::vector<EntityId> n = g.NeighborsOf(1);
+  std::sort(n.begin(), n.end());
+  EXPECT_EQ(n, (std::vector<EntityId>{0, 2}));
+}
+
+TEST(BfsTest, DistancesIgnoreOrientation) {
+  GraphIndex g = MakeGraph();
+  std::vector<int32_t> dist = DistancesFrom(g, 3);
+  EXPECT_EQ(dist[3], 0);
+  EXPECT_EQ(dist[2], 1);
+  EXPECT_EQ(dist[1], 2);
+  EXPECT_EQ(dist[0], 3);
+  EXPECT_EQ(dist[4], 3);
+  EXPECT_EQ(dist[5], -1);  // disconnected
+}
+
+TEST(BfsTest, IgnoredTripleIsNotTraversed) {
+  // Two parallel routes 0 -> 2: direct edge and via 1.
+  GraphIndex g({Triple(0, 0, 2), Triple(0, 0, 1), Triple(1, 0, 2)}, 3);
+  Triple direct(0, 0, 2);
+  std::vector<int32_t> dist = DistancesFrom(g, 0, &direct);
+  EXPECT_EQ(dist[2], 2);  // must go through entity 1
+}
+
+TEST(BfsTest, ShortestPathLengthMatchesDistances) {
+  GraphIndex g = MakeGraph();
+  EXPECT_EQ(ShortestPathLength(g, 0, 3), 3);
+  EXPECT_EQ(ShortestPathLength(g, 4, 2), 2);
+  EXPECT_EQ(ShortestPathLength(g, 0, 0), 0);
+  EXPECT_EQ(ShortestPathLength(g, 0, 5), -1);
+}
+
+TEST(BfsTest, ShortestPathWithIgnoredEdge) {
+  GraphIndex g({Triple(0, 0, 2), Triple(0, 0, 1), Triple(1, 0, 2)}, 3);
+  Triple direct(0, 0, 2);
+  EXPECT_EQ(ShortestPathLength(g, 0, 2), 1);
+  EXPECT_EQ(ShortestPathLength(g, 0, 2, &direct), 2);
+}
+
+TEST(BfsTest, EmptyGraphAllUnreachable) {
+  GraphIndex g({}, 3);
+  std::vector<int32_t> dist = DistancesFrom(g, 0);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], -1);
+  EXPECT_EQ(dist[2], -1);
+}
+
+}  // namespace
+}  // namespace kelpie

@@ -1,0 +1,105 @@
+#include "kgraph/io.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+namespace kelpie {
+namespace {
+
+TEST(ParseTriplesTest, ParsesTsv) {
+  Dictionary entities, relations;
+  Result<std::vector<Triple>> result = ParseTriplesTsv(
+      "a\tr1\tb\nb\tr2\tc\n", entities, relations);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ((*result)[0], Triple(0, 0, 1));
+  EXPECT_EQ((*result)[1], Triple(1, 1, 2));
+  EXPECT_EQ(entities.size(), 3u);
+  EXPECT_EQ(relations.size(), 2u);
+}
+
+TEST(ParseTriplesTest, SkipsBlankLinesAndStripsWhitespace) {
+  Dictionary entities, relations;
+  Result<std::vector<Triple>> result = ParseTriplesTsv(
+      "\n  a \tr\t b \n\n", entities, relations);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_TRUE(entities.Contains("a"));
+  EXPECT_TRUE(entities.Contains("b"));
+}
+
+TEST(ParseTriplesTest, RejectsWrongFieldCount) {
+  Dictionary entities, relations;
+  Result<std::vector<Triple>> result =
+      ParseTriplesTsv("a\tb\n", entities, relations);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParseTriplesTest, ReusesExistingIds) {
+  Dictionary entities, relations;
+  entities.GetOrAdd("a");
+  Result<std::vector<Triple>> result =
+      ParseTriplesTsv("a\tr\tb\n", entities, relations);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)[0].head, 0);
+  EXPECT_EQ(entities.size(), 2u);
+}
+
+class IoRoundTripTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("kelpie_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoRoundTripTest, SaveAndLoadDataset) {
+  Dictionary entities, relations;
+  EntityId a = entities.GetOrAdd("alpha");
+  EntityId b = entities.GetOrAdd("beta");
+  EntityId c = entities.GetOrAdd("gamma");
+  RelationId r = relations.GetOrAdd("rel");
+  Dataset original("roundtrip", std::move(entities), std::move(relations),
+                   {Triple(a, r, b), Triple(b, r, c)}, {Triple(a, r, c)},
+                   {Triple(c, r, a)});
+  ASSERT_TRUE(SaveDatasetTsv(original, dir_.string()).ok());
+
+  Result<Dataset> loaded = LoadDatasetTsv("roundtrip", dir_.string());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->train().size(), 2u);
+  EXPECT_EQ(loaded->valid().size(), 1u);
+  EXPECT_EQ(loaded->test().size(), 1u);
+  EXPECT_EQ(loaded->num_entities(), 3u);
+  EXPECT_EQ(loaded->num_relations(), 1u);
+  // Names survive the round trip (ids may be renumbered by first
+  // appearance, so compare by rendered names).
+  EXPECT_EQ(loaded->TripleToString(loaded->train()[0]),
+            original.TripleToString(original.train()[0]));
+}
+
+TEST_F(IoRoundTripTest, LoadFromMissingDirFails) {
+  Result<Dataset> loaded =
+      LoadDatasetTsv("nope", (dir_ / "does_not_exist").string());
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(IoRoundTripTest, SaveToBadPathFails) {
+  Dictionary entities, relations;
+  entities.GetOrAdd("a");
+  entities.GetOrAdd("b");
+  relations.GetOrAdd("r");
+  Dataset d("x", std::move(entities), std::move(relations),
+            {Triple(0, 0, 1)}, {}, {});
+  Status s = SaveTriplesTsv(d, d.train(), "/nonexistent_dir_kelpie/out.txt");
+  EXPECT_FALSE(s.ok());
+}
+
+}  // namespace
+}  // namespace kelpie

@@ -1,0 +1,62 @@
+#include "math/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace kelpie {
+namespace {
+
+TEST(MatrixTest, ConstructedZeroFilled) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  for (float v : m.Data()) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+}
+
+TEST(MatrixTest, RowViewsAliasStorage) {
+  Matrix m(2, 3);
+  m.Row(1)[2] = 7.0f;
+  EXPECT_FLOAT_EQ(m.At(1, 2), 7.0f);
+  EXPECT_FLOAT_EQ(m.Data()[5], 7.0f);
+}
+
+TEST(MatrixTest, AtReadsAndWrites) {
+  Matrix m(2, 2);
+  m.At(0, 1) = 3.0f;
+  const Matrix& cm = m;
+  EXPECT_FLOAT_EQ(cm.At(0, 1), 3.0f);
+  EXPECT_FLOAT_EQ(cm.Row(0)[1], 3.0f);
+}
+
+TEST(MatrixTest, FillSetsAllElements) {
+  Matrix m(2, 2);
+  m.Fill(1.5f);
+  for (float v : m.Data()) EXPECT_FLOAT_EQ(v, 1.5f);
+}
+
+TEST(MatrixTest, ResetChangesShapeAndZeroes) {
+  Matrix m(2, 2);
+  m.Fill(9.0f);
+  m.Reset(3, 5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 5u);
+  for (float v : m.Data()) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(MatrixTest, CopyIsDeep) {
+  Matrix a(1, 2);
+  a.At(0, 0) = 1.0f;
+  Matrix b = a;
+  b.At(0, 0) = 2.0f;
+  EXPECT_FLOAT_EQ(a.At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(b.At(0, 0), 2.0f);
+}
+
+}  // namespace
+}  // namespace kelpie

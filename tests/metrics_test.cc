@@ -1,0 +1,56 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace kelpie {
+namespace {
+
+TEST(MetricsTest, EmptyAccumulatorIsZero) {
+  MetricsAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.HitsAt(1), 0.0);
+  EXPECT_DOUBLE_EQ(acc.Mrr(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.MeanRank(), 0.0);
+}
+
+TEST(MetricsTest, HitsAtKCountsRanksBelowThreshold) {
+  MetricsAccumulator acc;
+  for (int r : {1, 1, 2, 5, 10}) acc.AddRank(r);
+  EXPECT_DOUBLE_EQ(acc.HitsAt(1), 0.4);
+  EXPECT_DOUBLE_EQ(acc.HitsAt(2), 0.6);
+  EXPECT_DOUBLE_EQ(acc.HitsAt(10), 1.0);
+}
+
+TEST(MetricsTest, MrrAveragesReciprocals) {
+  MetricsAccumulator acc;
+  acc.AddRank(1);
+  acc.AddRank(2);
+  acc.AddRank(4);
+  EXPECT_NEAR(acc.Mrr(), (1.0 + 0.5 + 0.25) / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, MeanRank) {
+  MetricsAccumulator acc;
+  acc.AddRank(1);
+  acc.AddRank(3);
+  EXPECT_DOUBLE_EQ(acc.MeanRank(), 2.0);
+}
+
+TEST(MetricsTest, AllPerfectRanks) {
+  MetricsAccumulator acc;
+  for (int i = 0; i < 10; ++i) acc.AddRank(1);
+  EXPECT_DOUBLE_EQ(acc.HitsAt(1), 1.0);
+  EXPECT_DOUBLE_EQ(acc.Mrr(), 1.0);
+}
+
+TEST(MetricsTest, MetricsAreInUnitInterval) {
+  MetricsAccumulator acc;
+  for (int r : {1, 7, 100, 3, 42}) acc.AddRank(r);
+  EXPECT_GE(acc.Mrr(), 0.0);
+  EXPECT_LE(acc.Mrr(), 1.0);
+  EXPECT_GE(acc.HitsAt(1), 0.0);
+  EXPECT_LE(acc.HitsAt(1), 1.0);
+}
+
+}  // namespace
+}  // namespace kelpie

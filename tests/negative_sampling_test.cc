@@ -1,0 +1,78 @@
+#include "ml/negative_sampling.h"
+
+#include <gtest/gtest.h>
+
+namespace kelpie {
+namespace {
+
+GraphIndex DenseGraph() {
+  // Entities 0..4; facts 0-r->1, 0-r->2, 3-r->1.
+  return GraphIndex({Triple(0, 0, 1), Triple(0, 0, 2), Triple(3, 0, 1)}, 5);
+}
+
+TEST(NegativeSamplerTest, CorruptTailChangesOnlyTail) {
+  GraphIndex g = DenseGraph();
+  NegativeSampler sampler(g, /*filtered=*/false);
+  Rng rng(1);
+  Triple pos(0, 0, 1);
+  for (int i = 0; i < 100; ++i) {
+    Triple neg = sampler.Corrupt(pos, /*corrupt_tail=*/true, rng);
+    EXPECT_EQ(neg.head, pos.head);
+    EXPECT_EQ(neg.relation, pos.relation);
+    EXPECT_NE(neg.tail, pos.tail);
+  }
+}
+
+TEST(NegativeSamplerTest, CorruptHeadChangesOnlyHead) {
+  GraphIndex g = DenseGraph();
+  NegativeSampler sampler(g, false);
+  Rng rng(2);
+  Triple pos(0, 0, 1);
+  for (int i = 0; i < 100; ++i) {
+    Triple neg = sampler.Corrupt(pos, /*corrupt_tail=*/false, rng);
+    EXPECT_NE(neg.head, pos.head);
+    EXPECT_EQ(neg.tail, pos.tail);
+  }
+}
+
+TEST(NegativeSamplerTest, FilteredAvoidsKnownFacts) {
+  GraphIndex g = DenseGraph();
+  NegativeSampler sampler(g, /*filtered=*/true);
+  Rng rng(3);
+  Triple pos(0, 0, 1);
+  for (int i = 0; i < 200; ++i) {
+    Triple neg = sampler.Corrupt(pos, true, rng);
+    // <0, r, 2> is a known fact; filtering must avoid it.
+    EXPECT_NE(neg, Triple(0, 0, 2));
+  }
+}
+
+TEST(NegativeSamplerTest, UnfilteredMayProduceKnownFacts) {
+  GraphIndex g = DenseGraph();
+  NegativeSampler sampler(g, /*filtered=*/false);
+  Rng rng(4);
+  bool hit_known = false;
+  for (int i = 0; i < 500 && !hit_known; ++i) {
+    Triple neg = sampler.Corrupt(Triple(0, 0, 1), true, rng);
+    hit_known = (neg == Triple(0, 0, 2));
+  }
+  EXPECT_TRUE(hit_known);
+}
+
+TEST(NegativeSamplerTest, EitherSideMixesBothCorruptions) {
+  GraphIndex g = DenseGraph();
+  NegativeSampler sampler(g, false);
+  Rng rng(5);
+  Triple pos(0, 0, 1);
+  int head_corruptions = 0, tail_corruptions = 0;
+  for (int i = 0; i < 300; ++i) {
+    Triple neg = sampler.CorruptEitherSide(pos, rng);
+    if (neg.head != pos.head) ++head_corruptions;
+    if (neg.tail != pos.tail) ++tail_corruptions;
+  }
+  EXPECT_GT(head_corruptions, 50);
+  EXPECT_GT(tail_corruptions, 50);
+}
+
+}  // namespace
+}  // namespace kelpie

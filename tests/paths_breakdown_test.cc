@@ -1,0 +1,164 @@
+// Tests for the path-reconstruction utility, the ExplainWithPaths renderer
+// and the per-relation evaluation breakdown.
+#include <gtest/gtest.h>
+
+#include "core/explanation.h"
+#include "core/kelpie.h"
+#include "eval/breakdown.h"
+#include "kgraph/paths.h"
+#include "tests/test_util.h"
+
+namespace kelpie {
+namespace {
+
+GraphIndex ChainGraph() {
+  // 0 -r0-> 1 -r1-> 2; 3 -r0-> 2 (so 0..3 connected); 4 isolated.
+  return GraphIndex({Triple(0, 0, 1), Triple(1, 1, 2), Triple(3, 0, 2)}, 5);
+}
+
+TEST(ShortestPathTest, ReconstructsForwardChain) {
+  GraphIndex g = ChainGraph();
+  std::vector<PathStep> path = ShortestPath(g, 0, 2);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0].triple, Triple(0, 0, 1));
+  EXPECT_TRUE(path[0].forward);
+  EXPECT_EQ(path[1].triple, Triple(1, 1, 2));
+  EXPECT_TRUE(path[1].forward);
+}
+
+TEST(ShortestPathTest, WalksEdgesBackwardWhenNeeded) {
+  GraphIndex g = ChainGraph();
+  // 0 -> ... -> 3 requires traversing <3, r0, 2> against its direction.
+  std::vector<PathStep> path = ShortestPath(g, 0, 3);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_FALSE(path[2].forward);
+  EXPECT_EQ(path[2].triple, Triple(3, 0, 2));
+}
+
+TEST(ShortestPathTest, PathLengthMatchesDistanceOracle) {
+  GraphIndex g = ChainGraph();
+  for (EntityId from = 0; from < 4; ++from) {
+    for (EntityId to = 0; to < 4; ++to) {
+      if (from == to) continue;
+      int32_t expected = ShortestPathLength(g, from, to);
+      std::vector<PathStep> path = ShortestPath(g, from, to);
+      EXPECT_EQ(static_cast<int32_t>(path.size()), expected)
+          << from << "->" << to;
+    }
+  }
+}
+
+TEST(ShortestPathTest, PathIsContiguous) {
+  GraphIndex g = ChainGraph();
+  std::vector<PathStep> path = ShortestPath(g, 0, 3);
+  EntityId cur = 0;
+  for (const PathStep& step : path) {
+    EntityId from = step.forward ? step.triple.head : step.triple.tail;
+    EntityId to = step.forward ? step.triple.tail : step.triple.head;
+    EXPECT_EQ(from, cur);
+    cur = to;
+  }
+  EXPECT_EQ(cur, 3);
+}
+
+TEST(ShortestPathTest, DisconnectedAndTrivialCases) {
+  GraphIndex g = ChainGraph();
+  EXPECT_TRUE(ShortestPath(g, 0, 4).empty());  // unreachable
+  EXPECT_TRUE(ShortestPath(g, 2, 2).empty());  // trivial
+}
+
+TEST(ShortestPathTest, IgnoredTripleForcesDetour) {
+  // Two routes 0 -> 2: direct and via 1.
+  GraphIndex g({Triple(0, 0, 2), Triple(0, 0, 1), Triple(1, 0, 2)}, 3);
+  Triple direct(0, 0, 2);
+  std::vector<PathStep> path = ShortestPath(g, 0, 2, &direct);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0].triple, Triple(0, 0, 1));
+}
+
+TEST(ExplainWithPathsTest, AnnotatesEvidenceWithSupportingPath) {
+  Dataset dataset = testing_util::MakeToyDataset();
+  Triple prediction = dataset.test().front();
+  Explanation x;
+  x.kind = ExplanationKind::kNecessary;
+  // Use the person's born_in fact: City -> Country is the supporting path.
+  for (const Triple& f : dataset.train_graph().FactsOf(prediction.head)) {
+    if (f.relation == 0) {
+      x.facts = {f};
+      break;
+    }
+  }
+  ASSERT_FALSE(x.facts.empty());
+  std::string rendered = ExplainWithPaths(x, dataset, prediction,
+                                          PredictionTarget::kTail);
+  EXPECT_NE(rendered.find("born_in"), std::string::npos);
+  EXPECT_NE(rendered.find("via "), std::string::npos);
+  EXPECT_NE(rendered.find("located_in"), std::string::npos);
+}
+
+TEST(ExplainWithPathsTest, DirectMentionAnnotated) {
+  Dataset dataset = testing_util::MakeToyDataset();
+  Triple prediction = dataset.test().front();
+  Explanation x;
+  // A synthetic fact that mentions the predicted entity directly.
+  x.facts = {Triple(prediction.head, 0, prediction.tail)};
+  std::string rendered = ExplainWithPaths(x, dataset, prediction,
+                                          PredictionTarget::kTail);
+  EXPECT_NE(rendered.find("directly"), std::string::npos);
+}
+
+TEST(BreakdownTest, GroupsByRelationAndSortsByCount) {
+  Dataset dataset = testing_util::MakeToyDataset();
+  auto model = testing_util::TrainToyModel(ModelKind::kComplEx, dataset);
+  std::vector<RelationMetrics> rows =
+      EvaluatePerRelation(*model, dataset, dataset.test());
+  // Toy test facts are all nationality.
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(dataset.relations().NameOf(rows[0].relation), "nationality");
+  EXPECT_EQ(rows[0].num_facts, dataset.test().size());
+  EXPECT_GE(rows[0].mrr, 0.0);
+  EXPECT_LE(rows[0].mrr, 1.0);
+}
+
+TEST(BreakdownTest, AggregateMatchesOverallEvaluator) {
+  Dataset dataset = testing_util::MakeToyDataset();
+  auto model = testing_util::TrainToyModel(ModelKind::kComplEx, dataset);
+  std::vector<RelationMetrics> rows =
+      EvaluatePerRelation(*model, dataset, dataset.test());
+  EvalOptions options;
+  options.include_heads = false;
+  EvalResult overall = EvaluateTest(*model, dataset, options);
+  // Single relation -> the breakdown row must equal the overall metrics.
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_NEAR(rows[0].mrr, overall.Mrr(), 1e-12);
+  EXPECT_NEAR(rows[0].hits_at_1, overall.HitsAt1(), 1e-12);
+}
+
+TEST(BreakdownTest, IncludeHeadsDoublesRanksButNotFactCount) {
+  Dataset dataset = testing_util::MakeToyDataset();
+  auto model = testing_util::TrainToyModel(ModelKind::kComplEx, dataset);
+  std::vector<RelationMetrics> rows = EvaluatePerRelation(
+      *model, dataset, dataset.test(), /*include_heads=*/true);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].num_facts, dataset.test().size());
+}
+
+TEST(BreakdownTest, FormatContainsNamesAndMetrics) {
+  Dataset dataset = testing_util::MakeToyDataset();
+  auto model = testing_util::TrainToyModel(ModelKind::kComplEx, dataset);
+  std::vector<RelationMetrics> rows =
+      EvaluatePerRelation(*model, dataset, dataset.test());
+  std::string table = FormatBreakdown(rows, dataset);
+  EXPECT_NE(table.find("nationality"), std::string::npos);
+  EXPECT_NE(table.find("H@1="), std::string::npos);
+  EXPECT_NE(table.find("MRR="), std::string::npos);
+}
+
+TEST(BreakdownTest, EmptyFactsGiveEmptyBreakdown) {
+  Dataset dataset = testing_util::MakeToyDataset();
+  auto model = testing_util::TrainToyModel(ModelKind::kComplEx, dataset);
+  EXPECT_TRUE(EvaluatePerRelation(*model, dataset, {}).empty());
+}
+
+}  // namespace
+}  // namespace kelpie

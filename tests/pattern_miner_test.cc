@@ -1,0 +1,146 @@
+#include "xp/pattern_miner.h"
+
+#include <gtest/gtest.h>
+
+#include "core/kelpie.h"
+#include "datagen/datasets.h"
+#include "eval/ranking.h"
+#include "tests/test_util.h"
+#include "xp/pipeline.h"
+
+namespace kelpie {
+namespace {
+
+Explanation MakeExplanation(std::vector<Triple> facts, double relevance) {
+  Explanation x;
+  x.facts = std::move(facts);
+  x.relevance = relevance;
+  x.accepted = true;
+  return x;
+}
+
+TEST(PatternMinerTest, EmptyMinerHasNoPatterns) {
+  PatternMiner miner;
+  EXPECT_TRUE(miner.AllPatterns().empty());
+  EXPECT_EQ(miner.ExplanationCount(0), 0u);
+}
+
+TEST(PatternMinerTest, CountsSupportAndFactCounts) {
+  PatternMiner miner;
+  // Two predictions of relation 5; evidence via relation 1 (twice in the
+  // first explanation) and relation 2.
+  miner.Add(Triple(0, 5, 9),
+            MakeExplanation({Triple(0, 1, 3), Triple(0, 1, 4)}, 10.0));
+  miner.Add(Triple(1, 5, 9), MakeExplanation({Triple(1, 2, 3)}, 4.0));
+  std::vector<EvidencePattern> patterns = miner.PatternsFor(5);
+  ASSERT_EQ(patterns.size(), 2u);
+  // Sorted by fact_count: relation 1 first (2 facts).
+  EXPECT_EQ(patterns[0].evidence_relation, 1);
+  EXPECT_EQ(patterns[0].fact_count, 2u);
+  EXPECT_EQ(patterns[0].support, 1u);  // one explanation
+  EXPECT_NEAR(patterns[0].share, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(patterns[0].mean_relevance, 10.0);
+  EXPECT_EQ(patterns[1].evidence_relation, 2);
+  EXPECT_EQ(patterns[1].support, 1u);
+  EXPECT_EQ(miner.ExplanationCount(5), 2u);
+}
+
+TEST(PatternMinerTest, EmptyExplanationsIgnored) {
+  PatternMiner miner;
+  miner.Add(Triple(0, 5, 9), Explanation{});
+  EXPECT_EQ(miner.ExplanationCount(5), 0u);
+}
+
+TEST(PatternMinerTest, BiasCandidatesRequireForeignDominance) {
+  PatternMiner miner;
+  // Relation 7 predictions dominated by relation-3 evidence: bias.
+  for (int i = 0; i < 4; ++i) {
+    miner.Add(Triple(i, 7, 20),
+              MakeExplanation({Triple(i, 3, 10 + i)}, 5.0));
+  }
+  // Relation 8 predictions explained by relation-8 evidence: not a bias
+  // (same relation — e.g. acted_in explained by other acted_in facts).
+  for (int i = 0; i < 4; ++i) {
+    miner.Add(Triple(i, 8, 30),
+              MakeExplanation({Triple(i, 8, 25 + i)}, 5.0));
+  }
+  std::vector<EvidencePattern> biases = miner.BiasCandidates(0.5);
+  ASSERT_EQ(biases.size(), 1u);
+  EXPECT_EQ(biases[0].prediction_relation, 7);
+  EXPECT_EQ(biases[0].evidence_relation, 3);
+  EXPECT_DOUBLE_EQ(biases[0].share, 1.0);
+}
+
+TEST(PatternMinerTest, BiasThresholdRespected) {
+  PatternMiner miner;
+  miner.Add(Triple(0, 7, 20),
+            MakeExplanation({Triple(0, 3, 1), Triple(0, 4, 2)}, 1.0));
+  // Both foreign relations have share 0.5.
+  EXPECT_EQ(miner.BiasCandidates(0.6).size(), 0u);
+  EXPECT_EQ(miner.BiasCandidates(0.5).size(), 2u);
+}
+
+TEST(PatternMinerTest, AllPatternsCoverEveryPredictionRelation) {
+  PatternMiner miner;
+  miner.Add(Triple(0, 1, 2), MakeExplanation({Triple(0, 0, 5)}, 1.0));
+  miner.Add(Triple(0, 2, 2), MakeExplanation({Triple(0, 0, 5)}, 1.0));
+  std::vector<EvidencePattern> all = miner.AllPatterns();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].prediction_relation, 1);
+  EXPECT_EQ(all[1].prediction_relation, 2);
+}
+
+TEST(PatternMinerTest, ReportUsesRelationNames) {
+  Dataset dataset = testing_util::MakeToyDataset();
+  PatternMiner miner;
+  // nationality (relation 2) explained by born_in (relation 0).
+  miner.Add(dataset.test().front(),
+            MakeExplanation(
+                {dataset.train_graph().FactsOf(dataset.test().front().head)
+                     .front()},
+                8.0));
+  std::string report = miner.Report(dataset);
+  EXPECT_NE(report.find("nationality"), std::string::npos);
+  EXPECT_NE(report.find("share="), std::string::npos);
+}
+
+TEST(PatternMinerTest, EndToEndOnYagoBias) {
+  // Full-stack: mine patterns from real Kelpie explanations on the
+  // YAGO3-10 stand-in and confirm the born_in -> football bias surfaces.
+  Dataset dataset = MakeBenchmark(BenchmarkDataset::kYago310, 0.4, 7);
+  auto model = CreateAndTrain(ModelKind::kComplEx, dataset, 11);
+  Result<int32_t> born = dataset.relations().Find("born_in");
+  ASSERT_TRUE(born.ok());
+
+  KelpieOptions options;
+  options.engine.conversion_set_size = 3;
+  options.builder.max_visits_per_size = 10;
+  Kelpie kelpie(*model, dataset, options);
+  PatternMiner miner;
+  Rng rng(5);
+  size_t explained = 0;
+  for (const Triple& t : dataset.test()) {
+    if (explained >= 5) break;
+    if (t.relation != born.value()) continue;
+    if (FilteredTailRank(*model, dataset, t) != 1) continue;
+    std::vector<EntityId> conversion_set = SampleConversionEntities(
+        *model, dataset, t, PredictionTarget::kTail, 3, rng);
+    if (conversion_set.empty()) continue;
+    Explanation x = kelpie.ExplainSufficientWithSet(
+        t, PredictionTarget::kTail, conversion_set);
+    if (x.empty()) continue;
+    miner.Add(t, x);
+    ++explained;
+  }
+  if (explained < 2) GTEST_SKIP() << "not enough explainable predictions";
+  std::vector<EvidencePattern> patterns = miner.PatternsFor(born.value());
+  ASSERT_FALSE(patterns.empty());
+  // The dominant evidence relation should be a football relation.
+  const std::string& top =
+      dataset.relations().NameOf(patterns.front().evidence_relation);
+  EXPECT_TRUE(top == "plays_for" || top == "affiliated_to")
+      << "dominant evidence was " << top;
+}
+
+}  // namespace
+}  // namespace kelpie

@@ -1,0 +1,195 @@
+#include "xp/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/data_poisoning.h"
+#include "eval/ranking.h"
+#include "tests/test_util.h"
+
+namespace kelpie {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = std::make_unique<Dataset>(testing_util::MakeToyDataset());
+    model_ = testing_util::TrainToyModel(ModelKind::kComplEx, *dataset_);
+  }
+  std::unique_ptr<Dataset> dataset_;
+  std::unique_ptr<LinkPredictionModel> model_;
+};
+
+TEST_F(PipelineTest, SampledPredictionsAreCorrectAndFromTest) {
+  Rng rng(3);
+  std::vector<Triple> sample =
+      SampleCorrectTailPredictions(*model_, *dataset_, 3, rng);
+  EXPECT_LE(sample.size(), 3u);
+  for (const Triple& p : sample) {
+    EXPECT_EQ(FilteredTailRank(*model_, *dataset_, p), 1);
+    EXPECT_TRUE(dataset_->IsKnown(p));
+    EXPECT_FALSE(dataset_->train_graph().Contains(p));
+  }
+}
+
+TEST_F(PipelineTest, SampleIsDeterministicGivenSeed) {
+  Rng rng1(3), rng2(3);
+  std::vector<Triple> a =
+      SampleCorrectTailPredictions(*model_, *dataset_, 3, rng1);
+  std::vector<Triple> b =
+      SampleCorrectTailPredictions(*model_, *dataset_, 3, rng2);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(PipelineTest, ConversionEntitiesNotAlreadyPredicted) {
+  Rng rng(5);
+  std::vector<Triple> sample =
+      SampleCorrectTailPredictions(*model_, *dataset_, 1, rng);
+  ASSERT_FALSE(sample.empty());
+  std::vector<EntityId> set = SampleConversionEntities(
+      *model_, *dataset_, sample[0], PredictionTarget::kTail, 4, rng);
+  for (EntityId c : set) {
+    Triple converted = sample[0];
+    converted.head = c;
+    EXPECT_GT(FilteredTailRank(*model_, *dataset_, converted), 1);
+  }
+}
+
+TEST_F(PipelineTest, RetrainAndMeasureRemovalHurtsPredictions) {
+  Rng rng(7);
+  std::vector<Triple> sample =
+      SampleCorrectTailPredictions(*model_, *dataset_, 2, rng);
+  ASSERT_FALSE(sample.empty());
+  // Remove the entire fact set of each prediction head: retrained models
+  // should lose those predictions almost surely.
+  std::vector<Triple> removed;
+  for (const Triple& p : sample) {
+    for (const Triple& f : dataset_->train_graph().FactsOf(p.head)) {
+      removed.push_back(f);
+    }
+  }
+  LpMetrics after = RetrainAndMeasureTails(ModelKind::kComplEx, *dataset_,
+                                           sample, removed, {}, 99);
+  EXPECT_LT(after.mrr, 1.0);
+}
+
+TEST_F(PipelineTest, RetrainWithNoChangesKeepsMostPredictions) {
+  Rng rng(9);
+  std::vector<Triple> sample =
+      SampleCorrectTailPredictions(*model_, *dataset_, 3, rng);
+  ASSERT_FALSE(sample.empty());
+  LpMetrics after = RetrainAndMeasureTails(ModelKind::kComplEx, *dataset_,
+                                           sample, {}, {}, 101);
+  // A retrained model on the unchanged toy dataset should keep a clear
+  // majority of the easy compositional predictions.
+  EXPECT_GT(after.mrr, 0.4);
+}
+
+TEST_F(PipelineTest, NecessaryEndToEndWithDpBaseline) {
+  Rng rng(11);
+  std::vector<Triple> sample =
+      SampleCorrectTailPredictions(*model_, *dataset_, 2, rng);
+  ASSERT_FALSE(sample.empty());
+  DataPoisoningExplainer dp(*model_, *dataset_);
+  NecessaryRunResult result =
+      RunNecessaryEndToEnd(dp, ModelKind::kComplEx, *dataset_, sample, 7);
+  EXPECT_EQ(result.explanations.size(), sample.size());
+  EXPECT_LE(result.delta_h1(), 0.0);   // can only get worse or stay
+  EXPECT_LE(result.delta_mrr(), 0.0);
+}
+
+TEST_F(PipelineTest, ConversionPredictionsFlattenSets) {
+  std::vector<Triple> predictions{Triple(0, 2, 41), Triple(1, 2, 42)};
+  std::vector<std::vector<EntityId>> sets{{5, 6}, {7}};
+  std::vector<Triple> converted = ConversionPredictions(predictions, sets);
+  ASSERT_EQ(converted.size(), 3u);
+  EXPECT_EQ(converted[0], Triple(5, 2, 41));
+  EXPECT_EQ(converted[1], Triple(6, 2, 41));
+  EXPECT_EQ(converted[2], Triple(7, 2, 42));
+}
+
+TEST_F(PipelineTest, TransferredFactsSubstituteSource) {
+  std::vector<Triple> predictions{Triple(0, 2, 41)};
+  std::vector<Explanation> explanations(1);
+  explanations[0].facts = {Triple(0, 0, 8)};
+  std::vector<std::vector<EntityId>> sets{{5, 6}};
+  std::vector<Triple> added = TransferredFacts(predictions, explanations, sets);
+  ASSERT_EQ(added.size(), 2u);
+  EXPECT_EQ(added[0], Triple(5, 0, 8));
+  EXPECT_EQ(added[1], Triple(6, 0, 8));
+}
+
+TEST_F(PipelineTest, TransferredFactsDeduplicated) {
+  std::vector<Triple> predictions{Triple(0, 2, 41), Triple(0, 2, 42)};
+  std::vector<Explanation> explanations(2);
+  explanations[0].facts = {Triple(0, 0, 8)};
+  explanations[1].facts = {Triple(0, 0, 8)};
+  std::vector<std::vector<EntityId>> sets{{5}, {5}};
+  std::vector<Triple> added = TransferredFacts(predictions, explanations, sets);
+  EXPECT_EQ(added.size(), 1u);
+}
+
+TEST_F(PipelineTest, SubsampleShrinksOrEmptiesExplanations) {
+  std::vector<Explanation> explanations(3);
+  explanations[0].facts = {Triple(0, 0, 1)};
+  explanations[1].facts = {Triple(0, 0, 1), Triple(0, 0, 2)};
+  explanations[2].facts = {Triple(0, 0, 1), Triple(0, 0, 2), Triple(0, 0, 3),
+                           Triple(0, 0, 4)};
+  Rng rng(13);
+  std::vector<std::vector<Triple>> sub =
+      SubsampleExplanations(explanations, rng);
+  ASSERT_EQ(sub.size(), 3u);
+  EXPECT_TRUE(sub[0].empty());  // length-1 -> null (footnote 7)
+  EXPECT_GE(sub[1].size(), 1u);
+  EXPECT_LT(sub[1].size(), 2u);
+  EXPECT_GE(sub[2].size(), 1u);
+  EXPECT_LT(sub[2].size(), 4u);
+}
+
+TEST_F(PipelineTest, HeadPredictionSamplingUsesHeadRank) {
+  Rng rng(15);
+  std::vector<Triple> sample = SampleCorrectPredictions(
+      *model_, *dataset_, 3, PredictionTarget::kHead, rng);
+  for (const Triple& p : sample) {
+    EXPECT_EQ(FilteredHeadRank(*model_, *dataset_, p), 1);
+  }
+}
+
+TEST_F(PipelineTest, HeadDirectionNecessaryEndToEnd) {
+  Rng rng(17);
+  std::vector<Triple> sample = SampleCorrectPredictions(
+      *model_, *dataset_, 2, PredictionTarget::kHead, rng);
+  if (sample.empty()) GTEST_SKIP() << "no correct head predictions";
+  DataPoisoningExplainer dp(*model_, *dataset_);
+  NecessaryRunResult result =
+      RunNecessaryEndToEnd(dp, ModelKind::kComplEx, *dataset_, sample, 7,
+                           PredictionTarget::kHead);
+  EXPECT_EQ(result.explanations.size(), sample.size());
+  // Facts come from the tail entity (the head-prediction source).
+  for (size_t i = 0; i < sample.size(); ++i) {
+    for (const Triple& f : result.explanations[i].facts) {
+      EXPECT_TRUE(f.Mentions(sample[i].tail));
+    }
+  }
+  EXPECT_LE(result.delta_h1(), 0.0);
+}
+
+TEST_F(PipelineTest, HeadDirectionConversionReplacesTail) {
+  std::vector<Triple> predictions{Triple(0, 2, 41)};
+  std::vector<std::vector<EntityId>> sets{{5, 6}};
+  std::vector<Triple> converted = ConversionPredictions(
+      predictions, sets, PredictionTarget::kHead);
+  ASSERT_EQ(converted.size(), 2u);
+  EXPECT_EQ(converted[0], Triple(0, 2, 5));
+  EXPECT_EQ(converted[1], Triple(0, 2, 6));
+}
+
+TEST_F(PipelineTest, EffectivenessLossMatchesPaperExamples) {
+  // Paper's necessary example: full -0.90, sub -0.30 -> -66.7%.
+  EXPECT_NEAR(EffectivenessLoss(-0.90, -0.30), -0.667, 1e-3);
+  // Paper's sufficient example: full +0.80, sub +0.20 -> -75%.
+  EXPECT_NEAR(EffectivenessLoss(0.80, 0.20), -0.75, 1e-12);
+  EXPECT_DOUBLE_EQ(EffectivenessLoss(0.0, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace kelpie

@@ -1,0 +1,172 @@
+#include "core/prefilter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace kelpie {
+namespace {
+
+/// Builds the paper's Figure 2 example KG:
+/// Obama -born_in-> Honolulu -located_in-> USA; Obama -president_of-> USA;
+/// Bill_Gates -supported-> Obama; Bill_Gates -born_in-> Seattle;
+/// Seattle -located_in-> USA. Prediction: <Obama, nationality, USA>.
+struct Figure2 {
+  Dictionary entities, relations;
+  EntityId obama, honolulu, usa, gates, seattle;
+  RelationId born, located, president, supported, nationality;
+  std::unique_ptr<Dataset> dataset;
+  Triple prediction;
+
+  Figure2() {
+    obama = entities.GetOrAdd("Barack_Obama");
+    honolulu = entities.GetOrAdd("Honolulu");
+    usa = entities.GetOrAdd("USA");
+    gates = entities.GetOrAdd("Bill_Gates");
+    seattle = entities.GetOrAdd("Seattle");
+    born = relations.GetOrAdd("born_in");
+    located = relations.GetOrAdd("located_in");
+    president = relations.GetOrAdd("president_of");
+    supported = relations.GetOrAdd("supported");
+    nationality = relations.GetOrAdd("nationality");
+    std::vector<Triple> train{
+        Triple(obama, born, honolulu),   Triple(honolulu, located, usa),
+        Triple(obama, president, usa),   Triple(gates, supported, obama),
+        Triple(gates, born, seattle),    Triple(seattle, located, usa),
+    };
+    prediction = Triple(obama, nationality, usa);
+    dataset = std::make_unique<Dataset>(
+        "figure2", std::move(entities), std::move(relations),
+        std::move(train), std::vector<Triple>{},
+        std::vector<Triple>{prediction});
+  }
+};
+
+TEST(PreFilterTest, PromisingnessMatchesPaperExample) {
+  Figure2 fig;
+  PreFilter filter(*fig.dataset, {});
+  std::vector<Triple> facts =
+      fig.dataset->train_graph().FactsOf(fig.obama);
+  std::vector<double> gamma =
+      filter.Promisingness(fig.prediction, PredictionTarget::kTail, facts);
+  ASSERT_EQ(gamma.size(), facts.size());
+  for (size_t i = 0; i < facts.size(); ++i) {
+    if (facts[i] == Triple(fig.obama, fig.president, fig.usa)) {
+      EXPECT_DOUBLE_EQ(gamma[i], 0.0);  // features USA itself
+    } else if (facts[i] == Triple(fig.obama, fig.born, fig.honolulu)) {
+      EXPECT_DOUBLE_EQ(gamma[i], 1.0);  // Honolulu -> USA
+    } else if (facts[i] == Triple(fig.gates, fig.supported, fig.obama)) {
+      EXPECT_DOUBLE_EQ(gamma[i], 2.0);  // Gates -> Seattle -> USA
+    }
+  }
+}
+
+TEST(PreFilterTest, TopKOrdersByPromisingness) {
+  Figure2 fig;
+  PreFilterOptions options;
+  options.top_k = 2;
+  PreFilter filter(*fig.dataset, options);
+  std::vector<Triple> top =
+      filter.MostPromisingFacts(fig.prediction, PredictionTarget::kTail);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], Triple(fig.obama, fig.president, fig.usa));
+  EXPECT_EQ(top[1], Triple(fig.obama, fig.born, fig.honolulu));
+}
+
+TEST(PreFilterTest, ReturnsAllWhenFewerThanK) {
+  Figure2 fig;
+  PreFilterOptions options;
+  options.top_k = 100;
+  PreFilter filter(*fig.dataset, options);
+  std::vector<Triple> top =
+      filter.MostPromisingFacts(fig.prediction, PredictionTarget::kTail);
+  EXPECT_EQ(top.size(), 3u);  // all Obama facts
+}
+
+TEST(PreFilterTest, PredictionTripleExcludedEvenIfInTraining) {
+  Figure2 fig;
+  // Re-build a dataset where the prediction is also a training fact.
+  Dataset with_pred =
+      fig.dataset->WithModifiedTraining({}, {fig.prediction});
+  PreFilter filter(with_pred, {});
+  std::vector<Triple> top =
+      filter.MostPromisingFacts(fig.prediction, PredictionTarget::kTail);
+  EXPECT_EQ(std::find(top.begin(), top.end(), fig.prediction), top.end());
+}
+
+TEST(PreFilterTest, IgnoresPredictionEdgeInBfs) {
+  // A head entity whose only connection to the tail is the prediction
+  // itself: promisingness must not use that edge.
+  Dictionary entities, relations;
+  EntityId a = entities.GetOrAdd("a");
+  EntityId b = entities.GetOrAdd("b");
+  EntityId c = entities.GetOrAdd("c");
+  RelationId r = relations.GetOrAdd("r");
+  // a-r->b in train; prediction <a, r, c>; c connected only via prediction.
+  Dataset dataset("tiny", std::move(entities), std::move(relations),
+                  {Triple(a, r, b)}, {}, {Triple(a, r, c)});
+  PreFilter filter(dataset, {});
+  std::vector<Triple> facts = dataset.train_graph().FactsOf(a);
+  std::vector<double> gamma =
+      filter.Promisingness(Triple(a, r, c), PredictionTarget::kTail, facts);
+  ASSERT_EQ(gamma.size(), 1u);
+  EXPECT_TRUE(std::isinf(gamma[0]));  // unreachable without the prediction
+}
+
+TEST(PreFilterTest, HeadPredictionUsesTailAsSource) {
+  Figure2 fig;
+  PreFilter filter(*fig.dataset, {});
+  // Head prediction <?, nationality, USA> -> source entity is USA.
+  std::vector<Triple> top =
+      filter.MostPromisingFacts(fig.prediction, PredictionTarget::kHead);
+  for (const Triple& t : top) {
+    EXPECT_TRUE(t.Mentions(fig.usa));
+  }
+}
+
+TEST(PreFilterTest, NonePolicyReturnsEverything) {
+  Dataset dataset = testing_util::MakeToyDataset();
+  Triple prediction = dataset.test().front();
+  PreFilterOptions options;
+  options.policy = PromisingnessPolicy::kNone;
+  options.top_k = 1;
+  PreFilter filter(dataset, options);
+  std::vector<Triple> all =
+      filter.MostPromisingFacts(prediction, PredictionTarget::kTail);
+  EXPECT_EQ(all.size(),
+            dataset.train_graph().FactsOf(prediction.head).size());
+}
+
+TEST(PreFilterTest, TypeSimilarityPolicyPrefersSameSignatureEndpoints) {
+  Dataset dataset = testing_util::MakeToyDataset();
+  Triple prediction = dataset.test().front();  // <Person, nationality, Country>
+  PreFilterOptions options;
+  options.policy = PromisingnessPolicy::kTypeSimilarity;
+  PreFilter filter(dataset, options);
+  std::vector<Triple> facts =
+      dataset.train_graph().FactsOf(prediction.head);
+  std::vector<double> gamma =
+      filter.Promisingness(prediction, PredictionTarget::kTail, facts);
+  // All γ must be valid dissimilarities in [0, 1].
+  for (double g : gamma) {
+    EXPECT_GE(g, 0.0);
+    EXPECT_LE(g, 1.0 + 1e-12);
+  }
+}
+
+TEST(PreFilterTest, DeterministicAcrossCalls) {
+  Dataset dataset = testing_util::MakeToyDataset();
+  Triple prediction = dataset.test().front();
+  PreFilter filter(dataset, {});
+  std::vector<Triple> a =
+      filter.MostPromisingFacts(prediction, PredictionTarget::kTail);
+  std::vector<Triple> b =
+      filter.MostPromisingFacts(prediction, PredictionTarget::kTail);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace kelpie

@@ -1,0 +1,263 @@
+// Property-style parameterized sweeps over seeds and scales: invariants
+// that must hold for arbitrary inputs, not just the fixtures the unit tests
+// pin down.
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/explanation_builder.h"
+#include "core/prefilter.h"
+#include "datagen/datasets.h"
+#include "eval/ranking.h"
+#include "math/rng.h"
+#include "math/stats.h"
+#include "math/vec.h"
+#include "tests/test_util.h"
+
+namespace kelpie {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Ranking invariants over random score vectors.
+// ---------------------------------------------------------------------------
+
+class RankPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RankPropertyTest, ArgmaxRanksFirstAndRanksAreAPermutationBound) {
+  Rng rng(GetParam());
+  const size_t n = 50;
+  std::vector<float> scores(n);
+  for (float& s : scores) s = static_cast<float>(rng.Normal(0.0, 1.0));
+  size_t argmax = std::distance(
+      scores.begin(), std::max_element(scores.begin(), scores.end()));
+  EXPECT_EQ(RankFromScores(scores, static_cast<EntityId>(argmax), nullptr),
+            1);
+  // Every rank lies in [1, n] and is monotone in the score.
+  for (size_t e = 0; e < n; e += 7) {
+    int rank = RankFromScores(scores, static_cast<EntityId>(e), nullptr);
+    EXPECT_GE(rank, 1);
+    EXPECT_LE(rank, static_cast<int>(n));
+  }
+}
+
+TEST_P(RankPropertyTest, FilteringNeverWorsensRank) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  const size_t n = 40;
+  std::vector<float> scores(n);
+  for (float& s : scores) s = static_cast<float>(rng.Normal(0.0, 1.0));
+  std::unordered_set<EntityId> filtered;
+  for (int i = 0; i < 10; ++i) {
+    filtered.insert(static_cast<EntityId>(rng.UniformUint64(n)));
+  }
+  for (size_t e = 0; e < n; e += 5) {
+    int raw = RankFromScores(scores, static_cast<EntityId>(e), nullptr);
+    int filt = RankFromScores(scores, static_cast<EntityId>(e), &filtered);
+    EXPECT_LE(filt, raw);
+    EXPECT_GE(filt, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RankPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------------------
+// Softmax / metric invariants over random inputs.
+// ---------------------------------------------------------------------------
+
+class MathPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MathPropertyTest, SoftmaxIsADistributionAndOrderPreserving) {
+  Rng rng(GetParam());
+  std::vector<float> x(32);
+  for (float& v : x) v = static_cast<float>(rng.Normal(0.0, 3.0));
+  std::vector<float> original = x;
+  SoftmaxInPlace(x);
+  double total = 0.0;
+  for (float v : x) {
+    EXPECT_GE(v, 0.0f);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-5);
+  for (size_t i = 1; i < x.size(); ++i) {
+    if (original[i - 1] < original[i]) {
+      EXPECT_LE(x[i - 1], x[i]);
+    }
+  }
+}
+
+TEST_P(MathPropertyTest, LogSumExpIsAtLeastMax) {
+  Rng rng(GetParam() ^ 77);
+  std::vector<float> x(16);
+  for (float& v : x) v = static_cast<float>(rng.Normal(0.0, 10.0));
+  double lse = LogSumExp(x);
+  float max_v = *std::max_element(x.begin(), x.end());
+  EXPECT_GE(lse, max_v - 1e-5);
+  EXPECT_LE(lse, max_v + std::log(static_cast<double>(x.size())) + 1e-5);
+}
+
+TEST_P(MathPropertyTest, PearsonIsSymmetricAndBounded) {
+  Rng rng(GetParam() ^ 1234);
+  std::vector<double> x(30), y(30);
+  for (size_t i = 0; i < 30; ++i) {
+    x[i] = rng.Normal(0.0, 1.0);
+    y[i] = rng.Normal(0.0, 1.0);
+  }
+  double xy = PearsonCorrelation(x, y);
+  double yx = PearsonCorrelation(y, x);
+  EXPECT_NEAR(xy, yx, 1e-12);
+  EXPECT_GE(xy, -1.0 - 1e-12);
+  EXPECT_LE(xy, 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MathPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// ---------------------------------------------------------------------------
+// Generator invariants across scales and seeds.
+// ---------------------------------------------------------------------------
+
+struct GenCase {
+  BenchmarkDataset dataset;
+  double scale;
+  uint64_t seed;
+};
+
+class GeneratorPropertyTest : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(GeneratorPropertyTest, StructuralInvariantsHold) {
+  const GenCase& param = GetParam();
+  Dataset d = MakeBenchmark(param.dataset, param.scale, param.seed);
+  // Ids in range everywhere.
+  for (const auto* split : {&d.train(), &d.valid(), &d.test()}) {
+    for (const Triple& t : *split) {
+      EXPECT_GE(t.head, 0);
+      EXPECT_LT(t.head, static_cast<EntityId>(d.num_entities()));
+      EXPECT_GE(t.tail, 0);
+      EXPECT_LT(t.tail, static_cast<EntityId>(d.num_entities()));
+      EXPECT_GE(t.relation, 0);
+      EXPECT_LT(t.relation, static_cast<RelationId>(d.num_relations()));
+      EXPECT_NE(t.head, t.tail);  // generator never emits self-loops
+    }
+  }
+  // No duplicates across the whole dataset.
+  std::unordered_set<uint64_t> seen;
+  for (const auto* split : {&d.train(), &d.valid(), &d.test()}) {
+    for (const Triple& t : *split) {
+      EXPECT_TRUE(seen.insert(t.Key()).second) << d.TripleToString(t);
+    }
+  }
+  // Eval facts never orphan an entity.
+  for (const auto* split : {&d.valid(), &d.test()}) {
+    for (const Triple& t : *split) {
+      EXPECT_GT(d.train_graph().Degree(t.head), 0u);
+      EXPECT_GT(d.train_graph().Degree(t.tail), 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GeneratorPropertyTest,
+    ::testing::Values(GenCase{BenchmarkDataset::kFb15k, 0.3, 1},
+                      GenCase{BenchmarkDataset::kFb15k, 0.7, 2},
+                      GenCase{BenchmarkDataset::kFb15k237, 0.4, 3},
+                      GenCase{BenchmarkDataset::kWn18, 0.4, 4},
+                      GenCase{BenchmarkDataset::kWn18rr, 0.6, 5},
+                      GenCase{BenchmarkDataset::kYago310, 0.4, 6},
+                      GenCase{BenchmarkDataset::kYago310, 0.8, 7}),
+    [](const ::testing::TestParamInfo<GenCase>& info) {
+      std::string name(BenchmarkDatasetName(info.param.dataset));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_seed" + std::to_string(info.param.seed);
+    });
+
+// ---------------------------------------------------------------------------
+// BFS invariants on random graphs.
+// ---------------------------------------------------------------------------
+
+class BfsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BfsPropertyTest, TriangleInequalityOverRandomGraph) {
+  Rng rng(GetParam());
+  const size_t n = 30;
+  std::vector<Triple> triples;
+  for (int i = 0; i < 60; ++i) {
+    EntityId h = static_cast<EntityId>(rng.UniformUint64(n));
+    EntityId t = static_cast<EntityId>(rng.UniformUint64(n));
+    if (h == t) continue;
+    triples.emplace_back(h, 0, t);
+  }
+  GraphIndex graph(triples, n);
+  std::vector<int32_t> from0 = DistancesFrom(graph, 0);
+  std::vector<int32_t> from1 = DistancesFrom(graph, 1);
+  // d(0, x) <= d(0, 1) + d(1, x) whenever both are defined.
+  if (from0[1] >= 0) {
+    for (size_t x = 0; x < n; ++x) {
+      if (from1[x] >= 0) {
+        ASSERT_GE(from0[x], 0);  // reachable via 1
+        EXPECT_LE(from0[x], from0[1] + from1[x]);
+      }
+    }
+  }
+  // Distances are symmetric for the undirected BFS.
+  EXPECT_EQ(from0[1], from1[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BfsPropertyTest,
+                         ::testing::Values(3, 7, 31, 127, 8191));
+
+// ---------------------------------------------------------------------------
+// Explanation Builder visit-order properties.
+// ---------------------------------------------------------------------------
+
+TEST(BuilderOrderTest, VisitsPreliminaryRelevanceInNonIncreasingOrder) {
+  Dataset dataset = testing_util::MakeToyDataset();
+  auto model = testing_util::TrainToyModel(ModelKind::kComplEx, dataset);
+  Triple prediction = dataset.test().front();
+  PreFilter prefilter(dataset, {});
+  RelevanceEngine engine(*model, dataset, {});
+  ExplanationBuilderOptions options;
+  options.necessary_threshold = 1e9;  // never accept: see all visits
+  options.exhaustive = true;
+  options.max_visits_per_size = 30;
+  ExplanationBuilder builder(engine, prefilter, options);
+  size_t last_size = 0;
+  double last_preliminary = 0.0;
+  builder.BuildNecessary(
+      prediction, PredictionTarget::kTail,
+      [&](size_t size, double preliminary, double /*true_rel*/) {
+        if (size >= 2) {
+          if (size == last_size) {
+            EXPECT_LE(preliminary, last_preliminary + 1e-9)
+                << "visit order must follow descending preliminary "
+                   "relevance within a size class";
+          }
+          last_size = size;
+          last_preliminary = preliminary;
+        }
+      });
+}
+
+TEST(BuilderOrderTest, SizesVisitedInIncreasingOrder) {
+  Dataset dataset = testing_util::MakeToyDataset();
+  auto model = testing_util::TrainToyModel(ModelKind::kComplEx, dataset);
+  Triple prediction = dataset.test().front();
+  PreFilter prefilter(dataset, {});
+  RelevanceEngine engine(*model, dataset, {});
+  ExplanationBuilderOptions options;
+  options.necessary_threshold = 1e9;
+  options.exhaustive = true;
+  options.max_visits_per_size = 10;
+  ExplanationBuilder builder(engine, prefilter, options);
+  size_t last_size = 1;
+  builder.BuildNecessary(prediction, PredictionTarget::kTail,
+                         [&](size_t size, double, double) {
+                           EXPECT_GE(size, last_size);
+                           last_size = size;
+                         });
+}
+
+}  // namespace
+}  // namespace kelpie

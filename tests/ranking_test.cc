@@ -1,0 +1,90 @@
+#include "eval/ranking.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace kelpie {
+namespace {
+
+TEST(RankFromScoresTest, BestScoreRanksFirst) {
+  std::vector<float> scores{0.1f, 0.9f, 0.5f};
+  EXPECT_EQ(RankFromScores(scores, 1, nullptr), 1);
+  EXPECT_EQ(RankFromScores(scores, 2, nullptr), 2);
+  EXPECT_EQ(RankFromScores(scores, 0, nullptr), 3);
+}
+
+TEST(RankFromScoresTest, TiesCountAgainstTargetPerEquation2) {
+  // Equation (2) uses >=, so an entity tied with the target worsens its
+  // rank.
+  std::vector<float> scores{0.5f, 0.5f, 0.1f};
+  EXPECT_EQ(RankFromScores(scores, 0, nullptr), 2);
+  EXPECT_EQ(RankFromScores(scores, 1, nullptr), 2);
+}
+
+TEST(RankFromScoresTest, FilteredEntitiesAreSkipped) {
+  std::vector<float> scores{0.9f, 0.8f, 0.7f, 0.1f};
+  std::unordered_set<EntityId> known{0, 1};
+  // Target 2: entities 0 and 1 outscore it but are filtered out.
+  EXPECT_EQ(RankFromScores(scores, 2, &known), 1);
+}
+
+TEST(RankFromScoresTest, TargetNeverFiltersItself) {
+  std::vector<float> scores{0.9f, 0.8f};
+  std::unordered_set<EntityId> known{0, 1};
+  EXPECT_EQ(RankFromScores(scores, 1, &known), 1);
+  EXPECT_EQ(RankFromScores(scores, 0, &known), 1);
+}
+
+class FilteredRankTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = std::make_unique<Dataset>(testing_util::MakeToyDataset());
+    model_ = testing_util::TrainToyModel(ModelKind::kComplEx, *dataset_);
+  }
+  std::unique_ptr<Dataset> dataset_;
+  std::unique_ptr<LinkPredictionModel> model_;
+};
+
+TEST_F(FilteredRankTest, RanksAreInValidRange) {
+  for (const Triple& t : dataset_->test()) {
+    int tail_rank = FilteredTailRank(*model_, *dataset_, t);
+    int head_rank = FilteredHeadRank(*model_, *dataset_, t);
+    EXPECT_GE(tail_rank, 1);
+    EXPECT_LE(tail_rank, static_cast<int>(dataset_->num_entities()));
+    EXPECT_GE(head_rank, 1);
+    EXPECT_LE(head_rank, static_cast<int>(dataset_->num_entities()));
+  }
+}
+
+TEST_F(FilteredRankTest, FilteredNeverWorseThanRaw) {
+  // Filtering removes known competitors, so the filtered rank is <= the
+  // raw rank.
+  for (const Triple& t : dataset_->test()) {
+    std::vector<float> scores(model_->num_entities());
+    model_->ScoreAllTails(t.head, t.relation, scores);
+    int raw = RankFromScores(scores, t.tail, nullptr);
+    int filtered = FilteredTailRank(*model_, *dataset_, t);
+    EXPECT_LE(filtered, raw);
+  }
+}
+
+TEST_F(FilteredRankTest, OverrideWithStoredRowMatchesDirectRank) {
+  Triple probe = dataset_->test().front();
+  int direct = FilteredTailRank(*model_, *dataset_, probe);
+  int via_override = FilteredTailRankWithHeadVec(
+      *model_, *dataset_, probe.head, model_->EntityEmbedding(probe.head),
+      probe.relation, probe.tail);
+  EXPECT_EQ(direct, via_override);
+}
+
+TEST_F(FilteredRankTest, FilteredRankDispatchesOnTarget) {
+  Triple probe = dataset_->test().front();
+  EXPECT_EQ(FilteredRank(*model_, *dataset_, probe, PredictionTarget::kTail),
+            FilteredTailRank(*model_, *dataset_, probe));
+  EXPECT_EQ(FilteredRank(*model_, *dataset_, probe, PredictionTarget::kHead),
+            FilteredHeadRank(*model_, *dataset_, probe));
+}
+
+}  // namespace
+}  // namespace kelpie

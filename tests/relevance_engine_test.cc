@@ -1,0 +1,151 @@
+#include "core/relevance_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/ranking.h"
+#include "tests/test_util.h"
+
+namespace kelpie {
+namespace {
+
+class RelevanceEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = std::make_unique<Dataset>(testing_util::MakeToyDataset());
+    model_ = testing_util::TrainToyModel(ModelKind::kComplEx, *dataset_);
+    // Pick a test prediction the model actually gets right, so relevance
+    // semantics are meaningful.
+    for (const Triple& t : dataset_->test()) {
+      if (FilteredTailRank(*model_, *dataset_, t) == 1) {
+        prediction_ = t;
+        found_ = true;
+        break;
+      }
+    }
+  }
+
+  Triple BornInFactOf(EntityId person) const {
+    for (const Triple& f : dataset_->train_graph().FactsOf(person)) {
+      if (f.relation == 0 && f.head == person) return f;  // born_in
+    }
+    return Triple();
+  }
+
+  std::unique_ptr<Dataset> dataset_;
+  std::unique_ptr<LinkPredictionModel> model_;
+  Triple prediction_;
+  bool found_ = false;
+};
+
+TEST_F(RelevanceEngineTest, NecessaryRelevanceOfKeyFactIsHigh) {
+  ASSERT_TRUE(found_);
+  RelevanceEngine engine(*model_, *dataset_, {});
+  Triple born = BornInFactOf(prediction_.head);
+  ASSERT_NE(born.head, kNoEntity);
+  double key_rel = engine.NecessaryRelevance(
+      prediction_, PredictionTarget::kTail, {born});
+  // Removing the born_in fact removes the entire evidence chain for the
+  // nationality prediction; the rank should deteriorate.
+  EXPECT_GT(key_rel, 0.0);
+}
+
+TEST_F(RelevanceEngineTest, NecessaryRelevanceBoundedByEntityCount) {
+  ASSERT_TRUE(found_);
+  RelevanceEngine engine(*model_, *dataset_, {});
+  Triple born = BornInFactOf(prediction_.head);
+  double rel = engine.NecessaryRelevance(prediction_,
+                                         PredictionTarget::kTail, {born});
+  EXPECT_LE(rel, static_cast<double>(dataset_->num_entities()) - 1.0);
+  EXPECT_GE(rel, -(static_cast<double>(dataset_->num_entities()) - 1.0));
+}
+
+TEST_F(RelevanceEngineTest, EmptyCandidateHasNearZeroNecessaryRelevance) {
+  ASSERT_TRUE(found_);
+  RelevanceEngine engine(*model_, *dataset_, {});
+  // Removing nothing compares a homologous mimic against another
+  // homologous mimic; the expected deterioration is ~0 (post-training
+  // noise allows small fluctuations).
+  double rel = engine.NecessaryRelevance(prediction_,
+                                         PredictionTarget::kTail, {});
+  EXPECT_LT(std::abs(rel), 8.0);
+}
+
+TEST_F(RelevanceEngineTest, PostTrainingCountIncreases) {
+  ASSERT_TRUE(found_);
+  RelevanceEngine engine(*model_, *dataset_, {});
+  EXPECT_EQ(engine.post_training_count(), 0u);
+  Triple born = BornInFactOf(prediction_.head);
+  engine.NecessaryRelevance(prediction_, PredictionTarget::kTail, {born});
+  // One homologous + one non-homologous mimic.
+  EXPECT_EQ(engine.post_training_count(), 2u);
+  // The homologous mimic is cached for the same prediction.
+  engine.NecessaryRelevance(prediction_, PredictionTarget::kTail, {born});
+  EXPECT_EQ(engine.post_training_count(), 3u);
+}
+
+TEST_F(RelevanceEngineTest, ClearCachesForcesRecomputation) {
+  ASSERT_TRUE(found_);
+  RelevanceEngine engine(*model_, *dataset_, {});
+  Triple born = BornInFactOf(prediction_.head);
+  engine.NecessaryRelevance(prediction_, PredictionTarget::kTail, {born});
+  size_t after_first = engine.post_training_count();
+  engine.ClearCaches();
+  engine.NecessaryRelevance(prediction_, PredictionTarget::kTail, {born});
+  EXPECT_EQ(engine.post_training_count(), after_first + 2);
+}
+
+TEST_F(RelevanceEngineTest, ConversionSetExcludesAlreadyCorrectEntities) {
+  ASSERT_TRUE(found_);
+  RelevanceEngineOptions options;
+  options.conversion_set_size = 5;
+  RelevanceEngine engine(*model_, *dataset_, options);
+  std::vector<EntityId> set =
+      engine.SampleConversionSet(prediction_, PredictionTarget::kTail);
+  EXPECT_LE(set.size(), 5u);
+  for (EntityId c : set) {
+    EXPECT_NE(c, prediction_.head);
+    Triple converted = prediction_;
+    converted.head = c;
+    EXPECT_FALSE(dataset_->IsKnown(converted));
+    EXPECT_GT(FilteredTailRank(*model_, *dataset_, converted), 1);
+  }
+}
+
+TEST_F(RelevanceEngineTest, SufficientRelevanceOfFullFactSetIsPositive) {
+  ASSERT_TRUE(found_);
+  RelevanceEngineOptions options;
+  options.conversion_set_size = 4;
+  RelevanceEngine engine(*model_, *dataset_, options);
+  std::vector<EntityId> set =
+      engine.SampleConversionSet(prediction_, PredictionTarget::kTail);
+  ASSERT_FALSE(set.empty());
+  // Transfer the strongest evidence: the whole fact set of the source.
+  std::vector<Triple> facts =
+      dataset_->train_graph().FactsOf(prediction_.head);
+  double rel = engine.SufficientRelevance(prediction_,
+                                          PredictionTarget::kTail, facts,
+                                          set);
+  EXPECT_GT(rel, 0.0);
+  EXPECT_LE(rel, 1.0 + 1e-9);
+}
+
+TEST_F(RelevanceEngineTest, SufficientRelevanceEmptySetIsZero) {
+  ASSERT_TRUE(found_);
+  RelevanceEngine engine(*model_, *dataset_, {});
+  double rel = engine.SufficientRelevance(
+      prediction_, PredictionTarget::kTail, {BornInFactOf(prediction_.head)},
+      {});
+  EXPECT_DOUBLE_EQ(rel, 0.0);
+}
+
+TEST(TransferFactTest, ReplacesSourceEntityOnEitherSide) {
+  Triple head_side(3, 1, 7);
+  EXPECT_EQ(TransferFact(head_side, 3, 9), Triple(9, 1, 7));
+  Triple tail_side(7, 1, 3);
+  EXPECT_EQ(TransferFact(tail_side, 3, 9), Triple(7, 1, 9));
+  Triple both(3, 1, 3);
+  EXPECT_EQ(TransferFact(both, 3, 9), Triple(9, 1, 9));
+}
+
+}  // namespace
+}  // namespace kelpie

@@ -1,0 +1,99 @@
+#include "models/rotate.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.h"
+#include "eval/evaluator.h"
+#include "eval/metrics.h"
+#include "eval/ranking.h"
+#include "tests/test_util.h"
+
+namespace kelpie {
+namespace {
+
+TEST(RotatETest, RequiresEvenDimension) {
+  TrainConfig config;
+  config.dim = 15;
+  EXPECT_DEATH(RotatE(3, 1, config), "");
+}
+
+TEST(RotatETest, ZeroPhaseRotationIsIdentity) {
+  // With θ = 0 (untrained relations), φ(h, r, t) = -||h - t||.
+  TrainConfig config;
+  config.dim = 4;
+  RotatE model(2, 1, config);
+  auto h = model.MutableEntityEmbedding(0);
+  auto t = model.MutableEntityEmbedding(1);
+  h[0] = 1.0f;
+  h[2] = 2.0f;  // h = (1 + 2i, 0)
+  t[0] = 4.0f;
+  t[2] = 6.0f;  // t = (4 + 6i, 0)
+  // ||h - t|| = ||(-3 - 4i, 0)|| = 5.
+  EXPECT_NEAR(model.Score(Triple(0, 0, 1)), -5.0f, 1e-5);
+}
+
+TEST(RotatETest, ScoreIsNonPositiveAndMaximalAtRotatedMatch) {
+  Dataset dataset = testing_util::MakeToyDataset();
+  auto model = testing_util::TrainToyModel(ModelKind::kRotatE, dataset);
+  for (const Triple& t : dataset.train()) {
+    EXPECT_LE(model->Score(t), 0.0f);
+  }
+}
+
+TEST(RotatETest, RotationIsIsometryHeadAndTailQueriesAgree) {
+  // ||e∘r - t|| == ||e - t∘r⁻¹|| must hold exactly, which is what lets
+  // ScoreAllHeads reuse the tail machinery.
+  Dataset dataset = testing_util::MakeToyDataset();
+  auto model = testing_util::TrainToyModel(ModelKind::kRotatE, dataset);
+  Triple probe = dataset.test().front();
+  std::vector<float> head_scores(model->num_entities());
+  model->ScoreAllHeads(probe.relation, probe.tail, head_scores);
+  for (EntityId e = 0; e < 20; ++e) {
+    Triple t(e, probe.relation, probe.tail);
+    EXPECT_NEAR(head_scores[static_cast<size_t>(e)], model->Score(t), 1e-4);
+  }
+}
+
+TEST(RotatETest, LearnsToyCompositionalPattern) {
+  Dataset dataset = testing_util::MakeToyDataset();
+  auto model = testing_util::TrainToyModel(ModelKind::kRotatE, dataset);
+  MetricsAccumulator acc;
+  for (const Triple& t : dataset.test()) {
+    acc.AddRank(FilteredTailRank(*model, dataset, t));
+  }
+  EXPECT_GT(acc.Mrr(), 0.35);
+}
+
+TEST(RotatETest, HandlesSymmetricRelationsBetterThanTransE) {
+  // The motivating property: on the WN18RR stand-in (dominated by
+  // symmetric relations) RotatE must clearly beat TransE, which collapses
+  // (a rotation by π is symmetric; a nonzero translation cannot be).
+  Dataset dataset = MakeBenchmark(BenchmarkDataset::kWn18rr, 0.3, 7);
+  auto rotate = CreateAndTrain(ModelKind::kRotatE, dataset, 11);
+  auto transe = CreateAndTrain(ModelKind::kTransE, dataset, 11);
+  EvalOptions options;
+  options.include_heads = false;
+  double rotate_mrr = Evaluate(*rotate, dataset, dataset.test(), options).Mrr();
+  double transe_mrr = Evaluate(*transe, dataset, dataset.test(), options).Mrr();
+  EXPECT_GT(rotate_mrr, transe_mrr + 0.1);
+}
+
+TEST(RotatETest, TrainingIsDeterministic) {
+  Dataset dataset = testing_util::MakeToyDataset();
+  auto m1 = testing_util::TrainToyModel(ModelKind::kRotatE, dataset, 5);
+  auto m2 = testing_util::TrainToyModel(ModelKind::kRotatE, dataset, 5);
+  Triple probe = dataset.test().front();
+  EXPECT_FLOAT_EQ(m1->Score(probe), m2->Score(probe));
+}
+
+TEST(RotatETest, FactoryRoundTrip) {
+  Result<ModelKind> parsed = ParseModelKind("RotatE");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), ModelKind::kRotatE);
+  EXPECT_EQ(ModelKindName(ModelKind::kRotatE), "RotatE");
+}
+
+}  // namespace
+}  // namespace kelpie

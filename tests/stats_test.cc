@@ -1,0 +1,85 @@
+#include "math/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace kelpie {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStatsTest, KnownMeanAndStd) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-12);  // classic textbook example
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, NegativeValues) {
+  RunningStats s;
+  s.Add(-1.0);
+  s.Add(1.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_NEAR(s.stddev(), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectPositiveCorrelation) {
+  std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y{2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectNegativeCorrelation) {
+  std::vector<double> x{1, 2, 3};
+  std::vector<double> y{3, 2, 1};
+  EXPECT_NEAR(PearsonCorrelation(x, y), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ZeroVarianceGivesZero) {
+  std::vector<double> x{1, 1, 1};
+  std::vector<double> y{1, 2, 3};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, y), 0.0);
+}
+
+TEST(PearsonTest, TooFewPointsGivesZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1.0}, {2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({}, {}), 0.0);
+}
+
+TEST(SpearmanTest, MonotoneNonlinearIsPerfect) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{1, 8, 27, 64, 125};  // x^3: nonlinear but monotone
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+  EXPECT_LT(PearsonCorrelation(x, y), 1.0);
+}
+
+TEST(SpearmanTest, HandlesTies) {
+  std::vector<double> x{1, 2, 2, 3};
+  std::vector<double> y{1, 2, 2, 3};
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, AntiMonotone) {
+  std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y{10, 5, 2, 1};
+  EXPECT_NEAR(SpearmanCorrelation(x, y), -1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace kelpie

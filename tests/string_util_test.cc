@@ -1,0 +1,66 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace kelpie {
+namespace {
+
+TEST(SplitTest, SplitsOnSeparator) {
+  std::vector<std::string> parts = Split("a\tb\tc", '\t');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  std::vector<std::string> parts = Split("a\t\tb", '\t');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(SplitTest, SingleFieldWhenNoSeparator) {
+  std::vector<std::string> parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(SplitTest, EmptyInputYieldsOneEmptyField) {
+  std::vector<std::string> parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  hi there \t\n"), "hi there");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace("x"), "x");
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"solo"}, ", "), "solo");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("kelpie", "kel"));
+  EXPECT_TRUE(StartsWith("kelpie", ""));
+  EXPECT_FALSE(StartsWith("kel", "kelpie"));
+  EXPECT_FALSE(StartsWith("kelpie", "elp"));
+}
+
+TEST(FormatDoubleTest, RespectsPrecision) {
+  EXPECT_EQ(FormatDouble(0.12345, 3), "0.123");
+  EXPECT_EQ(FormatDouble(2.0, 1), "2.0");
+}
+
+TEST(FormatSignedTest, AlwaysShowsSign) {
+  EXPECT_EQ(FormatSigned(0.319, 3), "+0.319");
+  EXPECT_EQ(FormatSigned(-0.49, 3), "-0.490");
+  EXPECT_EQ(FormatSigned(0.0, 2), "+0.00");
+}
+
+}  // namespace
+}  // namespace kelpie

@@ -1,0 +1,115 @@
+#ifndef KELPIE_TESTS_TEST_UTIL_H_
+#define KELPIE_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kgraph/dataset.h"
+#include "models/factory.h"
+
+namespace kelpie {
+namespace testing_util {
+
+/// A small, fully deterministic dataset with a clean compositional pattern:
+///
+///   born_in(Person_i, City_{i % cities})          [train]
+///   located_in(City_j, Country_{j % countries})   [train]
+///   nationality(Person_i, Country_*)              [train for most people,
+///                                                  test for every 7th]
+///
+/// nationality is entailed by born_in ∘ located_in, so the test facts are
+/// learnable and, more importantly, *explainable*: the born_in fact of a
+/// person is the evidence for their nationality prediction.
+inline Dataset MakeToyDataset(size_t num_people = 40, size_t num_cities = 8,
+                              size_t num_countries = 3) {
+  Dictionary entities, relations;
+  std::vector<EntityId> people, cities, countries;
+  for (size_t i = 0; i < num_people; ++i) {
+    people.push_back(entities.GetOrAdd("Person_" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < num_cities; ++i) {
+    cities.push_back(entities.GetOrAdd("City_" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < num_countries; ++i) {
+    countries.push_back(entities.GetOrAdd("Country_" + std::to_string(i)));
+  }
+  RelationId born = relations.GetOrAdd("born_in");
+  RelationId located = relations.GetOrAdd("located_in");
+  RelationId nationality = relations.GetOrAdd("nationality");
+
+  std::vector<Triple> train, valid, test;
+  for (size_t j = 0; j < num_cities; ++j) {
+    train.emplace_back(cities[j], located, countries[j % num_countries]);
+  }
+  for (size_t i = 0; i < num_people; ++i) {
+    size_t city = i % num_cities;
+    size_t country = city % num_countries;
+    train.emplace_back(people[i], born, cities[city]);
+    Triple nat(people[i], nationality, countries[country]);
+    if (i % 7 == 3) {
+      test.push_back(nat);
+    } else if (i % 7 == 5) {
+      valid.push_back(nat);
+    } else {
+      train.push_back(nat);
+    }
+  }
+  return Dataset("toy-compositional", std::move(entities),
+                 std::move(relations), std::move(train), std::move(valid),
+                 std::move(test));
+}
+
+/// A quickly trainable config for tests.
+inline TrainConfig FastConfig(ModelKind kind) {
+  TrainConfig config;
+  config.dim = 16;
+  config.epochs = 30;
+  config.batch_size = 64;
+  config.post_training_epochs = 25;
+  switch (kind) {
+    case ModelKind::kTransE:
+      config.learning_rate = 0.05f;
+      config.margin = 2.0f;
+      config.negatives_per_positive = 5;
+      config.post_training_lr = 0.05f;
+      break;
+    case ModelKind::kRotatE:
+      config.learning_rate = 0.08f;
+      config.margin = 3.0f;
+      config.negatives_per_positive = 5;
+      config.post_training_lr = 0.08f;
+      break;
+    case ModelKind::kComplEx:
+    case ModelKind::kDistMult:
+      config.learning_rate = 0.1f;
+      config.regularization = 1e-3f;
+      config.post_training_lr = 0.1f;
+      break;
+    case ModelKind::kConvE:
+      config.learning_rate = 0.1f;
+      config.conv_lr = 0.01f;
+      config.conv_channels = 8;
+      config.conv_kernel = 3;
+      config.reshape_height = 4;
+      config.epochs = 80;
+      config.post_training_lr = 0.1f;
+      config.post_training_epochs = 40;
+      break;
+  }
+  return config;
+}
+
+/// Creates and trains a model on the toy dataset with a fixed seed.
+inline std::unique_ptr<LinkPredictionModel> TrainToyModel(
+    ModelKind kind, const Dataset& dataset, uint64_t seed = 11) {
+  auto model = CreateModel(kind, dataset, FastConfig(kind));
+  Rng rng(seed);
+  model->Train(dataset, rng);
+  return model;
+}
+
+}  // namespace testing_util
+}  // namespace kelpie
+
+#endif  // KELPIE_TESTS_TEST_UTIL_H_

@@ -1,0 +1,104 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/evaluator.h"
+#include "tests/test_util.h"
+
+namespace kelpie {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, AtLeastOneWorkerEvenForZeroRequest) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossWaves) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int wave = 0; wave < 5; ++wave) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  ParallelFor(pool, hits.size(),
+              [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  ParallelFor(pool, 0, [](size_t) { FAIL() << "must not be called"; });
+  SUCCEED();
+}
+
+TEST(ParallelForTest, MoreThreadsThanWork) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  ParallelFor(pool, 3, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ParallelEvalTest, MatchesSequentialBitForBit) {
+  Dataset dataset = testing_util::MakeToyDataset();
+  auto model = testing_util::TrainToyModel(ModelKind::kComplEx, dataset);
+  EvalOptions sequential;
+  sequential.num_threads = 1;
+  EvalOptions parallel;
+  parallel.num_threads = 4;
+  EvalResult a = EvaluateTest(*model, dataset, sequential);
+  EvalResult b = EvaluateTest(*model, dataset, parallel);
+  EXPECT_EQ(a.tail_ranks.ranks(), b.tail_ranks.ranks());
+  EXPECT_EQ(a.head_ranks.ranks(), b.head_ranks.ranks());
+  EXPECT_DOUBLE_EQ(a.Mrr(), b.Mrr());
+  EXPECT_DOUBLE_EQ(a.HitsAt1(), b.HitsAt1());
+}
+
+TEST(ParallelEvalTest, TailOnlyParallelMatchesToo) {
+  Dataset dataset = testing_util::MakeToyDataset();
+  auto model = testing_util::TrainToyModel(ModelKind::kTransE, dataset);
+  EvalOptions sequential;
+  sequential.include_heads = false;
+  EvalOptions parallel = sequential;
+  parallel.num_threads = 3;
+  EvalResult a = EvaluateTest(*model, dataset, sequential);
+  EvalResult b = EvaluateTest(*model, dataset, parallel);
+  EXPECT_EQ(a.tail_ranks.ranks(), b.tail_ranks.ranks());
+  EXPECT_EQ(b.head_ranks.count(), 0u);
+}
+
+}  // namespace
+}  // namespace kelpie

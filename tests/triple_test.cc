@@ -1,0 +1,59 @@
+#include "kgraph/triple.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace kelpie {
+namespace {
+
+TEST(TripleTest, EqualityAndInequality) {
+  Triple a(1, 2, 3), b(1, 2, 3), c(1, 2, 4);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(TripleTest, LexicographicOrder) {
+  EXPECT_LT(Triple(1, 2, 3), Triple(2, 0, 0));
+  EXPECT_LT(Triple(1, 2, 3), Triple(1, 3, 0));
+  EXPECT_LT(Triple(1, 2, 3), Triple(1, 2, 4));
+  EXPECT_FALSE(Triple(1, 2, 3) < Triple(1, 2, 3));
+}
+
+TEST(TripleTest, MentionsChecksBothSides) {
+  Triple t(5, 1, 9);
+  EXPECT_TRUE(t.Mentions(5));
+  EXPECT_TRUE(t.Mentions(9));
+  EXPECT_FALSE(t.Mentions(1));  // relation id, not an entity
+  EXPECT_FALSE(t.Mentions(7));
+}
+
+TEST(TripleTest, KeyIsInjectiveOnDistinctTriples) {
+  std::unordered_set<uint64_t> keys;
+  for (EntityId h = 0; h < 20; ++h) {
+    for (RelationId r = 0; r < 5; ++r) {
+      for (EntityId t = 0; t < 20; ++t) {
+        EXPECT_TRUE(keys.insert(Triple(h, r, t).Key()).second);
+      }
+    }
+  }
+}
+
+TEST(TripleTest, HashUsableInUnorderedSet) {
+  std::unordered_set<Triple, TripleHash> set;
+  set.insert(Triple(1, 2, 3));
+  set.insert(Triple(1, 2, 3));
+  set.insert(Triple(3, 2, 1));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.count(Triple(1, 2, 3)));
+}
+
+TEST(TripleTest, DefaultIsSentinel) {
+  Triple t;
+  EXPECT_EQ(t.head, kNoEntity);
+  EXPECT_EQ(t.relation, kNoRelation);
+  EXPECT_EQ(t.tail, kNoEntity);
+}
+
+}  // namespace
+}  // namespace kelpie

@@ -1,0 +1,127 @@
+#include "xp/user_study.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace kelpie {
+namespace {
+
+TEST(UserStudyTest, AnswersAreInValidRanges) {
+  Rng rng(1);
+  ExplanationFeatures features;
+  for (int i = 0; i < 200; ++i) {
+    RespondentAnswers a = SimulateRespondent(features, rng);
+    EXPECT_GE(a.clarity, 1);
+    EXPECT_LE(a.clarity, 10);
+    EXPECT_GE(a.trust, 1);
+    EXPECT_LE(a.trust, 10);
+  }
+}
+
+TEST(UserStudyTest, ShortAcceptedExplanationsAreClearer) {
+  Rng rng(2);
+  ExplanationFeatures clear_features;
+  clear_features.length = 1;
+  clear_features.accepted = true;
+  ExplanationFeatures murky_features;
+  murky_features.length = 4;
+  murky_features.accepted = false;
+  double clear_sum = 0, murky_sum = 0;
+  for (int i = 0; i < 500; ++i) {
+    clear_sum += SimulateRespondent(clear_features, rng).clarity;
+    murky_sum += SimulateRespondent(murky_features, rng).clarity;
+  }
+  EXPECT_GT(clear_sum / 500, murky_sum / 500 + 1.0);
+}
+
+TEST(UserStudyTest, StrongerRelevanceImprovesComprehension) {
+  Rng rng(3);
+  ExplanationFeatures strong;
+  strong.relevance_margin = 1.6;
+  ExplanationFeatures weak;
+  weak.relevance_margin = 0.0;
+  int strong_correct = 0, weak_correct = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (SimulateRespondent(strong, rng).effect ==
+        EffectAnswer::kCorrectEffect) {
+      ++strong_correct;
+    }
+    if (SimulateRespondent(weak, rng).effect ==
+        EffectAnswer::kCorrectEffect) {
+      ++weak_correct;
+    }
+  }
+  EXPECT_GT(strong_correct, weak_correct);
+}
+
+TEST(UserStudyTest, CloserEvidenceEarnsMoreTrust) {
+  Rng rng(4);
+  ExplanationFeatures close;
+  close.mean_closeness = 0.0;
+  ExplanationFeatures distant;
+  distant.mean_closeness = 3.0;
+  double close_sum = 0, far_sum = 0;
+  for (int i = 0; i < 500; ++i) {
+    close_sum += SimulateRespondent(close, rng).trust;
+    far_sum += SimulateRespondent(distant, rng).trust;
+  }
+  EXPECT_GT(close_sum / 500, far_sum / 500 + 2.0);
+}
+
+TEST(UserStudyTest, AggregationCountsAndNormalizes) {
+  Rng rng(5);
+  std::vector<ExplanationFeatures> pairs(3);
+  UserStudyResult result = RunUserStudy(pairs, 10, rng);
+  EXPECT_EQ(result.num_answers, 30u);
+  double total = 0.0;
+  for (double p : result.effect_distribution) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(result.mean_clarity, 1.0);
+  EXPECT_GT(result.mean_trust, 1.0);
+}
+
+TEST(UserStudyTest, EmptyStudyIsZero) {
+  Rng rng(6);
+  UserStudyResult result = RunUserStudy({}, 10, rng);
+  EXPECT_EQ(result.num_answers, 0u);
+  EXPECT_DOUBLE_EQ(result.mean_clarity, 0.0);
+}
+
+TEST(UserStudyTest, ComputeFeaturesFromExplanation) {
+  Dataset dataset = testing_util::MakeToyDataset();
+  Triple prediction = dataset.test().front();
+  Explanation x;
+  x.relevance = 10.0;
+  x.accepted = true;
+  // Use the person's born_in fact: its endpoint (a City) is 1 hop from the
+  // predicted Country.
+  for (const Triple& f : dataset.train_graph().FactsOf(prediction.head)) {
+    if (f.relation == 0) {
+      x.facts = {f};
+      break;
+    }
+  }
+  ASSERT_FALSE(x.facts.empty());
+  ExplanationFeatures features = ComputeFeatures(
+      x, dataset, prediction, PredictionTarget::kTail, /*threshold=*/5.0);
+  EXPECT_EQ(features.length, 1u);
+  EXPECT_TRUE(features.accepted);
+  EXPECT_DOUBLE_EQ(features.relevance_margin, 2.0);  // clamped 10/5
+  EXPECT_DOUBLE_EQ(features.mean_closeness, 1.0);    // City -> Country
+}
+
+TEST(UserStudyTest, EmptyExplanationGetsDefaultCloseness) {
+  Dataset dataset = testing_util::MakeToyDataset();
+  Triple prediction = dataset.test().front();
+  Explanation x;
+  ExplanationFeatures features = ComputeFeatures(
+      x, dataset, prediction, PredictionTarget::kTail, 5.0);
+  EXPECT_DOUBLE_EQ(features.mean_closeness, 2.0);
+}
+
+}  // namespace
+}  // namespace kelpie

@@ -1,0 +1,115 @@
+#include "math/vec.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace kelpie {
+namespace {
+
+TEST(VecTest, DotProduct) {
+  std::vector<float> a{1, 2, 3};
+  std::vector<float> b{4, 5, 6};
+  EXPECT_FLOAT_EQ(Dot(a, b), 32.0f);
+}
+
+TEST(VecTest, DotOfEmptyIsZero) {
+  std::vector<float> a, b;
+  EXPECT_FLOAT_EQ(Dot(a, b), 0.0f);
+}
+
+TEST(VecTest, AxpyAccumulates) {
+  std::vector<float> x{1, 1, 1};
+  std::vector<float> y{1, 2, 3};
+  Axpy(2.0f, x, y);
+  EXPECT_FLOAT_EQ(y[0], 3.0f);
+  EXPECT_FLOAT_EQ(y[1], 4.0f);
+  EXPECT_FLOAT_EQ(y[2], 5.0f);
+}
+
+TEST(VecTest, ScaleMultiplies) {
+  std::vector<float> x{2, -4};
+  Scale(x, 0.5f);
+  EXPECT_FLOAT_EQ(x[0], 1.0f);
+  EXPECT_FLOAT_EQ(x[1], -2.0f);
+}
+
+TEST(VecTest, FillAndCopy) {
+  std::vector<float> x(4);
+  Fill(x, 3.5f);
+  for (float v : x) EXPECT_FLOAT_EQ(v, 3.5f);
+  std::vector<float> y(4);
+  Copy(x, y);
+  for (float v : y) EXPECT_FLOAT_EQ(v, 3.5f);
+}
+
+TEST(VecTest, Norms) {
+  std::vector<float> x{3, 4};
+  EXPECT_FLOAT_EQ(SquaredNorm(x), 25.0f);
+  EXPECT_FLOAT_EQ(Norm(x), 5.0f);
+  EXPECT_FLOAT_EQ(L1Norm(x), 7.0f);
+}
+
+TEST(VecTest, Distances) {
+  std::vector<float> a{1, 2};
+  std::vector<float> b{4, 6};
+  EXPECT_FLOAT_EQ(SquaredDistance(a, b), 25.0f);
+  EXPECT_FLOAT_EQ(L1Distance(a, b), 7.0f);
+}
+
+TEST(VecTest, ProjectToL2BallShrinksLongVectors) {
+  std::vector<float> x{3, 4};  // norm 5
+  ProjectToL2Ball(x, 1.0f);
+  EXPECT_NEAR(Norm(x), 1.0f, 1e-6);
+  EXPECT_NEAR(x[0] / x[1], 0.75f, 1e-6);  // direction preserved
+}
+
+TEST(VecTest, ProjectToL2BallLeavesShortVectors) {
+  std::vector<float> x{0.3f, 0.4f};
+  ProjectToL2Ball(x, 1.0f);
+  EXPECT_FLOAT_EQ(x[0], 0.3f);
+  EXPECT_FLOAT_EQ(x[1], 0.4f);
+}
+
+TEST(VecTest, ProjectToL2BallHandlesZeroVector) {
+  std::vector<float> x{0, 0};
+  ProjectToL2Ball(x, 1.0f);
+  EXPECT_FLOAT_EQ(x[0], 0.0f);
+}
+
+TEST(VecTest, LogSumExpMatchesDirectComputation) {
+  std::vector<float> s{0.1f, 0.7f, -0.3f};
+  double direct = std::log(std::exp(0.1) + std::exp(0.7) + std::exp(-0.3));
+  EXPECT_NEAR(LogSumExp(s), direct, 1e-6);
+}
+
+TEST(VecTest, LogSumExpIsStableForLargeInputs) {
+  std::vector<float> s{1000.0f, 1000.0f};
+  EXPECT_NEAR(LogSumExp(s), 1000.0 + std::log(2.0), 1e-3);
+}
+
+TEST(VecTest, SoftmaxSumsToOneAndOrdersCorrectly) {
+  std::vector<float> s{1.0f, 2.0f, 3.0f};
+  SoftmaxInPlace(s);
+  EXPECT_NEAR(s[0] + s[1] + s[2], 1.0f, 1e-6);
+  EXPECT_LT(s[0], s[1]);
+  EXPECT_LT(s[1], s[2]);
+}
+
+TEST(VecTest, SoftmaxOfUniformIsUniform) {
+  std::vector<float> s{5.0f, 5.0f, 5.0f, 5.0f};
+  SoftmaxInPlace(s);
+  for (float v : s) EXPECT_NEAR(v, 0.25f, 1e-6);
+}
+
+TEST(VecTest, SigmoidProperties) {
+  EXPECT_NEAR(Sigmoid(0.0f), 0.5f, 1e-6);
+  EXPECT_NEAR(Sigmoid(100.0f), 1.0f, 1e-6);
+  EXPECT_NEAR(Sigmoid(-100.0f), 0.0f, 1e-6);
+  // Symmetry: σ(-x) = 1 - σ(x).
+  EXPECT_NEAR(Sigmoid(-1.3f), 1.0f - Sigmoid(1.3f), 1e-6);
+}
+
+}  // namespace
+}  // namespace kelpie

@@ -1,0 +1,281 @@
+// kelpie — command-line interface to the library.
+//
+// Subcommands:
+//   generate  --dataset FB15k --scale 0.55 --seed 7 --out DIR
+//       Writes a synthetic benchmark stand-in as train/valid/test TSV.
+//   train     --data DIR --model ComplEx --seed 42 --out model.bin
+//       Trains a model on a TSV dataset and saves its parameters.
+//   evaluate  --data DIR --model-file model.bin [--no-heads]
+//       Filtered H@1 / H@10 / MRR over the test split.
+//   explain   --data DIR --model-file model.bin
+//             --head H --relation R --tail T [--sufficient] [--head-query]
+//       Extracts a Kelpie explanation for one prediction.
+//   audit     --data DIR --model-file model.bin --relation R [--limit N]
+//       Explains correct test predictions of a relation and mines the
+//       evidence patterns (bias audit).
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/kelpie.h"
+#include "datagen/datasets.h"
+#include "eval/breakdown.h"
+#include "eval/evaluator.h"
+#include "kgraph/io.h"
+#include "models/factory.h"
+#include "models/model_store.h"
+#include "xp/pattern_miner.h"
+#include "xp/pipeline.h"
+
+namespace kelpie {
+namespace {
+
+/// Minimal --flag value parser: flags may appear in any order; every flag
+/// takes a value except the boolean switches listed in kSwitches.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        error_ = "unexpected argument: " + key;
+        return;
+      }
+      key = key.substr(2);
+      if (IsSwitch(key)) {
+        values_[key] = "1";
+      } else if (i + 1 < argc) {
+        values_[key] = argv[++i];
+      } else {
+        error_ = "flag --" + key + " needs a value";
+        return;
+      }
+    }
+  }
+
+  static bool IsSwitch(const std::string& key) {
+    return key == "sufficient" || key == "head-query" || key == "no-heads" ||
+           key == "per-relation";
+  }
+
+  const std::string& error() const { return error_; }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    return Has(key) ? std::stod(Get(key)) : fallback;
+  }
+  uint64_t GetU64(const std::string& key, uint64_t fallback) const {
+    return Has(key) ? std::stoull(Get(key)) : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::string error_;
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+Result<Dataset> LoadData(const Args& args) {
+  if (!args.Has("data")) {
+    return Status::InvalidArgument("--data DIR is required");
+  }
+  return LoadDatasetTsv("cli-dataset", args.Get("data"));
+}
+
+int CmdGenerate(const Args& args) {
+  std::string name = args.Get("dataset", "FB15k-237");
+  BenchmarkDataset which = BenchmarkDataset::kFb15k237;
+  bool found = false;
+  for (BenchmarkDataset d : AllBenchmarkDatasets()) {
+    if (BenchmarkDatasetName(d) == name) {
+      which = d;
+      found = true;
+    }
+  }
+  if (!found) return Fail("unknown dataset: " + name);
+  if (!args.Has("out")) return Fail("--out DIR is required");
+  Dataset dataset = MakeBenchmark(which, args.GetDouble("scale", 0.55),
+                                  args.GetU64("seed", 7));
+  Status status = SaveDatasetTsv(dataset, args.Get("out"));
+  if (!status.ok()) return Fail(status.ToString());
+  DatasetStats stats = ComputeStats(dataset);
+  std::printf("wrote %s to %s: %zu entities, %zu relations, %zu/%zu/%zu "
+              "train/valid/test facts\n",
+              name.c_str(), args.Get("out").c_str(), stats.num_entities,
+              stats.num_relations, stats.num_train, stats.num_valid,
+              stats.num_test);
+  return 0;
+}
+
+int CmdTrain(const Args& args) {
+  Result<Dataset> dataset = LoadData(args);
+  if (!dataset.ok()) return Fail(dataset.status().ToString());
+  Result<ModelKind> kind = ParseModelKind(args.Get("model", "ComplEx"));
+  if (!kind.ok()) return Fail(kind.status().ToString());
+  if (!args.Has("out")) return Fail("--out FILE is required");
+
+  TrainConfig config = DefaultConfig(kind.value(), *dataset);
+  if (args.Has("epochs")) config.epochs = args.GetU64("epochs", config.epochs);
+  if (args.Has("dim")) config.dim = args.GetU64("dim", config.dim);
+  auto model = CreateModel(kind.value(), *dataset, config);
+  Rng rng(args.GetU64("seed", 42));
+  std::printf("training %s on %zu facts (%zu epochs, dim %zu)...\n",
+              args.Get("model", "ComplEx").c_str(), dataset->train().size(),
+              config.epochs, config.dim);
+  model->Train(*dataset, rng);
+  Status status = SaveModel(*model, kind.value(), args.Get("out"));
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf("saved to %s\n", args.Get("out").c_str());
+  return 0;
+}
+
+int CmdEvaluate(const Args& args) {
+  Result<Dataset> dataset = LoadData(args);
+  if (!dataset.ok()) return Fail(dataset.status().ToString());
+  Result<std::unique_ptr<LinkPredictionModel>> model =
+      LoadModel(args.Get("model-file"));
+  if (!model.ok()) return Fail(model.status().ToString());
+  EvalOptions options;
+  options.include_heads = !args.Has("no-heads");
+  options.num_threads = args.GetU64("threads", 1);
+  EvalResult result = EvaluateTest(**model, *dataset, options);
+  std::printf("%s on %zu test facts: H@1 %.3f  H@10 %.3f  MRR %.3f\n",
+              std::string((*model)->Name()).c_str(),
+              dataset->test().size(), result.HitsAt1(), result.HitsAt(10),
+              result.Mrr());
+  if (args.Has("per-relation")) {
+    std::vector<RelationMetrics> rows = EvaluatePerRelation(
+        **model, *dataset, dataset->test(), options.include_heads);
+    std::printf("%s", FormatBreakdown(rows, *dataset).c_str());
+  }
+  return 0;
+}
+
+Result<Triple> ParsePredictionFlags(const Args& args, const Dataset& dataset) {
+  int32_t h, r, t;
+  KELPIE_ASSIGN_OR_RETURN(h, dataset.entities().Find(args.Get("head")));
+  KELPIE_ASSIGN_OR_RETURN(r, dataset.relations().Find(args.Get("relation")));
+  KELPIE_ASSIGN_OR_RETURN(t, dataset.entities().Find(args.Get("tail")));
+  return Triple(h, r, t);
+}
+
+int CmdExplain(const Args& args) {
+  Result<Dataset> dataset = LoadData(args);
+  if (!dataset.ok()) return Fail(dataset.status().ToString());
+  Result<std::unique_ptr<LinkPredictionModel>> model =
+      LoadModel(args.Get("model-file"));
+  if (!model.ok()) return Fail(model.status().ToString());
+  Result<Triple> prediction = ParsePredictionFlags(args, *dataset);
+  if (!prediction.ok()) return Fail(prediction.status().ToString());
+
+  PredictionTarget target = args.Has("head-query")
+                                ? PredictionTarget::kHead
+                                : PredictionTarget::kTail;
+  Kelpie kelpie(**model, *dataset, KelpieOptions{});
+  Explanation x;
+  if (args.Has("sufficient")) {
+    std::vector<EntityId> converted;
+    x = kelpie.ExplainSufficient(*prediction, target, &converted);
+    std::printf("sufficient explanation (over %zu conversion entities):\n",
+                converted.size());
+  } else {
+    x = kelpie.ExplainNecessary(*prediction, target);
+    std::printf("necessary explanation:\n");
+  }
+  if (x.empty()) {
+    std::printf("  (none found — the source entity has no usable facts)\n");
+    return 0;
+  }
+  for (const Triple& fact : x.facts) {
+    std::printf("  %s\n", dataset->TripleToString(fact).c_str());
+  }
+  std::printf("relevance %.2f, %s, %zu post-trainings, %.2fs\n",
+              x.relevance, x.accepted ? "accepted" : "best-effort",
+              x.post_trainings, x.seconds);
+  return 0;
+}
+
+int CmdAudit(const Args& args) {
+  Result<Dataset> dataset = LoadData(args);
+  if (!dataset.ok()) return Fail(dataset.status().ToString());
+  Result<std::unique_ptr<LinkPredictionModel>> model =
+      LoadModel(args.Get("model-file"));
+  if (!model.ok()) return Fail(model.status().ToString());
+  Result<int32_t> relation =
+      dataset->relations().Find(args.Get("relation"));
+  if (!relation.ok()) return Fail(relation.status().ToString());
+  const size_t limit = args.GetU64("limit", 8);
+
+  Kelpie kelpie(**model, *dataset, KelpieOptions{});
+  PatternMiner miner;
+  Rng rng(args.GetU64("seed", 7));
+  size_t explained = 0;
+  for (const Triple& t : dataset->test()) {
+    if (explained >= limit) break;
+    if (t.relation != relation.value()) continue;
+    if (FilteredTailRank(**model, *dataset, t) != 1) continue;
+    std::vector<EntityId> conversion_set = SampleConversionEntities(
+        **model, *dataset, t, PredictionTarget::kTail, 5, rng);
+    if (conversion_set.empty()) continue;
+    Explanation x = kelpie.ExplainSufficientWithSet(
+        t, PredictionTarget::kTail, conversion_set);
+    if (x.empty()) continue;
+    miner.Add(t, x);
+    ++explained;
+  }
+  std::printf("%s", miner.Report(*dataset).c_str());
+  std::vector<EvidencePattern> biases = miner.BiasCandidates(0.5);
+  if (biases.empty()) {
+    std::printf("no dominant foreign-relation evidence (no bias flagged)\n");
+  } else {
+    for (const EvidencePattern& b : biases) {
+      std::printf("BIAS: '%s' predictions rely on '%s' evidence "
+                  "(share %.0f%%)\n",
+                  dataset->relations().NameOf(b.prediction_relation).c_str(),
+                  dataset->relations().NameOf(b.evidence_relation).c_str(),
+                  b.share * 100.0);
+    }
+  }
+  return 0;
+}
+
+int Usage() {
+  std::printf(
+      "usage: kelpie <command> [flags]\n"
+      "  generate --dataset NAME --scale S --seed N --out DIR\n"
+      "  train    --data DIR --model NAME --seed N --out FILE "
+      "[--epochs N] [--dim N]\n"
+      "  evaluate --data DIR --model-file FILE [--no-heads] "
+      "[--per-relation] [--threads N]\n"
+      "  explain  --data DIR --model-file FILE --head H --relation R "
+      "--tail T [--sufficient] [--head-query]\n"
+      "  audit    --data DIR --model-file FILE --relation R [--limit N]\n"
+      "models: TransE ComplEx ConvE DistMult RotatE\n"
+      "datasets: FB15k FB15k-237 WN18 WN18RR YAGO3-10\n");
+  return 2;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Args args(argc, argv);
+  if (!args.error().empty()) return Fail(args.error());
+  std::string command = argv[1];
+  if (command == "generate") return CmdGenerate(args);
+  if (command == "train") return CmdTrain(args);
+  if (command == "evaluate") return CmdEvaluate(args);
+  if (command == "explain") return CmdExplain(args);
+  if (command == "audit") return CmdAudit(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace kelpie
+
+int main(int argc, char** argv) { return kelpie::Run(argc, argv); }
