@@ -26,6 +26,10 @@ namespace bench {
 struct BenchOptions {
   bool full = false;
   uint64_t seed = 7;
+  /// Worker threads for parallel explanation extraction (--threads=N).
+  /// Benches that compare against sequential extraction run both a
+  /// threads=1 and a threads=N series.
+  size_t threads = 4;
 
   double dataset_scale() const { return full ? 1.0 : 0.55; }
   size_t num_predictions() const { return full ? 40 : 10; }
@@ -47,6 +51,8 @@ inline BenchOptions ParseArgs(int argc, char** argv) {
       options.full = true;
     } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       options.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      options.threads = std::strtoull(argv[i] + 10, nullptr, 10);
     }
   }
   return options;

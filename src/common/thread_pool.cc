@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
+#include <memory>
 
 namespace kelpie {
 
@@ -63,24 +65,61 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+namespace {
+
+/// Shared state of one ParallelFor batch. Tasks keep the batch alive via
+/// shared_ptr: helper strands that the pool only schedules after the batch
+/// has already drained see `next >= count` and return without touching fn.
+struct ParallelBatch {
+  ParallelBatch(size_t n, std::function<void(size_t)> f)
+      : count(n), fn(std::move(f)) {}
+
+  const size_t count;
+  const std::function<void(size_t)> fn;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;  // first exception; guarded by mu
+
+  /// Claims indices until the batch is exhausted.
+  void Run() {
+    while (true) {
+      const size_t i = next.fetch_add(1);
+      if (i >= count) break;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+      }
+      if (done.fetch_add(1) + 1 == count) {
+        // Completion may race with the caller's predicate check; notify
+        // under the mutex so the wakeup cannot be lost.
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
 void ParallelFor(ThreadPool& pool, size_t count,
                  const std::function<void(size_t)>& fn) {
   if (count == 0) return;
-  // Chunked dispatch: one task per worker strand, each claiming indices
-  // from a shared atomic counter — cheap and balanced for heterogeneous
-  // per-index costs (head ranks vary wildly across models).
-  std::atomic<size_t> next{0};
-  const size_t strands = std::min(pool.num_threads(), count);
-  for (size_t s = 0; s < strands; ++s) {
-    pool.Submit([&next, count, &fn] {
-      while (true) {
-        size_t i = next.fetch_add(1);
-        if (i >= count) break;
-        fn(i);
-      }
-    });
+  auto batch = std::make_shared<ParallelBatch>(count, fn);
+  // The caller claims indices too, so only count - 1 helpers can ever be
+  // useful. Caller participation is what makes nesting safe: a batch
+  // started from inside a pool task completes even if no worker is free.
+  const size_t helpers = std::min(pool.num_threads(), count - 1);
+  for (size_t s = 0; s < helpers; ++s) {
+    pool.Submit([batch] { batch->Run(); });
   }
-  pool.Wait();
+  batch->Run();
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->cv.wait(lock, [&] { return batch->done.load() == batch->count; });
+  if (batch->error) std::rethrow_exception(batch->error);
 }
 
 }  // namespace kelpie

@@ -11,10 +11,12 @@
 
 namespace kelpie {
 
-/// A fixed-size worker pool for embarrassingly parallel read-only work
-/// (evaluation ranks every test fact independently against an immutable
-/// model). Training stays single-threaded by design — its update order is
-/// part of the deterministic contract.
+/// A fixed-size worker pool for embarrassingly parallel read-only work:
+/// evaluation ranks every test fact independently against an immutable
+/// model, and the Relevance Engine / Explanation Builder evaluate candidate
+/// explanations whose post-trainings are seeded independently of schedule.
+/// Training stays single-threaded by design — its update order is part of
+/// the deterministic contract.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (at least 1).
@@ -49,8 +51,27 @@ class ThreadPool {
 /// Runs fn(i) for i in [0, count) across the pool and waits for completion.
 /// fn must be safe to call concurrently for distinct indices; iteration
 /// order is unspecified but every index runs exactly once.
+///
+/// The calling thread participates in the work, so the call is re-entrant:
+/// a ParallelFor issued from inside a pool task makes progress even when
+/// every worker is busy (nested batches drain through their callers).
+///
+/// If one or more invocations of fn throw, the remaining indices still run
+/// and the *first* captured exception is rethrown on the calling thread
+/// after the batch completes.
 void ParallelFor(ThreadPool& pool, size_t count,
                  const std::function<void(size_t)>& fn);
+
+/// ParallelFor variant collecting per-index results: returns a vector v of
+/// size `count` with v[i] = fn(i), always in index order regardless of the
+/// execution schedule. The result type must be default-constructible.
+template <typename Fn>
+auto ParallelMap(ThreadPool& pool, size_t count, Fn&& fn)
+    -> std::vector<decltype(fn(size_t{0}))> {
+  std::vector<decltype(fn(size_t{0}))> out(count);
+  ParallelFor(pool, count, [&](size_t i) { out[i] = fn(i); });
+  return out;
+}
 
 }  // namespace kelpie
 

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 
 namespace kelpie {
 
@@ -148,19 +149,31 @@ Explanation ExplanationBuilder::Search(ExplanationKind kind,
   }
 
   // ---- S_1: individual relevances (Algorithm 3, lines 1-3). ----
+  // The sequential algorithm evaluates every single-fact candidate before
+  // consulting the threshold, so S_1 parallelizes without any speculation:
+  // compute all relevances across the pool, then fold sequentially in fact
+  // order (observer calls, best tracking).
+  ThreadPool* pool = engine_.pool();
   std::vector<double> individual(facts.size());
+  if (pool != nullptr && facts.size() > 1) {
+    individual = ParallelMap(*pool, facts.size(), [&](size_t i) {
+      return relevance({facts[i]});
+    });
+  } else {
+    for (size_t i = 0; i < facts.size(); ++i) {
+      individual[i] = relevance({facts[i]});
+    }
+  }
   size_t visited = 0;
   double best_relevance = 0.0;
   std::vector<Triple> best_facts;
   bool have_best = false;
   for (size_t i = 0; i < facts.size(); ++i) {
-    std::vector<Triple> candidate{facts[i]};
-    individual[i] = relevance(candidate);
     ++visited;
     if (observer) observer(1, individual[i], individual[i]);
     if (!have_best || individual[i] > best_relevance) {
       best_relevance = individual[i];
-      best_facts = candidate;
+      best_facts = {facts[i]};
       have_best = true;
     }
   }
@@ -196,50 +209,87 @@ Explanation ExplanationBuilder::Search(ExplanationKind kind,
         facts.size(), size, individual, options_.max_visits_per_size);
 
     // Visit in descending preliminary relevance (lines 10-21).
+    //
+    // The threshold early-exit and the stochastic ρ_i stop make the visit
+    // loop inherently sequential, so parallelism is speculative: candidates
+    // are evaluated in deterministic chunks of num_threads, then the
+    // sequential stopping policy is *replayed* over the chunk's relevances
+    // in preliminary order. A stop discards the rest of the chunk. The
+    // visible outcome (facts, relevance, accepted, visited_candidates,
+    // observer stream, rng draws) is therefore bitwise identical for every
+    // num_threads, including 1; only post_trainings and seconds may grow
+    // with the speculatively evaluated remainder of the stopping chunk.
+    const size_t chunk_size = std::max<size_t>(1, engine_.num_threads());
     double best_in_size = 0.0;
     bool have_best_in_size = false;
     std::deque<double> recent;
     size_t visits_in_size = 0;
-    for (const ScoredCombo& combo : combos) {
-      if (visits_in_size >= options_.max_visits_per_size) break;
-      std::vector<Triple> candidate;
-      candidate.reserve(size);
-      for (size_t idx : combo.indices) {
-        candidate.push_back(facts[idx]);
+    bool stop_size = false;
+    for (size_t begin = 0; begin < combos.size() && !stop_size;
+         begin += chunk_size) {
+      const size_t end = std::min(begin + chunk_size, combos.size());
+      std::vector<std::vector<Triple>> candidates(end - begin);
+      for (size_t k = 0; k < candidates.size(); ++k) {
+        candidates[k].reserve(size);
+        for (size_t idx : combos[begin + k].indices) {
+          candidates[k].push_back(facts[idx]);
+        }
       }
-      const double cur = relevance(candidate);
-      ++visited;
-      ++visits_in_size;
-      if (observer) observer(size, combo.preliminary, cur);
-      recent.push_back(cur);
-      if (recent.size() > options_.rho_window) recent.pop_front();
+      std::vector<double> relevances(candidates.size());
+      if (pool != nullptr && candidates.size() > 1) {
+        relevances = ParallelMap(*pool, candidates.size(), [&](size_t k) {
+          return relevance(candidates[k]);
+        });
+      } else {
+        for (size_t k = 0; k < candidates.size(); ++k) {
+          relevances[k] = relevance(candidates[k]);
+        }
+      }
 
-      if (cur >= threshold) {
-        result.facts = candidate;
-        result.relevance = cur;
-        result.accepted = true;
-        result.visited_candidates = visited;
-        result.post_trainings =
-            engine_.post_training_count() - start_post_trainings;
-        result.seconds = timer.ElapsedSeconds();
-        return result;
-      }
-      if (cur > best_relevance) {
-        best_relevance = cur;
-        best_facts = candidate;
-      }
-      if (!have_best_in_size || cur > best_in_size) {
-        best_in_size = cur;
-        have_best_in_size = true;
-      } else if (!options_.exhaustive) {
-        // ρ_i: smoothed current relevance over the best in S_i
-        // (footnote 2), clamped to [0, 1]; stop S_i with prob 1 - ρ_i.
-        double smoothed =
-            std::accumulate(recent.begin(), recent.end(), 0.0) /
-            static_cast<double>(recent.size());
-        double rho = best_in_size > 0.0 ? smoothed / best_in_size : 1.0;
-        rho = std::clamp(rho, 0.0, 1.0);
-        if (rng.UniformDouble() > rho) break;
+      // Sequential replay of the stopping policy over the chunk.
+      for (size_t k = 0; k < candidates.size(); ++k) {
+        if (visits_in_size >= options_.max_visits_per_size) {
+          stop_size = true;
+          break;
+        }
+        const ScoredCombo& combo = combos[begin + k];
+        const double cur = relevances[k];
+        ++visited;
+        ++visits_in_size;
+        if (observer) observer(size, combo.preliminary, cur);
+        recent.push_back(cur);
+        if (recent.size() > options_.rho_window) recent.pop_front();
+
+        if (cur >= threshold) {
+          result.facts = candidates[k];
+          result.relevance = cur;
+          result.accepted = true;
+          result.visited_candidates = visited;
+          result.post_trainings =
+              engine_.post_training_count() - start_post_trainings;
+          result.seconds = timer.ElapsedSeconds();
+          return result;
+        }
+        if (cur > best_relevance) {
+          best_relevance = cur;
+          best_facts = candidates[k];
+        }
+        if (!have_best_in_size || cur > best_in_size) {
+          best_in_size = cur;
+          have_best_in_size = true;
+        } else if (!options_.exhaustive) {
+          // ρ_i: smoothed current relevance over the best in S_i
+          // (footnote 2), clamped to [0, 1]; stop S_i with prob 1 - ρ_i.
+          double smoothed =
+              std::accumulate(recent.begin(), recent.end(), 0.0) /
+              static_cast<double>(recent.size());
+          double rho = best_in_size > 0.0 ? smoothed / best_in_size : 1.0;
+          rho = std::clamp(rho, 0.0, 1.0);
+          if (rng.UniformDouble() > rho) {
+            stop_size = true;
+            break;
+          }
+        }
       }
     }
   }

@@ -51,6 +51,19 @@ using CandidateObserver =
 /// simulated-annealing-inspired stochastic policy abandons S_i when the
 /// stream of true relevances decays relative to the best seen
 /// (P(stop) = 1 - ρ_i).
+///
+/// Parallel extraction (RelevanceEngineOptions::num_threads > 1) uses the
+/// engine's shared pool with *chunked visiting* semantics: the S_1 sweep is
+/// evaluated fully in parallel (the sequential algorithm consults no
+/// stopping rule inside it), and each S_i visit loop evaluates candidates
+/// speculatively in deterministic chunks of num_threads, then replays the
+/// sequential stopping policy (threshold exit, ρ_i draw) over the chunk in
+/// preliminary order. Because every post-training is seeded from (engine
+/// seed, entity, fact set) alone, the returned Explanation — facts,
+/// relevance, accepted, visited_candidates — and the observer stream are
+/// bitwise identical for any num_threads; only post_trainings and seconds
+/// can differ (a mid-chunk stop discards already-evaluated speculative
+/// candidates).
 class ExplanationBuilder {
  public:
   ExplanationBuilder(RelevanceEngine& engine, const PreFilter& prefilter,

@@ -2,11 +2,24 @@
 
 namespace kelpie {
 
+namespace {
+
+/// Applies the facade-level num_threads override to the engine options.
+RelevanceEngineOptions EffectiveEngineOptions(const KelpieOptions& options) {
+  RelevanceEngineOptions engine = options.engine;
+  if (options.num_threads > 0) {
+    engine.num_threads = options.num_threads;
+  }
+  return engine;
+}
+
+}  // namespace
+
 Kelpie::Kelpie(const LinkPredictionModel& model, const Dataset& dataset,
                KelpieOptions options)
     : options_(options),
       prefilter_(dataset, options.prefilter),
-      engine_(model, dataset, options.engine),
+      engine_(model, dataset, EffectiveEngineOptions(options)),
       builder_(engine_, prefilter_, options.builder) {}
 
 Explanation Kelpie::ExplainNecessary(const Triple& prediction,

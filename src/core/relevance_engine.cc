@@ -1,6 +1,7 @@
 #include "core/relevance_engine.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/logging.h"
 #include "eval/ranking.h"
@@ -9,30 +10,68 @@ namespace kelpie {
 
 namespace {
 
+/// Below this many lookups a linear scan beats hashing (tiny candidates are
+/// the common case: most explanations have 1-4 facts).
+constexpr size_t kLinearScanLimit = 8;
+
 /// Removes every triple of `to_remove` from `facts` (exact matches).
 std::vector<Triple> WithoutFacts(const std::vector<Triple>& facts,
                                  const std::vector<Triple>& to_remove) {
   std::vector<Triple> out;
   out.reserve(facts.size());
+  if (to_remove.size() <= kLinearScanLimit) {
+    for (const Triple& f : facts) {
+      if (std::find(to_remove.begin(), to_remove.end(), f) ==
+          to_remove.end()) {
+        out.push_back(f);
+      }
+    }
+    return out;
+  }
+  const std::unordered_set<Triple, TripleHash> removed(to_remove.begin(),
+                                                       to_remove.end());
   for (const Triple& f : facts) {
-    if (std::find(to_remove.begin(), to_remove.end(), f) == to_remove.end()) {
+    if (removed.find(f) == removed.end()) {
       out.push_back(f);
     }
   }
   return out;
 }
 
-uint64_t RankCacheKey(EntityId entity, const Triple& prediction,
-                      PredictionTarget target) {
-  uint64_t key = static_cast<uint32_t>(entity);
-  key = key * 1315423911ULL + static_cast<uint32_t>(prediction.relation);
-  key = key * 1315423911ULL +
-        static_cast<uint32_t>(PredictedEntity(prediction, target));
-  key = key * 1315423911ULL + (target == PredictionTarget::kTail ? 1 : 2);
-  return key;
+/// SplitMix64 finalizer: full-avalanche 64-bit mixing.
+uint64_t Mix64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Seed of a post-training RNG stream: a pure function of the engine seed,
+/// the mimicked entity, and the exact fact sequence. Two post-trainings of
+/// the same (entity, facts) produce the same mimic no matter which thread
+/// runs them or in which order — the keystone of schedule-independent
+/// parallel extraction.
+uint64_t PostTrainSeed(uint64_t engine_seed, EntityId entity,
+                       const std::vector<Triple>& facts) {
+  uint64_t h = Mix64(engine_seed ^ 0x7c0ffee123456789ULL);
+  h = Mix64(h ^ static_cast<uint64_t>(static_cast<uint32_t>(entity)));
+  h = Mix64(h ^ static_cast<uint64_t>(facts.size()));
+  for (const Triple& f : facts) {
+    h = Mix64(h ^ f.Key());
+  }
+  return h;
 }
 
 }  // namespace
+
+size_t RelevanceEngine::RankKeyHash::operator()(const RankKey& k) const {
+  const uint64_t lo =
+      (static_cast<uint64_t>(static_cast<uint32_t>(k.entity)) << 32) |
+      static_cast<uint64_t>(static_cast<uint32_t>(k.relation));
+  const uint64_t hi =
+      (static_cast<uint64_t>(static_cast<uint32_t>(k.predicted)) << 32) |
+      static_cast<uint64_t>(static_cast<uint8_t>(k.direction));
+  return static_cast<size_t>(Mix64(Mix64(lo) ^ hi));
+}
 
 RelevanceEngine::RelevanceEngine(const LinkPredictionModel& model,
                                  const Dataset& dataset,
@@ -40,12 +79,17 @@ RelevanceEngine::RelevanceEngine(const LinkPredictionModel& model,
     : model_(model),
       dataset_(dataset),
       options_(options),
-      rng_(options.seed) {}
+      rng_(options.seed) {
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+}
 
 std::vector<float> RelevanceEngine::PostTrain(
     EntityId entity, const std::vector<Triple>& facts) {
-  ++post_training_count_;
-  return model_.PostTrainMimic(dataset_, entity, facts, rng_);
+  post_training_count_.fetch_add(1, std::memory_order_relaxed);
+  Rng rng(PostTrainSeed(options_.seed, entity, facts));
+  return model_.PostTrainMimic(dataset_, entity, facts, rng);
 }
 
 int RelevanceEngine::RankWithMimic(const Triple& prediction,
@@ -61,24 +105,34 @@ int RelevanceEngine::RankWithMimic(const Triple& prediction,
 
 int RelevanceEngine::HomologousRank(EntityId entity, const Triple& prediction,
                                     PredictionTarget target) {
-  const uint64_t key = RankCacheKey(entity, prediction, target);
-  auto it = homologous_rank_cache_.find(key);
-  if (it != homologous_rank_cache_.end()) {
-    return it->second;
+  const RankKey key{
+      entity, prediction.relation, PredictedEntity(prediction, target),
+      static_cast<int8_t>(target == PredictionTarget::kTail ? 0 : 1)};
+  // Shard on the top hash bits; the shard map re-hashes with the full
+  // function, which is fine (the bits it keeps differ).
+  CacheShard& shard = rank_cache_shards_[RankKeyHash{}(key) >> 60];
+  std::shared_ptr<RankCacheEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    std::shared_ptr<RankCacheEntry>& slot = shard.map[key];
+    if (!slot) slot = std::make_shared<RankCacheEntry>();
+    entry = slot;
   }
-  int rank;
-  if (options_.use_original_rank_baseline) {
-    // Ablation mode: compare non-homologous mimics against the original
-    // entity's rank directly (no baseline post-training).
-    rank = RankWithMimic(prediction, target, entity,
-                         model_.EntityEmbedding(entity));
-  } else {
-    std::vector<Triple> facts = dataset_.train_graph().FactsOf(entity);
-    std::vector<float> mimic = PostTrain(entity, facts);
-    rank = RankWithMimic(prediction, target, entity, mimic);
+  std::lock_guard<std::mutex> lock(entry->mu);
+  if (!entry->ready) {
+    if (options_.use_original_rank_baseline) {
+      // Ablation mode: compare non-homologous mimics against the original
+      // entity's rank directly (no baseline post-training).
+      entry->rank = RankWithMimic(prediction, target, entity,
+                                  model_.EntityEmbedding(entity));
+    } else {
+      std::vector<Triple> facts = dataset_.train_graph().FactsOf(entity);
+      std::vector<float> mimic = PostTrain(entity, facts);
+      entry->rank = RankWithMimic(prediction, target, entity, mimic);
+    }
+    entry->ready = true;
   }
-  homologous_rank_cache_.emplace(key, rank);
-  return rank;
+  return entry->rank;
 }
 
 double RelevanceEngine::NecessaryRelevance(
@@ -102,25 +156,34 @@ double RelevanceEngine::SufficientRelevance(
     const std::vector<EntityId>& conversion_set) {
   const EntityId source = SourceEntity(prediction, target);
   if (conversion_set.empty()) return 0.0;
-  double total = 0.0;
-  size_t used = 0;
-  for (EntityId c : conversion_set) {
+  auto contribution = [&](size_t i) -> double {
+    const EntityId c = conversion_set[i];
     // Homologous mimic c' of the entity to convert.
     const int base_rank = HomologousRank(c, prediction, target);
     if (base_rank <= 1) {
       // Already converted (post-training fluctuation); the ideal
       // improvement is zero — treat as fully achieved.
-      total += 1.0;
-      ++used;
-      continue;
+      return 1.0;
     }
     // Non-homologous mimic c'_{+X}: c's facts plus the candidate facts
     // transferred from the source entity to c.
     std::vector<Triple> facts = dataset_.train_graph().FactsOf(c);
-    for (const Triple& f : candidate) {
-      Triple transferred = TransferFact(f, source, c);
-      if (std::find(facts.begin(), facts.end(), transferred) == facts.end()) {
-        facts.push_back(transferred);
+    if (candidate.size() <= kLinearScanLimit) {
+      for (const Triple& f : candidate) {
+        Triple transferred = TransferFact(f, source, c);
+        if (std::find(facts.begin(), facts.end(), transferred) ==
+            facts.end()) {
+          facts.push_back(transferred);
+        }
+      }
+    } else {
+      std::unordered_set<Triple, TripleHash> present(facts.begin(),
+                                                     facts.end());
+      for (const Triple& f : candidate) {
+        Triple transferred = TransferFact(f, source, c);
+        if (present.insert(transferred).second) {
+          facts.push_back(transferred);
+        }
       }
     }
     std::vector<float> mimic = PostTrain(c, facts);
@@ -128,10 +191,23 @@ double RelevanceEngine::SufficientRelevance(
     // Line 7: achieved over ideal rank improvement.
     const double achieved = static_cast<double>(base_rank - added_rank);
     const double ideal = static_cast<double>(base_rank - 1);
-    total += achieved / ideal;
-    ++used;
+    return achieved / ideal;
+  };
+
+  std::vector<double> parts;
+  if (pool_ != nullptr && conversion_set.size() > 1) {
+    parts = ParallelMap(*pool_, conversion_set.size(), contribution);
+  } else {
+    parts.reserve(conversion_set.size());
+    for (size_t i = 0; i < conversion_set.size(); ++i) {
+      parts.push_back(contribution(i));
+    }
   }
-  return used == 0 ? 0.0 : total / static_cast<double>(used);
+  // Accumulate in conversion-set order: the sum (and thus the relevance) is
+  // bitwise identical whatever the completion order was.
+  double total = 0.0;
+  for (double p : parts) total += p;
+  return total / static_cast<double>(conversion_set.size());
 }
 
 std::vector<EntityId> RelevanceEngine::SampleConversionSet(
@@ -165,6 +241,11 @@ std::vector<EntityId> RelevanceEngine::SampleConversionSet(
   return out;
 }
 
-void RelevanceEngine::ClearCaches() { homologous_rank_cache_.clear(); }
+void RelevanceEngine::ClearCaches() {
+  for (CacheShard& shard : rank_cache_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+  }
+}
 
 }  // namespace kelpie

@@ -1,9 +1,14 @@
 #ifndef KELPIE_CORE_RELEVANCE_ENGINE_H_
 #define KELPIE_CORE_RELEVANCE_ENGINE_H_
 
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/explanation.h"
 #include "kgraph/dataset.h"
 #include "math/rng.h"
@@ -22,6 +27,14 @@ struct RelevanceEngineOptions {
   /// post-training fluctuations; this flag reproduces that design study.
   bool use_original_rank_baseline = false;
   uint64_t seed = 1234;
+  /// Worker threads for relevance evaluation (mirrors
+  /// EvalOptions::num_threads). The engine parallelizes the per-entity loop
+  /// of SufficientRelevance, and the Explanation Builder dispatches
+  /// candidate evaluations over the same pool. Every post-training draws
+  /// from an RNG stream derived solely from (seed, entity, fact set), so
+  /// any thread count produces the same relevances as num_threads = 1.
+  /// 1 = sequential (no pool is created).
+  size_t num_threads = 1;
 };
 
 /// The Relevance Engine (Section 4.2) estimates the effect that adding or
@@ -42,7 +55,15 @@ struct RelevanceEngineOptions {
 /// improvement over the conversion set C.
 ///
 /// Homologous mimics and their ranks are cached: one explanation extraction
-/// evaluates many candidates against the same baseline.
+/// evaluates many candidates against the same baseline. The cache is
+/// mutex-sharded with single-flight computation, so concurrent candidates
+/// sharing a baseline never post-train it twice.
+///
+/// Thread safety: NecessaryRelevance, SufficientRelevance and RankWithMimic
+/// may be called concurrently (the Explanation Builder does so when
+/// num_threads > 1). SampleConversionSet and ClearCaches are not
+/// thread-safe and must be called from a single thread between evaluation
+/// waves.
 class RelevanceEngine {
  public:
   RelevanceEngine(const LinkPredictionModel& model, const Dataset& dataset,
@@ -55,7 +76,10 @@ class RelevanceEngine {
 
   /// Algorithm 2: mean ratio of achieved over ideal rank improvement when
   /// adding `candidate` (transferred) to every entity of `conversion_set`.
-  /// Typically in [0, 1]; can be negative when the facts hurt.
+  /// Typically in [0, 1]; can be negative when the facts hurt. The
+  /// per-entity post-trainings run across the pool when num_threads > 1;
+  /// contributions are accumulated in conversion-set order, so the result
+  /// is bitwise identical to the sequential one.
   double SufficientRelevance(const Triple& prediction,
                              PredictionTarget target,
                              const std::vector<Triple>& candidate,
@@ -74,32 +98,78 @@ class RelevanceEngine {
 
   /// Total post-trainings run so far (the cost unit of the paper's
   /// KernelSHAP comparison).
-  size_t post_training_count() const { return post_training_count_; }
+  size_t post_training_count() const {
+    return post_training_count_.load(std::memory_order_relaxed);
+  }
 
   /// Drops the homologous-mimic caches (used between unrelated
   /// predictions to bound memory).
   void ClearCaches();
 
+  /// The worker pool shared with the Explanation Builder; nullptr when
+  /// num_threads <= 1 (sequential mode).
+  ThreadPool* pool() { return pool_.get(); }
+
+  size_t num_threads() const { return options_.num_threads; }
+
   const LinkPredictionModel& model() const { return model_; }
   const Dataset& dataset() const { return dataset_; }
 
  private:
-  /// Post-trains a mimic of `entity` on `facts` and counts it.
+  /// Cache key of a homologous rank: the baseline only depends on the
+  /// entity and the query (relation + predicted entity + direction), never
+  /// on the candidate, because the homologous fact set is always G^e_train.
+  /// Keying on the full struct (with exact equality) rules out the silent
+  /// wrong-rank answers a collapsed 64-bit hash key could produce.
+  struct RankKey {
+    EntityId entity;
+    RelationId relation;
+    EntityId predicted;
+    int8_t direction;  // 0 = tail prediction, 1 = head prediction
+
+    bool operator==(const RankKey&) const = default;
+  };
+
+  struct RankKeyHash {
+    size_t operator()(const RankKey& k) const;
+  };
+
+  /// Single-flight cache slot: the first thread to need a baseline computes
+  /// it under the entry mutex; latecomers block on that mutex instead of
+  /// duplicating the post-training.
+  struct RankCacheEntry {
+    std::mutex mu;
+    bool ready = false;
+    int rank = 0;
+  };
+
+  struct CacheShard {
+    std::mutex mu;
+    std::unordered_map<RankKey, std::shared_ptr<RankCacheEntry>, RankKeyHash>
+        map;
+  };
+
+  static constexpr size_t kCacheShards = 16;
+
+  /// Post-trains a mimic of `entity` on `facts` and counts it. The RNG
+  /// stream is derived from (options_.seed, entity, facts) alone, making
+  /// the mimic independent of both call order and thread schedule.
   std::vector<float> PostTrain(EntityId entity,
                                const std::vector<Triple>& facts);
 
-  /// Cached homologous mimic rank for (entity, prediction). The cache key
-  /// only involves the entity and the query (relation + predicted entity +
-  /// direction) because the homologous fact set is always G^e_train.
+  /// Cached homologous mimic rank for (entity, prediction); thread-safe
+  /// with single-flight computation.
   int HomologousRank(EntityId entity, const Triple& prediction,
                      PredictionTarget target);
 
   const LinkPredictionModel& model_;
   const Dataset& dataset_;
   RelevanceEngineOptions options_;
+  /// Only used by SampleConversionSet (single-threaded by contract).
   Rng rng_;
-  size_t post_training_count_ = 0;
-  std::unordered_map<uint64_t, int> homologous_rank_cache_;
+  std::atomic<size_t> post_training_count_{0};
+  std::array<CacheShard, kCacheShards> rank_cache_shards_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace kelpie

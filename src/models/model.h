@@ -125,6 +125,14 @@ class LinkPredictionModel {
   /// initialized embedding row trained on `facts` — in which every mention
   /// of `entity` denotes the mimic — with all other parameters frozen.
   /// `dataset` supplies candidate pools for sampled/contrast terms.
+  ///
+  /// Seeding contract: implementations must draw *all* randomness
+  /// (initialization, shuffling, sampled negatives, dropout masks) from
+  /// `rng` and must not touch mutable shared state, so that the mimic is a
+  /// pure function of (model parameters, entity, facts, rng state) and the
+  /// call is safe to run concurrently with other post-trainings. The
+  /// Relevance Engine seeds `rng` from (engine seed, entity, fact set)
+  /// alone, which makes parallel extraction schedules bitwise-reproducible.
   virtual std::vector<float> PostTrainMimic(
       const Dataset& dataset, EntityId entity,
       const std::vector<Triple>& facts, Rng& rng) const = 0;

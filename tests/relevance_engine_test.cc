@@ -1,5 +1,7 @@
 #include "core/relevance_engine.h"
 
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "eval/ranking.h"
@@ -136,6 +138,77 @@ TEST_F(RelevanceEngineTest, SufficientRelevanceEmptySetIsZero) {
       prediction_, PredictionTarget::kTail, {BornInFactOf(prediction_.head)},
       {});
   EXPECT_DOUBLE_EQ(rel, 0.0);
+}
+
+TEST_F(RelevanceEngineTest, ConcurrentNecessaryRelevanceIsSingleFlight) {
+  ASSERT_TRUE(found_);
+  RelevanceEngine engine(*model_, *dataset_, {});
+  const Triple born = BornInFactOf(prediction_.head);
+  ASSERT_NE(born.head, kNoEntity);
+  // The sequential reference value.
+  RelevanceEngine reference(*model_, *dataset_, {});
+  const double expected = reference.NecessaryRelevance(
+      prediction_, PredictionTarget::kTail, {born});
+
+  constexpr size_t kThreads = 8;
+  std::vector<double> rels(kThreads, 0.0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      rels[i] = engine.NecessaryRelevance(prediction_,
+                                          PredictionTarget::kTail, {born});
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Post-trainings seeded from (seed, entity, fact set) make every thread
+  // compute the exact same relevance as the sequential engine.
+  for (size_t i = 0; i < kThreads; ++i) {
+    EXPECT_EQ(rels[i], expected) << "thread " << i;
+  }
+  // Single-flight on the homologous baseline: exactly one baseline
+  // post-training ran, plus one removal post-training per thread.
+  EXPECT_EQ(engine.post_training_count(), kThreads + 1);
+}
+
+TEST_F(RelevanceEngineTest, ParallelSufficientMatchesSequentialBitwise) {
+  ASSERT_TRUE(found_);
+  RelevanceEngineOptions sampler_options;
+  sampler_options.conversion_set_size = 6;
+  RelevanceEngine sampler(*model_, *dataset_, sampler_options);
+  const std::vector<EntityId> set =
+      sampler.SampleConversionSet(prediction_, PredictionTarget::kTail);
+  ASSERT_FALSE(set.empty());
+  const std::vector<Triple> candidate = {BornInFactOf(prediction_.head)};
+
+  RelevanceEngineOptions sequential;
+  sequential.num_threads = 1;
+  RelevanceEngineOptions parallel;
+  parallel.num_threads = 4;
+  RelevanceEngine engine1(*model_, *dataset_, sequential);
+  RelevanceEngine engine4(*model_, *dataset_, parallel);
+  const double a = engine1.SufficientRelevance(
+      prediction_, PredictionTarget::kTail, candidate, set);
+  const double b = engine4.SufficientRelevance(
+      prediction_, PredictionTarget::kTail, candidate, set);
+  EXPECT_EQ(a, b);  // bitwise: contributions accumulate in set order
+  EXPECT_EQ(engine1.post_training_count(), engine4.post_training_count());
+}
+
+TEST_F(RelevanceEngineTest, RepeatedPostTrainingsAreScheduleIndependent) {
+  ASSERT_TRUE(found_);
+  // Calling the same relevance twice (fresh caches in between) must yield
+  // the same value: the post-training RNG depends only on the fact set,
+  // not on how many post-trainings ran before it.
+  RelevanceEngine engine(*model_, *dataset_, {});
+  const Triple born = BornInFactOf(prediction_.head);
+  const double first = engine.NecessaryRelevance(
+      prediction_, PredictionTarget::kTail, {born});
+  engine.ClearCaches();
+  const double second = engine.NecessaryRelevance(
+      prediction_, PredictionTarget::kTail, {born});
+  EXPECT_EQ(first, second);
 }
 
 TEST(TransferFactTest, ReplacesSourceEntityOnEitherSide) {

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -70,6 +71,50 @@ TEST(ParallelForTest, MoreThreadsThanWork) {
   std::atomic<int> counter{0};
   ParallelFor(pool, 3, [&](size_t) { counter.fetch_add(1); });
   EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ParallelForTest, PropagatesFirstExceptionAfterFinishingBatch) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      ParallelFor(pool, 100,
+                  [&](size_t i) {
+                    ran.fetch_add(1);
+                    if (i == 37) throw std::runtime_error("index 37");
+                  }),
+      std::runtime_error);
+  // A throwing index does not cancel the batch: every index still runs.
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ParallelForTest, NestedCallsDoNotDeadlock) {
+  // The caller participates in its own batch, so an inner ParallelFor
+  // issued from a pool task drains even when every worker is occupied by
+  // outer tasks (the Explanation Builder nests SufficientRelevance's
+  // per-entity loop inside its candidate chunks this way).
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  ParallelFor(pool, 4, [&](size_t) {
+    ParallelFor(pool, 8, [&](size_t) { counter.fetch_add(1); });
+  });
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ParallelMapTest, ResultsArriveInIndexOrder) {
+  ThreadPool pool(4);
+  std::vector<size_t> squares =
+      ParallelMap(pool, 100, [](size_t i) { return i * i; });
+  ASSERT_EQ(squares.size(), 100u);
+  for (size_t i = 0; i < squares.size(); ++i) {
+    EXPECT_EQ(squares[i], i * i);
+  }
+}
+
+TEST(ParallelMapTest, SingleIndexRunsOnCaller) {
+  ThreadPool pool(2);
+  std::vector<int> out = ParallelMap(pool, 1, [](size_t) { return 41; });
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 41);
 }
 
 TEST(ParallelEvalTest, MatchesSequentialBitForBit) {

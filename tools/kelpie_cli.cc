@@ -14,6 +14,7 @@
 //       Explains correct test predictions of a relation and mines the
 //       evidence patterns (bias audit).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -66,10 +67,25 @@ class Args {
     return it == values_.end() ? fallback : it->second;
   }
   double GetDouble(const std::string& key, double fallback) const {
-    return Has(key) ? std::stod(Get(key)) : fallback;
+    if (!Has(key)) return fallback;
+    try {
+      return std::stod(Get(key));
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "error: flag --%s needs a number, got '%s'\n",
+                   key.c_str(), Get(key).c_str());
+      std::exit(1);
+    }
   }
   uint64_t GetU64(const std::string& key, uint64_t fallback) const {
-    return Has(key) ? std::stoull(Get(key)) : fallback;
+    if (!Has(key)) return fallback;
+    try {
+      return std::stoull(Get(key));
+    } catch (const std::exception&) {
+      std::fprintf(stderr,
+                   "error: flag --%s needs a non-negative integer, got '%s'\n",
+                   key.c_str(), Get(key).c_str());
+      std::exit(1);
+    }
   }
 
  private:
@@ -178,7 +194,9 @@ int CmdExplain(const Args& args) {
   PredictionTarget target = args.Has("head-query")
                                 ? PredictionTarget::kHead
                                 : PredictionTarget::kTail;
-  Kelpie kelpie(**model, *dataset, KelpieOptions{});
+  KelpieOptions options;
+  options.num_threads = args.GetU64("threads", 1);
+  Kelpie kelpie(**model, *dataset, options);
   Explanation x;
   if (args.Has("sufficient")) {
     std::vector<EntityId> converted;
@@ -213,7 +231,9 @@ int CmdAudit(const Args& args) {
   if (!relation.ok()) return Fail(relation.status().ToString());
   const size_t limit = args.GetU64("limit", 8);
 
-  Kelpie kelpie(**model, *dataset, KelpieOptions{});
+  KelpieOptions options;
+  options.num_threads = args.GetU64("threads", 1);
+  Kelpie kelpie(**model, *dataset, options);
   PatternMiner miner;
   Rng rng(args.GetU64("seed", 7));
   size_t explained = 0;
@@ -255,8 +275,9 @@ int Usage() {
       "  evaluate --data DIR --model-file FILE [--no-heads] "
       "[--per-relation] [--threads N]\n"
       "  explain  --data DIR --model-file FILE --head H --relation R "
-      "--tail T [--sufficient] [--head-query]\n"
-      "  audit    --data DIR --model-file FILE --relation R [--limit N]\n"
+      "--tail T [--sufficient] [--head-query] [--threads N]\n"
+      "  audit    --data DIR --model-file FILE --relation R [--limit N] "
+      "[--threads N]\n"
       "models: TransE ComplEx ConvE DistMult RotatE\n"
       "datasets: FB15k FB15k-237 WN18 WN18RR YAGO3-10\n");
   return 2;
