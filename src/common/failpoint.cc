@@ -1,0 +1,82 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+
+namespace kelpie {
+namespace failpoint {
+
+namespace {
+
+struct Entry {
+  uint64_t match = kAnyValue;
+  int remaining = 0;  // firings left; negative = unlimited
+  uint64_t fired = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Entry> entries;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // leaked: outlives all threads
+  return *registry;
+}
+
+/// Count of armed failpoints; lets Fire() bail out with one relaxed load in
+/// the (production) case where nothing is armed.
+std::atomic<int> g_armed{0};
+
+}  // namespace
+
+void Arm(std::string_view name, uint64_t match, int times) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto [it, inserted] = registry.entries.try_emplace(std::string(name));
+  if (inserted) {
+    g_armed.fetch_add(1, std::memory_order_relaxed);
+  }
+  it->second = Entry{match, times, 0};
+}
+
+void Disarm(std::string_view name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  if (registry.entries.erase(std::string(name)) > 0) {
+    g_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  g_armed.fetch_sub(static_cast<int>(registry.entries.size()),
+                    std::memory_order_relaxed);
+  registry.entries.clear();
+}
+
+bool Fire(std::string_view name, uint64_t value) {
+  if (g_armed.load(std::memory_order_relaxed) == 0) return false;
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.entries.find(std::string(name));
+  if (it == registry.entries.end()) return false;
+  Entry& entry = it->second;
+  if (entry.match != kAnyValue && entry.match != value) return false;
+  if (entry.remaining == 0) return false;
+  if (entry.remaining > 0) --entry.remaining;
+  ++entry.fired;
+  return true;
+}
+
+uint64_t FireCount(std::string_view name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.entries.find(std::string(name));
+  return it == registry.entries.end() ? 0 : it->second.fired;
+}
+
+}  // namespace failpoint
+}  // namespace kelpie

@@ -1,0 +1,74 @@
+#ifndef KELPIE_COMMON_FAILPOINT_H_
+#define KELPIE_COMMON_FAILPOINT_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+
+namespace kelpie {
+namespace failpoint {
+
+/// -----------------------------------------------------------------------
+/// Deterministic fault injection.
+///
+/// A *failpoint* is a named hook compiled into a production code path (a
+/// training epoch boundary, a file write, a pipeline iteration). Tests arm
+/// a failpoint by name; when the code path reaches it with a matching
+/// value, the site observes `Fire(...) == true` and simulates the fault —
+/// poisoning a parameter with NaN, abandoning a half-written temp file,
+/// aborting a pipeline run. This proves recovery logic with exact,
+/// repeatable triggers instead of flaky timing or signal tricks.
+///
+/// The registry is process-global and thread-safe. When nothing is armed
+/// (the production configuration), `Fire` is a single relaxed atomic load.
+/// -----------------------------------------------------------------------
+
+/// Matches any value passed to Fire().
+inline constexpr uint64_t kAnyValue = std::numeric_limits<uint64_t>::max();
+
+/// Fires on every matching call until disarmed.
+inline constexpr int kForever = -1;
+
+/// Arms `name`: subsequent `Fire(name, value)` calls return true when
+/// `value == match` (or `match == kAnyValue`), at most `times` times
+/// (`kForever` = until disarmed). Re-arming an armed name replaces its
+/// trigger and resets its counters.
+void Arm(std::string_view name, uint64_t match = kAnyValue, int times = 1);
+
+/// Disarms `name`; no-op if not armed.
+void Disarm(std::string_view name);
+
+/// Disarms everything. Tests call this in teardown.
+void DisarmAll();
+
+/// Checkpoint call, placed in production code. Returns true if `name` is
+/// armed, `value` matches, and the firing budget is not exhausted; each
+/// true return consumes one firing. Near-free when nothing is armed.
+bool Fire(std::string_view name, uint64_t value = 0);
+
+/// Number of times `name` has fired since it was (re-)armed. Returns 0 for
+/// unarmed names.
+uint64_t FireCount(std::string_view name);
+
+/// RAII helper: arms on construction, disarms on destruction.
+class Scoped {
+ public:
+  explicit Scoped(std::string_view name, uint64_t match = kAnyValue,
+                  int times = 1)
+      : name_(name) {
+    Arm(name_, match, times);
+  }
+  ~Scoped() { Disarm(name_); }
+
+  Scoped(const Scoped&) = delete;
+  Scoped& operator=(const Scoped&) = delete;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace failpoint
+}  // namespace kelpie
+
+#endif  // KELPIE_COMMON_FAILPOINT_H_

@@ -20,6 +20,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
+    case StatusCode::kAborted:
+      return "Aborted";
   }
   return "Unknown";
 }

@@ -19,6 +19,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kIoError,
   kInternal,
+  kDataLoss,
+  kAborted,
 };
 
 /// Returns a stable human-readable name for a status code ("Ok",
@@ -67,6 +69,18 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// Unrecoverable corruption of stored data (checksum mismatch, truncated
+  /// file, bad framing). Distinct from kIoError: the I/O succeeded but the
+  /// bytes are wrong.
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  /// Operation deliberately stopped before completion (training divergence
+  /// with recovery disabled or budget exhausted, an interrupted pipeline
+  /// run). The system state is consistent; retrying may succeed.
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

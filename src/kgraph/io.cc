@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/atomic_file.h"
 #include "common/string_util.h"
 
 namespace kelpie {
@@ -10,19 +11,16 @@ namespace kelpie {
 Status SaveTriplesTsv(const Dataset& dataset,
                       const std::vector<Triple>& triples,
                       const std::string& path) {
-  std::ofstream out(path);
-  if (!out) {
-    return Status::IoError("cannot open for writing: " + path);
-  }
+  std::string contents;
   for (const Triple& t : triples) {
-    out << dataset.entities().NameOf(t.head) << '\t'
-        << dataset.relations().NameOf(t.relation) << '\t'
-        << dataset.entities().NameOf(t.tail) << '\n';
+    contents += dataset.entities().NameOf(t.head);
+    contents += '\t';
+    contents += dataset.relations().NameOf(t.relation);
+    contents += '\t';
+    contents += dataset.entities().NameOf(t.tail);
+    contents += '\n';
   }
-  if (!out) {
-    return Status::IoError("write failed: " + path);
-  }
-  return Status::Ok();
+  return WriteFileAtomic(path, contents);
 }
 
 Status SaveDatasetTsv(const Dataset& dataset, const std::string& dir) {
@@ -37,24 +35,40 @@ Status SaveDatasetTsv(const Dataset& dataset, const std::string& dir) {
 
 Result<std::vector<Triple>> ParseTriplesTsv(const std::string& text,
                                             Dictionary& entities,
-                                            Dictionary& relations) {
+                                            Dictionary& relations,
+                                            const std::string& source) {
+  const std::string where = source.empty() ? "" : source + ": ";
   std::vector<Triple> out;
   std::istringstream stream(text);
   std::string line;
   size_t line_no = 0;
   while (std::getline(stream, line)) {
     ++line_no;
-    std::string_view stripped = StripWhitespace(line);
-    if (stripped.empty()) continue;
-    std::vector<std::string> fields = Split(stripped, '\t');
+    if (StripWhitespace(line).empty()) continue;
+    // Split the raw line: stripping first would swallow empty head/tail
+    // fields into the neighboring tab and misreport them as a field-count
+    // problem. Per-field stripping below handles surrounding spaces and \r.
+    std::vector<std::string> fields = Split(line, '\t');
     if (fields.size() != 3) {
-      return Status::InvalidArgument("line " + std::to_string(line_no) +
-                                     ": expected 3 tab-separated fields, got " +
-                                     std::to_string(fields.size()));
+      return Status::InvalidArgument(
+          where + "line " + std::to_string(line_no) +
+          ": expected 3 tab-separated fields, got " +
+          std::to_string(fields.size()));
     }
-    EntityId h = entities.GetOrAdd(StripWhitespace(fields[0]));
-    RelationId r = relations.GetOrAdd(StripWhitespace(fields[1]));
-    EntityId t = entities.GetOrAdd(StripWhitespace(fields[2]));
+    std::string_view head = StripWhitespace(fields[0]);
+    std::string_view relation = StripWhitespace(fields[1]);
+    std::string_view tail = StripWhitespace(fields[2]);
+    if (head.empty() || relation.empty() || tail.empty()) {
+      const char* which = head.empty() ? "head"
+                          : relation.empty() ? "relation"
+                                             : "tail";
+      return Status::InvalidArgument(where + "line " +
+                                     std::to_string(line_no) + ": empty " +
+                                     which + " field");
+    }
+    EntityId h = entities.GetOrAdd(head);
+    RelationId r = relations.GetOrAdd(relation);
+    EntityId t = entities.GetOrAdd(tail);
     out.emplace_back(h, r, t);
   }
   return out;
@@ -81,13 +95,16 @@ Result<Dataset> LoadDatasetTsv(const std::string& name,
   std::string text;
   KELPIE_ASSIGN_OR_RETURN(text, ReadWholeFile(dir + "/train.txt"));
   std::vector<Triple> train;
-  KELPIE_ASSIGN_OR_RETURN(train, ParseTriplesTsv(text, entities, relations));
+  KELPIE_ASSIGN_OR_RETURN(
+      train, ParseTriplesTsv(text, entities, relations, dir + "/train.txt"));
   KELPIE_ASSIGN_OR_RETURN(text, ReadWholeFile(dir + "/valid.txt"));
   std::vector<Triple> valid;
-  KELPIE_ASSIGN_OR_RETURN(valid, ParseTriplesTsv(text, entities, relations));
+  KELPIE_ASSIGN_OR_RETURN(
+      valid, ParseTriplesTsv(text, entities, relations, dir + "/valid.txt"));
   KELPIE_ASSIGN_OR_RETURN(text, ReadWholeFile(dir + "/test.txt"));
   std::vector<Triple> test;
-  KELPIE_ASSIGN_OR_RETURN(test, ParseTriplesTsv(text, entities, relations));
+  KELPIE_ASSIGN_OR_RETURN(
+      test, ParseTriplesTsv(text, entities, relations, dir + "/test.txt"));
   return Dataset(name, std::move(entities), std::move(relations),
                  std::move(train), std::move(valid), std::move(test));
 }

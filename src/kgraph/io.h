@@ -11,7 +11,8 @@ namespace kelpie {
 
 /// Writes triples as tab-separated "head<TAB>relation<TAB>tail" lines using
 /// the dataset dictionaries, the interchange format of the standard LP
-/// benchmark distributions (FB15k, WN18, ...).
+/// benchmark distributions (FB15k, WN18, ...). The write is atomic (temp +
+/// fsync + rename): an interrupted save never leaves a torn file behind.
 Status SaveTriplesTsv(const Dataset& dataset,
                       const std::vector<Triple>& triples,
                       const std::string& path);
@@ -27,9 +28,13 @@ Result<Dataset> LoadDatasetTsv(const std::string& name,
                                const std::string& dir);
 
 /// Parses triples from in-memory TSV text, growing the dictionaries.
+/// Malformed lines (wrong field count, empty fields) are reported with a
+/// 1-based line number, prefixed with `source` (a file name; empty for
+/// anonymous text).
 Result<std::vector<Triple>> ParseTriplesTsv(const std::string& text,
                                             Dictionary& entities,
-                                            Dictionary& relations);
+                                            Dictionary& relations,
+                                            const std::string& source = "");
 
 }  // namespace kelpie
 

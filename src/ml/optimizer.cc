@@ -15,10 +15,10 @@ void RowAdagrad::StepSpan(std::span<float> params, size_t row,
                           std::span<const float> grad) {
   KELPIE_DCHECK(params.size() == grad.size());
   std::span<float> acc = accum_.Row(row);
+  const float lr = learning_rate_ * lr_scale_;
   for (size_t i = 0; i < params.size(); ++i) {
     acc[i] += grad[i] * grad[i];
-    params[i] -= learning_rate_ * grad[i] /
-                 (std::sqrt(acc[i]) + epsilon_);
+    params[i] -= lr * grad[i] / (std::sqrt(acc[i]) + epsilon_);
   }
 }
 
@@ -34,12 +34,13 @@ void DenseAdam::StepSpan(std::span<float> params, std::span<const float> grad) {
   std::span<float> p = params;
   std::span<float> m = m_.Data();
   std::span<float> v = v_.Data();
+  const float lr = learning_rate_ * lr_scale_;
   for (size_t i = 0; i < p.size(); ++i) {
     m[i] = beta1_ * m[i] + (1.0f - beta1_) * grad[i];
     v[i] = beta2_ * v[i] + (1.0f - beta2_) * grad[i] * grad[i];
     float m_hat = static_cast<float>(m[i] / bias1);
     float v_hat = static_cast<float>(v[i] / bias2);
-    p[i] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    p[i] -= lr * m_hat / (std::sqrt(v_hat) + epsilon_);
   }
 }
 

@@ -31,9 +31,18 @@ class RowAdagrad {
 
   float learning_rate() const { return learning_rate_; }
 
+  /// Scales the effective learning rate (guarded training backs this off
+  /// after a divergence). 1.0 is a bitwise no-op.
+  void set_lr_scale(float scale) { lr_scale_ = scale; }
+
+  /// Accumulator state, exposed so guarded training can snapshot/rewind it
+  /// together with the parameters it conditions.
+  std::span<float> AccumData() { return accum_.Data(); }
+
  private:
   Matrix accum_;
   float learning_rate_ = 0.0f;
+  float lr_scale_ = 1.0f;
   float epsilon_ = 1e-8f;
 };
 
@@ -60,10 +69,22 @@ class DenseAdam {
   /// the state matrix must have been sized to match.
   void StepSpan(std::span<float> params, std::span<const float> grad);
 
+  /// See RowAdagrad::set_lr_scale.
+  void set_lr_scale(float scale) { lr_scale_ = scale; }
+
+  /// Moment state and step counter, exposed for guarded-training
+  /// snapshot/rewind (the counter must rewind with the moments or the bias
+  /// correction desynchronizes).
+  std::span<float> MomentMData() { return m_.Data(); }
+  std::span<float> MomentVData() { return v_.Data(); }
+  int64_t step_count() const { return t_; }
+  void set_step_count(int64_t t) { t_ = t; }
+
  private:
   Matrix m_;
   Matrix v_;
   float learning_rate_ = 0.0f;
+  float lr_scale_ = 1.0f;
   float beta1_ = 0.9f;
   float beta2_ = 0.999f;
   float epsilon_ = 1e-8f;

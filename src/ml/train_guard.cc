@@ -1,0 +1,116 @@
+#include "ml/train_guard.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/failpoint.h"
+#include "common/logging.h"
+
+namespace kelpie {
+
+namespace {
+
+bool AllFinite(const std::vector<std::span<float>>& spans) {
+  for (std::span<float> s : spans) {
+    for (float v : s) {
+      if (!std::isfinite(v)) return false;
+    }
+  }
+  return true;
+}
+
+void TakeSnapshot(const std::vector<std::span<float>>& spans,
+                  std::vector<std::vector<float>>& snapshot) {
+  snapshot.resize(spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    snapshot[i].assign(spans[i].begin(), spans[i].end());
+  }
+}
+
+void RestoreSnapshot(const std::vector<std::vector<float>>& snapshot,
+                     const std::vector<std::span<float>>& spans) {
+  for (size_t i = 0; i < spans.size(); ++i) {
+    std::copy(snapshot[i].begin(), snapshot[i].end(), spans[i].begin());
+  }
+}
+
+}  // namespace
+
+Result<TrainReport> RunGuardedEpochs(const GuardConfig& config,
+                                     const GuardedTrainHooks& hooks) {
+  TrainReport report;
+
+  if (!config.check_finite) {
+    // Guardrails off: plain epoch loop, zero overhead, no recovery.
+    for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+      hooks.run_epoch(epoch, /*lr_scale=*/1.0f);
+      ++report.epochs_run;
+    }
+    return report;
+  }
+
+  std::vector<std::span<float>> params = hooks.params();
+  std::vector<std::vector<float>> snapshot;
+  std::vector<uint64_t> counters;
+  TakeSnapshot(params, snapshot);
+  if (hooks.save_counters) counters = hooks.save_counters();
+
+  float lr_scale = 1.0f;
+  int recoveries_left = config.max_recoveries;
+
+  for (size_t epoch = 0; epoch < config.epochs;) {
+    double loss = hooks.run_epoch(epoch, lr_scale);
+    ++report.epochs_run;
+
+    if (failpoint::Fire("train.diverge", epoch) && !params.empty() &&
+        !params[0].empty()) {
+      params[0][0] = std::numeric_limits<float>::quiet_NaN();
+    }
+
+    const char* reason = nullptr;
+    if (!std::isfinite(loss)) {
+      reason = "non-finite loss";
+    } else if (!AllFinite(params)) {
+      reason = "non-finite parameters";
+    }
+
+    if (reason == nullptr) {
+      // Epoch committed: this state is the new rewind target.
+      TakeSnapshot(params, snapshot);
+      if (hooks.save_counters) counters = hooks.save_counters();
+      ++epoch;
+      continue;
+    }
+
+    if (!config.recover_on_divergence || recoveries_left <= 0) {
+      RestoreSnapshot(snapshot, params);
+      if (hooks.restore_counters) hooks.restore_counters(counters);
+      std::string msg = "training diverged at epoch " + std::to_string(epoch) +
+                        " (" + reason + ")";
+      if (config.recover_on_divergence) {
+        msg += " after " + std::to_string(config.max_recoveries) +
+               " recovery attempts";
+      } else {
+        msg += "; recovery disabled";
+      }
+      return Status::Aborted(std::move(msg));
+    }
+
+    RestoreSnapshot(snapshot, params);
+    if (hooks.restore_counters) hooks.restore_counters(counters);
+    --recoveries_left;
+    lr_scale *= config.lr_backoff;
+    ++report.recoveries;
+    report.events.push_back(
+        {epoch, lr_scale, reason});
+    KELPIE_LOG(Warning) << "training diverged at epoch " << epoch << " ("
+                        << reason << "); rewound to last finite state, "
+                        << "retrying with lr_scale=" << lr_scale << " ("
+                        << recoveries_left << " recoveries left)";
+  }
+
+  report.lr_scale = lr_scale;
+  return report;
+}
+
+}  // namespace kelpie

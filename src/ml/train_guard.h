@@ -1,0 +1,95 @@
+#ifndef KELPIE_ML_TRAIN_GUARD_H_
+#define KELPIE_ML_TRAIN_GUARD_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace kelpie {
+
+/// Guardrail knobs for one training run. Trainers populate this from the
+/// robustness fields of TrainConfig (models/model.h); keeping a separate
+/// struct here avoids an upward dependency from the ML substrate onto the
+/// model layer.
+struct GuardConfig {
+  size_t epochs = 0;
+  /// Off = plain epoch loop: no finiteness scans, no snapshots, no recovery.
+  bool check_finite = true;
+  /// On divergence, rewind and retry instead of aborting.
+  bool recover_on_divergence = true;
+  /// Rewind-and-retry budget per training run.
+  int max_recoveries = 3;
+  /// Learning-rate scale multiplier applied on each recovery.
+  float lr_backoff = 0.5f;
+};
+
+/// One divergence-recovery incident during a guarded training run.
+struct RecoveryEvent {
+  /// Epoch (0-based) whose result was discarded.
+  size_t epoch = 0;
+  /// Learning-rate scale in effect for the retry (after backoff).
+  float lr_scale = 1.0f;
+  /// Human-readable cause ("non-finite loss", "non-finite parameters").
+  std::string reason;
+};
+
+/// Outcome of a guarded training run; models retain the report of their
+/// last Train() call for callers that want to inspect recovery behavior.
+struct TrainReport {
+  /// Total epoch executions, including discarded (retried) ones.
+  size_t epochs_run = 0;
+  /// Number of rewind-and-retry recoveries performed.
+  int recoveries = 0;
+  /// Final learning-rate scale (1.0 unless backoff was triggered).
+  float lr_scale = 1.0f;
+  std::vector<RecoveryEvent> events;
+};
+
+/// Callbacks a model trainer hands to RunGuardedEpochs. The guard owns the
+/// epoch loop; the trainer owns the math.
+struct GuardedTrainHooks {
+  /// All mutable float state that one epoch can touch: embedding tables AND
+  /// optimizer accumulators (Adagrad sums, Adam moments). The guard scans
+  /// these for finiteness and snapshots/restores them on recovery; any span
+  /// omitted here silently escapes the rewind.
+  std::function<std::vector<std::span<float>>()> params;
+
+  /// Runs one full training epoch with the learning rate scaled by
+  /// `lr_scale` (1.0 on the happy path — multiplying by it must be a
+  /// bitwise no-op to preserve seeded reproducibility). Returns a finite
+  /// loss proxy for the epoch; NaN/Inf marks the epoch as diverged.
+  std::function<double(size_t epoch, float lr_scale)> run_epoch;
+
+  /// Optional: non-float optimizer state that must rewind with the
+  /// parameters (e.g. Adam's step counter). Omit both when not needed.
+  std::function<std::vector<uint64_t>()> save_counters;
+  std::function<void(const std::vector<uint64_t>&)> restore_counters;
+};
+
+/// Runs `config.epochs` training epochs with divergence guardrails:
+///
+///  - After each epoch the loss proxy and every `params` span are checked
+///    for finiteness (skipped entirely when `config.check_finite` is off).
+///  - A finite epoch is committed: the guard snapshots all state in memory
+///    and advances.
+///  - A diverged epoch is rolled back to the last committed snapshot, the
+///    learning-rate scale is multiplied by `config.lr_backoff`, and the
+///    same epoch is retried — at most `config.max_recoveries` times per
+///    run. Each recovery is logged as a warning and recorded in the report.
+///  - If recovery is disabled (`config.recover_on_divergence == false`) or
+///    the budget is exhausted, returns `Status::Aborted` and leaves the
+///    parameters in the last committed (finite) state.
+///
+/// Test hook: failpoint `"train.diverge"` (value = epoch) poisons the first
+/// parameter with NaN after that epoch runs, simulating a blow-up.
+Result<TrainReport> RunGuardedEpochs(const GuardConfig& config,
+                                     const GuardedTrainHooks& hooks);
+
+}  // namespace kelpie
+
+#endif  // KELPIE_ML_TRAIN_GUARD_H_

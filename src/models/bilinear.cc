@@ -95,12 +95,13 @@ void BilinearModel::AddN3Gradient(std::span<const float> row,
   }
 }
 
-void BilinearModel::Train(const Dataset& dataset, Rng& rng) {
+Status BilinearModel::Train(const Dataset& dataset, Rng& rng) {
   InitMatrix(entity_embeddings_, InitScheme::kNormal, 0.1, rng);
   InitMatrix(relation_embeddings_, InitScheme::kNormal, 0.1, rng);
+  last_train_report_ = TrainReport{};
 
   const std::vector<Triple>& train = dataset.train();
-  if (train.empty()) return;
+  if (train.empty()) return Status::Ok();
   const size_t n_ent = num_entities();
   const size_t dim = entity_dim();
 
@@ -113,7 +114,23 @@ void BilinearModel::Train(const Dataset& dataset, Rng& rng) {
   std::vector<float> dq(dim), dw(dim);
   std::vector<float> gh(dim), gr(dim), gt(dim), ge(dim);
 
-  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+  // Full-softmax gradients scale with the score spread, so this trainer can
+  // genuinely blow up; optionally clip each per-row gradient to an L2 ball.
+  const float clip = config_.grad_clip_norm;
+  auto maybe_clip = [clip](std::span<float> g) {
+    if (clip > 0.0f) ProjectToL2Ball(g, clip);
+  };
+
+  GuardedTrainHooks hooks;
+  hooks.params = [&] {
+    return std::vector<std::span<float>>{
+        entity_embeddings_.Data(), relation_embeddings_.Data(),
+        entity_opt.AccumData(), relation_opt.AccumData()};
+  };
+  hooks.run_epoch = [&](size_t /*epoch*/, float lr_scale) -> double {
+    entity_opt.set_lr_scale(lr_scale);
+    relation_opt.set_lr_scale(lr_scale);
+    double epoch_loss = 0.0;
     batcher.Reshuffle(rng);
     for (std::span<const size_t> batch = batcher.NextBatch(); !batch.empty();
          batch = batcher.NextBatch()) {
@@ -129,6 +146,7 @@ void BilinearModel::Train(const Dataset& dataset, Rng& rng) {
           scores[e] = Dot(q, entity_embeddings_.Row(e));
         }
         SoftmaxInPlace(scores);
+        epoch_loss += -std::log(std::max<double>(scores[t], 1e-30));
         Fill(std::span<float>(dq), 0.0f);
         for (size_t e = 0; e < n_ent; ++e) {
           float coeff = scores[e] - (e == t ? 1.0f : 0.0f);
@@ -141,6 +159,7 @@ void BilinearModel::Train(const Dataset& dataset, Rng& rng) {
           if (e == t) {
             AddN3Gradient(entity_embeddings_.Row(e), ge);
           }
+          maybe_clip(ge);
           entity_opt.Step(entity_embeddings_, e, ge);
           Axpy(coeff, entity_embeddings_.Row(e), std::span<float>(dq));
         }
@@ -150,6 +169,8 @@ void BilinearModel::Train(const Dataset& dataset, Rng& rng) {
                           relation_embeddings_.Row(r), dq, gh, gr);
         AddN3Gradient(entity_embeddings_.Row(h), gh);
         AddN3Gradient(relation_embeddings_.Row(r), gr);
+        maybe_clip(gh);
+        maybe_clip(gr);
         entity_opt.Step(entity_embeddings_, h, gh);
         relation_opt.Step(relation_embeddings_, r, gr);
 
@@ -159,6 +180,7 @@ void BilinearModel::Train(const Dataset& dataset, Rng& rng) {
           scores[e] = Dot(entity_embeddings_.Row(e), w);
         }
         SoftmaxInPlace(scores);
+        epoch_loss += -std::log(std::max<double>(scores[h], 1e-30));
         Fill(std::span<float>(dw), 0.0f);
         for (size_t e = 0; e < n_ent; ++e) {
           float coeff = scores[e] - (e == h ? 1.0f : 0.0f);
@@ -166,6 +188,7 @@ void BilinearModel::Train(const Dataset& dataset, Rng& rng) {
           for (size_t i = 0; i < dim; ++i) {
             ge[i] = coeff * w[i];
           }
+          maybe_clip(ge);
           entity_opt.Step(entity_embeddings_, e, ge);
           Axpy(coeff, entity_embeddings_.Row(e), std::span<float>(dw));
         }
@@ -175,11 +198,19 @@ void BilinearModel::Train(const Dataset& dataset, Rng& rng) {
                           entity_embeddings_.Row(t), dw, gr, gt);
         AddN3Gradient(relation_embeddings_.Row(r), gr);
         AddN3Gradient(entity_embeddings_.Row(t), gt);
+        maybe_clip(gr);
+        maybe_clip(gt);
         relation_opt.Step(relation_embeddings_, r, gr);
         entity_opt.Step(entity_embeddings_, t, gt);
       }
     }
-  }
+    return epoch_loss;
+  };
+
+  Result<TrainReport> report = RunGuardedEpochs(MakeGuardConfig(), hooks);
+  if (!report.ok()) return report.status();
+  last_train_report_ = std::move(report.value());
+  return Status::Ok();
 }
 
 std::vector<float> BilinearModel::PostTrainMimic(

@@ -30,7 +30,7 @@ class BilinearModel : public LinkPredictionModel {
   }
   size_t entity_dim() const override { return entity_embeddings_.cols(); }
 
-  void Train(const Dataset& dataset, Rng& rng) override;
+  Status Train(const Dataset& dataset, Rng& rng) override;
 
   float Score(const Triple& t) const override;
   void ScoreAllTails(EntityId h, RelationId r,

@@ -239,14 +239,15 @@ std::vector<float> ConvE::ScoreGradWrtTail(const Triple& t) const {
   return cache.v;  // φ is linear in the tail embedding.
 }
 
-void ConvE::Train(const Dataset& dataset, Rng& rng) {
+Status ConvE::Train(const Dataset& dataset, Rng& rng) {
   InitMatrix(entity_embeddings_, InitScheme::kNormal, 0.1, rng);
   InitMatrix(relation_embeddings_, InitScheme::kNormal, 0.1, rng);
   std::fill(entity_bias_.begin(), entity_bias_.end(), 0.0f);
   conv_.Init(rng);
   fc_.Init(rng);
+  last_train_report_ = TrainReport{};
 
-  if (dataset.train().empty()) return;
+  if (dataset.train().empty()) return Status::Ok();
   const size_t n_ent = num_entities();
   const size_t dim = config_.dim;
 
@@ -290,7 +291,46 @@ void ConvE::Train(const Dataset& dataset, Rng& rng) {
       config_.label_smoothing / static_cast<float>(n_ent);
   const float smooth_neg = config_.label_smoothing / static_cast<float>(n_ent);
 
-  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+  const float clip = config_.grad_clip_norm;
+  auto maybe_clip = [clip](std::span<float> g) {
+    if (clip > 0.0f) ProjectToL2Ball(g, clip);
+  };
+
+  GuardedTrainHooks hooks;
+  hooks.params = [&] {
+    return std::vector<std::span<float>>{
+        entity_embeddings_.Data(),   relation_embeddings_.Data(),
+        std::span<float>(entity_bias_), conv_.weights().Data(),
+        conv_.bias(),                fc_.weights().Data(),
+        fc_.bias(),                  entity_opt.AccumData(),
+        relation_opt.AccumData(),    bias_opt.AccumData(),
+        conv_w_opt.MomentMData(),    conv_w_opt.MomentVData(),
+        conv_b_opt.MomentMData(),    conv_b_opt.MomentVData(),
+        fc_w_opt.MomentMData(),      fc_w_opt.MomentVData(),
+        fc_b_opt.MomentMData(),      fc_b_opt.MomentVData()};
+  };
+  hooks.save_counters = [&] {
+    return std::vector<uint64_t>{
+        static_cast<uint64_t>(conv_w_opt.step_count()),
+        static_cast<uint64_t>(conv_b_opt.step_count()),
+        static_cast<uint64_t>(fc_w_opt.step_count()),
+        static_cast<uint64_t>(fc_b_opt.step_count())};
+  };
+  hooks.restore_counters = [&](const std::vector<uint64_t>& counters) {
+    conv_w_opt.set_step_count(static_cast<int64_t>(counters[0]));
+    conv_b_opt.set_step_count(static_cast<int64_t>(counters[1]));
+    fc_w_opt.set_step_count(static_cast<int64_t>(counters[2]));
+    fc_b_opt.set_step_count(static_cast<int64_t>(counters[3]));
+  };
+  hooks.run_epoch = [&](size_t /*epoch*/, float lr_scale) -> double {
+    entity_opt.set_lr_scale(lr_scale);
+    relation_opt.set_lr_scale(lr_scale);
+    bias_opt.set_lr_scale(lr_scale);
+    conv_w_opt.set_lr_scale(lr_scale);
+    conv_b_opt.set_lr_scale(lr_scale);
+    fc_w_opt.set_lr_scale(lr_scale);
+    fc_b_opt.set_lr_scale(lr_scale);
+    double epoch_loss = 0.0;
     batcher.Reshuffle(rng);
     for (std::span<const size_t> batch = batcher.NextBatch(); !batch.empty();
          batch = batcher.NextBatch()) {
@@ -316,6 +356,8 @@ void ConvE::Train(const Dataset& dataset, Rng& rng) {
         Fill(std::span<float>(dv), 0.0f);
         std::fill(bias_grad.begin(), bias_grad.end(), 0.0f);
         const float inv_n = 1.0f / static_cast<float>(n_ent);
+        epoch_loss += -std::log(std::max<double>(
+            Sigmoid(scores[static_cast<size_t>(triple.tail)]), 1e-30));
         for (size_t e = 0; e < n_ent; ++e) {
           float label = is_positive[e] ? smooth_pos : smooth_neg;
           float dphi = (Sigmoid(scores[e]) - label) * inv_n;
@@ -324,6 +366,7 @@ void ConvE::Train(const Dataset& dataset, Rng& rng) {
           for (size_t i = 0; i < dim; ++i) {
             ge[i] = dphi * cache.v[i];
           }
+          maybe_clip(ge);
           entity_opt.Step(entity_embeddings_, e, ge);
           bias_grad[e] = dphi;
           Axpy(dphi, entity_embeddings_.Row(e), std::span<float>(dv));
@@ -333,6 +376,8 @@ void ConvE::Train(const Dataset& dataset, Rng& rng) {
         Fill(std::span<float>(gh), 0.0f);
         Fill(std::span<float>(gr), 0.0f);
         BackwardMlp(cache, dv, &shared, gh, gr);
+        maybe_clip(gh);
+        maybe_clip(gr);
         entity_opt.Step(entity_embeddings_, h, gh);
         relation_opt.Step(relation_embeddings_, r, gr);
       }
@@ -342,7 +387,13 @@ void ConvE::Train(const Dataset& dataset, Rng& rng) {
       fc_w_opt.Step(fc_.weights(), shared.fc_w);
       fc_b_opt.StepSpan(fc_.bias(), shared.fc_b);
     }
-  }
+    return epoch_loss;
+  };
+
+  Result<TrainReport> report = RunGuardedEpochs(MakeGuardConfig(), hooks);
+  if (!report.ok()) return report.status();
+  last_train_report_ = std::move(report.value());
+  return Status::Ok();
 }
 
 std::vector<float> ConvE::PostTrainMimic(const Dataset& dataset,

@@ -1,5 +1,6 @@
 #include "models/factory.h"
 
+#include "common/logging.h"
 #include "models/complex.h"
 #include "models/conve.h"
 #include "models/distmult.h"
@@ -82,6 +83,42 @@ TrainConfig DefaultConfig(ModelKind kind, const Dataset& dataset) {
   return config;
 }
 
+Status ValidateConfig(ModelKind kind, const TrainConfig& config) {
+  if (config.dim == 0) {
+    return Status::InvalidArgument("dim must be positive");
+  }
+  if (config.batch_size == 0) {
+    return Status::InvalidArgument("batch size must be positive");
+  }
+  if ((kind == ModelKind::kComplEx || kind == ModelKind::kRotatE) &&
+      config.dim % 2 != 0) {
+    return Status::InvalidArgument(
+        std::string(ModelKindName(kind)) + " requires an even dim, got " +
+        std::to_string(config.dim));
+  }
+  if (kind == ModelKind::kConvE) {
+    if (config.reshape_height == 0 ||
+        config.dim % config.reshape_height != 0) {
+      return Status::InvalidArgument(
+          "ConvE requires dim divisible by reshape_height, got dim=" +
+          std::to_string(config.dim) + " reshape_height=" +
+          std::to_string(config.reshape_height));
+    }
+  }
+  if (config.max_recoveries < 0) {
+    return Status::InvalidArgument("max recoveries must be >= 0");
+  }
+  if (!(config.lr_backoff > 0.0f && config.lr_backoff < 1.0f)) {
+    return Status::InvalidArgument(
+        "lr backoff must be in (0, 1), got " +
+        std::to_string(config.lr_backoff));
+  }
+  if (config.grad_clip_norm < 0.0f) {
+    return Status::InvalidArgument("gradient clip norm must be >= 0");
+  }
+  return Status::Ok();
+}
+
 std::unique_ptr<LinkPredictionModel> CreateModel(ModelKind kind,
                                                  const Dataset& dataset,
                                                  const TrainConfig& config) {
@@ -107,7 +144,10 @@ std::unique_ptr<LinkPredictionModel> CreateAndTrain(ModelKind kind,
                                                     uint64_t seed) {
   auto model = CreateModel(kind, dataset, DefaultConfig(kind, dataset));
   Rng rng(seed);
-  model->Train(dataset, rng);
+  Status trained = model->Train(dataset, rng);
+  // Default configs are known-stable; a divergence here is a programmer
+  // error, not a user-recoverable condition.
+  KELPIE_CHECK(trained.ok()) << trained.ToString();
   return model;
 }
 

@@ -26,6 +26,13 @@ Result<ModelKind> ParseModelKind(std::string_view name);
 /// datasets.
 TrainConfig DefaultConfig(ModelKind kind, const Dataset& dataset);
 
+/// Checks user-supplied hyperparameters against a model's structural
+/// requirements (dimension divisibility, positive epoch/batch counts,
+/// sensible recovery knobs) before construction. The model constructors
+/// enforce the same invariants with KELPIE_CHECK; calling this first turns
+/// a bad `--dim` on the CLI into an error message instead of an abort.
+Status ValidateConfig(ModelKind kind, const TrainConfig& config);
+
 /// Instantiates an untrained model sized for `dataset`.
 std::unique_ptr<LinkPredictionModel> CreateModel(ModelKind kind,
                                                  const Dataset& dataset,

@@ -12,6 +12,7 @@
 #include "kgraph/dataset.h"
 #include "kgraph/triple.h"
 #include "math/rng.h"
+#include "ml/train_guard.h"
 
 namespace kelpie {
 
@@ -51,6 +52,24 @@ struct TrainConfig {
   size_t post_training_epochs = 30;
   /// Learning rate for post-training; <= 0 means "reuse learning_rate".
   float post_training_lr = -1.0f;
+
+  // Robustness guardrails (see ml/train_guard.h for semantics).
+  /// Check the per-epoch loss proxy and all parameters/optimizer state for
+  /// finiteness after every epoch. Off = no scans, no snapshots, no
+  /// recovery.
+  bool check_finite = true;
+  /// On a non-finite epoch, rewind to the last finite state, back off the
+  /// learning rate, and retry; when false, Train() returns Aborted instead.
+  bool recover_on_divergence = true;
+  /// Rewind-and-retry budget per Train() call.
+  int max_recoveries = 3;
+  /// Learning-rate scale multiplier applied on each recovery.
+  float lr_backoff = 0.5f;
+  /// When > 0, clip per-example gradient vectors to this L2 norm in the
+  /// trainers that can produce unbounded gradients (ComplEx/DistMult,
+  /// ConvE). TransE and RotatE use unit-norm residual directions and are
+  /// bounded by construction. 0 disables clipping.
+  float grad_clip_norm = 0.0f;
 };
 
 /// Abstract embedding-based link-prediction model.
@@ -81,7 +100,19 @@ class LinkPredictionModel {
 
   /// Trains from random initialization on `dataset.train()`; any previous
   /// parameters are discarded. Deterministic given `rng`'s state.
-  virtual void Train(const Dataset& dataset, Rng& rng) = 0;
+  ///
+  /// Runs under the guardrails configured in TrainConfig (finiteness
+  /// checks, divergence rewind + learning-rate backoff). Returns
+  /// `Status::Aborted` when training diverges and recovery is disabled or
+  /// its budget is exhausted; the parameters are then the last finite
+  /// state, never NaN/Inf garbage. Not marked [[nodiscard]]: call sites
+  /// that train with known-stable configs may ignore the result, and a
+  /// diverged model still holds finite parameters.
+  virtual Status Train(const Dataset& dataset, Rng& rng) = 0;
+
+  /// Guardrail report (epochs run, recoveries, backoff events) of the most
+  /// recent Train() call on this model. Empty before the first call.
+  const TrainReport& last_train_report() const { return last_train_report_; }
 
   /// φ(h, r, t) with stored embeddings.
   virtual float Score(const Triple& t) const = 0;
@@ -157,7 +188,19 @@ class LinkPredictionModel {
   explicit LinkPredictionModel(TrainConfig config)
       : config_(std::move(config)) {}
 
+  /// GuardConfig mirror of this model's robustness fields.
+  GuardConfig MakeGuardConfig() const {
+    GuardConfig guard;
+    guard.epochs = config_.epochs;
+    guard.check_finite = config_.check_finite;
+    guard.recover_on_divergence = config_.recover_on_divergence;
+    guard.max_recoveries = config_.max_recoveries;
+    guard.lr_backoff = config_.lr_backoff;
+    return guard;
+  }
+
   TrainConfig config_;
+  TrainReport last_train_report_;
 };
 
 }  // namespace kelpie

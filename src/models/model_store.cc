@@ -1,7 +1,10 @@
 #include "models/model_store.h"
 
 #include <fstream>
+#include <sstream>
 
+#include "common/atomic_file.h"
+#include "common/crc32c.h"
 #include "ml/serialization.h"
 #include "models/complex.h"
 #include "models/conve.h"
@@ -14,7 +17,9 @@ namespace kelpie {
 namespace {
 
 constexpr std::string_view kMagic = "KELPIEMD";
-constexpr uint64_t kVersion = 1;
+// v2: robustness fields in the config block + CRC32C trailer + atomic
+// writes. v1 files carry no checksum and are no longer accepted.
+constexpr uint64_t kVersion = 2;
 
 Status WriteConfig(std::ostream& out, const TrainConfig& c) {
   KELPIE_RETURN_IF_ERROR(WriteU64(out, c.dim));
@@ -24,12 +29,16 @@ Status WriteConfig(std::ostream& out, const TrainConfig& c) {
       c.learning_rate,  c.regularization, c.margin,
       static_cast<float>(c.negatives_per_positive),
       c.conv_lr,        c.label_smoothing, c.input_dropout,
-      c.feature_dropout, c.hidden_dropout, c.post_training_lr};
+      c.feature_dropout, c.hidden_dropout, c.post_training_lr,
+      c.lr_backoff,     c.grad_clip_norm};
   KELPIE_RETURN_IF_ERROR(WriteFloats(out, floats));
   KELPIE_RETURN_IF_ERROR(WriteU64(out, c.conv_channels));
   KELPIE_RETURN_IF_ERROR(WriteU64(out, c.conv_kernel));
   KELPIE_RETURN_IF_ERROR(WriteU64(out, c.reshape_height));
-  return WriteU64(out, c.post_training_epochs);
+  KELPIE_RETURN_IF_ERROR(WriteU64(out, c.post_training_epochs));
+  KELPIE_RETURN_IF_ERROR(WriteU64(out, c.check_finite ? 1 : 0));
+  KELPIE_RETURN_IF_ERROR(WriteU64(out, c.recover_on_divergence ? 1 : 0));
+  return WriteU64(out, static_cast<uint64_t>(c.max_recoveries));
 }
 
 Status ReadConfig(std::istream& in, TrainConfig& c) {
@@ -42,7 +51,7 @@ Status ReadConfig(std::istream& in, TrainConfig& c) {
   c.batch_size = v;
   std::vector<float> floats;
   KELPIE_RETURN_IF_ERROR(ReadFloats(in, floats, 64));
-  if (floats.size() != 10) {
+  if (floats.size() != 12) {
     return Status::InvalidArgument("bad config float block");
   }
   c.learning_rate = floats[0];
@@ -55,6 +64,8 @@ Status ReadConfig(std::istream& in, TrainConfig& c) {
   c.feature_dropout = floats[7];
   c.hidden_dropout = floats[8];
   c.post_training_lr = floats[9];
+  c.lr_backoff = floats[10];
+  c.grad_clip_norm = floats[11];
   KELPIE_RETURN_IF_ERROR(ReadU64(in, v));
   c.conv_channels = v;
   KELPIE_RETURN_IF_ERROR(ReadU64(in, v));
@@ -63,6 +74,12 @@ Status ReadConfig(std::istream& in, TrainConfig& c) {
   c.reshape_height = v;
   KELPIE_RETURN_IF_ERROR(ReadU64(in, v));
   c.post_training_epochs = v;
+  KELPIE_RETURN_IF_ERROR(ReadU64(in, v));
+  c.check_finite = (v != 0);
+  KELPIE_RETURN_IF_ERROR(ReadU64(in, v));
+  c.recover_on_divergence = (v != 0);
+  KELPIE_RETURN_IF_ERROR(ReadU64(in, v));
+  c.max_recoveries = static_cast<int>(v);
   return Status::Ok();
 }
 
@@ -87,22 +104,43 @@ std::unique_ptr<LinkPredictionModel> CreateModelWithSizes(
 }
 
 Status SaveModel(const LinkPredictionModel& model, ModelKind kind,
-                 const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    return Status::IoError("cannot open for writing: " + path);
-  }
+                 const std::string& path,
+                 std::vector<ModelFileSection>* sections) {
+  std::ostringstream out;
+  auto mark = [&](const char* name) {
+    if (sections != nullptr) {
+      sections->push_back(
+          {name, static_cast<size_t>(out.tellp())});
+    }
+  };
+
   out.write(kMagic.data(), static_cast<std::streamsize>(kMagic.size()));
   KELPIE_RETURN_IF_ERROR(WriteU64(out, kVersion));
+  mark("header");
   KELPIE_RETURN_IF_ERROR(WriteString(out, ModelKindName(kind)));
+  mark("kind");
   KELPIE_RETURN_IF_ERROR(WriteU64(out, model.num_entities()));
   KELPIE_RETURN_IF_ERROR(WriteU64(out, model.num_relations()));
+  mark("sizes");
   KELPIE_RETURN_IF_ERROR(WriteConfig(out, model.config()));
+  mark("config");
   KELPIE_RETURN_IF_ERROR(model.SaveParameters(out));
+  mark("parameters");
   if (!out) {
-    return Status::IoError("write failed: " + path);
+    return Status::Internal("model serialization failed");
   }
-  return Status::Ok();
+
+  std::string payload = std::move(out).str();
+  const uint32_t crc = Crc32c(payload);
+  // Little-endian u32 trailer, independent of serialization.h framing so a
+  // reader can always locate it at size-4.
+  for (int i = 0; i < 4; ++i) {
+    payload.push_back(static_cast<char>((crc >> (8 * i)) & 0xFF));
+  }
+  if (sections != nullptr) {
+    sections->push_back({"crc", payload.size()});
+  }
+  return WriteFileAtomic(path, payload);
 }
 
 Result<std::unique_ptr<LinkPredictionModel>> LoadModel(
@@ -111,32 +149,60 @@ Result<std::unique_ptr<LinkPredictionModel>> LoadModel(
   if (!in) {
     return Status::IoError("cannot open for reading: " + path);
   }
-  std::string magic(kMagic.size(), '\0');
-  in.read(magic.data(), static_cast<std::streamsize>(magic.size()));
-  if (!in || magic != kMagic) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in) {
+    return Status::IoError("read failed: " + path);
+  }
+  const std::string contents = std::move(buf).str();
+
+  if (contents.size() < kMagic.size() ||
+      std::string_view(contents).substr(0, kMagic.size()) != kMagic) {
     return Status::InvalidArgument("not a kelpie model file: " + path);
   }
+  if (contents.size() < kMagic.size() + 4) {
+    return Status::DataLoss("model file truncated: " + path);
+  }
+  const size_t payload_size = contents.size() - 4;
+  uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<uint32_t>(
+                      static_cast<unsigned char>(contents[payload_size + i]))
+                  << (8 * i);
+  }
+  const uint32_t actual_crc = Crc32c(contents.data(), payload_size);
+  if (stored_crc != actual_crc) {
+    return Status::DataLoss(
+        "model file checksum mismatch (truncated, bit-flipped, or pre-CRC "
+        "format): " + path);
+  }
+
+  std::istringstream payload(contents.substr(0, payload_size));
+  payload.ignore(static_cast<std::streamsize>(kMagic.size()));
   uint64_t version = 0;
-  KELPIE_RETURN_IF_ERROR(ReadU64(in, version));
+  KELPIE_RETURN_IF_ERROR(ReadU64(payload, version));
   if (version != kVersion) {
     return Status::InvalidArgument("unsupported model file version " +
                                    std::to_string(version));
   }
   std::string kind_name;
-  KELPIE_RETURN_IF_ERROR(ReadString(in, kind_name));
+  KELPIE_RETURN_IF_ERROR(ReadString(payload, kind_name));
   ModelKind kind;
   KELPIE_ASSIGN_OR_RETURN(kind, ParseModelKind(kind_name));
   uint64_t num_entities = 0, num_relations = 0;
-  KELPIE_RETURN_IF_ERROR(ReadU64(in, num_entities));
-  KELPIE_RETURN_IF_ERROR(ReadU64(in, num_relations));
+  KELPIE_RETURN_IF_ERROR(ReadU64(payload, num_entities));
+  KELPIE_RETURN_IF_ERROR(ReadU64(payload, num_relations));
   TrainConfig config;
-  KELPIE_RETURN_IF_ERROR(ReadConfig(in, config));
+  KELPIE_RETURN_IF_ERROR(ReadConfig(payload, config));
+  // A checksum-valid file can still describe shapes the constructors would
+  // abort on; reject those as data errors instead.
+  KELPIE_RETURN_IF_ERROR(ValidateConfig(kind, config));
   std::unique_ptr<LinkPredictionModel> model =
       CreateModelWithSizes(kind, num_entities, num_relations, config);
   if (model == nullptr) {
     return Status::Internal("model construction failed");
   }
-  KELPIE_RETURN_IF_ERROR(model->LoadParameters(in));
+  KELPIE_RETURN_IF_ERROR(model->LoadParameters(payload));
   return model;
 }
 

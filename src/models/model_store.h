@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "models/factory.h"
@@ -13,17 +14,29 @@ namespace kelpie {
 /// magic + version, the architecture kind, entity/relation counts, the
 /// full TrainConfig (so a loaded model can be post-trained with the exact
 /// hyperparameters it was trained with — which is what the Relevance
-/// Engine's fidelity depends on), then the raw parameters.
-///
-/// Typical flow: train once, SaveModel(); later sessions LoadModel() and
-/// run Kelpie extractions without retraining.
+/// Engine's fidelity depends on), the raw parameters, and a trailing
+/// CRC32C over everything before it. Writes are atomic (temp + fsync +
+/// rename), so a crash mid-save leaves the previous file intact, and
+/// LoadModel rejects truncated or bit-flipped files via the checksum.
 
-/// Writes `model` to `path`, overwriting.
+/// One section of the serialized model file; `end_offset` is the byte
+/// offset one past the section's last byte. Corruption tests use these to
+/// truncate/flip at exact structural boundaries.
+struct ModelFileSection {
+  std::string name;
+  size_t end_offset = 0;
+};
+
+/// Writes `model` to `path`, overwriting atomically. When `sections` is
+/// non-null it receives the layout of the written file.
 Status SaveModel(const LinkPredictionModel& model, ModelKind kind,
-                 const std::string& path);
+                 const std::string& path,
+                 std::vector<ModelFileSection>* sections = nullptr);
 
 /// Reconstructs a model from `path`. The returned model is ready for
-/// scoring, explanation extraction and post-training.
+/// scoring, explanation extraction and post-training. Returns
+/// `Status::DataLoss` when the checksum does not match the payload
+/// (truncation, bit flips, torn writes).
 Result<std::unique_ptr<LinkPredictionModel>> LoadModel(
     const std::string& path);
 

@@ -189,7 +189,7 @@ RotateGrads ComputeResidual(std::span<const float> rotated,
 
 }  // namespace
 
-void RotatE::Train(const Dataset& dataset, Rng& rng) {
+Status RotatE::Train(const Dataset& dataset, Rng& rng) {
   const size_t k = rank();
   InitMatrix(entity_embeddings_, InitScheme::kUniform, 0.5, rng);
   // Phases uniform over [-π, π].
@@ -198,12 +198,13 @@ void RotatE::Train(const Dataset& dataset, Rng& rng) {
       v = static_cast<float>(rng.UniformDouble(-M_PI, M_PI));
     }
   }
+  last_train_report_ = TrainReport{};
 
   const std::vector<Triple>& train = dataset.train();
-  if (train.empty()) return;
+  if (train.empty()) return Status::Ok();
   NegativeSampler sampler(dataset.train_graph(), /*filtered=*/true);
   Batcher batcher(train.size(), config_.batch_size);
-  const float lr = config_.learning_rate;
+  float lr = config_.learning_rate;
   const float margin = config_.margin;
   std::vector<float> rotated(entity_dim());
 
@@ -238,7 +239,14 @@ void RotatE::Train(const Dataset& dataset, Rng& rng) {
     }
   };
 
-  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+  GuardedTrainHooks hooks;
+  hooks.params = [&] {
+    return std::vector<std::span<float>>{entity_embeddings_.Data(),
+                                         relation_phases_.Data()};
+  };
+  hooks.run_epoch = [&](size_t /*epoch*/, float lr_scale) -> double {
+    lr = config_.learning_rate * lr_scale;  // `apply` captures lr by reference
+    double epoch_loss = 0.0;
     batcher.Reshuffle(rng);
     for (std::span<const size_t> batch = batcher.NextBatch(); !batch.empty();
          batch = batcher.NextBatch()) {
@@ -249,12 +257,19 @@ void RotatE::Train(const Dataset& dataset, Rng& rng) {
           float pos_dist = -Score(pos);
           float neg_dist = -Score(neg);
           if (margin + pos_dist - neg_dist <= 0.0f) continue;
+          epoch_loss += margin + pos_dist - neg_dist;
           apply(pos, +1.0f);
           apply(neg, -1.0f);
         }
       }
     }
-  }
+    return epoch_loss;
+  };
+
+  Result<TrainReport> report = RunGuardedEpochs(MakeGuardConfig(), hooks);
+  if (!report.ok()) return report.status();
+  last_train_report_ = std::move(report.value());
+  return Status::Ok();
 }
 
 std::vector<float> RotatE::PostTrainMimic(const Dataset& dataset,

@@ -35,7 +35,7 @@ class RotatE final : public LinkPredictionModel {
   /// Complex rank k (= dim / 2).
   size_t rank() const { return entity_dim() / 2; }
 
-  void Train(const Dataset& dataset, Rng& rng) override;
+  Status Train(const Dataset& dataset, Rng& rng) override;
 
   float Score(const Triple& t) const override;
   void ScoreAllTails(EntityId h, RelationId r,

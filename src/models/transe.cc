@@ -150,22 +150,29 @@ std::vector<float> UnitResidual(std::span<const float> h,
 
 }  // namespace
 
-void TransE::Train(const Dataset& dataset, Rng& rng) {
+Status TransE::Train(const Dataset& dataset, Rng& rng) {
   const double init_bound = 6.0 / std::sqrt(static_cast<double>(config_.dim));
   InitMatrix(entity_embeddings_, InitScheme::kUniform, init_bound, rng);
   InitMatrix(relation_embeddings_, InitScheme::kUniform, init_bound, rng);
   for (size_t r = 0; r < relation_embeddings_.rows(); ++r) {
     ProjectToL2Ball(relation_embeddings_.Row(r), 1.0f);
   }
+  last_train_report_ = TrainReport{};
 
   const std::vector<Triple>& train = dataset.train();
-  if (train.empty()) return;
+  if (train.empty()) return Status::Ok();
   NegativeSampler sampler(dataset.train_graph(), /*filtered=*/true);
   Batcher batcher(train.size(), config_.batch_size);
-  const float lr = config_.learning_rate;
   const float margin = config_.margin;
 
-  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+  GuardedTrainHooks hooks;
+  hooks.params = [&] {
+    return std::vector<std::span<float>>{entity_embeddings_.Data(),
+                                         relation_embeddings_.Data()};
+  };
+  hooks.run_epoch = [&](size_t /*epoch*/, float lr_scale) -> double {
+    const float lr = config_.learning_rate * lr_scale;
+    double epoch_loss = 0.0;
     batcher.Reshuffle(rng);
     for (std::span<const size_t> batch = batcher.NextBatch(); !batch.empty();
          batch = batcher.NextBatch()) {
@@ -181,6 +188,7 @@ void TransE::Train(const Dataset& dataset, Rng& rng) {
           float pos_dist = -Score(pos);
           float neg_dist = -Score(neg);
           if (margin + pos_dist - neg_dist <= 0.0f) continue;
+          epoch_loss += margin + pos_dist - neg_dist;
           // Loss = margin + d(pos) - d(neg); descend.
           std::vector<float> pos_dir = UnitResidual(
               entity_embeddings_.Row(static_cast<size_t>(pos.head)),
@@ -207,7 +215,13 @@ void TransE::Train(const Dataset& dataset, Rng& rng) {
         }
       }
     }
-  }
+    return epoch_loss;
+  };
+
+  Result<TrainReport> report = RunGuardedEpochs(MakeGuardConfig(), hooks);
+  if (!report.ok()) return report.status();
+  last_train_report_ = std::move(report.value());
+  return Status::Ok();
 }
 
 std::vector<float> TransE::PostTrainMimic(const Dataset& dataset,

@@ -23,7 +23,7 @@ class TransE final : public LinkPredictionModel {
   }
   size_t entity_dim() const override { return entity_embeddings_.cols(); }
 
-  void Train(const Dataset& dataset, Rng& rng) override;
+  Status Train(const Dataset& dataset, Rng& rng) override;
 
   float Score(const Triple& t) const override;
   void ScoreAllTails(EntityId h, RelationId r,

@@ -1,0 +1,227 @@
+#include "xp/journal.h"
+
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "common/crc32c.h"
+#include "ml/serialization.h"
+
+namespace kelpie {
+
+namespace {
+
+constexpr std::string_view kMagic = "KELPIEJL";
+constexpr uint64_t kVersion = 1;
+constexpr size_t kHeaderSize = 8 + 8 + 8;  // magic + version + run_id
+// Defense against corrupt length prefixes: no legitimate record (a few
+// dozen triples) comes anywhere near this.
+constexpr uint64_t kMaxRecordSize = 1ull << 24;
+
+uint64_t ReadU64At(const std::string& bytes, size_t offset) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(
+             static_cast<unsigned char>(bytes[offset + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+Status WriteTriple(std::ostream& out, const Triple& t) {
+  KELPIE_RETURN_IF_ERROR(
+      WriteU64(out, static_cast<uint64_t>(static_cast<uint32_t>(t.head))));
+  KELPIE_RETURN_IF_ERROR(WriteU64(
+      out, static_cast<uint64_t>(static_cast<uint32_t>(t.relation))));
+  return WriteU64(out, static_cast<uint64_t>(static_cast<uint32_t>(t.tail)));
+}
+
+Status ReadTriple(std::istream& in, Triple& t) {
+  uint64_t v = 0;
+  KELPIE_RETURN_IF_ERROR(ReadU64(in, v));
+  t.head = static_cast<EntityId>(static_cast<uint32_t>(v));
+  KELPIE_RETURN_IF_ERROR(ReadU64(in, v));
+  t.relation = static_cast<RelationId>(static_cast<uint32_t>(v));
+  KELPIE_RETURN_IF_ERROR(ReadU64(in, v));
+  t.tail = static_cast<EntityId>(static_cast<uint32_t>(v));
+  return Status::Ok();
+}
+
+Result<std::string> SerializeRecord(const PredictionRecord& r) {
+  std::ostringstream out;
+  KELPIE_RETURN_IF_ERROR(WriteTriple(out, r.prediction));
+  KELPIE_RETURN_IF_ERROR(WriteU64(out, r.facts.size()));
+  for (const Triple& f : r.facts) {
+    KELPIE_RETURN_IF_ERROR(WriteTriple(out, f));
+  }
+  KELPIE_RETURN_IF_ERROR(WriteU64(out, r.conversion_set.size()));
+  for (EntityId e : r.conversion_set) {
+    KELPIE_RETURN_IF_ERROR(
+        WriteU64(out, static_cast<uint64_t>(static_cast<uint32_t>(e))));
+  }
+  KELPIE_RETURN_IF_ERROR(WriteU64(out, std::bit_cast<uint64_t>(r.relevance)));
+  KELPIE_RETURN_IF_ERROR(WriteU64(out, r.accepted ? 1 : 0));
+  KELPIE_RETURN_IF_ERROR(WriteU64(out, r.post_trainings));
+  KELPIE_RETURN_IF_ERROR(WriteU64(out, r.visited_candidates));
+  return std::move(out).str();
+}
+
+Status ParseRecord(const std::string& payload, PredictionRecord& r) {
+  std::istringstream in(payload);
+  KELPIE_RETURN_IF_ERROR(ReadTriple(in, r.prediction));
+  uint64_t count = 0;
+  KELPIE_RETURN_IF_ERROR(ReadU64(in, count));
+  if (count > kMaxRecordSize / 24) {
+    return Status::DataLoss("journal record fact count out of range");
+  }
+  r.facts.resize(count);
+  for (Triple& f : r.facts) {
+    KELPIE_RETURN_IF_ERROR(ReadTriple(in, f));
+  }
+  KELPIE_RETURN_IF_ERROR(ReadU64(in, count));
+  if (count > kMaxRecordSize / 8) {
+    return Status::DataLoss("journal record conversion count out of range");
+  }
+  r.conversion_set.resize(count);
+  for (EntityId& e : r.conversion_set) {
+    uint64_t v = 0;
+    KELPIE_RETURN_IF_ERROR(ReadU64(in, v));
+    e = static_cast<EntityId>(static_cast<uint32_t>(v));
+  }
+  uint64_t v = 0;
+  KELPIE_RETURN_IF_ERROR(ReadU64(in, v));
+  r.relevance = std::bit_cast<double>(v);
+  KELPIE_RETURN_IF_ERROR(ReadU64(in, v));
+  r.accepted = (v != 0);
+  KELPIE_RETURN_IF_ERROR(ReadU64(in, r.post_trainings));
+  return ReadU64(in, r.visited_candidates);
+}
+
+std::string FrameRecord(const std::string& payload) {
+  std::string frame;
+  frame.reserve(8 + payload.size() + 4);
+  for (int i = 0; i < 8; ++i) {
+    frame.push_back(
+        static_cast<char>((payload.size() >> (8 * i)) & 0xFF));
+  }
+  frame += payload;
+  const uint32_t crc = Crc32c(payload);
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<char>((crc >> (8 * i)) & 0xFF));
+  }
+  return frame;
+}
+
+std::string MakeHeader(uint64_t run_id) {
+  std::string header(kMagic);
+  for (int i = 0; i < 8; ++i) {
+    header.push_back(static_cast<char>((kVersion >> (8 * i)) & 0xFF));
+  }
+  for (int i = 0; i < 8; ++i) {
+    header.push_back(static_cast<char>((run_id >> (8 * i)) & 0xFF));
+  }
+  return header;
+}
+
+}  // namespace
+
+Result<RunJournal> RunJournal::Open(const std::string& path, uint64_t run_id,
+                                    bool resume) {
+  RunJournal journal;
+  journal.path_ = path;
+
+  std::string existing;
+  if (resume) {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      existing = std::move(buf).str();
+    }
+  }
+
+  size_t good_end = 0;
+  if (!existing.empty()) {
+    if (existing.size() < kHeaderSize ||
+        std::string_view(existing).substr(0, kMagic.size()) != kMagic) {
+      return Status::DataLoss("not a kelpie journal file: " + path);
+    }
+    const uint64_t version = ReadU64At(existing, kMagic.size());
+    if (version != kVersion) {
+      return Status::InvalidArgument("unsupported journal version " +
+                                     std::to_string(version));
+    }
+    const uint64_t stored_run_id = ReadU64At(existing, kMagic.size() + 8);
+    if (stored_run_id != run_id) {
+      return Status::FailedPrecondition(
+          "journal " + path +
+          " belongs to a different run configuration; refusing to resume "
+          "(delete it or drop --resume to start over)");
+    }
+    // Replay complete records; stop at the first torn or corrupt frame.
+    // Anything after it is a casualty of the interrupted write and is
+    // truncated away below.
+    size_t offset = kHeaderSize;
+    good_end = offset;
+    while (offset + 8 <= existing.size()) {
+      const uint64_t len = ReadU64At(existing, offset);
+      if (len > kMaxRecordSize || offset + 8 + len + 4 > existing.size()) {
+        break;
+      }
+      const std::string payload = existing.substr(offset + 8, len);
+      uint32_t stored_crc = 0;
+      for (int i = 0; i < 4; ++i) {
+        stored_crc |= static_cast<uint32_t>(static_cast<unsigned char>(
+                          existing[offset + 8 + len + i]))
+                      << (8 * i);
+      }
+      if (stored_crc != Crc32c(payload)) break;
+      PredictionRecord record;
+      KELPIE_RETURN_IF_ERROR(ParseRecord(payload, record));
+      journal.recovered_.push_back(std::move(record));
+      offset += 8 + len + 4;
+      good_end = offset;
+    }
+    if (good_end < existing.size()) {
+      std::error_code ec;
+      std::filesystem::resize_file(path, good_end, ec);
+      if (ec) {
+        return Status::IoError("cannot truncate torn journal tail of " +
+                               path + ": " + ec.message());
+      }
+    }
+    journal.out_.open(path, std::ios::binary | std::ios::app);
+    if (!journal.out_) {
+      return Status::IoError("cannot open journal for appending: " + path);
+    }
+    return journal;
+  }
+
+  journal.out_.open(path, std::ios::binary | std::ios::trunc);
+  if (!journal.out_) {
+    return Status::IoError("cannot open journal for writing: " + path);
+  }
+  const std::string header = MakeHeader(run_id);
+  journal.out_.write(header.data(),
+                     static_cast<std::streamsize>(header.size()));
+  journal.out_.flush();
+  if (!journal.out_) {
+    return Status::IoError("journal header write failed: " + path);
+  }
+  return journal;
+}
+
+Status RunJournal::Append(const PredictionRecord& record) {
+  std::string payload;
+  KELPIE_ASSIGN_OR_RETURN(payload, SerializeRecord(record));
+  const std::string frame = FrameRecord(payload);
+  out_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  out_.flush();
+  if (!out_) {
+    return Status::IoError("journal append failed: " + path_);
+  }
+  return Status::Ok();
+}
+
+}  // namespace kelpie

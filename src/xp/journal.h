@@ -1,0 +1,76 @@
+#ifndef KELPIE_XP_JOURNAL_H_
+#define KELPIE_XP_JOURNAL_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "kgraph/triple.h"
+
+namespace kelpie {
+
+/// Per-prediction progress of an end-to-end experiment run, as persisted in
+/// the journal: everything needed to reconstruct the prediction's
+/// explanation without re-running the (expensive) extraction.
+struct PredictionRecord {
+  Triple prediction;
+  /// Explanation facts (X*).
+  std::vector<Triple> facts;
+  /// Conversion set (sufficient scenario; empty for necessary).
+  std::vector<EntityId> conversion_set;
+  double relevance = 0.0;
+  bool accepted = false;
+  uint64_t post_trainings = 0;
+  uint64_t visited_candidates = 0;
+
+  bool operator==(const PredictionRecord&) const = default;
+};
+
+/// Append-only, CRC-framed journal of per-prediction progress.
+///
+/// File layout: a header (magic "KELPIEJL", format version, the run id)
+/// followed by records, each framed as [u64 length][payload][u32 CRC32C of
+/// payload]. Appends are flushed record-by-record, so a killed run loses at
+/// most the record being written; on reopen a torn or corrupt tail is
+/// detected by the framing, truncated away, and the run resumes from the
+/// last complete record.
+///
+/// The run id is a fingerprint of everything that determines the run's
+/// results (scenario, model, dataset, predictions, seeds — see
+/// ComputeRunId in pipeline.h callers). Resuming with a mismatched id
+/// fails: replaying records from a different configuration would silently
+/// produce wrong results.
+class RunJournal {
+ public:
+  /// Opens `path` for appending. With `resume` false the file is created
+  /// fresh (an existing journal is discarded). With `resume` true an
+  /// existing file is validated against `run_id` and its complete records
+  /// become `recovered()`; a missing file starts an empty journal.
+  static Result<RunJournal> Open(const std::string& path, uint64_t run_id,
+                                 bool resume);
+
+  /// Appends one record and flushes it to the file.
+  Status Append(const PredictionRecord& record);
+
+  /// Records recovered from a resumed journal, in append order.
+  const std::vector<PredictionRecord>& recovered() const {
+    return recovered_;
+  }
+
+  /// An inert journal (no file); assign from Open() before use.
+  RunJournal() = default;
+  RunJournal(RunJournal&&) = default;
+  RunJournal& operator=(RunJournal&&) = default;
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::vector<PredictionRecord> recovered_;
+};
+
+}  // namespace kelpie
+
+#endif  // KELPIE_XP_JOURNAL_H_

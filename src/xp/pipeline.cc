@@ -3,10 +3,81 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "common/crc32c.h"
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "eval/ranking.h"
 
 namespace kelpie {
+
+namespace {
+
+/// SplitMix64 finalizer: full-avalanche 64-bit mixing.
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Fingerprint of everything that determines a journaled run's results.
+/// Two runs with the same fingerprint replay each other's journals; any
+/// difference (scenario, model, dataset, predictions, seeds) makes resume
+/// refuse.
+uint64_t ComputeRunId(std::string_view scenario, ModelKind kind,
+                      const Dataset& dataset,
+                      const std::vector<Triple>& predictions,
+                      PredictionTarget target, uint64_t retrain_seed,
+                      size_t conversion_set_size, uint64_t conversion_seed) {
+  std::string s(scenario);
+  s += '|';
+  s += ModelKindName(kind);
+  s += '|';
+  s += dataset.name();
+  s += '|';
+  s += std::to_string(static_cast<int>(target));
+  s += '|';
+  s += std::to_string(retrain_seed);
+  s += '|';
+  s += std::to_string(conversion_set_size);
+  s += '|';
+  s += std::to_string(conversion_seed);
+  uint64_t id = Crc32c(s);
+  for (const Triple& p : predictions) {
+    id = Mix64(id ^ p.Key());
+  }
+  return id;
+}
+
+/// Rebuilds the Explanation a journal record captured. `seconds` is zero by
+/// construction — journaled runs do not preserve wall-clock timings, so
+/// replayed and freshly extracted explanations compare byte-identical.
+Explanation RecordToExplanation(const PredictionRecord& record,
+                                ExplanationKind kind) {
+  Explanation x;
+  x.kind = kind;
+  x.facts = record.facts;
+  x.relevance = record.relevance;
+  x.accepted = record.accepted;
+  x.post_trainings = record.post_trainings;
+  x.visited_candidates = record.visited_candidates;
+  return x;
+}
+
+Status CheckRecordedPrediction(const PredictionRecord& record,
+                               const Triple& expected, size_t index) {
+  if (!(record.prediction == expected)) {
+    return Status::FailedPrecondition(
+        "journal record " + std::to_string(index) +
+        " does not match prediction " + std::to_string(index) +
+        " of this run");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
 
 std::vector<Triple> SampleCorrectPredictions(
     const LinkPredictionModel& model, const Dataset& dataset, size_t count,
@@ -173,6 +244,143 @@ SufficientRunResult RunSufficientEndToEnd(
 
   // Baseline metrics of the fictitious predictions under the original
   // model (H@1 is 0 by construction of the conversion sets).
+  std::vector<Triple> converted =
+      ConversionPredictions(predictions, result.conversion_sets, target);
+  MetricsAccumulator before;
+  for (const Triple& p : converted) {
+    before.AddRank(FilteredRank(original_model, dataset, p, target));
+  }
+  result.before = LpMetrics{before.HitsAt(1), before.Mrr()};
+
+  std::vector<Triple> added = TransferredFacts(
+      predictions, result.explanations, result.conversion_sets, target);
+  result.after = RetrainAndMeasure(kind, dataset, converted, {}, added,
+                                   target, retrain_seed);
+  return result;
+}
+
+Result<NecessaryRunResult> RunNecessaryEndToEndResumable(
+    Explainer& explainer, ModelKind kind, const Dataset& dataset,
+    const std::vector<Triple>& predictions, uint64_t retrain_seed,
+    PredictionTarget target, const JournalOptions& journal_options) {
+  const uint64_t run_id =
+      ComputeRunId("necessary", kind, dataset, predictions, target,
+                   retrain_seed, /*conversion_set_size=*/0,
+                   /*conversion_seed=*/0);
+  RunJournal journal;
+  KELPIE_ASSIGN_OR_RETURN(
+      journal,
+      RunJournal::Open(journal_options.path, run_id, journal_options.resume));
+  if (journal.recovered().size() > predictions.size()) {
+    return Status::FailedPrecondition(
+        "journal has more records than this run has predictions");
+  }
+  if (!journal.recovered().empty()) {
+    KELPIE_LOG(Info) << "resuming necessary run: "
+                     << journal.recovered().size() << "/"
+                     << predictions.size() << " predictions journaled";
+  }
+
+  NecessaryRunResult result;
+  std::vector<Triple> to_remove;
+  std::unordered_set<uint64_t> seen;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    Explanation x;
+    if (i < journal.recovered().size()) {
+      const PredictionRecord& record = journal.recovered()[i];
+      KELPIE_RETURN_IF_ERROR(
+          CheckRecordedPrediction(record, predictions[i], i));
+      x = RecordToExplanation(record, ExplanationKind::kNecessary);
+    } else {
+      x = explainer.ExplainNecessary(predictions[i], target);
+      x.seconds = 0.0;
+      PredictionRecord record;
+      record.prediction = predictions[i];
+      record.facts = x.facts;
+      record.relevance = x.relevance;
+      record.accepted = x.accepted;
+      record.post_trainings = x.post_trainings;
+      record.visited_candidates = x.visited_candidates;
+      KELPIE_RETURN_IF_ERROR(journal.Append(record));
+      if (failpoint::Fire("pipeline.interrupt", i)) {
+        return Status::Aborted("injected interrupt after prediction " +
+                               std::to_string(i));
+      }
+    }
+    for (const Triple& fact : x.facts) {
+      if (seen.insert(fact.Key()).second) {
+        to_remove.push_back(fact);
+      }
+    }
+    result.explanations.push_back(std::move(x));
+  }
+  result.after = RetrainAndMeasure(kind, dataset, predictions, to_remove, {},
+                                   target, retrain_seed);
+  return result;
+}
+
+Result<SufficientRunResult> RunSufficientEndToEndResumable(
+    Explainer& explainer, const LinkPredictionModel& original_model,
+    ModelKind kind, const Dataset& dataset,
+    const std::vector<Triple>& predictions, size_t conversion_set_size,
+    uint64_t conversion_seed, uint64_t retrain_seed, PredictionTarget target,
+    const JournalOptions& journal_options) {
+  const uint64_t run_id =
+      ComputeRunId("sufficient", kind, dataset, predictions, target,
+                   retrain_seed, conversion_set_size, conversion_seed);
+  RunJournal journal;
+  KELPIE_ASSIGN_OR_RETURN(
+      journal,
+      RunJournal::Open(journal_options.path, run_id, journal_options.resume));
+  if (journal.recovered().size() > predictions.size()) {
+    return Status::FailedPrecondition(
+        "journal has more records than this run has predictions");
+  }
+  if (!journal.recovered().empty()) {
+    KELPIE_LOG(Info) << "resuming sufficient run: "
+                     << journal.recovered().size() << "/"
+                     << predictions.size() << " predictions journaled";
+  }
+
+  SufficientRunResult result;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    if (i < journal.recovered().size()) {
+      const PredictionRecord& record = journal.recovered()[i];
+      KELPIE_RETURN_IF_ERROR(
+          CheckRecordedPrediction(record, predictions[i], i));
+      result.conversion_sets.push_back(record.conversion_set);
+      result.explanations.push_back(
+          RecordToExplanation(record, ExplanationKind::kSufficient));
+      continue;
+    }
+    // Per-prediction conversion stream: a pure function of the seed, the
+    // prediction and its index, independent of how many predictions ran
+    // before — the property that makes resumed draws match fresh ones.
+    Rng conversion_rng(
+        Mix64(Mix64(conversion_seed ^ predictions[i].Key()) ^ i));
+    std::vector<EntityId> conversion_set = SampleConversionEntities(
+        original_model, dataset, predictions[i], target, conversion_set_size,
+        conversion_rng);
+    Explanation x =
+        explainer.ExplainSufficient(predictions[i], target, conversion_set);
+    x.seconds = 0.0;
+    PredictionRecord record;
+    record.prediction = predictions[i];
+    record.facts = x.facts;
+    record.conversion_set = conversion_set;
+    record.relevance = x.relevance;
+    record.accepted = x.accepted;
+    record.post_trainings = x.post_trainings;
+    record.visited_candidates = x.visited_candidates;
+    KELPIE_RETURN_IF_ERROR(journal.Append(record));
+    result.conversion_sets.push_back(std::move(conversion_set));
+    result.explanations.push_back(std::move(x));
+    if (failpoint::Fire("pipeline.interrupt", i)) {
+      return Status::Aborted("injected interrupt after prediction " +
+                             std::to_string(i));
+    }
+  }
+
   std::vector<Triple> converted =
       ConversionPredictions(predictions, result.conversion_sets, target);
   MetricsAccumulator before;

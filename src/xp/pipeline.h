@@ -1,12 +1,15 @@
 #ifndef KELPIE_XP_PIPELINE_H_
 #define KELPIE_XP_PIPELINE_H_
 
+#include <string>
 #include <vector>
 
 #include "baselines/explainer.h"
+#include "common/result.h"
 #include "eval/evaluator.h"
 #include "math/rng.h"
 #include "models/factory.h"
+#include "xp/journal.h"
 
 namespace kelpie {
 
@@ -116,6 +119,43 @@ std::vector<Triple> TransferredFacts(
     const std::vector<Explanation>& explanations,
     const std::vector<std::vector<EntityId>>& conversion_sets,
     PredictionTarget target = PredictionTarget::kTail);
+
+/// Where a resumable run keeps its journal, and whether to resume from it.
+struct JournalOptions {
+  std::string path;
+  /// True: replay complete records from an existing journal and continue
+  /// after them. False: start fresh, discarding any existing journal.
+  bool resume = false;
+};
+
+/// Journaled variant of RunNecessaryEndToEnd: each prediction's extracted
+/// explanation is appended to the journal at `journal.path` before the next
+/// extraction starts, so a killed run restarted with `journal.resume`
+/// replays the finished predictions from disk and produces byte-identical
+/// final results (extraction is deterministic per prediction; journaled
+/// runs zero the wall-clock `seconds` field so replayed and fresh
+/// explanations compare equal). Returns `Status::FailedPrecondition` when
+/// the journal belongs to a different run configuration.
+///
+/// Test hook: failpoint `"pipeline.interrupt"` (value = prediction index)
+/// aborts the run right after that prediction's record is journaled,
+/// simulating a kill at a deterministic point.
+Result<NecessaryRunResult> RunNecessaryEndToEndResumable(
+    Explainer& explainer, ModelKind kind, const Dataset& dataset,
+    const std::vector<Triple>& predictions, uint64_t retrain_seed,
+    PredictionTarget target, const JournalOptions& journal);
+
+/// Journaled variant of RunSufficientEndToEnd. Unlike the non-resumable
+/// function (which draws all conversion sets from one shared Rng), each
+/// prediction's conversion set is sampled from an independent stream seeded
+/// by (conversion_seed, prediction, index) — so a resumed run reproduces
+/// exactly the sets an uninterrupted run would draw.
+Result<SufficientRunResult> RunSufficientEndToEndResumable(
+    Explainer& explainer, const LinkPredictionModel& original_model,
+    ModelKind kind, const Dataset& dataset,
+    const std::vector<Triple>& predictions, size_t conversion_set_size,
+    uint64_t conversion_seed, uint64_t retrain_seed, PredictionTarget target,
+    const JournalOptions& journal);
 
 /// Minimality study (paper Section 5.4): replaces each explanation by a
 /// random strict subset (uniform removal size in [1, len); length-1

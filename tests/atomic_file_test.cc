@@ -1,0 +1,115 @@
+#include "common/atomic_file.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+
+namespace kelpie {
+namespace {
+
+std::string ReadAll(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+size_t CountFilesIn(const std::filesystem::path& dir) {
+  size_t n = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    (void)entry;
+    ++n;
+  }
+  return n;
+}
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("kelpie_atomic_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    failpoint::DisarmAll();
+    std::filesystem::remove_all(dir_);
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(AtomicFileTest, WritesContents) {
+  auto path = dir_ / "out.txt";
+  ASSERT_TRUE(WriteFileAtomic(path.string(), "hello\nworld\n").ok());
+  EXPECT_EQ(ReadAll(path), "hello\nworld\n");
+  // No leftover temp files.
+  EXPECT_EQ(CountFilesIn(dir_), 1u);
+}
+
+TEST_F(AtomicFileTest, OverwritesExisting) {
+  auto path = dir_ / "out.txt";
+  ASSERT_TRUE(WriteFileAtomic(path.string(), "old contents").ok());
+  ASSERT_TRUE(WriteFileAtomic(path.string(), "new").ok());
+  EXPECT_EQ(ReadAll(path), "new");
+}
+
+TEST_F(AtomicFileTest, WritesEmptyFile) {
+  auto path = dir_ / "empty.txt";
+  ASSERT_TRUE(WriteFileAtomic(path.string(), "").ok());
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_EQ(ReadAll(path), "");
+}
+
+TEST_F(AtomicFileTest, MissingDirectoryFails) {
+  Status s = WriteFileAtomic((dir_ / "no_such_dir" / "f.txt").string(), "x");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+TEST_F(AtomicFileTest, PartialWriteLeavesPreviousFileIntact) {
+  auto path = dir_ / "model.bin";
+  ASSERT_TRUE(WriteFileAtomic(path.string(), "previous good contents").ok());
+
+  failpoint::Scoped fault("atomic_file.partial_write");
+  Status s = WriteFileAtomic(path.string(), "replacement that gets cut off");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  // The crash simulation abandoned the temp file mid-write: the original is
+  // untouched and the temp has been cleaned up.
+  EXPECT_EQ(ReadAll(path), "previous good contents");
+  EXPECT_EQ(CountFilesIn(dir_), 1u);
+}
+
+TEST_F(AtomicFileTest, RenameFailureLeavesPreviousFileIntact) {
+  auto path = dir_ / "model.bin";
+  ASSERT_TRUE(WriteFileAtomic(path.string(), "previous good contents").ok());
+
+  failpoint::Scoped fault("atomic_file.rename");
+  Status s = WriteFileAtomic(path.string(), "replacement");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(ReadAll(path), "previous good contents");
+  EXPECT_EQ(CountFilesIn(dir_), 1u);
+}
+
+TEST_F(AtomicFileTest, PartialWriteWithNoPreviousFileLeavesNothing) {
+  auto path = dir_ / "fresh.bin";
+  failpoint::Scoped fault("atomic_file.partial_write");
+  EXPECT_FALSE(WriteFileAtomic(path.string(), "contents").ok());
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_EQ(CountFilesIn(dir_), 0u);
+}
+
+TEST_F(AtomicFileTest, SucceedsAfterFaultConsumed) {
+  auto path = dir_ / "retry.bin";
+  failpoint::Arm("atomic_file.partial_write");  // fires once
+  EXPECT_FALSE(WriteFileAtomic(path.string(), "first try").ok());
+  EXPECT_TRUE(WriteFileAtomic(path.string(), "second try").ok());
+  EXPECT_EQ(ReadAll(path), "second try");
+}
+
+}  // namespace
+}  // namespace kelpie

@@ -1,0 +1,51 @@
+#include "common/crc32c.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace kelpie {
+namespace {
+
+TEST(Crc32cTest, EmptyInputIsZero) {
+  EXPECT_EQ(Crc32c("", 0), 0u);
+  EXPECT_EQ(Crc32c(std::string_view()), 0u);
+}
+
+TEST(Crc32cTest, KnownVectors) {
+  // The classic check value for CRC32C (RFC 3720 / Castagnoli).
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  // iSCSI test vectors: 32 bytes of zeros and 32 bytes of 0xFF.
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros), 0x8A9136AAu);
+  std::string ones(32, '\xFF');
+  EXPECT_EQ(Crc32c(ones), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  const std::string a = "hello, ";
+  const std::string b = "world";
+  EXPECT_EQ(Crc32cExtend(Crc32c(a), b.data(), b.size()), Crc32c(a + b));
+}
+
+TEST(Crc32cTest, ExtendByteByByteMatchesOneShot) {
+  const std::string data = "incremental checksumming";
+  uint32_t crc = 0;
+  for (char c : data) {
+    crc = Crc32cExtend(crc, &c, 1);
+  }
+  EXPECT_EQ(crc, Crc32c(data));
+}
+
+TEST(Crc32cTest, SingleBitFlipChangesChecksum) {
+  std::string data = "some serialized payload bytes";
+  const uint32_t original = Crc32c(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::string corrupted = data;
+    corrupted[i] ^= 0x01;
+    EXPECT_NE(Crc32c(corrupted), original) << "flip at byte " << i;
+  }
+}
+
+}  // namespace
+}  // namespace kelpie

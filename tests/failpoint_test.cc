@@ -1,0 +1,82 @@
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+namespace kelpie {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+TEST_F(FailpointTest, UnarmedNeverFires) {
+  EXPECT_FALSE(failpoint::Fire("nope"));
+  EXPECT_FALSE(failpoint::Fire("nope", 42));
+  EXPECT_EQ(failpoint::FireCount("nope"), 0u);
+}
+
+TEST_F(FailpointTest, FiresOnceByDefault) {
+  failpoint::Arm("fp");
+  EXPECT_TRUE(failpoint::Fire("fp"));
+  EXPECT_FALSE(failpoint::Fire("fp"));
+  EXPECT_EQ(failpoint::FireCount("fp"), 1u);
+}
+
+TEST_F(FailpointTest, MatchValueFilters) {
+  failpoint::Arm("fp", 7);
+  EXPECT_FALSE(failpoint::Fire("fp", 6));
+  EXPECT_FALSE(failpoint::Fire("fp", 8));
+  EXPECT_TRUE(failpoint::Fire("fp", 7));
+  EXPECT_EQ(failpoint::FireCount("fp"), 1u);
+}
+
+TEST_F(FailpointTest, AnyValueMatchesEverything) {
+  failpoint::Arm("fp", failpoint::kAnyValue, 2);
+  EXPECT_TRUE(failpoint::Fire("fp", 1));
+  EXPECT_TRUE(failpoint::Fire("fp", 999));
+  EXPECT_FALSE(failpoint::Fire("fp", 3));  // budget of 2 exhausted
+}
+
+TEST_F(FailpointTest, ForeverFiresUntilDisarmed) {
+  failpoint::Arm("fp", failpoint::kAnyValue, failpoint::kForever);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(failpoint::Fire("fp"));
+  }
+  EXPECT_EQ(failpoint::FireCount("fp"), 10u);
+  failpoint::Disarm("fp");
+  EXPECT_FALSE(failpoint::Fire("fp"));
+}
+
+TEST_F(FailpointTest, RearmResetsBudgetAndCount) {
+  failpoint::Arm("fp");
+  EXPECT_TRUE(failpoint::Fire("fp"));
+  failpoint::Arm("fp");
+  EXPECT_EQ(failpoint::FireCount("fp"), 0u);
+  EXPECT_TRUE(failpoint::Fire("fp"));
+}
+
+TEST_F(FailpointTest, DisarmAllClearsEverything) {
+  failpoint::Arm("a", failpoint::kAnyValue, failpoint::kForever);
+  failpoint::Arm("b", failpoint::kAnyValue, failpoint::kForever);
+  failpoint::DisarmAll();
+  EXPECT_FALSE(failpoint::Fire("a"));
+  EXPECT_FALSE(failpoint::Fire("b"));
+}
+
+TEST_F(FailpointTest, ScopedDisarmsOnDestruction) {
+  {
+    failpoint::Scoped scoped("fp", failpoint::kAnyValue, failpoint::kForever);
+    EXPECT_TRUE(failpoint::Fire("fp"));
+  }
+  EXPECT_FALSE(failpoint::Fire("fp"));
+}
+
+TEST_F(FailpointTest, IndependentNames) {
+  failpoint::Arm("a");
+  EXPECT_FALSE(failpoint::Fire("b"));
+  EXPECT_TRUE(failpoint::Fire("a"));
+}
+
+}  // namespace
+}  // namespace kelpie

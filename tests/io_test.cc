@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include <gtest/gtest.h>
 
@@ -36,6 +37,48 @@ TEST(ParseTriplesTest, RejectsWrongFieldCount) {
       ParseTriplesTsv("a\tb\n", entities, relations);
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParseTriplesTest, WrongFieldCountReportsLineNumber) {
+  Dictionary entities, relations;
+  // Line 1 is fine, line 3 (after a blank line 2) has four fields.
+  Result<std::vector<Triple>> result = ParseTriplesTsv(
+      "a\tr\tb\n\nc\tr\td\textra\n", entities, relations);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos)
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("got 4"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(ParseTriplesTest, EmptyFieldReportsWhichField) {
+  Dictionary entities, relations;
+  struct Case {
+    const char* text;
+    const char* field;
+  };
+  for (const Case& c : {Case{" \tr\tb\n", "head"}, Case{"a\t \tb\n", "relation"},
+                        Case{"a\tr\t \n", "tail"}}) {
+    Result<std::vector<Triple>> result =
+        ParseTriplesTsv(c.text, entities, relations);
+    ASSERT_FALSE(result.ok()) << c.text;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(result.status().message().find(std::string("empty ") + c.field),
+              std::string::npos)
+        << result.status().ToString();
+    EXPECT_NE(result.status().message().find("line 1"), std::string::npos);
+  }
+}
+
+TEST(ParseTriplesTest, SourceNamePrefixesErrors) {
+  Dictionary entities, relations;
+  Result<std::vector<Triple>> result = ParseTriplesTsv(
+      "only_one_field\n", entities, relations, "data/train.txt");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("data/train.txt: line 1"),
+            std::string::npos)
+      << result.status().ToString();
 }
 
 TEST(ParseTriplesTest, ReusesExistingIds) {
@@ -81,6 +124,26 @@ TEST_F(IoRoundTripTest, SaveAndLoadDataset) {
   // appearance, so compare by rendered names).
   EXPECT_EQ(loaded->TripleToString(loaded->train()[0]),
             original.TripleToString(original.train()[0]));
+}
+
+TEST_F(IoRoundTripTest, MalformedFileErrorNamesTheFile) {
+  Dictionary entities, relations;
+  EntityId a = entities.GetOrAdd("alpha");
+  EntityId b = entities.GetOrAdd("beta");
+  RelationId r = relations.GetOrAdd("rel");
+  Dataset d("x", std::move(entities), std::move(relations),
+            {Triple(a, r, b)}, {Triple(a, r, b)}, {Triple(b, r, a)});
+  ASSERT_TRUE(SaveDatasetTsv(d, dir_.string()).ok());
+  {
+    std::ofstream out(dir_ / "valid.txt", std::ios::app);
+    out << "broken_line_without_tabs\n";
+  }
+  Result<Dataset> loaded = LoadDatasetTsv("x", dir_.string());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("valid.txt: line 2"),
+            std::string::npos)
+      << loaded.status().ToString();
 }
 
 TEST_F(IoRoundTripTest, LoadFromMissingDirFails) {

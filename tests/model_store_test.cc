@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
 #include "ml/serialization.h"
 #include "tests/test_util.h"
 
@@ -111,6 +112,117 @@ TEST(ModelStoreErrorsTest, TruncatedFileRejected) {
       LoadModel(path.string());
   EXPECT_FALSE(loaded.ok());
   std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption matrix: every structural section of the file, truncated at its
+// boundary and bit-flipped inside it, must be rejected by LoadModel.
+// ---------------------------------------------------------------------------
+
+class ModelStoreCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("kelpie_corrupt_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    Dataset dataset = testing_util::MakeToyDataset();
+    auto model = testing_util::TrainToyModel(ModelKind::kComplEx, dataset, 3);
+    path_ = (dir_ / "model.bin").string();
+    ASSERT_TRUE(
+        SaveModel(*model, ModelKind::kComplEx, path_, &sections_).ok());
+    std::ifstream in(path_, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes_ = std::move(buf).str();
+    ASSERT_FALSE(sections_.empty());
+    ASSERT_EQ(sections_.back().name, "crc");
+    ASSERT_EQ(sections_.back().end_offset, bytes_.size());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void WriteBytes(const std::string& contents) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+  }
+
+  std::filesystem::path dir_;
+  std::string path_;
+  std::string bytes_;
+  std::vector<ModelFileSection> sections_;
+};
+
+TEST_F(ModelStoreCorruptionTest, SectionsCoverWholeFileInOrder) {
+  size_t prev = 0;
+  for (const ModelFileSection& s : sections_) {
+    EXPECT_GT(s.end_offset, prev) << s.name;
+    prev = s.end_offset;
+  }
+  EXPECT_EQ(prev, bytes_.size());
+}
+
+TEST_F(ModelStoreCorruptionTest, TruncationAtEverySectionBoundaryRejected) {
+  for (const ModelFileSection& s : sections_) {
+    if (s.end_offset == bytes_.size()) continue;  // full file is valid
+    WriteBytes(bytes_.substr(0, s.end_offset));
+    Result<std::unique_ptr<LinkPredictionModel>> loaded = LoadModel(path_);
+    EXPECT_FALSE(loaded.ok()) << "truncated after section " << s.name;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss)
+        << "truncated after section " << s.name << ": "
+        << loaded.status().ToString();
+  }
+}
+
+TEST_F(ModelStoreCorruptionTest, BitFlipInEverySectionRejected) {
+  for (const ModelFileSection& s : sections_) {
+    std::string corrupted = bytes_;
+    corrupted[s.end_offset - 1] ^= 0x01;  // last byte of the section
+    WriteBytes(corrupted);
+    Result<std::unique_ptr<LinkPredictionModel>> loaded = LoadModel(path_);
+    EXPECT_FALSE(loaded.ok()) << "bit flip in section " << s.name;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss)
+        << "bit flip in section " << s.name << ": "
+        << loaded.status().ToString();
+  }
+}
+
+TEST_F(ModelStoreCorruptionTest, FlippedMagicIsNotAModelFile) {
+  std::string corrupted = bytes_;
+  corrupted[0] ^= 0x01;
+  WriteBytes(corrupted);
+  Result<std::unique_ptr<LinkPredictionModel>> loaded = LoadModel(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ModelStoreCorruptionTest, UncorruptedBaselineStillLoads) {
+  Result<std::unique_ptr<LinkPredictionModel>> loaded = LoadModel(path_);
+  EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+}
+
+TEST(ModelStoreCrashTest, FailedSaveLeavesPreviousModelIntact) {
+  Dataset dataset = testing_util::MakeToyDataset();
+  auto dir = std::filesystem::temp_directory_path() /
+             ("kelpie_crash_test_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  std::string path = (dir / "model.bin").string();
+
+  auto original = testing_util::TrainToyModel(ModelKind::kTransE, dataset, 3);
+  ASSERT_TRUE(SaveModel(*original, ModelKind::kTransE, path).ok());
+
+  // A save that dies mid-write must not clobber the existing file.
+  auto replacement =
+      testing_util::TrainToyModel(ModelKind::kTransE, dataset, 99);
+  failpoint::Arm("atomic_file.partial_write");
+  EXPECT_FALSE(SaveModel(*replacement, ModelKind::kTransE, path).ok());
+  failpoint::DisarmAll();
+
+  Result<std::unique_ptr<LinkPredictionModel>> loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (const Triple& t : dataset.test()) {
+    EXPECT_FLOAT_EQ((*loaded)->Score(t), original->Score(t));
+  }
+  std::filesystem::remove_all(dir);
 }
 
 TEST(SerializationTest, MatrixRoundTrip) {

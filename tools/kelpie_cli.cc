@@ -13,14 +13,23 @@
 //   audit     --data DIR --model-file model.bin --relation R [--limit N]
 //       Explains correct test predictions of a relation and mines the
 //       evidence patterns (bias audit).
+//   xp        --data DIR --model-file model.bin --scenario necessary
+//             --journal run.jnl [--resume]
+//       End-to-end experiment run with a crash-safe progress journal.
+//
+// Every command reports failures as a one-line `error: ...` on stderr and
+// exits nonzero; bad inputs never abort.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <string>
 
+#include "baselines/explainer.h"
 #include "core/kelpie.h"
 #include "datagen/datasets.h"
+#include "datagen/generator.h"
 #include "eval/breakdown.h"
 #include "eval/evaluator.h"
 #include "kgraph/io.h"
@@ -33,7 +42,7 @@ namespace kelpie {
 namespace {
 
 /// Minimal --flag value parser: flags may appear in any order; every flag
-/// takes a value except the boolean switches listed in kSwitches.
+/// takes a value except the boolean switches listed in IsSwitch.
 class Args {
  public:
   Args(int argc, char** argv) {
@@ -57,7 +66,7 @@ class Args {
 
   static bool IsSwitch(const std::string& key) {
     return key == "sufficient" || key == "head-query" || key == "no-heads" ||
-           key == "per-relation";
+           key == "per-relation" || key == "no-recover" || key == "resume";
   }
 
   const std::string& error() const { return error_; }
@@ -66,26 +75,36 @@ class Args {
     auto it = values_.find(key);
     return it == values_.end() ? fallback : it->second;
   }
-  double GetDouble(const std::string& key, double fallback) const {
+  Result<double> GetDouble(const std::string& key, double fallback) const {
     if (!Has(key)) return fallback;
+    const std::string raw = Get(key);
     try {
-      return std::stod(Get(key));
+      size_t pos = 0;
+      double value = std::stod(raw, &pos);
+      if (pos == raw.size()) return value;
     } catch (const std::exception&) {
-      std::fprintf(stderr, "error: flag --%s needs a number, got '%s'\n",
-                   key.c_str(), Get(key).c_str());
-      std::exit(1);
     }
+    return Status::InvalidArgument("flag --" + key + " needs a number, got '" +
+                                   raw + "'");
   }
-  uint64_t GetU64(const std::string& key, uint64_t fallback) const {
+  Result<uint64_t> GetU64(const std::string& key, uint64_t fallback) const {
     if (!Has(key)) return fallback;
-    try {
-      return std::stoull(Get(key));
-    } catch (const std::exception&) {
-      std::fprintf(stderr,
-                   "error: flag --%s needs a non-negative integer, got '%s'\n",
-                   key.c_str(), Get(key).c_str());
-      std::exit(1);
+    const std::string raw = Get(key);
+    // stoull silently wraps negatives; reject them up front.
+    if (raw.empty() || raw[0] == '-') {
+      return Status::InvalidArgument("flag --" + key +
+                                     " needs a non-negative integer, got '" +
+                                     raw + "'");
     }
+    try {
+      size_t pos = 0;
+      uint64_t value = std::stoull(raw, &pos);
+      if (pos == raw.size()) return value;
+    } catch (const std::exception&) {
+    }
+    return Status::InvalidArgument("flag --" + key +
+                                   " needs a non-negative integer, got '" +
+                                   raw + "'");
   }
 
  private:
@@ -105,7 +124,7 @@ Result<Dataset> LoadData(const Args& args) {
   return LoadDatasetTsv("cli-dataset", args.Get("data"));
 }
 
-int CmdGenerate(const Args& args) {
+Status CmdGenerate(const Args& args) {
   std::string name = args.Get("dataset", "FB15k-237");
   BenchmarkDataset which = BenchmarkDataset::kFb15k237;
   bool found = false;
@@ -115,52 +134,92 @@ int CmdGenerate(const Args& args) {
       found = true;
     }
   }
-  if (!found) return Fail("unknown dataset: " + name);
-  if (!args.Has("out")) return Fail("--out DIR is required");
-  Dataset dataset = MakeBenchmark(which, args.GetDouble("scale", 0.55),
-                                  args.GetU64("seed", 7));
-  Status status = SaveDatasetTsv(dataset, args.Get("out"));
-  if (!status.ok()) return Fail(status.ToString());
-  DatasetStats stats = ComputeStats(dataset);
+  if (!found) return Status::InvalidArgument("unknown dataset: " + name);
+  if (!args.Has("out")) {
+    return Status::InvalidArgument("--out DIR is required");
+  }
+  double scale = 0.0;
+  KELPIE_ASSIGN_OR_RETURN(scale, args.GetDouble("scale", 0.55));
+  if (!(scale > 0.0) || scale > 100.0) {
+    return Status::InvalidArgument("--scale must be in (0, 100], got " +
+                                   args.Get("scale"));
+  }
+  uint64_t seed = 0;
+  KELPIE_ASSIGN_OR_RETURN(seed, args.GetU64("seed", 7));
+  // GenerateDataset (not MakeBenchmark, which CHECK-aborts) so degenerate
+  // spec/scale combinations surface as an error message.
+  Result<Dataset> dataset = GenerateDataset(BenchmarkSpec(which, scale, seed));
+  if (!dataset.ok()) return dataset.status();
+  std::error_code ec;
+  std::filesystem::create_directories(args.Get("out"), ec);
+  if (ec) {
+    return Status::IoError("cannot create " + args.Get("out") + ": " +
+                           ec.message());
+  }
+  KELPIE_RETURN_IF_ERROR(SaveDatasetTsv(*dataset, args.Get("out")));
+  DatasetStats stats = ComputeStats(*dataset);
   std::printf("wrote %s to %s: %zu entities, %zu relations, %zu/%zu/%zu "
               "train/valid/test facts\n",
               name.c_str(), args.Get("out").c_str(), stats.num_entities,
               stats.num_relations, stats.num_train, stats.num_valid,
               stats.num_test);
-  return 0;
+  return Status::Ok();
 }
 
-int CmdTrain(const Args& args) {
+Status CmdTrain(const Args& args) {
   Result<Dataset> dataset = LoadData(args);
-  if (!dataset.ok()) return Fail(dataset.status().ToString());
+  if (!dataset.ok()) return dataset.status();
   Result<ModelKind> kind = ParseModelKind(args.Get("model", "ComplEx"));
-  if (!kind.ok()) return Fail(kind.status().ToString());
-  if (!args.Has("out")) return Fail("--out FILE is required");
+  if (!kind.ok()) return kind.status();
+  if (!args.Has("out")) {
+    return Status::InvalidArgument("--out FILE is required");
+  }
 
   TrainConfig config = DefaultConfig(kind.value(), *dataset);
-  if (args.Has("epochs")) config.epochs = args.GetU64("epochs", config.epochs);
-  if (args.Has("dim")) config.dim = args.GetU64("dim", config.dim);
+  KELPIE_ASSIGN_OR_RETURN(config.epochs, args.GetU64("epochs", config.epochs));
+  KELPIE_ASSIGN_OR_RETURN(config.dim, args.GetU64("dim", config.dim));
+  double grad_clip = 0.0;
+  KELPIE_ASSIGN_OR_RETURN(grad_clip,
+                          args.GetDouble("grad-clip", config.grad_clip_norm));
+  config.grad_clip_norm = static_cast<float>(grad_clip);
+  uint64_t max_recoveries = 0;
+  KELPIE_ASSIGN_OR_RETURN(
+      max_recoveries,
+      args.GetU64("max-recoveries",
+                  static_cast<uint64_t>(config.max_recoveries)));
+  config.max_recoveries = static_cast<int>(max_recoveries);
+  if (args.Has("no-recover")) config.recover_on_divergence = false;
+  KELPIE_RETURN_IF_ERROR(ValidateConfig(kind.value(), config));
+
   auto model = CreateModel(kind.value(), *dataset, config);
-  Rng rng(args.GetU64("seed", 42));
+  uint64_t seed = 0;
+  KELPIE_ASSIGN_OR_RETURN(seed, args.GetU64("seed", 42));
+  Rng rng(seed);
   std::printf("training %s on %zu facts (%zu epochs, dim %zu)...\n",
               args.Get("model", "ComplEx").c_str(), dataset->train().size(),
               config.epochs, config.dim);
-  model->Train(*dataset, rng);
-  Status status = SaveModel(*model, kind.value(), args.Get("out"));
-  if (!status.ok()) return Fail(status.ToString());
+  KELPIE_RETURN_IF_ERROR(model->Train(*dataset, rng));
+  const TrainReport& report = model->last_train_report();
+  if (report.recoveries > 0) {
+    std::printf("recovered from %d divergence(s); final lr scale %.4f\n",
+                report.recoveries, report.lr_scale);
+  }
+  KELPIE_RETURN_IF_ERROR(SaveModel(*model, kind.value(), args.Get("out")));
   std::printf("saved to %s\n", args.Get("out").c_str());
-  return 0;
+  return Status::Ok();
 }
 
-int CmdEvaluate(const Args& args) {
+Status CmdEvaluate(const Args& args) {
   Result<Dataset> dataset = LoadData(args);
-  if (!dataset.ok()) return Fail(dataset.status().ToString());
+  if (!dataset.ok()) return dataset.status();
   Result<std::unique_ptr<LinkPredictionModel>> model =
       LoadModel(args.Get("model-file"));
-  if (!model.ok()) return Fail(model.status().ToString());
+  if (!model.ok()) return model.status();
   EvalOptions options;
   options.include_heads = !args.Has("no-heads");
-  options.num_threads = args.GetU64("threads", 1);
+  uint64_t threads = 0;
+  KELPIE_ASSIGN_OR_RETURN(threads, args.GetU64("threads", 1));
+  options.num_threads = threads;
   EvalResult result = EvaluateTest(**model, *dataset, options);
   std::printf("%s on %zu test facts: H@1 %.3f  H@10 %.3f  MRR %.3f\n",
               std::string((*model)->Name()).c_str(),
@@ -171,7 +230,7 @@ int CmdEvaluate(const Args& args) {
         **model, *dataset, dataset->test(), options.include_heads);
     std::printf("%s", FormatBreakdown(rows, *dataset).c_str());
   }
-  return 0;
+  return Status::Ok();
 }
 
 Result<Triple> ParsePredictionFlags(const Args& args, const Dataset& dataset) {
@@ -182,20 +241,22 @@ Result<Triple> ParsePredictionFlags(const Args& args, const Dataset& dataset) {
   return Triple(h, r, t);
 }
 
-int CmdExplain(const Args& args) {
+Status CmdExplain(const Args& args) {
   Result<Dataset> dataset = LoadData(args);
-  if (!dataset.ok()) return Fail(dataset.status().ToString());
+  if (!dataset.ok()) return dataset.status();
   Result<std::unique_ptr<LinkPredictionModel>> model =
       LoadModel(args.Get("model-file"));
-  if (!model.ok()) return Fail(model.status().ToString());
+  if (!model.ok()) return model.status();
   Result<Triple> prediction = ParsePredictionFlags(args, *dataset);
-  if (!prediction.ok()) return Fail(prediction.status().ToString());
+  if (!prediction.ok()) return prediction.status();
 
   PredictionTarget target = args.Has("head-query")
                                 ? PredictionTarget::kHead
                                 : PredictionTarget::kTail;
   KelpieOptions options;
-  options.num_threads = args.GetU64("threads", 1);
+  uint64_t threads = 0;
+  KELPIE_ASSIGN_OR_RETURN(threads, args.GetU64("threads", 1));
+  options.num_threads = threads;
   Kelpie kelpie(**model, *dataset, options);
   Explanation x;
   if (args.Has("sufficient")) {
@@ -209,7 +270,7 @@ int CmdExplain(const Args& args) {
   }
   if (x.empty()) {
     std::printf("  (none found — the source entity has no usable facts)\n");
-    return 0;
+    return Status::Ok();
   }
   for (const Triple& fact : x.facts) {
     std::printf("  %s\n", dataset->TripleToString(fact).c_str());
@@ -217,25 +278,30 @@ int CmdExplain(const Args& args) {
   std::printf("relevance %.2f, %s, %zu post-trainings, %.2fs\n",
               x.relevance, x.accepted ? "accepted" : "best-effort",
               x.post_trainings, x.seconds);
-  return 0;
+  return Status::Ok();
 }
 
-int CmdAudit(const Args& args) {
+Status CmdAudit(const Args& args) {
   Result<Dataset> dataset = LoadData(args);
-  if (!dataset.ok()) return Fail(dataset.status().ToString());
+  if (!dataset.ok()) return dataset.status();
   Result<std::unique_ptr<LinkPredictionModel>> model =
       LoadModel(args.Get("model-file"));
-  if (!model.ok()) return Fail(model.status().ToString());
+  if (!model.ok()) return model.status();
   Result<int32_t> relation =
       dataset->relations().Find(args.Get("relation"));
-  if (!relation.ok()) return Fail(relation.status().ToString());
-  const size_t limit = args.GetU64("limit", 8);
+  if (!relation.ok()) return relation.status();
+  uint64_t limit = 0;
+  KELPIE_ASSIGN_OR_RETURN(limit, args.GetU64("limit", 8));
 
   KelpieOptions options;
-  options.num_threads = args.GetU64("threads", 1);
+  uint64_t threads = 0;
+  KELPIE_ASSIGN_OR_RETURN(threads, args.GetU64("threads", 1));
+  options.num_threads = threads;
   Kelpie kelpie(**model, *dataset, options);
   PatternMiner miner;
-  Rng rng(args.GetU64("seed", 7));
+  uint64_t seed = 0;
+  KELPIE_ASSIGN_OR_RETURN(seed, args.GetU64("seed", 7));
+  Rng rng(seed);
   size_t explained = 0;
   for (const Triple& t : dataset->test()) {
     if (explained >= limit) break;
@@ -263,7 +329,77 @@ int CmdAudit(const Args& args) {
                   b.share * 100.0);
     }
   }
-  return 0;
+  return Status::Ok();
+}
+
+Status CmdXp(const Args& args) {
+  Result<Dataset> dataset = LoadData(args);
+  if (!dataset.ok()) return dataset.status();
+  Result<std::unique_ptr<LinkPredictionModel>> model =
+      LoadModel(args.Get("model-file"));
+  if (!model.ok()) return model.status();
+  Result<ModelKind> kind = ParseModelKind((*model)->Name());
+  if (!kind.ok()) return kind.status();
+  const std::string scenario = args.Get("scenario", "necessary");
+  if (scenario != "necessary" && scenario != "sufficient") {
+    return Status::InvalidArgument(
+        "--scenario must be 'necessary' or 'sufficient', got '" + scenario +
+        "'");
+  }
+  if (!args.Has("journal")) {
+    return Status::InvalidArgument("--journal FILE is required");
+  }
+  uint64_t sample = 0, seed = 0, conversion_set_size = 0, threads = 0;
+  KELPIE_ASSIGN_OR_RETURN(sample, args.GetU64("sample", 8));
+  KELPIE_ASSIGN_OR_RETURN(seed, args.GetU64("seed", 7));
+  KELPIE_ASSIGN_OR_RETURN(conversion_set_size,
+                          args.GetU64("conversion-set", 5));
+  KELPIE_ASSIGN_OR_RETURN(threads, args.GetU64("threads", 1));
+
+  Rng sample_rng(seed);
+  std::vector<Triple> predictions =
+      SampleCorrectTailPredictions(**model, *dataset, sample, sample_rng);
+  if (predictions.empty()) {
+    return Status::FailedPrecondition(
+        "no correct test predictions to explain — the model ranks no test "
+        "fact first");
+  }
+
+  KelpieOptions options;
+  options.num_threads = threads;
+  KelpieExplainer explainer(**model, *dataset, options);
+  JournalOptions journal{args.Get("journal"), args.Has("resume")};
+  // Derived, disjoint seed streams: the sampling rng above consumed `seed`.
+  const uint64_t retrain_seed = seed + 1;
+  const uint64_t conversion_seed = seed + 2;
+
+  if (scenario == "necessary") {
+    Result<NecessaryRunResult> result = RunNecessaryEndToEndResumable(
+        explainer, kind.value(), *dataset, predictions, retrain_seed,
+        PredictionTarget::kTail, journal);
+    if (!result.ok()) return result.status();
+    std::printf("necessary scenario over %zu predictions (journal %s):\n",
+                predictions.size(), args.Get("journal").c_str());
+    std::printf("  after removal + retraining: H@1 %.3f  MRR %.3f  "
+                "(ΔH@1 %+.3f, ΔMRR %+.3f)\n",
+                result->after.hits_at_1, result->after.mrr,
+                result->delta_h1(), result->delta_mrr());
+  } else {
+    Result<SufficientRunResult> result = RunSufficientEndToEndResumable(
+        explainer, **model, kind.value(), *dataset, predictions,
+        conversion_set_size, conversion_seed, retrain_seed,
+        PredictionTarget::kTail, journal);
+    if (!result.ok()) return result.status();
+    std::printf("sufficient scenario over %zu predictions (journal %s):\n",
+                predictions.size(), args.Get("journal").c_str());
+    std::printf("  conversions before: H@1 %.3f  MRR %.3f\n",
+                result->before.hits_at_1, result->before.mrr);
+    std::printf("  after transfer + retraining: H@1 %.3f  MRR %.3f  "
+                "(ΔH@1 %+.3f, ΔMRR %+.3f)\n",
+                result->after.hits_at_1, result->after.mrr,
+                result->delta_h1(), result->delta_mrr());
+  }
+  return Status::Ok();
 }
 
 int Usage() {
@@ -271,13 +407,17 @@ int Usage() {
       "usage: kelpie <command> [flags]\n"
       "  generate --dataset NAME --scale S --seed N --out DIR\n"
       "  train    --data DIR --model NAME --seed N --out FILE "
-      "[--epochs N] [--dim N]\n"
+      "[--epochs N] [--dim N] [--grad-clip X] [--no-recover] "
+      "[--max-recoveries N]\n"
       "  evaluate --data DIR --model-file FILE [--no-heads] "
       "[--per-relation] [--threads N]\n"
       "  explain  --data DIR --model-file FILE --head H --relation R "
       "--tail T [--sufficient] [--head-query] [--threads N]\n"
       "  audit    --data DIR --model-file FILE --relation R [--limit N] "
       "[--threads N]\n"
+      "  xp       --data DIR --model-file FILE --scenario "
+      "necessary|sufficient --journal FILE [--resume] [--sample N] "
+      "[--seed N] [--conversion-set N] [--threads N]\n"
       "models: TransE ComplEx ConvE DistMult RotatE\n"
       "datasets: FB15k FB15k-237 WN18 WN18RR YAGO3-10\n");
   return 2;
@@ -288,12 +428,23 @@ int Run(int argc, char** argv) {
   Args args(argc, argv);
   if (!args.error().empty()) return Fail(args.error());
   std::string command = argv[1];
-  if (command == "generate") return CmdGenerate(args);
-  if (command == "train") return CmdTrain(args);
-  if (command == "evaluate") return CmdEvaluate(args);
-  if (command == "explain") return CmdExplain(args);
-  if (command == "audit") return CmdAudit(args);
-  return Usage();
+  Status status = Status::Ok();
+  if (command == "generate") {
+    status = CmdGenerate(args);
+  } else if (command == "train") {
+    status = CmdTrain(args);
+  } else if (command == "evaluate") {
+    status = CmdEvaluate(args);
+  } else if (command == "explain") {
+    status = CmdExplain(args);
+  } else if (command == "audit") {
+    status = CmdAudit(args);
+  } else if (command == "xp") {
+    status = CmdXp(args);
+  } else {
+    return Usage();
+  }
+  return status.ok() ? 0 : Fail(status.ToString());
 }
 
 }  // namespace
