@@ -29,6 +29,14 @@ class Explainer {
   virtual Explanation ExplainSufficient(
       const Triple& prediction, PredictionTarget target,
       const std::vector<EntityId>& conversion_set) = 0;
+
+  /// Per-extraction limits applied to every subsequent Explain* call (work
+  /// budget, timeout, deadline, cancellation). Frameworks without bounded
+  /// extraction ignore them — their per-prediction cost is a handful of
+  /// gradient computations, not a candidate search.
+  virtual void SetExtractionLimits(const ExtractionLimits& limits) {
+    (void)limits;
+  }
 };
 
 /// Kelpie (or K1, with `k1_only`) behind the Explainer interface.
@@ -47,14 +55,19 @@ class KelpieExplainer final : public Explainer {
 
   Explanation ExplainNecessary(const Triple& prediction,
                                PredictionTarget target) override {
-    return kelpie_->ExplainNecessary(prediction, target);
+    return kelpie_->ExplainNecessary(prediction, target, nullptr, limits_);
   }
 
   Explanation ExplainSufficient(
       const Triple& prediction, PredictionTarget target,
       const std::vector<EntityId>& conversion_set) override {
     return kelpie_->ExplainSufficientWithSet(prediction, target,
-                                             conversion_set);
+                                             conversion_set, nullptr,
+                                             limits_);
+  }
+
+  void SetExtractionLimits(const ExtractionLimits& limits) override {
+    limits_ = limits;
   }
 
   Kelpie& kelpie() { return *kelpie_; }
@@ -62,6 +75,7 @@ class KelpieExplainer final : public Explainer {
  private:
   bool k1_only_;
   std::unique_ptr<Kelpie> kelpie_;
+  ExtractionLimits limits_;
 };
 
 }  // namespace kelpie

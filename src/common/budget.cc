@@ -1,0 +1,88 @@
+#include "common/budget.h"
+
+#include <csignal>
+#include <cstdlib>
+#include <vector>
+
+namespace kelpie {
+
+std::string_view CompletenessName(Completeness completeness) {
+  switch (completeness) {
+    case Completeness::kComplete:
+      return "Complete";
+    case Completeness::kTruncatedBudget:
+      return "TruncatedBudget";
+    case Completeness::kTruncatedDeadline:
+      return "TruncatedDeadline";
+    case Completeness::kCancelled:
+      return "Cancelled";
+  }
+  return "Unknown";
+}
+
+Deadline Deadline::After(double seconds) {
+  const auto now = Clock::now();
+  if (seconds <= 0.0) return Deadline(now);
+  // Saturate instead of overflowing duration arithmetic on huge timeouts.
+  const double max_seconds = std::chrono::duration<double>(
+                                 Clock::time_point::max() - now)
+                                 .count();
+  if (seconds >= max_seconds) return Infinite();
+  return Deadline(now + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(seconds)));
+}
+
+double Deadline::RemainingSeconds() const {
+  if (infinite()) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(at_ - Clock::now()).count();
+}
+
+namespace {
+
+/// The flag the signal handler flips. A handler may only touch lock-free
+/// atomics, so the shared_ptr control block stays out of reach: wiring
+/// pins the token's flag here (and keeps a shared_ptr alive so the atomic
+/// can never be destroyed under the handler).
+std::atomic<std::atomic<bool>*> g_signal_flag{nullptr};
+
+extern "C" void KelpieCancelSignalHandler(int /*signum*/) {
+  std::atomic<bool>* flag = g_signal_flag.load(std::memory_order_acquire);
+  if (flag == nullptr) return;
+  // Second signal: the user insists. 130 = fatal-SIGINT convention.
+  if (flag->exchange(true, std::memory_order_acq_rel)) {
+    std::_Exit(130);
+  }
+}
+
+}  // namespace
+
+void WireCancelToSignals(const CancelToken& token) {
+  // Pin the flag for the life of the process: the handler reads the raw
+  // pointer at arbitrary times, so no rebind may ever free a previously
+  // wired flag. The pin list stays reachable (not a leak under LSan) and is
+  // never shrunk.
+  static std::vector<std::shared_ptr<std::atomic<bool>>>* pinned =
+      new std::vector<std::shared_ptr<std::atomic<bool>>>();
+  pinned->push_back(token.flag_);
+  g_signal_flag.store(token.flag_.get(), std::memory_order_release);
+
+  struct sigaction action = {};
+  action.sa_handler = &KelpieCancelSignalHandler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: interrupt blocking reads promptly
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+Completeness CompletenessFromStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kCancelled:
+      return Completeness::kCancelled;
+    case StatusCode::kDeadlineExceeded:
+      return Completeness::kTruncatedDeadline;
+    default:
+      return Completeness::kComplete;
+  }
+}
+
+}  // namespace kelpie

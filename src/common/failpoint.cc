@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <mutex>
+#include <stdexcept>
 #include <unordered_map>
 
 namespace kelpie {
@@ -55,6 +56,76 @@ void DisarmAll() {
   g_armed.fetch_sub(static_cast<int>(registry.entries.size()),
                     std::memory_order_relaxed);
   registry.entries.clear();
+}
+
+Status ArmFromSpec(std::string_view spec) {
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    std::string_view entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+
+    std::string_view fields[3];
+    size_t n_fields = 0;
+    size_t start = 0;
+    while (n_fields < 3) {
+      size_t colon = entry.find(':', start);
+      if (colon == std::string_view::npos) {
+        fields[n_fields++] = entry.substr(start);
+        break;
+      }
+      fields[n_fields++] = entry.substr(start, colon - start);
+      start = colon + 1;
+      if (n_fields == 3) {
+        return Status::InvalidArgument("failpoint spec entry '" +
+                                       std::string(entry) +
+                                       "' has too many fields");
+      }
+    }
+    if (fields[0].empty()) {
+      return Status::InvalidArgument("failpoint spec entry '" +
+                                     std::string(entry) + "' has no name");
+    }
+
+    uint64_t match = kAnyValue;
+    if (n_fields >= 2 && fields[1] != "*") {
+      try {
+        size_t end = 0;
+        match = std::stoull(std::string(fields[1]), &end);
+        if (end != fields[1].size()) throw std::invalid_argument("");
+      } catch (const std::exception&) {
+        return Status::InvalidArgument(
+            "failpoint spec '" + std::string(entry) +
+            "': match must be a number or '*', got '" +
+            std::string(fields[1]) + "'");
+      }
+    }
+
+    int times = 1;
+    if (n_fields >= 3) {
+      if (fields[2] == "forever") {
+        times = kForever;
+      } else {
+        try {
+          size_t end = 0;
+          times = std::stoi(std::string(fields[2]), &end);
+          if (end != fields[2].size() || times < 0) {
+            throw std::invalid_argument("");
+          }
+        } catch (const std::exception&) {
+          return Status::InvalidArgument(
+              "failpoint spec '" + std::string(entry) +
+              "': times must be a non-negative number or 'forever', got '" +
+              std::string(fields[2]) + "'");
+        }
+      }
+    }
+
+    Arm(fields[0], match, times);
+  }
+  return Status::Ok();
 }
 
 bool Fire(std::string_view name, uint64_t value) {

@@ -6,6 +6,8 @@
 #include <string>
 #include <string_view>
 
+#include "common/status.h"
+
 namespace kelpie {
 namespace failpoint {
 
@@ -41,6 +43,15 @@ void Disarm(std::string_view name);
 
 /// Disarms everything. Tests call this in teardown.
 void DisarmAll();
+
+/// Arms failpoints from a textual spec — the format of the KELPIE_FAILPOINTS
+/// environment variable: comma-separated entries `name[:match[:times]]`,
+/// where `match` is a decimal value or `*` (any, the default) and `times` is
+/// a decimal count or `forever` (default 1). Example:
+///   KELPIE_FAILPOINTS="train.diverge:3,pipeline.interrupt:*:forever"
+/// Returns InvalidArgument on a malformed entry (nothing beyond the valid
+/// prefix is armed).
+Status ArmFromSpec(std::string_view spec);
 
 /// Checkpoint call, placed in production code. Returns true if `name` is
 /// armed, `value` matches, and the firing budget is not exhausted; each

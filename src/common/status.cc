@@ -24,6 +24,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "DataLoss";
     case StatusCode::kAborted:
       return "Aborted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

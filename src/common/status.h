@@ -21,6 +21,8 @@ enum class StatusCode {
   kInternal,
   kDataLoss,
   kAborted,
+  kCancelled,
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for a status code ("Ok",
@@ -81,6 +83,16 @@ class Status {
   /// run). The system state is consistent; retrying may succeed.
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
+  }
+  /// The caller (or a signal) requested cancellation. The operation drained
+  /// cooperatively; partial results, if any, are valid best-so-far values.
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  /// A wall-clock deadline expired before the operation finished. Like
+  /// kCancelled, any partial results are consistent best-so-far values.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -5,9 +5,17 @@
 
 namespace kelpie {
 
-/// Wall-clock stopwatch used by the timing experiments (Figures 5 and 6).
+/// Monotonic stopwatch used by the timing experiments (Figures 5 and 6).
+/// Always reads the steady clock: elapsed times must never go backwards or
+/// jump when the system clock is adjusted (NTP steps, manual changes).
 class Stopwatch {
  public:
+  /// The clock every reading comes from — part of the public contract so
+  /// deadline code can static_assert it stays steady.
+  using Clock = std::chrono::steady_clock;
+  static_assert(Clock::is_steady,
+                "Stopwatch must be immune to system-clock adjustments");
+
   Stopwatch() : start_(Clock::now()) {}
 
   /// Resets the reference point to now.
@@ -22,7 +30,6 @@ class Stopwatch {
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
 

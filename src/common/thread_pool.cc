@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <exception>
 #include <memory>
 
@@ -103,6 +104,95 @@ struct ParallelBatch {
   }
 };
 
+/// Shared state of one CancellableParallelFor batch. Claims and the stop
+/// latch share one atomic word so they serialize: once the stop bit is set,
+/// no CAS claim can succeed, which makes the claim count at latch time the
+/// final, stable drain target. Claims are handed out in index order, so the
+/// set of indices that ever run is always the contiguous prefix
+/// [0, target).
+struct CancellableBatch {
+  static constexpr uint64_t kStopBit = uint64_t{1} << 63;
+
+  CancellableBatch(size_t n, std::function<void(size_t)> f,
+                   std::function<Status()> check)
+      : count(n), fn(std::move(f)), interrupt(std::move(check)) {
+    target.store(count);
+  }
+
+  const uint64_t count;
+  const std::function<void(size_t)> fn;
+  const std::function<Status()> interrupt;
+  /// Low 63 bits: number of claimed indices. Bit 63: stop latch.
+  std::atomic<uint64_t> state{0};
+  std::atomic<uint64_t> done{0};
+  /// Number of indices that must finish before the batch is drained.
+  /// `count` until a latch lowers it to the claim count at latch time.
+  std::atomic<uint64_t> target{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  Status status;             // first interrupt status; guarded by mu
+  std::exception_ptr error;  // first exception; guarded by mu
+
+  /// Sets the stop bit (idempotent) and records the first cause. The
+  /// latcher always holds an unfinished claim of its own, so its Finish()
+  /// — sequenced after the target store — performs the final notify if this
+  /// one races with concurrent finishers.
+  void LatchStop(Status interrupt_status, std::exception_ptr exception) {
+    const uint64_t prior = state.fetch_or(kStopBit);
+    std::lock_guard<std::mutex> lock(mu);
+    if ((prior & kStopBit) == 0) {
+      target.store(std::min(count, prior & ~kStopBit));
+    }
+    if (exception != nullptr) {
+      if (!error) error = exception;
+    } else if (status.ok() && !interrupt_status.ok()) {
+      status = std::move(interrupt_status);
+    }
+    cv.notify_all();
+  }
+
+  void Finish() {
+    if (done.fetch_add(1) + 1 == target.load()) {
+      // Completion may race with the caller's predicate check; notify
+      // under the mutex so the wakeup cannot be lost.
+      std::lock_guard<std::mutex> lock(mu);
+      cv.notify_all();
+    }
+  }
+
+  /// Claims and runs indices until the batch is exhausted or stopped.
+  void Run() {
+    while (true) {
+      uint64_t s = state.load();
+      uint64_t index;
+      while (true) {
+        // Strands scheduled after the batch drained bail out here, before
+        // touching the caller-owned closures.
+        if ((s & kStopBit) != 0 || (s & ~kStopBit) >= count) return;
+        if (state.compare_exchange_weak(s, s + 1)) {
+          index = s;
+          break;
+        }
+      }
+      // The claim is committed: this index runs and counts toward the
+      // drain target no matter what, so the caller cannot unblock (and the
+      // closures cannot die) until Finish() below.
+      if (interrupt) {
+        Status interrupt_status = interrupt();
+        if (!interrupt_status.ok()) {
+          LatchStop(std::move(interrupt_status), nullptr);
+        }
+      }
+      try {
+        fn(static_cast<size_t>(index));
+      } catch (...) {
+        LatchStop(Status::Ok(), std::current_exception());
+      }
+      Finish();
+    }
+  }
+};
+
 }  // namespace
 
 void ParallelFor(ThreadPool& pool, size_t count,
@@ -120,6 +210,30 @@ void ParallelFor(ThreadPool& pool, size_t count,
   std::unique_lock<std::mutex> lock(batch->mu);
   batch->cv.wait(lock, [&] { return batch->done.load() == batch->count; });
   if (batch->error) std::rethrow_exception(batch->error);
+}
+
+ParallelOutcome CancellableParallelFor(
+    ThreadPool& pool, size_t count, const std::function<void(size_t)>& fn,
+    const std::function<Status()>& interrupt) {
+  if (count == 0) return ParallelOutcome{Status::Ok(), 0};
+  // Check once up front on the calling thread so an already-expired control
+  // starts zero chunks instead of one per strand.
+  if (interrupt) {
+    Status entry = interrupt();
+    if (!entry.ok()) return ParallelOutcome{std::move(entry), 0};
+  }
+  auto batch = std::make_shared<CancellableBatch>(count, fn, interrupt);
+  const size_t helpers = std::min(pool.num_threads(), count - 1);
+  for (size_t s = 0; s < helpers; ++s) {
+    pool.Submit([batch] { batch->Run(); });
+  }
+  batch->Run();
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->cv.wait(lock,
+                 [&] { return batch->done.load() == batch->target.load(); });
+  if (batch->error) std::rethrow_exception(batch->error);
+  return ParallelOutcome{batch->status,
+                         static_cast<size_t>(batch->done.load())};
 }
 
 }  // namespace kelpie

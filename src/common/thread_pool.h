@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
+
 namespace kelpie {
 
 /// A fixed-size worker pool for embarrassingly parallel read-only work:
@@ -70,6 +72,45 @@ auto ParallelMap(ThreadPool& pool, size_t count, Fn&& fn)
     -> std::vector<decltype(fn(size_t{0}))> {
   std::vector<decltype(fn(size_t{0}))> out(count);
   ParallelFor(pool, count, [&](size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+/// Result of a cancellable batch. `completed` is a *contiguous prefix*:
+/// indices [0, completed) each ran exactly once and indices >= completed
+/// never started. `status` is Ok when the batch ran to its natural end
+/// (completed == count), otherwise the first interrupt status observed.
+struct ParallelOutcome {
+  Status status;
+  size_t completed = 0;
+};
+
+/// ParallelFor with cooperative interruption. `interrupt` is polled at chunk
+/// boundaries (never concurrently with itself from a drained batch); the
+/// first non-OK status it returns stops new indices from starting. Chunks
+/// already claimed — at most one per strand — still run to completion, so
+/// the batch drains cleanly and `fn`/`interrupt` are never invoked after the
+/// call returns. Exceptions from fn behave like ParallelFor's, except that
+/// an exception also stops new indices (the first one is rethrown after the
+/// drain).
+///
+/// Like ParallelFor, the calling thread participates, so nested calls from
+/// inside pool tasks make progress even when every worker is busy.
+ParallelOutcome CancellableParallelFor(
+    ThreadPool& pool, size_t count, const std::function<void(size_t)>& fn,
+    const std::function<Status()>& interrupt);
+
+/// CancellableParallelFor collecting per-index results. Returns only the
+/// completed prefix: the vector has size outcome->completed, with v[i] =
+/// fn(i) in index order.
+template <typename Fn>
+auto CancellableParallelMap(ThreadPool& pool, size_t count, Fn&& fn,
+                            const std::function<Status()>& interrupt,
+                            ParallelOutcome* outcome)
+    -> std::vector<decltype(fn(size_t{0}))> {
+  std::vector<decltype(fn(size_t{0}))> out(count);
+  *outcome = CancellableParallelFor(
+      pool, count, [&](size_t i) { out[i] = fn(i); }, interrupt);
+  out.resize(outcome->completed);
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/budget.h"
 #include "kgraph/dataset.h"
 #include "kgraph/triple.h"
 
@@ -36,6 +37,21 @@ struct Explanation {
   size_t post_trainings = 0;
   /// Number of candidate combinations whose true relevance was computed.
   size_t visited_candidates = 0;
+  /// How far the search got. Anything but kComplete means `facts` is the
+  /// best explanation found before the work budget, the deadline, or a
+  /// cancellation stopped the search — valid, but possibly weaker than what
+  /// an unbounded run would return. Budget truncation is deterministic;
+  /// deadline/cancel truncation is not.
+  Completeness completeness = Completeness::kComplete;
+  /// Planned candidates the search never visited because it stopped early:
+  /// the unevaluated remainder of the S_1 sweep or of the current size
+  /// class's candidate list (later size classes are not enumerated).
+  size_t skipped_candidates = 0;
+  /// Candidates whose post-training diverged (non-finite mimic). They are
+  /// visited and charged but excluded from acceptance, best-so-far and the
+  /// stopping statistics — divergence degrades to skip-and-record instead
+  /// of aborting the extraction.
+  size_t divergent_candidates = 0;
   /// Wall-clock extraction time.
   double seconds = 0.0;
 

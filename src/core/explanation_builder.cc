@@ -1,7 +1,9 @@
 #include "core/explanation_builder.h"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
+#include <limits>
 #include <numeric>
 
 #include "common/logging.h"
@@ -108,24 +110,30 @@ std::vector<std::vector<size_t>> IndexCombinations(size_t n, size_t k) {
 
 Explanation ExplanationBuilder::BuildNecessary(
     const Triple& prediction, PredictionTarget target,
-    const CandidateObserver& observer) {
+    const CandidateObserver& observer, const ExtractionControl& control) {
   auto relevance = [&](const std::vector<Triple>& candidate) {
     return engine_.NecessaryRelevance(prediction, target, candidate);
   };
+  // One necessary candidate costs one non-homologous post-training.
   return Search(ExplanationKind::kNecessary, prediction, target,
-                options_.necessary_threshold, relevance, observer);
+                options_.necessary_threshold, relevance, observer, control,
+                /*unit_cost=*/1);
 }
 
 Explanation ExplanationBuilder::BuildSufficient(
     const Triple& prediction, PredictionTarget target,
     const std::vector<EntityId>& conversion_set,
-    const CandidateObserver& observer) {
+    const CandidateObserver& observer, const ExtractionControl& control) {
   auto relevance = [&](const std::vector<Triple>& candidate) {
     return engine_.SufficientRelevance(prediction, target, candidate,
                                        conversion_set);
   };
+  // One sufficient candidate post-trains a mimic per conversion entity.
+  const uint64_t unit_cost =
+      std::max<uint64_t>(1, static_cast<uint64_t>(conversion_set.size()));
   return Search(ExplanationKind::kSufficient, prediction, target,
-                options_.sufficient_threshold, relevance, observer);
+                options_.sufficient_threshold, relevance, observer, control,
+                unit_cost);
 }
 
 Explanation ExplanationBuilder::Search(ExplanationKind kind,
@@ -133,13 +141,29 @@ Explanation ExplanationBuilder::Search(ExplanationKind kind,
                                        PredictionTarget target,
                                        double threshold,
                                        const RelevanceFn& relevance,
-                                       const CandidateObserver& observer) {
+                                       const CandidateObserver& observer,
+                                       const ExtractionControl& control,
+                                       uint64_t unit_cost) {
   Stopwatch timer;
   const size_t start_post_trainings = engine_.post_training_count();
   Rng rng(options_.seed ^ TripleHash()(prediction));
 
   Explanation result;
   result.kind = kind;
+
+  const uint64_t unit = std::max<uint64_t>(1, unit_cost);
+  auto interrupt = [&control] { return control.CheckInterrupt(); };
+  auto finish = [&](std::vector<Triple> facts_out, double rel, bool accepted,
+                    size_t visited_count) {
+    result.facts = std::move(facts_out);
+    result.relevance = rel;
+    result.accepted = accepted;
+    result.visited_candidates = visited_count;
+    result.post_trainings =
+        engine_.post_training_count() - start_post_trainings;
+    result.seconds = timer.ElapsedSeconds();
+    return result;
+  };
 
   const std::vector<Triple> facts =
       prefilter_.MostPromisingFacts(prediction, target);
@@ -154,48 +178,89 @@ Explanation ExplanationBuilder::Search(ExplanationKind kind,
   // compute all relevances across the pool, then fold sequentially in fact
   // order (observer calls, best tracking).
   ThreadPool* pool = engine_.pool();
-  std::vector<double> individual(facts.size());
-  if (pool != nullptr && facts.size() > 1) {
-    individual = ParallelMap(*pool, facts.size(), [&](size_t i) {
-      return relevance({facts[i]});
-    });
-  } else {
-    for (size_t i = 0; i < facts.size(); ++i) {
-      individual[i] = relevance({facts[i]});
+
+  // Budget pre-cap, computed before any dispatch and therefore identical at
+  // every thread count: evaluate only the affordable prefix of the sweep.
+  // An incomplete sweep is a truncation even if its best is accepted — the
+  // untruncated algorithm would have seen every single-fact candidate.
+  size_t planned = facts.size();
+  {
+    const uint64_t affordable = control.BudgetRemaining() / unit;
+    if (affordable < planned) {
+      planned = static_cast<size_t>(affordable);
+      result.completeness = Completeness::kTruncatedBudget;
     }
   }
+  result.skipped_candidates += facts.size() - planned;
+
+  std::vector<double> individual;
+  Status interrupt_status;
+  if (pool != nullptr && planned > 1) {
+    ParallelOutcome outcome;
+    individual = CancellableParallelMap(
+        *pool, planned, [&](size_t i) { return relevance({facts[i]}); },
+        interrupt, &outcome);
+    interrupt_status = outcome.status;
+  } else {
+    individual.reserve(planned);
+    for (size_t i = 0; i < planned; ++i) {
+      interrupt_status = control.CheckInterrupt();
+      if (!interrupt_status.ok()) break;
+      individual.push_back(relevance({facts[i]}));
+    }
+  }
+  result.skipped_candidates += planned - individual.size();
+
   size_t visited = 0;
   double best_relevance = 0.0;
   std::vector<Triple> best_facts;
   bool have_best = false;
-  for (size_t i = 0; i < facts.size(); ++i) {
+  for (size_t i = 0; i < individual.size(); ++i) {
+    // Charged in the deterministic fold. The pre-cap sized the sweep so the
+    // charge cannot fail for a per-extraction budget; a budget shared with
+    // concurrent extractions may still run dry, which truncates here.
+    if (!control.TryCharge(unit)) {
+      result.completeness = Completeness::kTruncatedBudget;
+      result.skipped_candidates += individual.size() - i;
+      individual.resize(i);
+      break;
+    }
+    const double r = individual[i];
     ++visited;
-    if (observer) observer(1, individual[i], individual[i]);
-    if (!have_best || individual[i] > best_relevance) {
-      best_relevance = individual[i];
+    if (std::isnan(r)) {
+      // Diverged post-training: visited and charged, but excluded from the
+      // observer stream and from best-so-far tracking.
+      ++result.divergent_candidates;
+      continue;
+    }
+    if (observer) observer(1, r, r);
+    if (!have_best || r > best_relevance) {
+      best_relevance = r;
       best_facts = {facts[i]};
       have_best = true;
     }
   }
-  if (best_relevance >= threshold) {
-    result.facts = best_facts;
-    result.relevance = best_relevance;
-    result.accepted = true;
-    result.visited_candidates = visited;
-    result.post_trainings =
-        engine_.post_training_count() - start_post_trainings;
-    result.seconds = timer.ElapsedSeconds();
-    return result;
+  if (have_best && best_relevance >= threshold) {
+    return finish(std::move(best_facts), best_relevance, true, visited);
   }
   if (options_.k1_only) {
-    result.facts = best_facts;
-    result.relevance = best_relevance;
-    result.accepted = false;
-    result.visited_candidates = visited;
-    result.post_trainings =
-        engine_.post_training_count() - start_post_trainings;
-    result.seconds = timer.ElapsedSeconds();
-    return result;
+    return finish(std::move(best_facts), best_relevance, false, visited);
+  }
+  if (!interrupt_status.ok()) {
+    result.completeness = CompletenessFromStatus(interrupt_status);
+    return finish(std::move(best_facts), best_relevance, false, visited);
+  }
+  if (individual.size() < facts.size()) {
+    // Budget-truncated sweep: the S_i ranking needs every individual
+    // relevance, and the remainder cannot afford a single candidate anyway.
+    return finish(std::move(best_facts), best_relevance, false, visited);
+  }
+
+  // Divergent single-fact candidates get the worst possible preliminary
+  // score: a NaN basis would poison the S_i ranking comparators.
+  std::vector<double> preliminary_basis = individual;
+  for (double& v : preliminary_basis) {
+    if (std::isnan(v)) v = -std::numeric_limits<double>::infinity();
   }
 
   // ---- S_i for i >= 2 (Algorithm 3, lines 4-21). ----
@@ -206,7 +271,7 @@ Explanation ExplanationBuilder::Search(ExplanationKind kind,
     // max_visits_per_size combinations by mean individual relevance,
     // selected lazily (the visit loop can never consume more than that).
     std::vector<ScoredCombo> combos = TopCombinationsByPreliminary(
-        facts.size(), size, individual, options_.max_visits_per_size);
+        facts.size(), size, preliminary_basis, options_.max_visits_per_size);
 
     // Visit in descending preliminary relevance (lines 10-21).
     //
@@ -219,56 +284,80 @@ Explanation ExplanationBuilder::Search(ExplanationKind kind,
     // observer stream, rng draws) is therefore bitwise identical for every
     // num_threads, including 1; only post_trainings and seconds may grow
     // with the speculatively evaluated remainder of the stopping chunk.
+    //
+    // Budget truncation inherits the same guarantee: each chunk allocation
+    // is pre-capped by the affordable remainder, and charges happen in the
+    // replay, so a budgeted run truncates at the same candidate everywhere.
     const size_t chunk_size = std::max<size_t>(1, engine_.num_threads());
     double best_in_size = 0.0;
     bool have_best_in_size = false;
     std::deque<double> recent;
     size_t visits_in_size = 0;
     bool stop_size = false;
-    for (size_t begin = 0; begin < combos.size() && !stop_size;
-         begin += chunk_size) {
-      const size_t end = std::min(begin + chunk_size, combos.size());
-      std::vector<std::vector<Triple>> candidates(end - begin);
-      for (size_t k = 0; k < candidates.size(); ++k) {
+    size_t begin = 0;
+    while (begin < combos.size() && !stop_size) {
+      size_t take = std::min(chunk_size, combos.size() - begin);
+      const uint64_t affordable = control.BudgetRemaining() / unit;
+      if (affordable < take) {
+        take = static_cast<size_t>(affordable);
+        if (take == 0) {
+          result.completeness = Completeness::kTruncatedBudget;
+          result.skipped_candidates += combos.size() - begin;
+          return finish(std::move(best_facts), best_relevance, false,
+                        visited);
+        }
+      }
+      std::vector<std::vector<Triple>> candidates(take);
+      for (size_t k = 0; k < take; ++k) {
         candidates[k].reserve(size);
         for (size_t idx : combos[begin + k].indices) {
           candidates[k].push_back(facts[idx]);
         }
       }
-      std::vector<double> relevances(candidates.size());
-      if (pool != nullptr && candidates.size() > 1) {
-        relevances = ParallelMap(*pool, candidates.size(), [&](size_t k) {
-          return relevance(candidates[k]);
-        });
+      std::vector<double> relevances;
+      if (pool != nullptr && take > 1) {
+        ParallelOutcome outcome;
+        relevances = CancellableParallelMap(
+            *pool, take, [&](size_t k) { return relevance(candidates[k]); },
+            interrupt, &outcome);
+        interrupt_status = outcome.status;
       } else {
-        for (size_t k = 0; k < candidates.size(); ++k) {
-          relevances[k] = relevance(candidates[k]);
+        relevances.reserve(take);
+        for (size_t k = 0; k < take; ++k) {
+          interrupt_status = control.CheckInterrupt();
+          if (!interrupt_status.ok()) break;
+          relevances.push_back(relevance(candidates[k]));
         }
       }
 
-      // Sequential replay of the stopping policy over the chunk.
-      for (size_t k = 0; k < candidates.size(); ++k) {
+      // Sequential replay of the stopping policy over the evaluated chunk.
+      for (size_t k = 0; k < relevances.size(); ++k) {
         if (visits_in_size >= options_.max_visits_per_size) {
           stop_size = true;
           break;
+        }
+        if (!control.TryCharge(unit)) {
+          result.completeness = Completeness::kTruncatedBudget;
+          result.skipped_candidates += combos.size() - (begin + k);
+          return finish(std::move(best_facts), best_relevance, false,
+                        visited);
         }
         const ScoredCombo& combo = combos[begin + k];
         const double cur = relevances[k];
         ++visited;
         ++visits_in_size;
+        if (std::isnan(cur)) {
+          ++result.divergent_candidates;
+          continue;
+        }
         if (observer) observer(size, combo.preliminary, cur);
         recent.push_back(cur);
         if (recent.size() > options_.rho_window) recent.pop_front();
 
         if (cur >= threshold) {
-          result.facts = candidates[k];
-          result.relevance = cur;
-          result.accepted = true;
-          result.visited_candidates = visited;
-          result.post_trainings =
-              engine_.post_training_count() - start_post_trainings;
-          result.seconds = timer.ElapsedSeconds();
-          return result;
+          // Acceptance during the replay is kComplete: the accepted prefix
+          // is exactly what the untruncated sequential run would have seen.
+          return finish(candidates[k], cur, true, visited);
         }
         if (cur > best_relevance) {
           best_relevance = cur;
@@ -291,18 +380,18 @@ Explanation ExplanationBuilder::Search(ExplanationKind kind,
           }
         }
       }
+      if (!interrupt_status.ok()) {
+        result.completeness = CompletenessFromStatus(interrupt_status);
+        result.skipped_candidates +=
+            combos.size() - (begin + relevances.size());
+        return finish(std::move(best_facts), best_relevance, false, visited);
+      }
+      begin += take;
     }
   }
 
   // Best-effort (Section 4.3): no candidate met the threshold.
-  result.facts = best_facts;
-  result.relevance = best_relevance;
-  result.accepted = false;
-  result.visited_candidates = visited;
-  result.post_trainings =
-      engine_.post_training_count() - start_post_trainings;
-  result.seconds = timer.ElapsedSeconds();
-  return result;
+  return finish(std::move(best_facts), best_relevance, false, visited);
 }
 
 }  // namespace kelpie

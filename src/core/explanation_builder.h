@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/budget.h"
 #include "core/explanation.h"
 #include "core/prefilter.h"
 #include "core/relevance_engine.h"
@@ -64,6 +65,18 @@ using CandidateObserver =
 /// bitwise identical for any num_threads; only post_trainings and seconds
 /// can differ (a mid-chunk stop discards already-evaluated speculative
 /// candidates).
+///
+/// Bounded extraction: an `ExtractionControl` caps the search. The work
+/// budget is charged at a fixed per-candidate cost (1 work unit = one
+/// non-homologous post-training, so a sufficient candidate costs its
+/// conversion-set size) inside the deterministic sequential replay, and
+/// candidate allocations are pre-capped by the affordable remainder before
+/// any parallel dispatch — a budget-truncated run therefore returns the
+/// same bitwise-identical explanation at every thread count. Deadline and
+/// cancellation are wall-clock overlays checked at candidate boundaries;
+/// they stop the search at a schedule-dependent point and are *not*
+/// reproducible. Either way the best explanation found so far is returned,
+/// annotated with its Completeness and visited/skipped/divergent counts.
 class ExplanationBuilder {
  public:
   ExplanationBuilder(RelevanceEngine& engine, const PreFilter& prefilter,
@@ -73,14 +86,16 @@ class ExplanationBuilder {
   /// Extracts a necessary explanation for `prediction`.
   Explanation BuildNecessary(const Triple& prediction,
                              PredictionTarget target,
-                             const CandidateObserver& observer = nullptr);
+                             const CandidateObserver& observer = nullptr,
+                             const ExtractionControl& control = {});
 
   /// Extracts a sufficient explanation for `prediction` against the given
   /// conversion set.
   Explanation BuildSufficient(const Triple& prediction,
                               PredictionTarget target,
                               const std::vector<EntityId>& conversion_set,
-                              const CandidateObserver& observer = nullptr);
+                              const CandidateObserver& observer = nullptr,
+                              const ExtractionControl& control = {});
 
  private:
   using RelevanceFn = std::function<double(const std::vector<Triple>&)>;
@@ -88,7 +103,8 @@ class ExplanationBuilder {
   Explanation Search(ExplanationKind kind, const Triple& prediction,
                      PredictionTarget target, double threshold,
                      const RelevanceFn& relevance,
-                     const CandidateObserver& observer);
+                     const CandidateObserver& observer,
+                     const ExtractionControl& control, uint64_t unit_cost);
 
   RelevanceEngine& engine_;
   const PreFilter& prefilter_;

@@ -13,6 +13,26 @@ RelevanceEngineOptions EffectiveEngineOptions(const KelpieOptions& options) {
   return engine;
 }
 
+/// Materializes the control bundle of one extraction call. The WorkBudget
+/// lives on the caller's stack (`budget_storage`): each extraction gets a
+/// fresh meter, so `limits.work_budget` bounds every call independently.
+ExtractionControl MakeControl(const ExtractionLimits& limits,
+                              WorkBudget& budget_storage) {
+  ExtractionControl control;
+  if (limits.work_budget > 0) {
+    budget_storage.Reset(limits.work_budget);
+    control.budget = &budget_storage;
+  }
+  Deadline deadline = limits.deadline;
+  if (limits.timeout_seconds > 0.0) {
+    deadline =
+        Deadline::Earliest(deadline, Deadline::After(limits.timeout_seconds));
+  }
+  control.deadline = deadline;
+  control.cancel = limits.cancel;
+  return control;
+}
+
 }  // namespace
 
 Kelpie::Kelpie(const LinkPredictionModel& model, const Dataset& dataset,
@@ -24,29 +44,35 @@ Kelpie::Kelpie(const LinkPredictionModel& model, const Dataset& dataset,
 
 Explanation Kelpie::ExplainNecessary(const Triple& prediction,
                                      PredictionTarget target,
-                                     const CandidateObserver& observer) {
-  return builder_.BuildNecessary(prediction, target, observer);
+                                     const CandidateObserver& observer,
+                                     const ExtractionLimits& limits) {
+  WorkBudget budget;
+  const ExtractionControl control = MakeControl(limits, budget);
+  return builder_.BuildNecessary(prediction, target, observer, control);
 }
 
 Explanation Kelpie::ExplainSufficient(const Triple& prediction,
                                       PredictionTarget target,
                                       std::vector<EntityId>* conversion_set_out,
-                                      const CandidateObserver& observer) {
+                                      const CandidateObserver& observer,
+                                      const ExtractionLimits& limits) {
   std::vector<EntityId> conversion_set =
       engine_.SampleConversionSet(prediction, target);
   if (conversion_set_out != nullptr) {
     *conversion_set_out = conversion_set;
   }
-  return builder_.BuildSufficient(prediction, target, conversion_set,
-                                  observer);
+  return ExplainSufficientWithSet(prediction, target, conversion_set,
+                                  observer, limits);
 }
 
 Explanation Kelpie::ExplainSufficientWithSet(
     const Triple& prediction, PredictionTarget target,
     const std::vector<EntityId>& conversion_set,
-    const CandidateObserver& observer) {
+    const CandidateObserver& observer, const ExtractionLimits& limits) {
+  WorkBudget budget;
+  const ExtractionControl control = MakeControl(limits, budget);
   return builder_.BuildSufficient(prediction, target, conversion_set,
-                                  observer);
+                                  observer, control);
 }
 
 }  // namespace kelpie

@@ -3,11 +3,31 @@
 
 #include <memory>
 
+#include "common/budget.h"
 #include "core/explanation_builder.h"
 #include "core/prefilter.h"
 #include "core/relevance_engine.h"
 
 namespace kelpie {
+
+/// Per-extraction resource limits. Default-constructed = unlimited: every
+/// limit is opt-in, and an unlimited extraction behaves exactly as if this
+/// layer did not exist.
+struct ExtractionLimits {
+  /// Work-unit budget per extraction call; 0 = unlimited. One unit = one
+  /// non-homologous post-training, so a necessary candidate costs 1 and a
+  /// sufficient candidate costs its conversion-set size. Budget truncation
+  /// is bitwise-deterministic across machines and thread counts.
+  uint64_t work_budget = 0;
+  /// Wall-clock timeout for this extraction, in seconds; 0 = none. Not
+  /// reproducible — use work_budget when determinism matters.
+  double timeout_seconds = 0.0;
+  /// Absolute steady-clock deadline overlay (infinite by default); combined
+  /// with timeout_seconds via Deadline::Earliest.
+  Deadline deadline;
+  /// Cooperative cancellation; the CLI wires this to SIGINT/SIGTERM.
+  CancelToken cancel;
+};
 
 /// Bundled options of the three Kelpie modules.
 struct KelpieOptions {
@@ -42,11 +62,14 @@ class Kelpie {
 
   /// Extracts the necessary explanation of `prediction`: the smallest set
   /// of source-entity training facts whose removal is expected to change
-  /// the predicted answer.
+  /// the predicted answer. `limits` bounds the extraction; the returned
+  /// Explanation's `completeness` says whether a limit truncated the
+  /// search.
   Explanation ExplainNecessary(const Triple& prediction,
                                PredictionTarget target =
                                    PredictionTarget::kTail,
-                               const CandidateObserver& observer = nullptr);
+                               const CandidateObserver& observer = nullptr,
+                               const ExtractionLimits& limits = {});
 
   /// Extracts the sufficient explanation of `prediction`: the smallest set
   /// of source-entity training facts that converts a random set C of other
@@ -58,7 +81,8 @@ class Kelpie {
                                     PredictionTarget::kTail,
                                 std::vector<EntityId>* conversion_set_out =
                                     nullptr,
-                                const CandidateObserver& observer = nullptr);
+                                const CandidateObserver& observer = nullptr,
+                                const ExtractionLimits& limits = {});
 
   /// Sufficient explanation against a caller-provided conversion set (used
   /// by the end-to-end pipeline so that all frameworks convert the same
@@ -66,7 +90,8 @@ class Kelpie {
   Explanation ExplainSufficientWithSet(
       const Triple& prediction, PredictionTarget target,
       const std::vector<EntityId>& conversion_set,
-      const CandidateObserver& observer = nullptr);
+      const CandidateObserver& observer = nullptr,
+      const ExtractionLimits& limits = {});
 
   RelevanceEngine& engine() { return engine_; }
   const PreFilter& prefilter() const { return prefilter_; }

@@ -1,8 +1,11 @@
 #include "core/relevance_engine.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <unordered_set>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "eval/ranking.h"
 
@@ -61,6 +64,18 @@ uint64_t PostTrainSeed(uint64_t engine_seed, EntityId entity,
   return h;
 }
 
+/// True when a post-trained mimic contains a non-finite value, i.e. the
+/// per-candidate training diverged beyond what PR 2's recoveries repaired.
+/// Ranking against such a vector would be garbage, so divergent candidates
+/// degrade to a quiet-NaN relevance that the Explanation Builder skips and
+/// records instead of aborting the whole extraction.
+bool MimicDiverged(const std::vector<float>& mimic) {
+  for (float v : mimic) {
+    if (!std::isfinite(v)) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 size_t RelevanceEngine::RankKeyHash::operator()(const RankKey& k) const {
@@ -89,7 +104,15 @@ std::vector<float> RelevanceEngine::PostTrain(
     EntityId entity, const std::vector<Triple>& facts) {
   post_training_count_.fetch_add(1, std::memory_order_relaxed);
   Rng rng(PostTrainSeed(options_.seed, entity, facts));
-  return model_.PostTrainMimic(dataset_, entity, facts, rng);
+  std::vector<float> mimic = model_.PostTrainMimic(dataset_, entity, facts, rng);
+  // Fault injection: simulate an unrecoverable per-candidate divergence.
+  // Keyed on the entity so tests can poison one baseline deterministically.
+  if (failpoint::Fire("engine.post_train.diverge",
+                      static_cast<uint64_t>(static_cast<uint32_t>(entity))) &&
+      !mimic.empty()) {
+    mimic[0] = std::numeric_limits<float>::quiet_NaN();
+  }
+  return mimic;
 }
 
 int RelevanceEngine::RankWithMimic(const Triple& prediction,
@@ -128,7 +151,12 @@ int RelevanceEngine::HomologousRank(EntityId entity, const Triple& prediction,
     } else {
       std::vector<Triple> facts = dataset_.train_graph().FactsOf(entity);
       std::vector<float> mimic = PostTrain(entity, facts);
-      entry->rank = RankWithMimic(prediction, target, entity, mimic);
+      // A divergent baseline poisons every candidate that shares it; cache
+      // the sentinel so they all degrade to skip-and-record without
+      // re-post-training the doomed mimic.
+      entry->rank = MimicDiverged(mimic)
+                        ? kDivergedRank
+                        : RankWithMimic(prediction, target, entity, mimic);
     }
     entry->ready = true;
   }
@@ -142,9 +170,11 @@ double RelevanceEngine::NecessaryRelevance(
   // Algorithm 1, lines 1-2: homologous mimic h' on G^h_train and
   // non-homologous mimic h'_{-X} on G^h_train \ X.
   const int homologous_rank = HomologousRank(source, prediction, target);
+  if (homologous_rank == kDivergedRank) return kDivergedRelevance;
   std::vector<Triple> facts = dataset_.train_graph().FactsOf(source);
   std::vector<Triple> reduced = WithoutFacts(facts, candidate);
   std::vector<float> mimic = PostTrain(source, reduced);
+  if (MimicDiverged(mimic)) return kDivergedRelevance;
   const int removed_rank = RankWithMimic(prediction, target, source, mimic);
   // Line 5: the rank deterioration is the necessary relevance.
   return static_cast<double>(removed_rank - homologous_rank);
@@ -160,6 +190,7 @@ double RelevanceEngine::SufficientRelevance(
     const EntityId c = conversion_set[i];
     // Homologous mimic c' of the entity to convert.
     const int base_rank = HomologousRank(c, prediction, target);
+    if (base_rank == kDivergedRank) return kDivergedRelevance;
     if (base_rank <= 1) {
       // Already converted (post-training fluctuation); the ideal
       // improvement is zero — treat as fully achieved.
@@ -187,6 +218,7 @@ double RelevanceEngine::SufficientRelevance(
       }
     }
     std::vector<float> mimic = PostTrain(c, facts);
+    if (MimicDiverged(mimic)) return kDivergedRelevance;
     const int added_rank = RankWithMimic(prediction, target, c, mimic);
     // Line 7: achieved over ideal rank improvement.
     const double achieved = static_cast<double>(base_rank - added_rank);

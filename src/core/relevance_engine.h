@@ -3,6 +3,7 @@
 
 #include <array>
 #include <atomic>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -15,6 +16,17 @@
 #include "models/model.h"
 
 namespace kelpie {
+
+/// Sentinel rank cached for a homologous baseline whose post-training
+/// diverged (non-finite mimic): real ranks are always >= 1.
+inline constexpr int kDivergedRank = -1;
+
+/// Relevance reported for a candidate whose post-training diverged. A quiet
+/// NaN, never a finite value: it can neither pass an acceptance threshold
+/// nor displace a best-so-far candidate, and the Explanation Builder skips
+/// and records it instead of aborting the extraction.
+inline constexpr double kDivergedRelevance =
+    std::numeric_limits<double>::quiet_NaN();
 
 /// Options of the Relevance Engine.
 struct RelevanceEngineOptions {
@@ -71,6 +83,8 @@ class RelevanceEngine {
 
   /// Algorithm 1: expected rank deterioration when removing `candidate`
   /// from the source entity. Range [0, |E| - 1]; larger = more relevant.
+  /// Returns kDivergedRelevance (NaN) when a post-training involved
+  /// diverged — including via the `engine.post_train.diverge` failpoint.
   double NecessaryRelevance(const Triple& prediction, PredictionTarget target,
                             const std::vector<Triple>& candidate);
 
@@ -79,7 +93,8 @@ class RelevanceEngine {
   /// Typically in [0, 1]; can be negative when the facts hurt. The
   /// per-entity post-trainings run across the pool when num_threads > 1;
   /// contributions are accumulated in conversion-set order, so the result
-  /// is bitwise identical to the sequential one.
+  /// is bitwise identical to the sequential one. A diverged post-training
+  /// anywhere in the conversion set yields kDivergedRelevance (NaN).
   double SufficientRelevance(const Triple& prediction,
                              PredictionTarget target,
                              const std::vector<Triple>& candidate,

@@ -13,7 +13,10 @@ namespace kelpie {
 namespace {
 
 constexpr std::string_view kMagic = "KELPIEJL";
-constexpr uint64_t kVersion = 1;
+/// v1: prediction/facts/conversion/relevance/accepted/counters.
+/// v2: + completeness, skipped_candidates, divergent_candidates.
+constexpr uint64_t kVersion = 2;
+constexpr uint64_t kOldestReadableVersion = 1;
 constexpr size_t kHeaderSize = 8 + 8 + 8;  // magic + version + run_id
 // Defense against corrupt length prefixes: no legitimate record (a few
 // dozen triples) comes anywhere near this.
@@ -64,6 +67,9 @@ Result<std::string> SerializeRecord(const PredictionRecord& r) {
   KELPIE_RETURN_IF_ERROR(WriteU64(out, r.accepted ? 1 : 0));
   KELPIE_RETURN_IF_ERROR(WriteU64(out, r.post_trainings));
   KELPIE_RETURN_IF_ERROR(WriteU64(out, r.visited_candidates));
+  KELPIE_RETURN_IF_ERROR(WriteU64(out, r.completeness));
+  KELPIE_RETURN_IF_ERROR(WriteU64(out, r.skipped_candidates));
+  KELPIE_RETURN_IF_ERROR(WriteU64(out, r.divergent_candidates));
   return std::move(out).str();
 }
 
@@ -95,7 +101,17 @@ Status ParseRecord(const std::string& payload, PredictionRecord& r) {
   KELPIE_RETURN_IF_ERROR(ReadU64(in, v));
   r.accepted = (v != 0);
   KELPIE_RETURN_IF_ERROR(ReadU64(in, r.post_trainings));
-  return ReadU64(in, r.visited_candidates);
+  KELPIE_RETURN_IF_ERROR(ReadU64(in, r.visited_candidates));
+  // Format v2 appends three counters; a v1 record's payload ends here and
+  // reads back with them defaulted (a v1 run could only journal complete
+  // extractions). Keyed on payload length, not header version, so files
+  // that mix v1 and v2 records parse correctly.
+  if (in.peek() == std::char_traits<char>::eof()) {
+    return Status::Ok();
+  }
+  KELPIE_RETURN_IF_ERROR(ReadU64(in, r.completeness));
+  KELPIE_RETURN_IF_ERROR(ReadU64(in, r.skipped_candidates));
+  return ReadU64(in, r.divergent_candidates);
 }
 
 std::string FrameRecord(const std::string& payload) {
@@ -148,7 +164,7 @@ Result<RunJournal> RunJournal::Open(const std::string& path, uint64_t run_id,
       return Status::DataLoss("not a kelpie journal file: " + path);
     }
     const uint64_t version = ReadU64At(existing, kMagic.size());
-    if (version != kVersion) {
+    if (version < kOldestReadableVersion || version > kVersion) {
       return Status::InvalidArgument("unsupported journal version " +
                                      std::to_string(version));
     }

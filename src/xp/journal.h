@@ -25,6 +25,13 @@ struct PredictionRecord {
   bool accepted = false;
   uint64_t post_trainings = 0;
   uint64_t visited_candidates = 0;
+  /// Numeric value of the extraction's kelpie::Completeness; 0 = complete.
+  /// A non-zero value marks a truncated prediction that `--resume
+  /// --retry-truncated` may re-extract under larger limits. Records written
+  /// by format v1 read back as complete (the only state v1 could journal).
+  uint64_t completeness = 0;
+  uint64_t skipped_candidates = 0;
+  uint64_t divergent_candidates = 0;
 
   bool operator==(const PredictionRecord&) const = default;
 };
@@ -37,6 +44,11 @@ struct PredictionRecord {
 /// most the record being written; on reopen a torn or corrupt tail is
 /// detected by the framing, truncated away, and the run resumes from the
 /// last complete record.
+///
+/// Format v2 appends completeness/skipped/divergent counters to each
+/// record. Reading is backward compatible: v1 files (and v1 records inside
+/// a resumed-then-appended file) parse with those fields defaulted, keyed
+/// on the frame's payload length rather than the header version.
 ///
 /// The run id is a fingerprint of everything that determines the run's
 /// results (scenario, model, dataset, predictions, seeds — see

@@ -63,7 +63,51 @@ Explanation RecordToExplanation(const PredictionRecord& record,
   x.accepted = record.accepted;
   x.post_trainings = record.post_trainings;
   x.visited_candidates = record.visited_candidates;
+  x.completeness = static_cast<Completeness>(record.completeness);
+  x.skipped_candidates = record.skipped_candidates;
+  x.divergent_candidates = record.divergent_candidates;
   return x;
+}
+
+/// The journal record of a freshly extracted explanation. `seconds` is not
+/// captured: journaled runs zero it so replayed and fresh explanations
+/// compare byte-identical.
+PredictionRecord ExplanationToRecord(const Triple& prediction,
+                                     const Explanation& x) {
+  PredictionRecord record;
+  record.prediction = prediction;
+  record.facts = x.facts;
+  record.relevance = x.relevance;
+  record.accepted = x.accepted;
+  record.post_trainings = x.post_trainings;
+  record.visited_candidates = x.visited_candidates;
+  record.completeness = static_cast<uint64_t>(x.completeness);
+  record.skipped_candidates = x.skipped_candidates;
+  record.divergent_candidates = x.divergent_candidates;
+  return record;
+}
+
+/// A record is final when its extraction ran to the natural end; anything
+/// else is a truncation that --retry-truncated may upgrade.
+bool RecordComplete(const PredictionRecord& record) {
+  return record.completeness ==
+         static_cast<uint64_t>(Completeness::kComplete);
+}
+
+/// Run-level interrupt check between predictions. Every journaled record is
+/// already flushed, so stopping here loses nothing.
+Status CheckRunInterrupt(const RunControl& control, size_t done,
+                         size_t total) {
+  const std::string progress =
+      std::to_string(done) + "/" + std::to_string(total) +
+      " predictions journaled; resume with --resume to continue";
+  if (control.cancel.cancelled()) {
+    return Status::Cancelled("run cancelled: " + progress);
+  }
+  if (control.deadline.Expired()) {
+    return Status::DeadlineExceeded("run deadline expired: " + progress);
+  }
+  return Status::Ok();
 }
 
 Status CheckRecordedPrediction(const PredictionRecord& record,
@@ -262,7 +306,8 @@ SufficientRunResult RunSufficientEndToEnd(
 Result<NecessaryRunResult> RunNecessaryEndToEndResumable(
     Explainer& explainer, ModelKind kind, const Dataset& dataset,
     const std::vector<Triple>& predictions, uint64_t retrain_seed,
-    PredictionTarget target, const JournalOptions& journal_options) {
+    PredictionTarget target, const JournalOptions& journal_options,
+    const RunControl& control) {
   const uint64_t run_id =
       ComputeRunId("necessary", kind, dataset, predictions, target,
                    retrain_seed, /*conversion_set_size=*/0,
@@ -275,9 +320,23 @@ Result<NecessaryRunResult> RunNecessaryEndToEndResumable(
     return Status::FailedPrecondition(
         "journal has more records than this run has predictions");
   }
-  if (!journal.recovered().empty()) {
-    KELPIE_LOG(Info) << "resuming necessary run: "
-                     << journal.recovered().size() << "/"
+  // Copy before any reopen: the journal's own vector dies with it.
+  const std::vector<PredictionRecord> recovered = journal.recovered();
+  const bool rewrite =
+      control.retry_truncated &&
+      std::any_of(recovered.begin(), recovered.end(),
+                  [](const PredictionRecord& r) { return !RecordComplete(r); });
+  if (rewrite) {
+    // Truncated records get re-extracted under the explainer's current
+    // limits; complete ones are re-appended byte-identically, so the
+    // journal is rewritten in place rather than appended to.
+    KELPIE_ASSIGN_OR_RETURN(
+        journal,
+        RunJournal::Open(journal_options.path, run_id, /*resume=*/false));
+    KELPIE_LOG(Info) << "retrying truncated predictions of necessary run ("
+                     << recovered.size() << " journaled)";
+  } else if (!recovered.empty()) {
+    KELPIE_LOG(Info) << "resuming necessary run: " << recovered.size() << "/"
                      << predictions.size() << " predictions journaled";
   }
 
@@ -286,22 +345,24 @@ Result<NecessaryRunResult> RunNecessaryEndToEndResumable(
   std::unordered_set<uint64_t> seen;
   for (size_t i = 0; i < predictions.size(); ++i) {
     Explanation x;
-    if (i < journal.recovered().size()) {
-      const PredictionRecord& record = journal.recovered()[i];
+    const bool replay =
+        i < recovered.size() && (!rewrite || RecordComplete(recovered[i]));
+    if (i < recovered.size()) {
       KELPIE_RETURN_IF_ERROR(
-          CheckRecordedPrediction(record, predictions[i], i));
-      x = RecordToExplanation(record, ExplanationKind::kNecessary);
+          CheckRecordedPrediction(recovered[i], predictions[i], i));
+    }
+    if (replay) {
+      x = RecordToExplanation(recovered[i], ExplanationKind::kNecessary);
+      if (rewrite) {
+        KELPIE_RETURN_IF_ERROR(journal.Append(recovered[i]));
+      }
     } else {
+      KELPIE_RETURN_IF_ERROR(CheckRunInterrupt(control, i,
+                                               predictions.size()));
       x = explainer.ExplainNecessary(predictions[i], target);
       x.seconds = 0.0;
-      PredictionRecord record;
-      record.prediction = predictions[i];
-      record.facts = x.facts;
-      record.relevance = x.relevance;
-      record.accepted = x.accepted;
-      record.post_trainings = x.post_trainings;
-      record.visited_candidates = x.visited_candidates;
-      KELPIE_RETURN_IF_ERROR(journal.Append(record));
+      KELPIE_RETURN_IF_ERROR(
+          journal.Append(ExplanationToRecord(predictions[i], x)));
       if (failpoint::Fire("pipeline.interrupt", i)) {
         return Status::Aborted("injected interrupt after prediction " +
                                std::to_string(i));
@@ -314,6 +375,8 @@ Result<NecessaryRunResult> RunNecessaryEndToEndResumable(
     }
     result.explanations.push_back(std::move(x));
   }
+  KELPIE_RETURN_IF_ERROR(
+      CheckRunInterrupt(control, predictions.size(), predictions.size()));
   result.after = RetrainAndMeasure(kind, dataset, predictions, to_remove, {},
                                    target, retrain_seed);
   return result;
@@ -324,7 +387,7 @@ Result<SufficientRunResult> RunSufficientEndToEndResumable(
     ModelKind kind, const Dataset& dataset,
     const std::vector<Triple>& predictions, size_t conversion_set_size,
     uint64_t conversion_seed, uint64_t retrain_seed, PredictionTarget target,
-    const JournalOptions& journal_options) {
+    const JournalOptions& journal_options, const RunControl& control) {
   const uint64_t run_id =
       ComputeRunId("sufficient", kind, dataset, predictions, target,
                    retrain_seed, conversion_set_size, conversion_seed);
@@ -336,26 +399,47 @@ Result<SufficientRunResult> RunSufficientEndToEndResumable(
     return Status::FailedPrecondition(
         "journal has more records than this run has predictions");
   }
-  if (!journal.recovered().empty()) {
-    KELPIE_LOG(Info) << "resuming sufficient run: "
-                     << journal.recovered().size() << "/"
+  // Copy before any reopen: the journal's own vector dies with it.
+  const std::vector<PredictionRecord> recovered = journal.recovered();
+  const bool rewrite =
+      control.retry_truncated &&
+      std::any_of(recovered.begin(), recovered.end(),
+                  [](const PredictionRecord& r) { return !RecordComplete(r); });
+  if (rewrite) {
+    KELPIE_ASSIGN_OR_RETURN(
+        journal,
+        RunJournal::Open(journal_options.path, run_id, /*resume=*/false));
+    KELPIE_LOG(Info) << "retrying truncated predictions of sufficient run ("
+                     << recovered.size() << " journaled)";
+  } else if (!recovered.empty()) {
+    KELPIE_LOG(Info) << "resuming sufficient run: " << recovered.size() << "/"
                      << predictions.size() << " predictions journaled";
   }
 
   SufficientRunResult result;
   for (size_t i = 0; i < predictions.size(); ++i) {
-    if (i < journal.recovered().size()) {
-      const PredictionRecord& record = journal.recovered()[i];
+    const bool replay =
+        i < recovered.size() && (!rewrite || RecordComplete(recovered[i]));
+    if (i < recovered.size()) {
       KELPIE_RETURN_IF_ERROR(
-          CheckRecordedPrediction(record, predictions[i], i));
+          CheckRecordedPrediction(recovered[i], predictions[i], i));
+    }
+    if (replay) {
+      const PredictionRecord& record = recovered[i];
+      if (rewrite) {
+        KELPIE_RETURN_IF_ERROR(journal.Append(record));
+      }
       result.conversion_sets.push_back(record.conversion_set);
       result.explanations.push_back(
           RecordToExplanation(record, ExplanationKind::kSufficient));
       continue;
     }
+    KELPIE_RETURN_IF_ERROR(CheckRunInterrupt(control, i, predictions.size()));
     // Per-prediction conversion stream: a pure function of the seed, the
     // prediction and its index, independent of how many predictions ran
-    // before — the property that makes resumed draws match fresh ones.
+    // before — the property that makes resumed draws match fresh ones (and
+    // retried truncated extractions reuse the exact set they were first
+    // given).
     Rng conversion_rng(
         Mix64(Mix64(conversion_seed ^ predictions[i].Key()) ^ i));
     std::vector<EntityId> conversion_set = SampleConversionEntities(
@@ -364,14 +448,8 @@ Result<SufficientRunResult> RunSufficientEndToEndResumable(
     Explanation x =
         explainer.ExplainSufficient(predictions[i], target, conversion_set);
     x.seconds = 0.0;
-    PredictionRecord record;
-    record.prediction = predictions[i];
-    record.facts = x.facts;
+    PredictionRecord record = ExplanationToRecord(predictions[i], x);
     record.conversion_set = conversion_set;
-    record.relevance = x.relevance;
-    record.accepted = x.accepted;
-    record.post_trainings = x.post_trainings;
-    record.visited_candidates = x.visited_candidates;
     KELPIE_RETURN_IF_ERROR(journal.Append(record));
     result.conversion_sets.push_back(std::move(conversion_set));
     result.explanations.push_back(std::move(x));
@@ -380,6 +458,8 @@ Result<SufficientRunResult> RunSufficientEndToEndResumable(
                              std::to_string(i));
     }
   }
+  KELPIE_RETURN_IF_ERROR(
+      CheckRunInterrupt(control, predictions.size(), predictions.size()));
 
   std::vector<Triple> converted =
       ConversionPredictions(predictions, result.conversion_sets, target);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "baselines/explainer.h"
+#include "common/budget.h"
 #include "common/result.h"
 #include "eval/evaluator.h"
 #include "math/rng.h"
@@ -128,6 +129,33 @@ struct JournalOptions {
   bool resume = false;
 };
 
+/// Run-level interruption and retry policy of a resumable run. The
+/// per-prediction extraction limits live on the Explainer
+/// (Explainer::SetExtractionLimits); this bundle governs the loop around
+/// it.
+struct RunControl {
+  /// Checked before each fresh extraction and before retraining; a run that
+  /// observes it journals nothing further and returns kCancelled, so every
+  /// finished prediction (including a truncated in-flight one the shared
+  /// token stopped) is already flushed to disk.
+  CancelToken cancel;
+  /// Run-level absolute deadline; infinite by default. Checked at the same
+  /// points as `cancel` and returns kDeadlineExceeded.
+  Deadline deadline;
+  /// With JournalOptions::resume: journaled predictions whose completeness
+  /// is not kComplete are re-extracted under the explainer's current limits
+  /// instead of replayed, and the journal is rewritten in place (complete
+  /// records re-appended byte-identically). An upgrade run with larger
+  /// limits thus converges to the journal an uninterrupted run would have
+  /// produced — exactly for the explanation content (facts, relevance,
+  /// completeness, the resulting metrics); the `post_trainings` cost
+  /// counter of a *re-extracted* record can differ when predictions share
+  /// relevance-engine baseline-cache entries, because the uninterrupted
+  /// run extracted with a cache warmed by the predictions the retry run
+  /// merely replays.
+  bool retry_truncated = false;
+};
+
 /// Journaled variant of RunNecessaryEndToEnd: each prediction's extracted
 /// explanation is appended to the journal at `journal.path` before the next
 /// extraction starts, so a killed run restarted with `journal.resume`
@@ -143,7 +171,8 @@ struct JournalOptions {
 Result<NecessaryRunResult> RunNecessaryEndToEndResumable(
     Explainer& explainer, ModelKind kind, const Dataset& dataset,
     const std::vector<Triple>& predictions, uint64_t retrain_seed,
-    PredictionTarget target, const JournalOptions& journal);
+    PredictionTarget target, const JournalOptions& journal,
+    const RunControl& control = {});
 
 /// Journaled variant of RunSufficientEndToEnd. Unlike the non-resumable
 /// function (which draws all conversion sets from one shared Rng), each
@@ -155,7 +184,7 @@ Result<SufficientRunResult> RunSufficientEndToEndResumable(
     ModelKind kind, const Dataset& dataset,
     const std::vector<Triple>& predictions, size_t conversion_set_size,
     uint64_t conversion_seed, uint64_t retrain_seed, PredictionTarget target,
-    const JournalOptions& journal);
+    const JournalOptions& journal, const RunControl& control = {});
 
 /// Minimality study (paper Section 5.4): replaces each explanation by a
 /// random strict subset (uniform removal size in [1, len); length-1

@@ -78,5 +78,57 @@ TEST_F(FailpointTest, IndependentNames) {
   EXPECT_TRUE(failpoint::Fire("a"));
 }
 
+// ---- ArmFromSpec: the KELPIE_FAILPOINTS grammar. ----
+
+TEST_F(FailpointTest, SpecNameOnlyFiresOnceOnAnyValue) {
+  ASSERT_TRUE(failpoint::ArmFromSpec("fp").ok());
+  EXPECT_TRUE(failpoint::Fire("fp", 123));
+  EXPECT_FALSE(failpoint::Fire("fp", 123));
+}
+
+TEST_F(FailpointTest, SpecWithMatchAndTimes) {
+  ASSERT_TRUE(failpoint::ArmFromSpec("fp:7:2").ok());
+  EXPECT_FALSE(failpoint::Fire("fp", 6));
+  EXPECT_TRUE(failpoint::Fire("fp", 7));
+  EXPECT_TRUE(failpoint::Fire("fp", 7));
+  EXPECT_FALSE(failpoint::Fire("fp", 7));
+}
+
+TEST_F(FailpointTest, SpecStarAndForever) {
+  ASSERT_TRUE(failpoint::ArmFromSpec("fp:*:forever").ok());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(failpoint::Fire("fp", static_cast<uint64_t>(i)));
+  }
+}
+
+TEST_F(FailpointTest, SpecCommaSeparatedEntries) {
+  ASSERT_TRUE(failpoint::ArmFromSpec("a:1,b:*:forever,c").ok());
+  EXPECT_FALSE(failpoint::Fire("a", 2));
+  EXPECT_TRUE(failpoint::Fire("a", 1));
+  EXPECT_TRUE(failpoint::Fire("b", 9));
+  EXPECT_TRUE(failpoint::Fire("b", 10));
+  EXPECT_TRUE(failpoint::Fire("c"));
+}
+
+TEST_F(FailpointTest, SpecEmptyAndTrailingCommasAreTolerated) {
+  ASSERT_TRUE(failpoint::ArmFromSpec("").ok());
+  ASSERT_TRUE(failpoint::ArmFromSpec("a,,b,").ok());
+  EXPECT_TRUE(failpoint::Fire("a"));
+  EXPECT_TRUE(failpoint::Fire("b"));
+}
+
+TEST_F(FailpointTest, SpecRejectsMalformedEntries) {
+  EXPECT_EQ(failpoint::ArmFromSpec("fp:xyz").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(failpoint::ArmFromSpec("fp:1:sometimes").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(failpoint::ArmFromSpec("fp:1:-2").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(failpoint::ArmFromSpec("fp:1:2:3").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(failpoint::ArmFromSpec(":1").code(),
+            StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace kelpie

@@ -1,0 +1,53 @@
+// The stopwatch must be monotone: it is the basis of deadline accounting,
+// so a wall-clock adjustment (NTP step, suspend) must never make elapsed
+// time go backwards. The header pins std::chrono::steady_clock with a
+// static_assert; these tests exercise the observable contract.
+#include "common/stopwatch.h"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace kelpie {
+namespace {
+
+TEST(StopwatchTest, ElapsedIsMonotoneNonDecreasing) {
+  Stopwatch watch;
+  double last = watch.ElapsedSeconds();
+  EXPECT_GE(last, 0.0);
+  for (int i = 0; i < 10000; ++i) {
+    const double now = watch.ElapsedSeconds();
+    ASSERT_GE(now, last) << "elapsed time went backwards at sample " << i;
+    last = now;
+  }
+}
+
+TEST(StopwatchTest, RestartResetsElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const double before = watch.ElapsedSeconds();
+  EXPECT_GE(before, 0.045);
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedSeconds(), before);
+}
+
+TEST(StopwatchTest, MillisAndSecondsAgree) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double seconds = watch.ElapsedSeconds();
+  const double millis = watch.ElapsedMillis();
+  // Sampled a hair apart, so bracket instead of demanding equality.
+  EXPECT_GE(millis, seconds * 1000.0);
+  EXPECT_LT(millis, (seconds + 1.0) * 1000.0);
+}
+
+TEST(StopwatchTest, UsesSteadyClock) {
+  static_assert(std::is_same_v<Stopwatch::Clock, std::chrono::steady_clock>,
+                "deadline math requires a monotonic clock");
+  static_assert(Stopwatch::Clock::is_steady);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace kelpie

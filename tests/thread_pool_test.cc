@@ -117,6 +117,146 @@ TEST(ParallelMapTest, SingleIndexRunsOnCaller) {
   EXPECT_EQ(out[0], 41);
 }
 
+TEST(CancellableParallelForTest, NoInterruptRunsEverything) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  ParallelOutcome outcome = CancellableParallelFor(
+      pool, hits.size(), [&](size_t i) { hits[i].fetch_add(1); },
+      [] { return Status::Ok(); });
+  EXPECT_TRUE(outcome.status.ok());
+  EXPECT_EQ(outcome.completed, hits.size());
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(CancellableParallelForTest, EntryInterruptStartsNothing) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  ParallelOutcome outcome = CancellableParallelFor(
+      pool, 100, [&](size_t) { ran.fetch_add(1); },
+      [] { return Status::Cancelled("before anything started"); });
+  EXPECT_EQ(outcome.status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(outcome.completed, 0u);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(CancellableParallelForTest, MidwayInterruptDrainsContiguousPrefix) {
+  // Once the interrupt latches, no new index is claimed, but every index
+  // claimed before the latch still runs — `completed` is an exactly-once
+  // contiguous prefix, which is what lets callers trust partial results.
+  ThreadPool pool(4);
+  constexpr size_t kCount = 200;
+  std::vector<std::atomic<int>> hits(kCount);
+  std::atomic<size_t> started{0};
+  ParallelOutcome outcome = CancellableParallelFor(
+      pool, kCount,
+      [&](size_t i) {
+        started.fetch_add(1);
+        hits[i].fetch_add(1);
+      },
+      [&]() -> Status {
+        if (started.load() >= 8) {
+          return Status::DeadlineExceeded("enough");
+        }
+        return Status::Ok();
+      });
+  EXPECT_EQ(outcome.status.code(), StatusCode::kDeadlineExceeded);
+  // At least the 8 that tripped the interrupt, plus at most one in-flight
+  // claim per strand (workers + caller) that passed its check first.
+  EXPECT_GE(outcome.completed, 8u);
+  EXPECT_LE(outcome.completed, 8u + pool.num_threads() + 1);
+  for (size_t i = 0; i < kCount; ++i) {
+    const int expected = i < outcome.completed ? 1 : 0;
+    ASSERT_EQ(hits[i].load(), expected) << "index " << i;
+  }
+}
+
+TEST(CancellableParallelForTest, ExceptionStopsNewIndicesAndRethrows) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  EXPECT_THROW(
+      CancellableParallelFor(
+          pool, hits.size(),
+          [&](size_t i) {
+            hits[i].fetch_add(1);
+            if (i == 3) throw std::runtime_error("index 3");
+          },
+          [] { return Status::Ok(); }),
+      std::runtime_error);
+  // Unlike plain ParallelFor, an exception latches the stop bit: started
+  // indices drain, unclaimed ones never run — and nothing runs twice.
+  EXPECT_EQ(hits[3].load(), 1);
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_LE(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(CancellableParallelForTest, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  ParallelOutcome outcome = CancellableParallelFor(
+      pool, 0, [](size_t) { FAIL() << "must not be called"; },
+      []() -> Status { ADD_FAILURE() << "no interrupt poll either"; return Status::Ok(); });
+  EXPECT_TRUE(outcome.status.ok());
+  EXPECT_EQ(outcome.completed, 0u);
+}
+
+TEST(CancellableParallelForTest, NestedCallsDoNotDeadlock) {
+  // Same caller-participates guarantee as ParallelFor: the Explanation
+  // Builder nests cancellable chunks inside pool tasks.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  ParallelOutcome outer = CancellableParallelFor(
+      pool, 4,
+      [&](size_t) {
+        ParallelOutcome inner = CancellableParallelFor(
+            pool, 8, [&](size_t) { counter.fetch_add(1); },
+            [] { return Status::Ok(); });
+        EXPECT_TRUE(inner.status.ok());
+      },
+      [] { return Status::Ok(); });
+  EXPECT_TRUE(outer.status.ok());
+  EXPECT_EQ(outer.completed, 4u);
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(CancellableParallelMapTest, ReturnsExactlyTheCompletedPrefix) {
+  ThreadPool pool(4);
+  std::atomic<size_t> started{0};
+  ParallelOutcome outcome;
+  std::vector<size_t> out = CancellableParallelMap(
+      pool, 200,
+      [&](size_t i) {
+        started.fetch_add(1);
+        return i * i;
+      },
+      [&]() -> Status {
+        if (started.load() >= 10) return Status::Cancelled("enough");
+        return Status::Ok();
+      },
+      &outcome);
+  EXPECT_EQ(outcome.status.code(), StatusCode::kCancelled);
+  ASSERT_EQ(out.size(), outcome.completed);
+  EXPECT_GE(out.size(), 10u);
+  EXPECT_LT(out.size(), 200u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], i * i) << "index " << i;
+  }
+}
+
+TEST(CancellableParallelMapTest, UninterruptedMapMatchesPlainMap) {
+  ThreadPool pool(4);
+  ParallelOutcome outcome;
+  std::vector<size_t> out = CancellableParallelMap(
+      pool, 100, [](size_t i) { return i + 1; },
+      [] { return Status::Ok(); }, &outcome);
+  EXPECT_TRUE(outcome.status.ok());
+  ASSERT_EQ(out.size(), 100u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], i + 1);
+  }
+}
+
 TEST(ParallelEvalTest, MatchesSequentialBitForBit) {
   Dataset dataset = testing_util::MakeToyDataset();
   auto model = testing_util::TrainToyModel(ModelKind::kComplEx, dataset);

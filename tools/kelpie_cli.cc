@@ -27,6 +27,8 @@
 #include <string>
 
 #include "baselines/explainer.h"
+#include "common/budget.h"
+#include "common/failpoint.h"
 #include "core/kelpie.h"
 #include "datagen/datasets.h"
 #include "datagen/generator.h"
@@ -66,7 +68,8 @@ class Args {
 
   static bool IsSwitch(const std::string& key) {
     return key == "sufficient" || key == "head-query" || key == "no-heads" ||
-           key == "per-relation" || key == "no-recover" || key == "resume";
+           key == "per-relation" || key == "no-recover" || key == "resume" ||
+           key == "retry-truncated";
   }
 
   const std::string& error() const { return error_; }
@@ -122,6 +125,47 @@ Result<Dataset> LoadData(const Args& args) {
     return Status::InvalidArgument("--data DIR is required");
   }
   return LoadDatasetTsv("cli-dataset", args.Get("data"));
+}
+
+/// Extraction-limit flags shared by `explain` and `xp`. The returned limits
+/// carry `cancel`, which the caller has wired to SIGINT/SIGTERM, so Ctrl-C
+/// stops an in-flight extraction at the next candidate boundary.
+Result<ExtractionLimits> ParseExtractionLimits(const Args& args,
+                                               const CancelToken& cancel) {
+  ExtractionLimits limits;
+  KELPIE_ASSIGN_OR_RETURN(limits.work_budget, args.GetU64("work-budget", 0));
+  KELPIE_ASSIGN_OR_RETURN(limits.timeout_seconds,
+                          args.GetDouble("per-prediction-timeout", 0.0));
+  if (limits.timeout_seconds < 0.0) {
+    return Status::InvalidArgument(
+        "--per-prediction-timeout must be non-negative");
+  }
+  limits.cancel = cancel;
+  return limits;
+}
+
+/// One line after an xp run when any extraction hit a limit, pointing at
+/// the upgrade path.
+void PrintTruncationSummary(const std::vector<Explanation>& explanations) {
+  size_t truncated = 0;
+  for (const Explanation& x : explanations) {
+    if (x.completeness != Completeness::kComplete) ++truncated;
+  }
+  if (truncated > 0) {
+    std::printf("  %zu/%zu extractions truncated by limits; re-run with "
+                "--resume --retry-truncated and larger limits to upgrade\n",
+                truncated, explanations.size());
+  }
+}
+
+/// How an extraction ended, for explanation summaries: empty for a complete
+/// run, otherwise a short "truncated" annotation.
+std::string CompletenessSummary(const Explanation& x) {
+  if (x.completeness == Completeness::kComplete) return "";
+  std::string s = " [";
+  s += CompletenessName(x.completeness);
+  s += ", " + std::to_string(x.skipped_candidates) + " candidates skipped]";
+  return s;
 }
 
 Status CmdGenerate(const Args& args) {
@@ -257,27 +301,45 @@ Status CmdExplain(const Args& args) {
   uint64_t threads = 0;
   KELPIE_ASSIGN_OR_RETURN(threads, args.GetU64("threads", 1));
   options.num_threads = threads;
+  CancelToken cancel;
+  WireCancelToSignals(cancel);
+  ExtractionLimits limits;
+  KELPIE_ASSIGN_OR_RETURN(limits, ParseExtractionLimits(args, cancel));
   Kelpie kelpie(**model, *dataset, options);
   Explanation x;
   if (args.Has("sufficient")) {
     std::vector<EntityId> converted;
-    x = kelpie.ExplainSufficient(*prediction, target, &converted);
+    x = kelpie.ExplainSufficient(*prediction, target, &converted, nullptr,
+                                 limits);
     std::printf("sufficient explanation (over %zu conversion entities):\n",
                 converted.size());
   } else {
-    x = kelpie.ExplainNecessary(*prediction, target);
+    x = kelpie.ExplainNecessary(*prediction, target, nullptr, limits);
     std::printf("necessary explanation:\n");
   }
   if (x.empty()) {
-    std::printf("  (none found — the source entity has no usable facts)\n");
+    if (x.completeness == Completeness::kComplete) {
+      std::printf("  (none found — the source entity has no usable facts)\n");
+    } else {
+      std::printf(
+          "  (none found before the extraction was stopped:%s — raise the "
+          "limits and retry)\n",
+          CompletenessSummary(x).c_str());
+    }
+    if (x.completeness == Completeness::kCancelled) {
+      return Status::Cancelled("extraction cancelled before any result");
+    }
     return Status::Ok();
   }
   for (const Triple& fact : x.facts) {
     std::printf("  %s\n", dataset->TripleToString(fact).c_str());
   }
-  std::printf("relevance %.2f, %s, %zu post-trainings, %.2fs\n",
+  std::printf("relevance %.2f, %s, %zu post-trainings, %.2fs%s\n",
               x.relevance, x.accepted ? "accepted" : "best-effort",
-              x.post_trainings, x.seconds);
+              x.post_trainings, x.seconds, CompletenessSummary(x).c_str());
+  if (x.completeness == Completeness::kCancelled) {
+    return Status::Cancelled("extraction cancelled; best-so-far shown above");
+  }
   return Status::Ok();
 }
 
@@ -369,6 +431,36 @@ Status CmdXp(const Args& args) {
   options.num_threads = threads;
   KelpieExplainer explainer(**model, *dataset, options);
   JournalOptions journal{args.Get("journal"), args.Has("resume")};
+
+  // Bounded extraction: Ctrl-C (or SIGTERM) flips the shared cancel token;
+  // the in-flight extraction stops at its next candidate boundary, its
+  // best-so-far record is journaled by the run loop's own flush discipline,
+  // and the run returns a Cancelled summary. A second signal exits
+  // immediately.
+  CancelToken cancel;
+  WireCancelToSignals(cancel);
+  ExtractionLimits limits;
+  KELPIE_ASSIGN_OR_RETURN(limits, ParseExtractionLimits(args, cancel));
+  RunControl control;
+  control.cancel = cancel;
+  control.retry_truncated = args.Has("retry-truncated");
+  if (control.retry_truncated && !journal.resume) {
+    return Status::InvalidArgument(
+        "--retry-truncated only makes sense with --resume");
+  }
+  double deadline_seconds = 0.0;
+  KELPIE_ASSIGN_OR_RETURN(deadline_seconds, args.GetDouble("deadline", 0.0));
+  if (deadline_seconds < 0.0) {
+    return Status::InvalidArgument("--deadline must be non-negative");
+  }
+  if (deadline_seconds > 0.0) {
+    // One run-level clock: in-flight extractions and the prediction loop
+    // observe the same deadline.
+    control.deadline = Deadline::After(deadline_seconds);
+    limits.deadline = control.deadline;
+  }
+  explainer.SetExtractionLimits(limits);
+
   // Derived, disjoint seed streams: the sampling rng above consumed `seed`.
   const uint64_t retrain_seed = seed + 1;
   const uint64_t conversion_seed = seed + 2;
@@ -376,7 +468,7 @@ Status CmdXp(const Args& args) {
   if (scenario == "necessary") {
     Result<NecessaryRunResult> result = RunNecessaryEndToEndResumable(
         explainer, kind.value(), *dataset, predictions, retrain_seed,
-        PredictionTarget::kTail, journal);
+        PredictionTarget::kTail, journal, control);
     if (!result.ok()) return result.status();
     std::printf("necessary scenario over %zu predictions (journal %s):\n",
                 predictions.size(), args.Get("journal").c_str());
@@ -384,11 +476,12 @@ Status CmdXp(const Args& args) {
                 "(ΔH@1 %+.3f, ΔMRR %+.3f)\n",
                 result->after.hits_at_1, result->after.mrr,
                 result->delta_h1(), result->delta_mrr());
+    PrintTruncationSummary(result->explanations);
   } else {
     Result<SufficientRunResult> result = RunSufficientEndToEndResumable(
         explainer, **model, kind.value(), *dataset, predictions,
         conversion_set_size, conversion_seed, retrain_seed,
-        PredictionTarget::kTail, journal);
+        PredictionTarget::kTail, journal, control);
     if (!result.ok()) return result.status();
     std::printf("sufficient scenario over %zu predictions (journal %s):\n",
                 predictions.size(), args.Get("journal").c_str());
@@ -398,6 +491,7 @@ Status CmdXp(const Args& args) {
                 "(ΔH@1 %+.3f, ΔMRR %+.3f)\n",
                 result->after.hits_at_1, result->after.mrr,
                 result->delta_h1(), result->delta_mrr());
+    PrintTruncationSummary(result->explanations);
   }
   return Status::Ok();
 }
@@ -412,19 +506,43 @@ int Usage() {
       "  evaluate --data DIR --model-file FILE [--no-heads] "
       "[--per-relation] [--threads N]\n"
       "  explain  --data DIR --model-file FILE --head H --relation R "
-      "--tail T [--sufficient] [--head-query] [--threads N]\n"
+      "--tail T [--sufficient] [--head-query] [--threads N] "
+      "[--work-budget N] [--per-prediction-timeout S]\n"
       "  audit    --data DIR --model-file FILE --relation R [--limit N] "
       "[--threads N]\n"
       "  xp       --data DIR --model-file FILE --scenario "
       "necessary|sufficient --journal FILE [--resume] [--sample N] "
-      "[--seed N] [--conversion-set N] [--threads N]\n"
+      "[--seed N] [--conversion-set N] [--threads N] [--work-budget N] "
+      "[--per-prediction-timeout S] [--deadline S] [--retry-truncated]\n"
       "models: TransE ComplEx ConvE DistMult RotatE\n"
-      "datasets: FB15k FB15k-237 WN18 WN18RR YAGO3-10\n");
+      "datasets: FB15k FB15k-237 WN18 WN18RR YAGO3-10\n"
+      "bounded extraction:\n"
+      "  --work-budget N             deterministic per-prediction budget in\n"
+      "                              work units (1 unit = one post-training);\n"
+      "                              same N => same truncated explanation at\n"
+      "                              any thread count\n"
+      "  --per-prediction-timeout S  wall-clock seconds per extraction\n"
+      "                              (not deterministic)\n"
+      "  --deadline S                run-level wall-clock deadline (xp)\n"
+      "  --retry-truncated           with --resume: re-extract journaled\n"
+      "                              predictions a limit truncated\n"
+      "  SIGINT/SIGTERM cancel cleanly: the journal keeps every finished\n"
+      "  prediction; a second signal exits immediately\n"
+      "fault injection (tests):\n"
+      "  KELPIE_FAILPOINTS=name[:match[:times]],...  arm failpoints; match\n"
+      "  is a value or '*', times a count or 'forever'. Known failpoints:\n"
+      "    train.diverge (value = epoch), engine.post_train.diverge\n"
+      "    (value = entity id), pipeline.interrupt (value = prediction\n"
+      "    index), atomic_file.partial_write, atomic_file.rename\n");
   return 2;
 }
 
 int Run(int argc, char** argv) {
   if (argc < 2) return Usage();
+  if (const char* spec = std::getenv("KELPIE_FAILPOINTS")) {
+    Status status = failpoint::ArmFromSpec(spec);
+    if (!status.ok()) return Fail(status.ToString());
+  }
   Args args(argc, argv);
   if (!args.error().empty()) return Fail(args.error());
   std::string command = argv[1];
