@@ -54,11 +54,15 @@ int main(int argc, char** argv) {
       bool all_match = true;
       Rng conv_rng(options.seed + 4);
       for (const Triple& p : predictions) {
+        // Post-training cost of the sequential extraction, read as a delta
+        // of the process metrics registry (exact at num_threads = 1).
+        const uint64_t pt_before = TotalPostTrainings();
         Explanation n1 = seq.ExplainNecessary(p, PredictionTarget::kTail);
+        const uint64_t pt_nec = TotalPostTrainings() - pt_before;
         Explanation nN = par.ExplainNecessary(p, PredictionTarget::kTail);
         nec1.Add(n1.seconds);
         necN.Add(nN.seconds);
-        nec_pt.Add(static_cast<double>(n1.post_trainings));
+        nec_pt.Add(static_cast<double>(pt_nec));
         all_match = all_match && n1.facts == nN.facts &&
                     n1.relevance == nN.relevance &&
                     n1.visited_candidates == nN.visited_candidates;

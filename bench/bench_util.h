@@ -10,6 +10,7 @@
 #include "baselines/criage.h"
 #include "baselines/data_poisoning.h"
 #include "baselines/explainer.h"
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "datagen/datasets.h"
@@ -94,6 +95,15 @@ inline std::vector<std::unique_ptr<Explainer>> MakeFrameworks(
     out.push_back(std::make_unique<CriageExplainer>(model, dataset));
   }
   return out;
+}
+
+/// Total Relevance Engine post-trainings recorded in the process metrics
+/// registry (all mimic kinds). Benches report deltas of this across a
+/// measured region instead of reaching into engine-private counters; at
+/// num_threads = 1 the registry count is exact.
+inline uint64_t TotalPostTrainings() {
+  return metrics::Registry::Global().CounterFamilyTotal(
+      "kelpie_engine_post_trainings_total");
 }
 
 /// Prints a row of a fixed-width text table.

@@ -1,0 +1,363 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace kelpie {
+namespace metrics {
+
+namespace {
+
+/// FNV-1a, good enough to spread family names over 8 shards.
+size_t NameHash(std::string_view name) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<size_t>(h);
+}
+
+/// Escapes a label value for text exposition (Prometheus escaping rules).
+std::string EscapeLabelValue(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Canonical label string: keys sorted, `k="v"` joined by commas. Doubles
+/// as the series map key and the exposition label block (sans braces).
+std::string CanonicalLabels(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const auto& [k, v] : sorted) {
+    if (!out.empty()) out.push_back(',');
+    out += k;
+    out += "=\"";
+    out += EscapeLabelValue(v);
+    out.push_back('"');
+  }
+  return out;
+}
+
+/// `name{labels}` or bare `name`; `extra` appends one more label (used for
+/// histogram `le`).
+std::string SeriesName(const std::string& family, const std::string& labels,
+                       const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return family;
+  std::string out = family;
+  out.push_back('{');
+  out += labels;
+  if (!extra.empty()) {
+    if (!labels.empty()) out.push_back(',');
+    out += extra;
+  }
+  out.push_back('}');
+  return out;
+}
+
+const char* TypeName(int type) {
+  switch (type) {
+    case 0: return "counter";
+    case 1: return "gauge";
+    default: return "histogram";
+  }
+}
+
+std::atomic<Registry*> g_override{nullptr};
+
+/// Doubles as JSON values: NaN/Inf are not valid JSON numbers, so
+/// non-finite values are emitted as strings.
+std::string JsonDouble(double v) {
+  if (std::isfinite(v)) return FormatDouble(v);
+  std::string out = "\"";
+  out += FormatDouble(v);
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+std::string FormatDouble(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]),
+      sum_bits_(std::bit_cast<uint64_t>(0.0)) {
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double v) {
+  size_t i = 0;
+  while (i < bounds_.size() && !(v <= bounds_[i])) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t old = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(
+      old, std::bit_cast<uint64_t>(std::bit_cast<double>(old) + v),
+      std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<double> ExponentialBuckets(double bound, double growth,
+                                       size_t count) {
+  std::vector<double> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(bound);
+    bound *= growth;
+  }
+  return out;
+}
+
+std::vector<double> LinearBuckets(double start, double width, size_t count) {
+  std::vector<double> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(start + width * static_cast<double>(i));
+  }
+  return out;
+}
+
+Registry& Registry::Global() {
+  // Leaked on purpose: resolved handles stay valid through process exit.
+  static Registry* default_instance = new Registry();
+  Registry* override = g_override.load(std::memory_order_acquire);
+  return override != nullptr ? *override : *default_instance;
+}
+
+Registry::Shard& Registry::ShardOf(std::string_view name) {
+  return shards_[NameHash(name) % kShards];
+}
+
+Registry::Family& Registry::GetFamily(Shard& shard, std::string_view name,
+                                      Type type, Determinism det,
+                                      std::string_view help) {
+  auto it = shard.families.find(name);
+  if (it == shard.families.end()) {
+    Family family;
+    family.name = std::string(name);
+    family.type = type;
+    family.det = det;
+    family.help = std::string(help);
+    it = shard.families.emplace(family.name, std::move(family)).first;
+  }
+  // One name, one type: silently reinterpreting a counter as a gauge would
+  // corrupt snapshots.
+  KELPIE_CHECK(it->second.type == type);
+  return it->second;
+}
+
+Counter& Registry::GetCounter(std::string_view name, const Labels& labels,
+                              Determinism det, std::string_view help) {
+  Shard& shard = ShardOf(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Family& family = GetFamily(shard, name, Type::kCounter, det, help);
+  std::unique_ptr<Counter>& slot = family.counters[CanonicalLabels(labels)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::GetGauge(std::string_view name, const Labels& labels,
+                          Determinism det, std::string_view help) {
+  Shard& shard = ShardOf(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Family& family = GetFamily(shard, name, Type::kGauge, det, help);
+  std::unique_ptr<Gauge>& slot = family.gauges[CanonicalLabels(labels)];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::GetHistogram(std::string_view name,
+                                  std::vector<double> upper_bounds,
+                                  const Labels& labels, Determinism det,
+                                  std::string_view help) {
+  Shard& shard = ShardOf(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Family& family = GetFamily(shard, name, Type::kHistogram, det, help);
+  if (family.histograms.empty() && family.bounds.empty()) {
+    family.bounds = std::move(upper_bounds);
+  }
+  std::unique_ptr<Histogram>& slot =
+      family.histograms[CanonicalLabels(labels)];
+  if (!slot) slot = std::make_unique<Histogram>(family.bounds);
+  return *slot;
+}
+
+uint64_t Registry::CounterFamilyTotal(std::string_view name) const {
+  const Shard& shard = shards_[NameHash(name) % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.families.find(name);
+  if (it == shard.families.end()) return 0;
+  uint64_t total = 0;
+  for (const auto& [labels, counter] : it->second.counters) {
+    total += counter->Value();
+  }
+  return total;
+}
+
+std::vector<const Registry::Family*> Registry::SortedFamilies() const {
+  std::vector<const Family*> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [name, family] : shard.families) {
+      out.push_back(&family);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Family* a, const Family* b) {
+    return a->name < b->name;
+  });
+  return out;
+}
+
+std::string Registry::TextExposition(bool mask_wall_clock) const {
+  std::string out;
+  for (const Family* family : SortedFamilies()) {
+    const bool mask =
+        mask_wall_clock && family->det == Determinism::kWallClock;
+    if (!family->help.empty()) {
+      out += "# HELP " + family->name + " " + family->help + "\n";
+    }
+    out += "# TYPE " + family->name + " ";
+    out += TypeName(static_cast<int>(family->type));
+    out += "\n";
+    auto value_or_masked = [mask](const std::string& v) {
+      return mask ? std::string("MASKED") : v;
+    };
+    for (const auto& [labels, counter] : family->counters) {
+      out += SeriesName(family->name, labels) + " " +
+             value_or_masked(std::to_string(counter->Value())) + "\n";
+    }
+    for (const auto& [labels, gauge] : family->gauges) {
+      out += SeriesName(family->name, labels) + " " +
+             value_or_masked(FormatDouble(gauge->Value())) + "\n";
+    }
+    for (const auto& [labels, hist] : family->histograms) {
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i <= hist->bounds().size(); ++i) {
+        cumulative += hist->BucketCount(i);
+        const std::string le =
+            i < hist->bounds().size() ? FormatDouble(hist->bounds()[i])
+                                      : "+Inf";
+        out += SeriesName(family->name + "_bucket", labels,
+                          "le=\"" + le + "\"") +
+               " " + value_or_masked(std::to_string(cumulative)) + "\n";
+      }
+      out += SeriesName(family->name + "_sum", labels) + " " +
+             value_or_masked(FormatDouble(hist->Sum())) + "\n";
+      out += SeriesName(family->name + "_count", labels) + " " +
+             value_or_masked(std::to_string(hist->Count())) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string Registry::JsonSnapshot(bool mask_wall_clock) const {
+  std::string out = "[";
+  bool first_family = true;
+  for (const Family* family : SortedFamilies()) {
+    const bool mask =
+        mask_wall_clock && family->det == Determinism::kWallClock;
+    if (!first_family) out += ",";
+    first_family = false;
+    out += "{\"name\":\"" + JsonEscape(family->name) + "\",\"type\":\"";
+    out += TypeName(static_cast<int>(family->type));
+    out += "\",\"determinism\":\"";
+    out += family->det == Determinism::kDeterministic ? "deterministic"
+                                                      : "wall_clock";
+    out += "\",\"help\":\"" + JsonEscape(family->help) + "\",\"series\":[";
+    auto number_or_masked = [mask](const std::string& v) {
+      return mask ? std::string("\"MASKED\"") : v;
+    };
+    bool first_series = true;
+    auto begin_series = [&](const std::string& labels) {
+      if (!first_series) out += ",";
+      first_series = false;
+      out += "{\"labels\":\"" + JsonEscape(labels) + "\",";
+    };
+    for (const auto& [labels, counter] : family->counters) {
+      begin_series(labels);
+      out += "\"value\":" + number_or_masked(std::to_string(counter->Value())) +
+             "}";
+    }
+    for (const auto& [labels, gauge] : family->gauges) {
+      begin_series(labels);
+      out += "\"value\":" + number_or_masked(JsonDouble(gauge->Value())) +
+             "}";
+    }
+    for (const auto& [labels, hist] : family->histograms) {
+      begin_series(labels);
+      out += "\"buckets\":[";
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i <= hist->bounds().size(); ++i) {
+        cumulative += hist->BucketCount(i);
+        if (i > 0) out += ",";
+        const std::string le =
+            i < hist->bounds().size() ? FormatDouble(hist->bounds()[i])
+                                      : "\"+Inf\"";
+        out += "{\"le\":" + le +
+               ",\"count\":" + number_or_masked(std::to_string(cumulative)) +
+               "}";
+      }
+      out += "],\"sum\":" + number_or_masked(JsonDouble(hist->Sum()));
+      out += ",\"count\":" + number_or_masked(std::to_string(hist->Count()));
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "]";
+  return out;
+}
+
+ScopedRegistry::ScopedRegistry()
+    : previous_(g_override.exchange(&registry_, std::memory_order_acq_rel)) {}
+
+ScopedRegistry::~ScopedRegistry() {
+  g_override.store(previous_, std::memory_order_release);
+}
+
+}  // namespace metrics
+}  // namespace kelpie

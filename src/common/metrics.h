@@ -1,0 +1,224 @@
+#ifndef KELPIE_COMMON_METRICS_H_
+#define KELPIE_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace kelpie {
+namespace metrics {
+
+/// Snapshot class of a metric family, fixed at registration.
+///
+/// The repo's extraction guarantees (DESIGN §7/§9) split observable
+/// quantities in two: values the sequential replay commits — identical at
+/// any thread count — and values tied to wall-clock time or to the thread
+/// schedule (speculative post-trainings, cache contention, durations).
+/// Families declare which class they are in, and snapshots taken with
+/// `mask_wall_clock` print `MASKED` for every wall-clock value while still
+/// listing the series. Masked snapshots of the same seeded workload are
+/// therefore byte-identical across thread counts; the golden test in
+/// tests/metrics_registry_test.cc enforces exactly that.
+enum class Determinism {
+  /// Schedule-invariant: committed by sequential code (training epochs,
+  /// the builder's stopping-policy replay, fact-order accumulation).
+  kDeterministic,
+  /// Wall-clock or schedule-dependent: timings, speculative work counts,
+  /// cache hit/miss/wait totals under parallel extraction.
+  kWallClock,
+};
+
+/// Monotonic counter. Increment is a single relaxed atomic add — safe from
+/// any thread, no locks, negligible cost on hot paths.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins double gauge (bits stored in an atomic u64).
+class Gauge {
+ public:
+  void Set(double v) {
+    bits_.store(std::bit_cast<uint64_t>(v), std::memory_order_relaxed);
+  }
+  double Value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+ private:
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// Fixed-bucket histogram with Prometheus `le` semantics (a value lands in
+/// the first bucket whose upper bound is >= it; the implicit +Inf bucket
+/// catches the rest). Observe is lock-free: per-bucket relaxed adds plus a
+/// CAS loop for the double sum, so concurrent merges from a pool are safe.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double v);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const {
+    return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+  }
+  /// Non-cumulative count of bucket `i`; `i == bounds().size()` is +Inf.
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_;  // double bits, CAS-accumulated
+};
+
+/// `bound * growth^i` for i in [0, count): the usual latency bucket ladder.
+std::vector<double> ExponentialBuckets(double bound, double growth,
+                                       size_t count);
+/// `start + width * i` for i in [0, count).
+std::vector<double> LinearBuckets(double start, double width, size_t count);
+
+/// Label set of one series; canonicalized (sorted by key) on registration.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Process-wide metric registry: named families of counters, gauges and
+/// histograms, each family holding one series per label set.
+///
+/// Lookup (`Get*`) takes a sharded mutex and is meant for cold paths —
+/// component constructors and per-call entry points resolve handles once,
+/// then increment through the returned reference without any lock. The
+/// returned references live as long as the registry.
+///
+/// Snapshots (`TextExposition`, `JsonSnapshot`) are deterministic: families
+/// sorted by name, series by canonical label string, doubles printed with
+/// round-trip precision. With `mask_wall_clock` every value of a
+/// Determinism::kWallClock family prints as `MASKED` (series presence is
+/// still compared — handles must be resolved on schedule-invariant paths).
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-global registry every component instruments against.
+  /// Replaceable for test isolation via ScopedRegistry.
+  static Registry& Global();
+
+  Counter& GetCounter(std::string_view name, const Labels& labels = {},
+                      Determinism det = Determinism::kWallClock,
+                      std::string_view help = "");
+  Gauge& GetGauge(std::string_view name, const Labels& labels = {},
+                  Determinism det = Determinism::kWallClock,
+                  std::string_view help = "");
+  /// `upper_bounds` fixes the family's buckets on first registration;
+  /// subsequent calls for the same family ignore it.
+  Histogram& GetHistogram(std::string_view name,
+                          std::vector<double> upper_bounds,
+                          const Labels& labels = {},
+                          Determinism det = Determinism::kWallClock,
+                          std::string_view help = "");
+
+  /// Sum of all series of a counter family; 0 when the family does not
+  /// exist (or is not a counter family). Cold, locked read — meant for
+  /// benches and tests that report work totals, not for hot paths.
+  uint64_t CounterFamilyTotal(std::string_view name) const;
+
+  /// Prometheus text exposition (# HELP / # TYPE / series lines).
+  std::string TextExposition(bool mask_wall_clock = false) const;
+  /// JSON array of family objects (name/type/determinism/help/series).
+  std::string JsonSnapshot(bool mask_wall_clock = false) const;
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  struct Family {
+    std::string name;
+    Type type = Type::kCounter;
+    Determinism det = Determinism::kWallClock;
+    std::string help;
+    std::vector<double> bounds;  // histogram families only
+    // Keyed by canonical label string; std::map keeps series sorted for
+    // deterministic snapshots.
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  };
+
+  static constexpr size_t kShards = 8;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, Family, std::less<>> families;
+  };
+
+  Shard& ShardOf(std::string_view name);
+  Family& GetFamily(Shard& shard, std::string_view name, Type type,
+                    Determinism det, std::string_view help);
+  /// All families of all shards, sorted by name, snapshotted under the
+  /// shard locks (pointers stay valid: families are never removed).
+  std::vector<const Family*> SortedFamilies() const;
+
+  std::array<Shard, kShards> shards_;
+};
+
+/// RAII swap of the global registry, for test isolation: metrics recorded
+/// while alive land in this instance instead of the process registry.
+///
+/// Components resolve metric handles from Registry::Global() when they are
+/// constructed (or at call entry), so anything whose metrics the test wants
+/// captured must be constructed *after* the ScopedRegistry — and must not
+/// outlive it (its handles point into the scoped instance).
+class ScopedRegistry {
+ public:
+  ScopedRegistry();
+  ~ScopedRegistry();
+  ScopedRegistry(const ScopedRegistry&) = delete;
+  ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+
+  Registry& registry() { return registry_; }
+
+ private:
+  Registry registry_;
+  Registry* previous_;
+};
+
+/// `%.17g` with canonical spellings for +Inf/-Inf/NaN: enough digits to
+/// round-trip any double, stable across platforms for identical bits.
+std::string FormatDouble(double v);
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace metrics
+}  // namespace kelpie
+
+#endif  // KELPIE_COMMON_METRICS_H_

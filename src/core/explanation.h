@@ -20,6 +20,12 @@ enum class ExplanationKind {
   kSufficient,
 };
 
+/// Lower-case scenario name ("necessary" / "sufficient"), used for metric
+/// labels and log lines.
+inline const char* ExplanationKindName(ExplanationKind kind) {
+  return kind == ExplanationKind::kNecessary ? "necessary" : "sufficient";
+}
+
 /// An extracted explanation X*: the facts, the relevance the Relevance
 /// Engine assigned to it, and extraction metadata.
 struct Explanation {

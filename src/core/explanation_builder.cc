@@ -4,15 +4,88 @@
 #include <cmath>
 #include <deque>
 #include <limits>
+#include <map>
 #include <numeric>
+#include <string>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 
 namespace kelpie {
 
 namespace {
+
+/// Per-size-class candidate accounting, accumulated locally during the
+/// search and committed to the registry once at the end of the extraction.
+/// The tallies are derived from the deterministic sequential replay (the
+/// same bookkeeping that feeds Explanation::visited/skipped/divergent), so
+/// the committed counters are metrics::Determinism::kDeterministic:
+/// identical at every thread count for reproducible runs (budget-truncated
+/// included; deadline/cancel truncation is schedule-dependent by contract).
+struct StageTally {
+  uint64_t visited = 0;
+  uint64_t skipped = 0;
+  uint64_t divergent = 0;
+};
+
+/// Commits one extraction's tallies to the process registry. Cold path: a
+/// handful of locked lookups per extraction, nothing per candidate.
+void CommitSearchMetrics(ExplanationKind kind, uint64_t unit,
+                         const std::map<size_t, StageTally>& stages,
+                         const Explanation& result) {
+  metrics::Registry& reg = metrics::Registry::Global();
+  constexpr auto kDet = metrics::Determinism::kDeterministic;
+  const std::string kind_name = ExplanationKindName(kind);
+  const char* candidates_help =
+      "Candidate combinations by kind, size class (stage) and outcome, "
+      "counted in the deterministic sequential replay.";
+  for (const auto& [stage, tally] : stages) {
+    const std::string stage_name = std::to_string(stage);
+    if (tally.visited > 0) {
+      reg.GetCounter("kelpie_builder_candidates_total",
+                     {{"kind", kind_name},
+                      {"stage", stage_name},
+                      {"outcome", "visited"}},
+                     kDet, candidates_help)
+          .Increment(tally.visited);
+    }
+    if (tally.skipped > 0) {
+      reg.GetCounter("kelpie_builder_candidates_total",
+                     {{"kind", kind_name},
+                      {"stage", stage_name},
+                      {"outcome", "skipped"}},
+                     kDet, candidates_help)
+          .Increment(tally.skipped);
+    }
+    if (tally.divergent > 0) {
+      reg.GetCounter("kelpie_builder_candidates_total",
+                     {{"kind", kind_name},
+                      {"stage", stage_name},
+                      {"outcome", "divergent"}},
+                     kDet, candidates_help)
+          .Increment(tally.divergent);
+    }
+  }
+  reg.GetCounter(
+         "kelpie_builder_extractions_total",
+         {{"kind", kind_name},
+          {"completeness", std::string(CompletenessName(result.completeness))}},
+         kDet, "Finished extractions by kind and completeness.")
+      .Increment();
+  reg.GetCounter(
+         "kelpie_builder_committed_work_units_total", {{"kind", kind_name}},
+         kDet,
+         "Work units charged in the deterministic replay (unit cost x "
+         "visited candidates; 1 unit = one non-homologous post-training).")
+      .Increment(unit * static_cast<uint64_t>(result.visited_candidates));
+  reg.GetHistogram("kelpie_builder_extraction_seconds",
+                   metrics::ExponentialBuckets(0.001, 4.0, 12),
+                   {{"kind", kind_name}}, metrics::Determinism::kWallClock,
+                   "Wall-clock extraction time per explanation.")
+      .Observe(result.seconds);
+}
 
 /// A candidate combination with its preliminary relevance.
 struct ScoredCombo {
@@ -152,6 +225,7 @@ Explanation ExplanationBuilder::Search(ExplanationKind kind,
   result.kind = kind;
 
   const uint64_t unit = std::max<uint64_t>(1, unit_cost);
+  std::map<size_t, StageTally> stage_tallies;
   auto interrupt = [&control] { return control.CheckInterrupt(); };
   auto finish = [&](std::vector<Triple> facts_out, double rel, bool accepted,
                     size_t visited_count) {
@@ -162,14 +236,14 @@ Explanation ExplanationBuilder::Search(ExplanationKind kind,
     result.post_trainings =
         engine_.post_training_count() - start_post_trainings;
     result.seconds = timer.ElapsedSeconds();
+    CommitSearchMetrics(kind, unit, stage_tallies, result);
     return result;
   };
 
   const std::vector<Triple> facts =
       prefilter_.MostPromisingFacts(prediction, target);
   if (facts.empty()) {
-    result.seconds = timer.ElapsedSeconds();
-    return result;
+    return finish({}, 0.0, false, 0);
   }
 
   // ---- S_1: individual relevances (Algorithm 3, lines 1-3). ----
@@ -192,6 +266,7 @@ Explanation ExplanationBuilder::Search(ExplanationKind kind,
     }
   }
   result.skipped_candidates += facts.size() - planned;
+  stage_tallies[1].skipped += facts.size() - planned;
 
   std::vector<double> individual;
   Status interrupt_status;
@@ -210,6 +285,7 @@ Explanation ExplanationBuilder::Search(ExplanationKind kind,
     }
   }
   result.skipped_candidates += planned - individual.size();
+  stage_tallies[1].skipped += planned - individual.size();
 
   size_t visited = 0;
   double best_relevance = 0.0;
@@ -222,15 +298,18 @@ Explanation ExplanationBuilder::Search(ExplanationKind kind,
     if (!control.TryCharge(unit)) {
       result.completeness = Completeness::kTruncatedBudget;
       result.skipped_candidates += individual.size() - i;
+      stage_tallies[1].skipped += individual.size() - i;
       individual.resize(i);
       break;
     }
     const double r = individual[i];
     ++visited;
+    ++stage_tallies[1].visited;
     if (std::isnan(r)) {
       // Diverged post-training: visited and charged, but excluded from the
       // observer stream and from best-so-far tracking.
       ++result.divergent_candidates;
+      ++stage_tallies[1].divergent;
       continue;
     }
     if (observer) observer(1, r, r);
@@ -303,6 +382,7 @@ Explanation ExplanationBuilder::Search(ExplanationKind kind,
         if (take == 0) {
           result.completeness = Completeness::kTruncatedBudget;
           result.skipped_candidates += combos.size() - begin;
+          stage_tallies[size].skipped += combos.size() - begin;
           return finish(std::move(best_facts), best_relevance, false,
                         visited);
         }
@@ -339,6 +419,7 @@ Explanation ExplanationBuilder::Search(ExplanationKind kind,
         if (!control.TryCharge(unit)) {
           result.completeness = Completeness::kTruncatedBudget;
           result.skipped_candidates += combos.size() - (begin + k);
+          stage_tallies[size].skipped += combos.size() - (begin + k);
           return finish(std::move(best_facts), best_relevance, false,
                         visited);
         }
@@ -346,8 +427,10 @@ Explanation ExplanationBuilder::Search(ExplanationKind kind,
         const double cur = relevances[k];
         ++visited;
         ++visits_in_size;
+        ++stage_tallies[size].visited;
         if (std::isnan(cur)) {
           ++result.divergent_candidates;
+          ++stage_tallies[size].divergent;
           continue;
         }
         if (observer) observer(size, combo.preliminary, cur);
@@ -383,6 +466,8 @@ Explanation ExplanationBuilder::Search(ExplanationKind kind,
       if (!interrupt_status.ok()) {
         result.completeness = CompletenessFromStatus(interrupt_status);
         result.skipped_candidates +=
+            combos.size() - (begin + relevances.size());
+        stage_tallies[size].skipped +=
             combos.size() - (begin + relevances.size());
         return finish(std::move(best_facts), best_relevance, false, visited);
       }

@@ -1,5 +1,7 @@
 #include "core/kelpie.h"
 
+#include "common/trace.h"
+
 namespace kelpie {
 
 namespace {
@@ -46,6 +48,7 @@ Explanation Kelpie::ExplainNecessary(const Triple& prediction,
                                      PredictionTarget target,
                                      const CandidateObserver& observer,
                                      const ExtractionLimits& limits) {
+  trace::Span span("kelpie.explain_necessary");
   WorkBudget budget;
   const ExtractionControl control = MakeControl(limits, budget);
   return builder_.BuildNecessary(prediction, target, observer, control);
@@ -69,6 +72,7 @@ Explanation Kelpie::ExplainSufficientWithSet(
     const Triple& prediction, PredictionTarget target,
     const std::vector<EntityId>& conversion_set,
     const CandidateObserver& observer, const ExtractionLimits& limits) {
+  trace::Span span("kelpie.explain_sufficient");
   WorkBudget budget;
   const ExtractionControl control = MakeControl(limits, budget);
   return builder_.BuildSufficient(prediction, target, conversion_set,

@@ -78,6 +78,41 @@ bool MimicDiverged(const std::vector<float>& mimic) {
 
 }  // namespace
 
+RelevanceEngine::EngineMetrics RelevanceEngine::EngineMetrics::Resolve() {
+  metrics::Registry& reg = metrics::Registry::Global();
+  constexpr auto kWallClock = metrics::Determinism::kWallClock;
+  const char* post_help =
+      "Post-trainings run, by mimic kind (raw work-site counts; "
+      "schedule-dependent under parallel extraction).";
+  const char* cache_help =
+      "Homologous rank cache lookups by outcome: hit (already published), "
+      "miss (this lookup computed the baseline), wait (blocked behind the "
+      "computing thread).";
+  return EngineMetrics{
+      .post_train_homologous = reg.GetCounter(
+          "kelpie_engine_post_trainings_total", {{"kind", "homologous"}},
+          kWallClock, post_help),
+      .post_train_necessary = reg.GetCounter(
+          "kelpie_engine_post_trainings_total", {{"kind", "necessary"}},
+          kWallClock, post_help),
+      .post_train_sufficient = reg.GetCounter(
+          "kelpie_engine_post_trainings_total", {{"kind", "sufficient"}},
+          kWallClock, post_help),
+      .cache_hit = reg.GetCounter("kelpie_engine_rank_cache_total",
+                                  {{"event", "hit"}}, kWallClock, cache_help),
+      .cache_miss = reg.GetCounter("kelpie_engine_rank_cache_total",
+                                   {{"event", "miss"}}, kWallClock,
+                                   cache_help),
+      .cache_wait = reg.GetCounter("kelpie_engine_rank_cache_total",
+                                   {{"event", "wait"}}, kWallClock,
+                                   cache_help),
+      .diverged = reg.GetCounter(
+          "kelpie_engine_diverged_post_trainings_total", {}, kWallClock,
+          "Post-trainings whose mimic came out non-finite (degraded to "
+          "skip-and-record)."),
+  };
+}
+
 size_t RelevanceEngine::RankKeyHash::operator()(const RankKey& k) const {
   const uint64_t lo =
       (static_cast<uint64_t>(static_cast<uint32_t>(k.entity)) << 32) |
@@ -94,6 +129,7 @@ RelevanceEngine::RelevanceEngine(const LinkPredictionModel& model,
     : model_(model),
       dataset_(dataset),
       options_(options),
+      metrics_(EngineMetrics::Resolve()),
       rng_(options.seed) {
   if (options_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
@@ -141,8 +177,13 @@ int RelevanceEngine::HomologousRank(EntityId entity, const Triple& prediction,
     if (!slot) slot = std::make_shared<RankCacheEntry>();
     entry = slot;
   }
+  // A lookup that sees the published flag before taking the entry mutex is
+  // a plain cache hit; one that finds the result ready only after acquiring
+  // the mutex was blocked behind the computing thread (single-flight wait).
+  const bool published = entry->done.load(std::memory_order_acquire);
   std::lock_guard<std::mutex> lock(entry->mu);
   if (!entry->ready) {
+    metrics_.cache_miss.Increment();
     if (options_.use_original_rank_baseline) {
       // Ablation mode: compare non-homologous mimics against the original
       // entity's rank directly (no baseline post-training).
@@ -151,14 +192,21 @@ int RelevanceEngine::HomologousRank(EntityId entity, const Triple& prediction,
     } else {
       std::vector<Triple> facts = dataset_.train_graph().FactsOf(entity);
       std::vector<float> mimic = PostTrain(entity, facts);
+      metrics_.post_train_homologous.Increment();
       // A divergent baseline poisons every candidate that shares it; cache
       // the sentinel so they all degrade to skip-and-record without
       // re-post-training the doomed mimic.
-      entry->rank = MimicDiverged(mimic)
-                        ? kDivergedRank
-                        : RankWithMimic(prediction, target, entity, mimic);
+      if (MimicDiverged(mimic)) {
+        metrics_.diverged.Increment();
+        entry->rank = kDivergedRank;
+      } else {
+        entry->rank = RankWithMimic(prediction, target, entity, mimic);
+      }
     }
     entry->ready = true;
+    entry->done.store(true, std::memory_order_release);
+  } else {
+    (published ? metrics_.cache_hit : metrics_.cache_wait).Increment();
   }
   return entry->rank;
 }
@@ -174,7 +222,11 @@ double RelevanceEngine::NecessaryRelevance(
   std::vector<Triple> facts = dataset_.train_graph().FactsOf(source);
   std::vector<Triple> reduced = WithoutFacts(facts, candidate);
   std::vector<float> mimic = PostTrain(source, reduced);
-  if (MimicDiverged(mimic)) return kDivergedRelevance;
+  metrics_.post_train_necessary.Increment();
+  if (MimicDiverged(mimic)) {
+    metrics_.diverged.Increment();
+    return kDivergedRelevance;
+  }
   const int removed_rank = RankWithMimic(prediction, target, source, mimic);
   // Line 5: the rank deterioration is the necessary relevance.
   return static_cast<double>(removed_rank - homologous_rank);
@@ -218,7 +270,11 @@ double RelevanceEngine::SufficientRelevance(
       }
     }
     std::vector<float> mimic = PostTrain(c, facts);
-    if (MimicDiverged(mimic)) return kDivergedRelevance;
+    metrics_.post_train_sufficient.Increment();
+    if (MimicDiverged(mimic)) {
+      metrics_.diverged.Increment();
+      return kDivergedRelevance;
+    }
     const int added_rank = RankWithMimic(prediction, target, c, mimic);
     // Line 7: achieved over ideal rank improvement.
     const double achieved = static_cast<double>(base_rank - added_rank);

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "core/explanation.h"
 #include "kgraph/dataset.h"
@@ -151,11 +152,14 @@ class RelevanceEngine {
 
   /// Single-flight cache slot: the first thread to need a baseline computes
   /// it under the entry mutex; latecomers block on that mutex instead of
-  /// duplicating the post-training.
+  /// duplicating the post-training. `done` distinguishes a hit (the result
+  /// was already published when the lookup started) from a single-flight
+  /// wait (blocked behind the computing thread) for the cache counters.
   struct RankCacheEntry {
     std::mutex mu;
     bool ready = false;
     int rank = 0;
+    std::atomic<bool> done{false};
   };
 
   struct CacheShard {
@@ -177,9 +181,30 @@ class RelevanceEngine {
   int HomologousRank(EntityId entity, const Triple& prediction,
                      PredictionTarget target);
 
+  /// Registry handles, resolved once at construction (cold, locked lookup)
+  /// and incremented lock-free at the work sites. All engine counters are
+  /// metrics::Determinism::kWallClock: under parallel extraction the
+  /// builder evaluates candidates speculatively, so raw post-training and
+  /// cache totals are schedule-dependent (they are exact — and covered by
+  /// exact-value tests — when num_threads is 1). The schedule-invariant
+  /// work accounting lives in the Explanation Builder's counters, which are
+  /// committed during its sequential replay.
+  struct EngineMetrics {
+    metrics::Counter& post_train_homologous;
+    metrics::Counter& post_train_necessary;
+    metrics::Counter& post_train_sufficient;
+    metrics::Counter& cache_hit;
+    metrics::Counter& cache_miss;
+    metrics::Counter& cache_wait;
+    metrics::Counter& diverged;
+
+    static EngineMetrics Resolve();
+  };
+
   const LinkPredictionModel& model_;
   const Dataset& dataset_;
   RelevanceEngineOptions options_;
+  EngineMetrics metrics_;
   /// Only used by SampleConversionSet (single-threaded by contract).
   Rng rng_;
   std::atomic<size_t> post_training_count_{0};

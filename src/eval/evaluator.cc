@@ -1,8 +1,35 @@
 #include "eval/evaluator.h"
 
+#include "common/metrics.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace kelpie {
+
+namespace {
+
+/// Commits one evaluation's metrics. The rank counter is deterministic
+/// (ranks are accumulated in fact order on every path); the timing series
+/// are wall-clock class and masked in deterministic snapshots.
+void CommitEvalMetrics(size_t ranks, double seconds) {
+  metrics::Registry& reg = metrics::Registry::Global();
+  reg.GetCounter("kelpie_eval_ranks_total", {},
+                 metrics::Determinism::kDeterministic,
+                 "Filtered ranks computed over evaluation facts.")
+      .Increment(ranks);
+  reg.GetHistogram("kelpie_eval_seconds",
+                   metrics::ExponentialBuckets(0.001, 4.0, 12), {},
+                   metrics::Determinism::kWallClock,
+                   "Wall-clock time per Evaluate() call.")
+      .Observe(seconds);
+  reg.GetGauge("kelpie_eval_ranks_per_second", {},
+               metrics::Determinism::kWallClock,
+               "Ranking throughput of the last Evaluate() call.")
+      .Set(seconds > 0.0 ? static_cast<double>(ranks) / seconds : 0.0);
+}
+
+}  // namespace
 
 double EvalResult::HitsAt1() const { return HitsAt(1); }
 
@@ -22,9 +49,12 @@ double EvalResult::Mrr() const {
   return acc / static_cast<double>(n);
 }
 
-EvalResult Evaluate(const LinkPredictionModel& model, const Dataset& dataset,
-                    const std::vector<Triple>& facts,
-                    const EvalOptions& options) {
+namespace {
+
+EvalResult EvaluateImpl(const LinkPredictionModel& model,
+                        const Dataset& dataset,
+                        const std::vector<Triple>& facts,
+                        const EvalOptions& options) {
   EvalResult result;
   if (options.num_threads <= 1 || facts.size() < 2) {
     for (const Triple& fact : facts) {
@@ -52,6 +82,19 @@ EvalResult Evaluate(const LinkPredictionModel& model, const Dataset& dataset,
       result.head_ranks.AddRank(head_ranks[i]);
     }
   }
+  return result;
+}
+
+}  // namespace
+
+EvalResult Evaluate(const LinkPredictionModel& model, const Dataset& dataset,
+                    const std::vector<Triple>& facts,
+                    const EvalOptions& options) {
+  trace::Span eval_span("eval");
+  Stopwatch timer;
+  EvalResult result = EvaluateImpl(model, dataset, facts, options);
+  CommitEvalMetrics(result.tail_ranks.count() + result.head_ranks.count(),
+                    timer.ElapsedSeconds());
   return result;
 }
 

@@ -71,11 +71,13 @@ float L1Distance(std::span<const float> a, std::span<const float> b) {
   return acc;
 }
 
-void ProjectToL2Ball(std::span<float> x, float radius) {
+bool ProjectToL2Ball(std::span<float> x, float radius) {
   float norm = Norm(x);
   if (norm > radius && norm > 0.0f) {
     Scale(x, radius / norm);
+    return true;
   }
+  return false;
 }
 
 double LogSumExp(std::span<const float> scores) {

@@ -43,8 +43,10 @@ float SquaredDistance(std::span<const float> a, std::span<const float> b);
 float L1Distance(std::span<const float> a, std::span<const float> b);
 
 /// Projects `x` onto the L2 ball of the given radius (used by TransE's
-/// entity-norm constraint). No-op if the norm is already within the ball.
-void ProjectToL2Ball(std::span<float> x, float radius);
+/// entity-norm constraint and by gradient clipping). Returns true when the
+/// vector was actually rescaled; no-op (false) if the norm is already
+/// within the ball.
+bool ProjectToL2Ball(std::span<float> x, float radius);
 
 /// Numerically stable log(sum(exp(scores))).
 double LogSumExp(std::span<const float> scores);

@@ -5,10 +5,45 @@
 
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "common/trace.h"
 
 namespace kelpie {
 
 namespace {
+
+/// Per-training-run metric handles, resolved once at RunGuardedEpochs entry
+/// (registry lookup is a cold, locked path; epoch-loop updates are not).
+struct TrainMetrics {
+  metrics::Counter& epochs;
+  metrics::Counter& recoveries;
+  metrics::Gauge& loss_last;
+  metrics::Histogram& epoch_seconds;
+
+  static TrainMetrics Resolve() {
+    metrics::Registry& registry = metrics::Registry::Global();
+    return TrainMetrics{
+        registry.GetCounter(
+            "kelpie_train_epochs_total", {},
+            metrics::Determinism::kDeterministic,
+            "Training epochs executed, including retried (discarded) ones."),
+        registry.GetCounter(
+            "kelpie_train_recoveries_total", {},
+            metrics::Determinism::kDeterministic,
+            "Divergence recoveries (rewind + lr backoff) during training."),
+        registry.GetGauge(
+            "kelpie_train_loss_last", {},
+            metrics::Determinism::kDeterministic,
+            "Loss proxy of the most recently executed epoch."),
+        registry.GetHistogram(
+            "kelpie_train_epoch_seconds",
+            metrics::ExponentialBuckets(0.001, 4.0, 12), {},
+            metrics::Determinism::kWallClock,
+            "Wall-clock seconds per training epoch."),
+    };
+  }
+};
 
 bool AllFinite(const std::vector<std::span<float>>& spans) {
   for (std::span<float> s : spans) {
@@ -39,11 +74,19 @@ void RestoreSnapshot(const std::vector<std::vector<float>>& snapshot,
 Result<TrainReport> RunGuardedEpochs(const GuardConfig& config,
                                      const GuardedTrainHooks& hooks) {
   TrainReport report;
+  TrainMetrics train_metrics = TrainMetrics::Resolve();
+  trace::Span train_span("train");
 
   if (!config.check_finite) {
-    // Guardrails off: plain epoch loop, zero overhead, no recovery.
+    // Guardrails off: plain epoch loop, no finiteness scans, no recovery.
+    // The observability updates per epoch are two relaxed stores and one
+    // histogram observe — noise against an epoch of gradient math.
     for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
-      hooks.run_epoch(epoch, /*lr_scale=*/1.0f);
+      Stopwatch epoch_timer;
+      const double loss = hooks.run_epoch(epoch, /*lr_scale=*/1.0f);
+      train_metrics.epoch_seconds.Observe(epoch_timer.ElapsedSeconds());
+      train_metrics.epochs.Increment();
+      train_metrics.loss_last.Set(loss);
       ++report.epochs_run;
     }
     return report;
@@ -59,7 +102,11 @@ Result<TrainReport> RunGuardedEpochs(const GuardConfig& config,
   int recoveries_left = config.max_recoveries;
 
   for (size_t epoch = 0; epoch < config.epochs;) {
+    Stopwatch epoch_timer;
     double loss = hooks.run_epoch(epoch, lr_scale);
+    train_metrics.epoch_seconds.Observe(epoch_timer.ElapsedSeconds());
+    train_metrics.epochs.Increment();
+    train_metrics.loss_last.Set(loss);
     ++report.epochs_run;
 
     if (failpoint::Fire("train.diverge", epoch) && !params.empty() &&
@@ -98,6 +145,7 @@ Result<TrainReport> RunGuardedEpochs(const GuardConfig& config,
 
     RestoreSnapshot(snapshot, params);
     if (hooks.restore_counters) hooks.restore_counters(counters);
+    train_metrics.recoveries.Increment();
     --recoveries_left;
     lr_scale *= config.lr_backoff;
     ++report.recoveries;

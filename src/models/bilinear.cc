@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "math/vec.h"
 #include "ml/batcher.h"
 #include "ml/embedding_table.h"
@@ -117,8 +118,11 @@ Status BilinearModel::Train(const Dataset& dataset, Rng& rng) {
   // Full-softmax gradients scale with the score spread, so this trainer can
   // genuinely blow up; optionally clip each per-row gradient to an L2 ball.
   const float clip = config_.grad_clip_norm;
-  auto maybe_clip = [clip](std::span<float> g) {
-    if (clip > 0.0f) ProjectToL2Ball(g, clip);
+  // Clip activations are tallied in a local (the clip sits inside the
+  // innermost gradient loop) and flushed to the registry once per run.
+  uint64_t clip_activations = 0;
+  auto maybe_clip = [clip, &clip_activations](std::span<float> g) {
+    if (clip > 0.0f && ProjectToL2Ball(g, clip)) ++clip_activations;
   };
 
   GuardedTrainHooks hooks;
@@ -208,6 +212,11 @@ Status BilinearModel::Train(const Dataset& dataset, Rng& rng) {
   };
 
   Result<TrainReport> report = RunGuardedEpochs(MakeGuardConfig(), hooks);
+  metrics::Registry::Global()
+      .GetCounter("kelpie_train_grad_clip_total", {},
+                  metrics::Determinism::kDeterministic,
+                  "Gradient clip activations (L2 projection rescales).")
+      .Increment(clip_activations);
   if (!report.ok()) return report.status();
   last_train_report_ = std::move(report.value());
   return Status::Ok();

@@ -15,8 +15,12 @@ namespace {
 constexpr std::string_view kMagic = "KELPIEJL";
 /// v1: prediction/facts/conversion/relevance/accepted/counters.
 /// v2: + completeness, skipped_candidates, divergent_candidates.
-constexpr uint64_t kVersion = 2;
+/// v3: + optional trailing run-summary frame (marker-led payload).
+constexpr uint64_t kVersion = 3;
 constexpr uint64_t kOldestReadableVersion = 1;
+/// First u64 of a summary payload. Record payloads start with an entity id
+/// widened from uint32, so the all-ones marker can never collide.
+constexpr uint64_t kSummaryMarker = 0xFFFFFFFFFFFFFFFFull;
 constexpr size_t kHeaderSize = 8 + 8 + 8;  // magic + version + run_id
 // Defense against corrupt length prefixes: no legitimate record (a few
 // dozen triples) comes anywhere near this.
@@ -114,6 +118,46 @@ Status ParseRecord(const std::string& payload, PredictionRecord& r) {
   return ReadU64(in, r.divergent_candidates);
 }
 
+Result<std::string> SerializeSummary(const RunSummary& s) {
+  std::ostringstream out;
+  KELPIE_RETURN_IF_ERROR(WriteU64(out, kSummaryMarker));
+  KELPIE_RETURN_IF_ERROR(WriteU64(out, s.predictions));
+  KELPIE_RETURN_IF_ERROR(WriteU64(out, s.accepted));
+  KELPIE_RETURN_IF_ERROR(WriteU64(out, s.truncated));
+  KELPIE_RETURN_IF_ERROR(WriteU64(out, s.post_trainings));
+  KELPIE_RETURN_IF_ERROR(WriteU64(out, s.visited_candidates));
+  KELPIE_RETURN_IF_ERROR(WriteU64(out, s.skipped_candidates));
+  KELPIE_RETURN_IF_ERROR(WriteU64(out, s.divergent_candidates));
+  KELPIE_RETURN_IF_ERROR(
+      WriteU64(out, std::bit_cast<uint64_t>(s.mean_relevance)));
+  return std::move(out).str();
+}
+
+/// True when `payload` is a summary frame (marker-led) rather than a
+/// prediction record.
+bool IsSummaryPayload(const std::string& payload) {
+  return payload.size() >= 8 && ReadU64At(payload, 0) == kSummaryMarker;
+}
+
+Status ParseSummary(const std::string& payload, RunSummary& s) {
+  std::istringstream in(payload);
+  uint64_t v = 0;
+  KELPIE_RETURN_IF_ERROR(ReadU64(in, v));
+  if (v != kSummaryMarker) {
+    return Status::DataLoss("journal summary frame missing marker");
+  }
+  KELPIE_RETURN_IF_ERROR(ReadU64(in, s.predictions));
+  KELPIE_RETURN_IF_ERROR(ReadU64(in, s.accepted));
+  KELPIE_RETURN_IF_ERROR(ReadU64(in, s.truncated));
+  KELPIE_RETURN_IF_ERROR(ReadU64(in, s.post_trainings));
+  KELPIE_RETURN_IF_ERROR(ReadU64(in, s.visited_candidates));
+  KELPIE_RETURN_IF_ERROR(ReadU64(in, s.skipped_candidates));
+  KELPIE_RETURN_IF_ERROR(ReadU64(in, s.divergent_candidates));
+  KELPIE_RETURN_IF_ERROR(ReadU64(in, v));
+  s.mean_relevance = std::bit_cast<double>(v);
+  return Status::Ok();
+}
+
 std::string FrameRecord(const std::string& payload) {
   std::string frame;
   frame.reserve(8 + payload.size() + 4);
@@ -175,11 +219,16 @@ Result<RunJournal> RunJournal::Open(const std::string& path, uint64_t run_id,
           " belongs to a different run configuration; refusing to resume "
           "(delete it or drop --resume to start over)");
     }
+    journal.version_ = version;
     // Replay complete records; stop at the first torn or corrupt frame.
     // Anything after it is a casualty of the interrupted write and is
-    // truncated away below.
+    // truncated away below. A valid summary frame is consumed separately
+    // and does not advance `last_record_end`: the file is truncated back to
+    // the last data record, so appends resume there and the finished run
+    // writes a fresh summary.
     size_t offset = kHeaderSize;
     good_end = offset;
+    size_t last_record_end = offset;
     while (offset + 8 <= existing.size()) {
       const uint64_t len = ReadU64At(existing, offset);
       if (len > kMaxRecordSize || offset + 8 + len + 4 > existing.size()) {
@@ -193,15 +242,24 @@ Result<RunJournal> RunJournal::Open(const std::string& path, uint64_t run_id,
                       << (8 * i);
       }
       if (stored_crc != Crc32c(payload)) break;
-      PredictionRecord record;
-      KELPIE_RETURN_IF_ERROR(ParseRecord(payload, record));
-      journal.recovered_.push_back(std::move(record));
+      if (IsSummaryPayload(payload)) {
+        RunSummary summary;
+        KELPIE_RETURN_IF_ERROR(ParseSummary(payload, summary));
+        journal.recovered_summary_ = summary;
+      } else {
+        PredictionRecord record;
+        KELPIE_RETURN_IF_ERROR(ParseRecord(payload, record));
+        journal.recovered_.push_back(std::move(record));
+        last_record_end = offset + 8 + len + 4;
+      }
       offset += 8 + len + 4;
       good_end = offset;
     }
-    if (good_end < existing.size()) {
+    const size_t keep =
+        journal.recovered_summary_.has_value() ? last_record_end : good_end;
+    if (keep < existing.size()) {
       std::error_code ec;
-      std::filesystem::resize_file(path, good_end, ec);
+      std::filesystem::resize_file(path, keep, ec);
       if (ec) {
         return Status::IoError("cannot truncate torn journal tail of " +
                                path + ": " + ec.message());
@@ -236,6 +294,23 @@ Status RunJournal::Append(const PredictionRecord& record) {
   out_.flush();
   if (!out_) {
     return Status::IoError("journal append failed: " + path_);
+  }
+  return Status::Ok();
+}
+
+Status RunJournal::AppendSummary(const RunSummary& summary) {
+  if (!supports_summary()) {
+    return Status::FailedPrecondition(
+        "journal " + path_ + " uses format v" + std::to_string(version_) +
+        ", which predates summary frames");
+  }
+  std::string payload;
+  KELPIE_ASSIGN_OR_RETURN(payload, SerializeSummary(summary));
+  const std::string frame = FrameRecord(payload);
+  out_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  out_.flush();
+  if (!out_) {
+    return Status::IoError("journal summary append failed: " + path_);
   }
   return Status::Ok();
 }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,26 @@ struct PredictionRecord {
   bool operator==(const PredictionRecord&) const = default;
 };
 
+/// Deterministic per-run aggregate appended as the journal's final frame
+/// (format v3). It is recomputed from the complete result set each time the
+/// run finishes, so an interrupted-and-resumed run converges to the same
+/// summary as an uninterrupted one — resuming never double-counts work that
+/// was already journaled.
+struct RunSummary {
+  uint64_t predictions = 0;
+  uint64_t accepted = 0;
+  /// Predictions whose extraction completeness was not kComplete.
+  uint64_t truncated = 0;
+  uint64_t post_trainings = 0;
+  uint64_t visited_candidates = 0;
+  uint64_t skipped_candidates = 0;
+  uint64_t divergent_candidates = 0;
+  /// Mean relevance over non-divergent (finite) explanations; 0 if none.
+  double mean_relevance = 0.0;
+
+  bool operator==(const RunSummary&) const = default;
+};
+
 /// Append-only, CRC-framed journal of per-prediction progress.
 ///
 /// File layout: a header (magic "KELPIEJL", format version, the run id)
@@ -49,6 +70,15 @@ struct PredictionRecord {
 /// record. Reading is backward compatible: v1 files (and v1 records inside
 /// a resumed-then-appended file) parse with those fields defaulted, keyed
 /// on the frame's payload length rather than the header version.
+///
+/// Format v3 may end with one summary frame whose payload starts with an
+/// all-ones u64 marker — unambiguous, because every record payload starts
+/// with an entity id widened from 32 bits. Resuming consumes the stale
+/// summary (exposed as recovered_summary()) and truncates it away, so new
+/// records append after the last data record and the finished run appends a
+/// fresh summary. Files with v1/v2 headers keep their version on resume and
+/// never receive summary frames (supports_summary() is false), preserving
+/// read compatibility with older readers.
 ///
 /// The run id is a fingerprint of everything that determines the run's
 /// results (scenario, model, dataset, predictions, seeds — see
@@ -67,10 +97,26 @@ class RunJournal {
   /// Appends one record and flushes it to the file.
   Status Append(const PredictionRecord& record);
 
+  /// Appends the run summary frame and flushes it. Fails on journals whose
+  /// on-disk format predates summaries (supports_summary() false).
+  Status AppendSummary(const RunSummary& summary);
+
   /// Records recovered from a resumed journal, in append order.
   const std::vector<PredictionRecord>& recovered() const {
     return recovered_;
   }
+
+  /// The summary frame recovered from a resumed journal, if the previous
+  /// run finished and wrote one. The frame itself has already been
+  /// truncated from the file (see class comment).
+  const std::optional<RunSummary>& recovered_summary() const {
+    return recovered_summary_;
+  }
+
+  /// True when the journal's on-disk format (v3+) carries summary frames.
+  /// False for journals resumed from v1/v2 files, which stay at their
+  /// original version for older readers.
+  bool supports_summary() const { return version_ >= 3; }
 
   /// An inert journal (no file); assign from Open() before use.
   RunJournal() = default;
@@ -80,7 +126,11 @@ class RunJournal {
  private:
   std::string path_;
   std::ofstream out_;
+  /// On-disk header version: 3 for fresh journals, the stored version when
+  /// resuming an existing file.
+  uint64_t version_ = 3;
   std::vector<PredictionRecord> recovered_;
+  std::optional<RunSummary> recovered_summary_;
 };
 
 }  // namespace kelpie

@@ -1,16 +1,59 @@
 #include "xp/pipeline.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_set>
 
 #include "common/crc32c.h"
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "eval/ranking.h"
 
 namespace kelpie {
 
 namespace {
+
+/// Per-prediction progress counter. Deterministic class: the xp loop is
+/// sequential, and replay/fresh attribution depends only on the journal
+/// contents, not on any schedule.
+metrics::Counter& PredictionCounter(const char* scenario,
+                                    const char* source) {
+  return metrics::Registry::Global().GetCounter(
+      "kelpie_xp_predictions_total",
+      {{"scenario", scenario}, {"source", source}},
+      metrics::Determinism::kDeterministic,
+      "Predictions processed by scenario and whether the explanation was "
+      "freshly extracted or replayed from the journal.");
+}
+
+/// The run summary is recomputed from the *complete* explanation set every
+/// time the run finishes — replayed and fresh explanations contribute
+/// identically, so resuming never double-counts journaled work.
+RunSummary SummaryOfExplanations(
+    const std::vector<Explanation>& explanations) {
+  RunSummary s;
+  s.predictions = explanations.size();
+  double total_relevance = 0.0;
+  uint64_t finite = 0;
+  for (const Explanation& x : explanations) {
+    if (x.accepted) ++s.accepted;
+    if (x.completeness != Completeness::kComplete) ++s.truncated;
+    s.post_trainings += x.post_trainings;
+    s.visited_candidates += x.visited_candidates;
+    s.skipped_candidates += x.skipped_candidates;
+    s.divergent_candidates += x.divergent_candidates;
+    if (std::isfinite(x.relevance)) {
+      total_relevance += x.relevance;
+      ++finite;
+    }
+  }
+  if (finite > 0) {
+    s.mean_relevance = total_relevance / static_cast<double>(finite);
+  }
+  return s;
+}
 
 /// SplitMix64 finalizer: full-avalanche 64-bit mixing.
 uint64_t Mix64(uint64_t x) {
@@ -185,6 +228,12 @@ LpMetrics RetrainAndMeasure(ModelKind kind, const Dataset& dataset,
                             const std::vector<Triple>& removed,
                             const std::vector<Triple>& added,
                             PredictionTarget target, uint64_t retrain_seed) {
+  trace::Span span("xp.retrain");
+  metrics::Registry::Global()
+      .GetCounter("kelpie_xp_retrains_total", {},
+                  metrics::Determinism::kDeterministic,
+                  "Full model retrainings for end-to-end verification.")
+      .Increment();
   Dataset modified = dataset.WithModifiedTraining(removed, added);
   std::unique_ptr<LinkPredictionModel> model =
       CreateModel(kind, modified, DefaultConfig(kind, modified));
@@ -210,10 +259,13 @@ NecessaryRunResult RunNecessaryEndToEnd(
     Explainer& explainer, ModelKind kind, const Dataset& dataset,
     const std::vector<Triple>& predictions, uint64_t retrain_seed,
     PredictionTarget target) {
+  trace::Span run_span("xp.necessary");
   NecessaryRunResult result;
   std::vector<Triple> to_remove;
   std::unordered_set<uint64_t> seen;
   for (const Triple& prediction : predictions) {
+    trace::Span pred_span("xp.prediction");
+    PredictionCounter("necessary", "fresh").Increment();
     Explanation x = explainer.ExplainNecessary(prediction, target);
     for (const Triple& fact : x.facts) {
       if (seen.insert(fact.Key()).second) {
@@ -275,8 +327,11 @@ SufficientRunResult RunSufficientEndToEnd(
     ModelKind kind, const Dataset& dataset,
     const std::vector<Triple>& predictions, size_t conversion_set_size,
     Rng& rng, uint64_t retrain_seed, PredictionTarget target) {
+  trace::Span run_span("xp.sufficient");
   SufficientRunResult result;
   for (const Triple& prediction : predictions) {
+    trace::Span pred_span("xp.prediction");
+    PredictionCounter("sufficient", "fresh").Increment();
     std::vector<EntityId> conversion_set = SampleConversionEntities(
         original_model, dataset, prediction, target, conversion_set_size,
         rng);
@@ -308,6 +363,7 @@ Result<NecessaryRunResult> RunNecessaryEndToEndResumable(
     const std::vector<Triple>& predictions, uint64_t retrain_seed,
     PredictionTarget target, const JournalOptions& journal_options,
     const RunControl& control) {
+  trace::Span run_span("xp.necessary");
   const uint64_t run_id =
       ComputeRunId("necessary", kind, dataset, predictions, target,
                    retrain_seed, /*conversion_set_size=*/0,
@@ -344,6 +400,7 @@ Result<NecessaryRunResult> RunNecessaryEndToEndResumable(
   std::vector<Triple> to_remove;
   std::unordered_set<uint64_t> seen;
   for (size_t i = 0; i < predictions.size(); ++i) {
+    trace::Span pred_span("xp.prediction");
     Explanation x;
     const bool replay =
         i < recovered.size() && (!rewrite || RecordComplete(recovered[i]));
@@ -351,6 +408,7 @@ Result<NecessaryRunResult> RunNecessaryEndToEndResumable(
       KELPIE_RETURN_IF_ERROR(
           CheckRecordedPrediction(recovered[i], predictions[i], i));
     }
+    PredictionCounter("necessary", replay ? "replayed" : "fresh").Increment();
     if (replay) {
       x = RecordToExplanation(recovered[i], ExplanationKind::kNecessary);
       if (rewrite) {
@@ -361,8 +419,11 @@ Result<NecessaryRunResult> RunNecessaryEndToEndResumable(
                                                predictions.size()));
       x = explainer.ExplainNecessary(predictions[i], target);
       x.seconds = 0.0;
-      KELPIE_RETURN_IF_ERROR(
-          journal.Append(ExplanationToRecord(predictions[i], x)));
+      {
+        trace::Span append_span("xp.journal.append");
+        KELPIE_RETURN_IF_ERROR(
+            journal.Append(ExplanationToRecord(predictions[i], x)));
+      }
       if (failpoint::Fire("pipeline.interrupt", i)) {
         return Status::Aborted("injected interrupt after prediction " +
                                std::to_string(i));
@@ -379,6 +440,10 @@ Result<NecessaryRunResult> RunNecessaryEndToEndResumable(
       CheckRunInterrupt(control, predictions.size(), predictions.size()));
   result.after = RetrainAndMeasure(kind, dataset, predictions, to_remove, {},
                                    target, retrain_seed);
+  if (journal.supports_summary()) {
+    KELPIE_RETURN_IF_ERROR(
+        journal.AppendSummary(SummaryOfExplanations(result.explanations)));
+  }
   return result;
 }
 
@@ -388,6 +453,7 @@ Result<SufficientRunResult> RunSufficientEndToEndResumable(
     const std::vector<Triple>& predictions, size_t conversion_set_size,
     uint64_t conversion_seed, uint64_t retrain_seed, PredictionTarget target,
     const JournalOptions& journal_options, const RunControl& control) {
+  trace::Span run_span("xp.sufficient");
   const uint64_t run_id =
       ComputeRunId("sufficient", kind, dataset, predictions, target,
                    retrain_seed, conversion_set_size, conversion_seed);
@@ -418,12 +484,15 @@ Result<SufficientRunResult> RunSufficientEndToEndResumable(
 
   SufficientRunResult result;
   for (size_t i = 0; i < predictions.size(); ++i) {
+    trace::Span pred_span("xp.prediction");
     const bool replay =
         i < recovered.size() && (!rewrite || RecordComplete(recovered[i]));
     if (i < recovered.size()) {
       KELPIE_RETURN_IF_ERROR(
           CheckRecordedPrediction(recovered[i], predictions[i], i));
     }
+    PredictionCounter("sufficient", replay ? "replayed" : "fresh")
+        .Increment();
     if (replay) {
       const PredictionRecord& record = recovered[i];
       if (rewrite) {
@@ -450,7 +519,10 @@ Result<SufficientRunResult> RunSufficientEndToEndResumable(
     x.seconds = 0.0;
     PredictionRecord record = ExplanationToRecord(predictions[i], x);
     record.conversion_set = conversion_set;
-    KELPIE_RETURN_IF_ERROR(journal.Append(record));
+    {
+      trace::Span append_span("xp.journal.append");
+      KELPIE_RETURN_IF_ERROR(journal.Append(record));
+    }
     result.conversion_sets.push_back(std::move(conversion_set));
     result.explanations.push_back(std::move(x));
     if (failpoint::Fire("pipeline.interrupt", i)) {
@@ -473,6 +545,10 @@ Result<SufficientRunResult> RunSufficientEndToEndResumable(
       predictions, result.explanations, result.conversion_sets, target);
   result.after = RetrainAndMeasure(kind, dataset, converted, {}, added,
                                    target, retrain_seed);
+  if (journal.supports_summary()) {
+    KELPIE_RETURN_IF_ERROR(
+        journal.AppendSummary(SummaryOfExplanations(result.explanations)));
+  }
   return result;
 }
 

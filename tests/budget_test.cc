@@ -16,6 +16,7 @@
 
 #include "baselines/explainer.h"
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "core/kelpie.h"
 #include "tests/test_util.h"
 #include "xp/pipeline.h"
@@ -332,6 +333,108 @@ TEST_F(BoundedExtractionTest, DivergentPostTrainingsAreCountedAndSkipped) {
   EXPECT_TRUE(x.facts.empty());
   EXPECT_GT(x.divergent_candidates, 0u);
   EXPECT_EQ(x.divergent_candidates, x.visited_candidates);
+}
+
+// ------------------------------------------------------------- metrics ----
+
+/// Sum of one outcome's builder-candidate series across search stages.
+/// Reading a stage that never committed resolves a zero series, which is
+/// harmless inside a scoped registry.
+uint64_t OutcomeTotal(metrics::Registry& reg, const char* kind,
+                      const char* outcome) {
+  uint64_t total = 0;
+  for (int stage = 1; stage <= 10; ++stage) {
+    total += reg.GetCounter("kelpie_builder_candidates_total",
+                            {{"kind", kind},
+                             {"stage", std::to_string(stage)},
+                             {"outcome", outcome}})
+                 .Value();
+  }
+  return total;
+}
+
+// The builder's deterministic counters are committed from the sequential
+// stopping-policy replay, so they must agree exactly with the per-candidate
+// ledger the Explanation itself reports — for complete and truncated runs
+// alike.
+TEST_F(BoundedExtractionTest, BuilderCountersMatchExplanationLedger) {
+  metrics::ScopedRegistry scoped;
+  KelpieOptions options;
+  options.num_threads = 1;
+  Kelpie kelpie(*model_, *dataset_, options);
+  Explanation x =
+      kelpie.ExplainNecessary(CityPrediction(1), PredictionTarget::kTail);
+  ASSERT_EQ(x.completeness, Completeness::kComplete);
+
+  metrics::Registry& reg = metrics::Registry::Global();
+  EXPECT_EQ(OutcomeTotal(reg, "necessary", "visited"), x.visited_candidates);
+  EXPECT_EQ(OutcomeTotal(reg, "necessary", "skipped"), x.skipped_candidates);
+  EXPECT_EQ(OutcomeTotal(reg, "necessary", "divergent"),
+            x.divergent_candidates);
+  EXPECT_EQ(reg.GetCounter("kelpie_builder_extractions_total",
+                           {{"kind", "necessary"},
+                            {"completeness", "Complete"}})
+                .Value(),
+            1u);
+  // A necessary candidate costs one work unit.
+  EXPECT_EQ(reg.GetCounter("kelpie_builder_committed_work_units_total",
+                           {{"kind", "necessary"}})
+                .Value(),
+            x.visited_candidates);
+}
+
+TEST_F(BoundedExtractionTest, BudgetTruncationCountersAreExact) {
+  metrics::ScopedRegistry scoped;
+  KelpieOptions options;
+  options.num_threads = 1;
+  Kelpie kelpie(*model_, *dataset_, options);
+  ExtractionLimits limits;
+  limits.work_budget = 2;
+  Explanation x = kelpie.ExplainNecessary(
+      CityPrediction(0), PredictionTarget::kTail, nullptr, limits);
+  ASSERT_EQ(x.completeness, Completeness::kTruncatedBudget);
+
+  metrics::Registry& reg = metrics::Registry::Global();
+  // The two budgeted visits both land in S_1; everything else is skipped.
+  EXPECT_EQ(reg.GetCounter("kelpie_builder_candidates_total",
+                           {{"kind", "necessary"},
+                            {"stage", "1"},
+                            {"outcome", "visited"}})
+                .Value(),
+            2u);
+  EXPECT_EQ(OutcomeTotal(reg, "necessary", "visited"), x.visited_candidates);
+  EXPECT_EQ(OutcomeTotal(reg, "necessary", "skipped"), x.skipped_candidates);
+  EXPECT_EQ(reg.GetCounter("kelpie_builder_committed_work_units_total",
+                           {{"kind", "necessary"}})
+                .Value(),
+            2u);
+  EXPECT_EQ(reg.GetCounter("kelpie_builder_extractions_total",
+                           {{"kind", "necessary"},
+                            {"completeness", "TruncatedBudget"}})
+                .Value(),
+            1u);
+}
+
+TEST_F(BoundedExtractionTest, DivergentCandidatesCountedInRegistry) {
+  metrics::ScopedRegistry scoped;
+  KelpieOptions options;
+  options.num_threads = 1;
+  Kelpie kelpie(*model_, *dataset_, options);
+
+  failpoint::Arm("engine.post_train.diverge", failpoint::kAnyValue,
+                 failpoint::kForever);
+  Explanation x =
+      kelpie.ExplainNecessary(CityPrediction(0), PredictionTarget::kTail);
+  failpoint::DisarmAll();
+  ASSERT_GT(x.divergent_candidates, 0u);
+
+  metrics::Registry& reg = metrics::Registry::Global();
+  EXPECT_EQ(OutcomeTotal(reg, "necessary", "divergent"),
+            x.divergent_candidates);
+  // The engine saw at least the baseline divergence.
+  EXPECT_GE(reg.CounterFamilyTotal("kelpie_engine_diverged_post_trainings_"
+                                   "total"),
+            1u);
 }
 
 // ------------------------------------------------------------ pipeline ----

@@ -3,10 +3,13 @@
 // retraining verification. This is a miniature of the paper's Section 5.3
 // methodology and the most important behavioural test in the suite.
 #include <algorithm>
+#include <fstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
 #include "baselines/criage.h"
+#include "common/trace.h"
 #include "baselines/data_poisoning.h"
 #include "core/kelpie.h"
 #include "datagen/datasets.h"
@@ -178,6 +181,39 @@ TEST_F(IntegrationTest, MinimalitySubsamplingWeakensExplanations) {
   // Sub-sampled explanations remove fewer facts, so the damage should not
   // exceed the full explanations' damage (equal is possible).
   EXPECT_GE(sub_metrics.mrr, full_run.after.mrr - 0.35);
+}
+
+// Runs last (declaration order): by now the process registry has absorbed
+// training, extraction, evaluation and retraining work from every test
+// above. Writes the combined observability snapshot next to the binary; CI
+// uploads it as the `integration-metrics` artifact, giving each main-branch
+// build a browsable record of the workload's counters and spans.
+TEST_F(IntegrationTest, WritesObservabilitySnapshotArtifact) {
+  trace::Collector::Global().Enable();
+  {
+    KelpieOptions options;
+    options.builder.max_visits_per_size = 10;
+    KelpieExplainer kelpie(*model_, *dataset_, options);
+    Rng rng(45);
+    std::vector<Triple> predictions =
+        SampleCorrectTailPredictions(*model_, *dataset_, 1, rng);
+    ASSERT_GE(predictions.size(), 1u);
+    kelpie.ExplainNecessary(predictions[0], PredictionTarget::kTail);
+  }
+  trace::Collector::Global().Disable();
+
+  const std::string json = trace::ObservabilitySnapshotJson();
+  EXPECT_EQ(json.rfind("{\"metrics\":[", 0), 0u);
+  EXPECT_NE(json.find("kelpie_engine_post_trainings_total"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"kelpie.explain_necessary\""),
+            std::string::npos);
+
+  std::ofstream out("integration_metrics.json",
+                    std::ios::binary | std::ios::trunc);
+  out << json << "\n";
+  out.close();
+  ASSERT_TRUE(out.good()) << "failed to write integration_metrics.json";
 }
 
 }  // namespace

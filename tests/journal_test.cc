@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -286,6 +287,146 @@ TEST_F(JournalTest, MixedV1AndV2RecordsParse) {
   ASSERT_EQ(again->recovered().size(), 2u);
   EXPECT_EQ(again->recovered()[0], WithDefaultedCounters(MakeRecord(0)));
   EXPECT_EQ(again->recovered()[1], MakeRecord(1));
+}
+
+// ------------------------------------------------------- v3 summaries ----
+
+RunSummary MakeSummary() {
+  RunSummary s;
+  s.predictions = 3;
+  s.accepted = 2;
+  s.truncated = 1;
+  s.post_trainings = 42;
+  s.visited_candidates = 17;
+  s.skipped_candidates = 5;
+  s.divergent_candidates = 1;
+  s.mean_relevance = 0.75;
+  return s;
+}
+
+TEST_F(JournalTest, SummaryRoundTripsAndIsConsumedOnResume) {
+  {
+    Result<RunJournal> journal = RunJournal::Open(path_, 7, false);
+    ASSERT_TRUE(journal.ok());
+    EXPECT_TRUE(journal->supports_summary());
+    ASSERT_TRUE(journal->Append(MakeRecord(0)).ok());
+    ASSERT_TRUE(journal->Append(MakeRecord(1)).ok());
+    ASSERT_TRUE(journal->AppendSummary(MakeSummary()).ok());
+  }
+  const size_t with_summary = std::filesystem::file_size(path_);
+
+  Result<RunJournal> resumed = RunJournal::Open(path_, 7, true);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ASSERT_EQ(resumed->recovered().size(), 2u);
+  EXPECT_EQ(resumed->recovered()[0], MakeRecord(0));
+  EXPECT_EQ(resumed->recovered()[1], MakeRecord(1));
+  ASSERT_TRUE(resumed->recovered_summary().has_value());
+  EXPECT_EQ(*resumed->recovered_summary(), MakeSummary());
+  // The stale summary is truncated away: records now append after the last
+  // data record, and the run writes a fresh summary when it finishes.
+  EXPECT_LT(std::filesystem::file_size(path_), with_summary);
+
+  ASSERT_TRUE(resumed->Append(MakeRecord(2)).ok());
+  RunSummary updated = MakeSummary();
+  updated.predictions = 4;
+  ASSERT_TRUE(resumed->AppendSummary(updated).ok());
+
+  Result<RunJournal> again = RunJournal::Open(path_, 7, true);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  ASSERT_EQ(again->recovered().size(), 3u);
+  EXPECT_EQ(again->recovered()[2], MakeRecord(2));
+  ASSERT_TRUE(again->recovered_summary().has_value());
+  EXPECT_EQ(*again->recovered_summary(), updated);
+}
+
+TEST_F(JournalTest, ResumeWithoutSummaryRecoversNone) {
+  {
+    Result<RunJournal> journal = RunJournal::Open(path_, 8, false);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->Append(MakeRecord(0)).ok());
+  }
+  Result<RunJournal> resumed = RunJournal::Open(path_, 8, true);
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_EQ(resumed->recovered().size(), 1u);
+  EXPECT_FALSE(resumed->recovered_summary().has_value());
+}
+
+TEST_F(JournalTest, SummaryWithNonFiniteMeanRoundTrips) {
+  // kDivergedRelevance runs can legitimately produce a non-finite mean if a
+  // caller chooses to store one; the frame is raw double bits either way.
+  RunSummary s = MakeSummary();
+  s.mean_relevance = -std::numeric_limits<double>::infinity();
+  {
+    Result<RunJournal> journal = RunJournal::Open(path_, 9, false);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->AppendSummary(s).ok());
+  }
+  Result<RunJournal> resumed = RunJournal::Open(path_, 9, true);
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_TRUE(resumed->recovered().empty());
+  ASSERT_TRUE(resumed->recovered_summary().has_value());
+  EXPECT_EQ(*resumed->recovered_summary(), s);
+}
+
+TEST_F(JournalTest, TornSummaryFrameIsTruncatedLikeAnyTail) {
+  {
+    Result<RunJournal> journal = RunJournal::Open(path_, 10, false);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->Append(MakeRecord(0)).ok());
+    ASSERT_TRUE(journal->AppendSummary(MakeSummary()).ok());
+  }
+  std::string bytes = ReadAll(path_);
+  WriteAll(path_, bytes.substr(0, bytes.size() - 3));
+
+  Result<RunJournal> resumed = RunJournal::Open(path_, 10, true);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ASSERT_EQ(resumed->recovered().size(), 1u);
+  EXPECT_FALSE(resumed->recovered_summary().has_value());
+}
+
+TEST_F(JournalTest, V1FilesStayAtVersionOneAndRefuseSummaries) {
+  {
+    Result<RunJournal> journal = RunJournal::Open(path_, 11, false);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->Append(MakeRecord(0)).ok());
+  }
+  std::string bytes = ReadAll(path_);
+  const auto frames = ListFrames(bytes);
+  ASSERT_EQ(frames.size(), 1u);
+  std::string v1 = bytes.substr(0, kHeaderSize);
+  v1[8] = 1;
+  v1 += ToV1Frame(bytes.substr(frames[0].first, frames[0].second));
+  WriteAll(path_, v1);
+
+  Result<RunJournal> resumed = RunJournal::Open(path_, 11, true);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_FALSE(resumed->supports_summary());
+  Status append = resumed->AppendSummary(MakeSummary());
+  EXPECT_EQ(append.code(), StatusCode::kFailedPrecondition);
+  // Records still append fine, and the header keeps its v1 version so older
+  // readers can continue to consume the file.
+  ASSERT_TRUE(resumed->Append(MakeRecord(1)).ok());
+  EXPECT_EQ(ReadU64At(ReadAll(path_), 8), 1u);
+}
+
+TEST_F(JournalTest, V2FilesRefuseSummariesToo) {
+  {
+    Result<RunJournal> journal = RunJournal::Open(path_, 12, false);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->Append(MakeRecord(0)).ok());
+  }
+  std::string bytes = ReadAll(path_);
+  bytes[8] = 2;  // a journal written by the v2 code
+  WriteAll(path_, bytes);
+
+  Result<RunJournal> resumed = RunJournal::Open(path_, 12, true);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ASSERT_EQ(resumed->recovered().size(), 1u);
+  EXPECT_EQ(resumed->recovered()[0], MakeRecord(0));
+  EXPECT_FALSE(resumed->supports_summary());
+  EXPECT_EQ(resumed->AppendSummary(MakeSummary()).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ReadU64At(ReadAll(path_), 8), 2u);
 }
 
 }  // namespace

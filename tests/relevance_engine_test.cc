@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
 #include "eval/ranking.h"
 #include "tests/test_util.h"
 
@@ -209,6 +210,87 @@ TEST_F(RelevanceEngineTest, RepeatedPostTrainingsAreScheduleIndependent) {
   const double second = engine.NecessaryRelevance(
       prediction_, PredictionTarget::kTail, {born});
   EXPECT_EQ(first, second);
+}
+
+// At num_threads = 1 the engine's raw work counters are exact (DESIGN §10):
+// no speculative chunk remainder, no contended cache entries. These tests
+// pin the per-call arithmetic the registry must report.
+TEST_F(RelevanceEngineTest, SequentialNecessaryCountersAreExact) {
+  ASSERT_TRUE(found_);
+  metrics::ScopedRegistry scoped;
+  // Constructed after the swap: the engine resolves its handles from the
+  // scoped registry.
+  RelevanceEngine engine(*model_, *dataset_, {});
+  const Triple born = BornInFactOf(prediction_.head);
+  ASSERT_NE(born.head, kNoEntity);
+  metrics::Registry& reg = metrics::Registry::Global();
+  auto count = [&reg](const char* name, const metrics::Labels& labels) {
+    return reg.GetCounter(name, labels).Value();
+  };
+
+  engine.NecessaryRelevance(prediction_, PredictionTarget::kTail, {born});
+  // First call: homologous baseline is a cache miss (one post-training)
+  // plus the removal mimic.
+  EXPECT_EQ(count("kelpie_engine_post_trainings_total",
+                  {{"kind", "homologous"}}),
+            1u);
+  EXPECT_EQ(count("kelpie_engine_post_trainings_total",
+                  {{"kind", "necessary"}}),
+            1u);
+  EXPECT_EQ(count("kelpie_engine_rank_cache_total", {{"event", "miss"}}), 1u);
+  EXPECT_EQ(count("kelpie_engine_rank_cache_total", {{"event", "hit"}}), 0u);
+
+  engine.NecessaryRelevance(prediction_, PredictionTarget::kTail, {born});
+  // Second call: the baseline is served from the cache; only the removal
+  // mimic re-runs.
+  EXPECT_EQ(count("kelpie_engine_post_trainings_total",
+                  {{"kind", "homologous"}}),
+            1u);
+  EXPECT_EQ(count("kelpie_engine_post_trainings_total",
+                  {{"kind", "necessary"}}),
+            2u);
+  EXPECT_EQ(count("kelpie_engine_rank_cache_total", {{"event", "miss"}}), 1u);
+  EXPECT_EQ(count("kelpie_engine_rank_cache_total", {{"event", "hit"}}), 1u);
+  // A sequential engine can never block behind another computation.
+  EXPECT_EQ(count("kelpie_engine_rank_cache_total", {{"event", "wait"}}), 0u);
+  EXPECT_EQ(count("kelpie_engine_diverged_post_trainings_total", {}), 0u);
+  // The registry total is the engine's own ledger, series-by-series.
+  EXPECT_EQ(reg.CounterFamilyTotal("kelpie_engine_post_trainings_total"),
+            engine.post_training_count());
+}
+
+TEST_F(RelevanceEngineTest, SequentialSufficientCountersAreExact) {
+  ASSERT_TRUE(found_);
+  metrics::ScopedRegistry scoped;
+  RelevanceEngineOptions options;
+  options.conversion_set_size = 4;
+  RelevanceEngine engine(*model_, *dataset_, options);
+  const std::vector<EntityId> set =
+      engine.SampleConversionSet(prediction_, PredictionTarget::kTail);
+  ASSERT_FALSE(set.empty());
+  metrics::Registry& reg = metrics::Registry::Global();
+  auto count = [&reg](const char* name, const metrics::Labels& labels) {
+    return reg.GetCounter(name, labels).Value();
+  };
+  // Sampling ranks against the original model — no post-training work yet.
+  EXPECT_EQ(reg.CounterFamilyTotal("kelpie_engine_post_trainings_total"), 0u);
+
+  engine.SufficientRelevance(prediction_, PredictionTarget::kTail,
+                             {BornInFactOf(prediction_.head)}, set);
+  // One homologous baseline per conversion entity, each a fresh cache miss.
+  EXPECT_EQ(count("kelpie_engine_post_trainings_total",
+                  {{"kind", "homologous"}}),
+            set.size());
+  EXPECT_EQ(count("kelpie_engine_rank_cache_total", {{"event", "miss"}}),
+            set.size());
+  EXPECT_EQ(count("kelpie_engine_rank_cache_total", {{"event", "hit"}}), 0u);
+  // Entities whose baseline already ranks 1 short-circuit before the
+  // addition mimic, so the sufficient count is bounded by |C|.
+  EXPECT_LE(count("kelpie_engine_post_trainings_total",
+                  {{"kind", "sufficient"}}),
+            set.size());
+  EXPECT_EQ(reg.CounterFamilyTotal("kelpie_engine_post_trainings_total"),
+            engine.post_training_count());
 }
 
 TEST(TransferFactTest, ReplacesSourceEntityOnEitherSide) {

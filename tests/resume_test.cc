@@ -1,6 +1,8 @@
 // End-to-end resume semantics: an interrupted journaled run, resumed,
 // produces byte-identical results to an uninterrupted one.
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -117,6 +119,50 @@ TEST_F(ResumeTest, SufficientInterruptedThenResumedIsByteIdentical) {
   EXPECT_EQ(full->before.mrr, resumed->before.mrr);
   EXPECT_EQ(full->after.hits_at_1, resumed->after.hits_at_1);
   EXPECT_EQ(full->after.mrr, resumed->after.mrr);
+}
+
+// Format v3 ends every finished run with a summary frame recomputed from
+// the *complete* explanation set, so an interrupted-then-resumed run's
+// journal — summary included — is byte-identical to an uninterrupted one:
+// resuming never double-counts work that was already journaled.
+TEST_F(ResumeTest, ResumedJournalSummaryMatchesUninterruptedByteForByte) {
+  DataPoisoningExplainer dp(*model_, *dataset_);
+
+  Result<NecessaryRunResult> full = RunNecessaryEndToEndResumable(
+      dp, ModelKind::kComplEx, *dataset_, predictions_, 7,
+      PredictionTarget::kTail, {Journal("full.jnl"), false});
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+
+  failpoint::Arm("pipeline.interrupt", /*match=*/0, /*times=*/1);
+  Result<NecessaryRunResult> interrupted = RunNecessaryEndToEndResumable(
+      dp, ModelKind::kComplEx, *dataset_, predictions_, 7,
+      PredictionTarget::kTail, {Journal("kill.jnl"), false});
+  ASSERT_FALSE(interrupted.ok());
+  failpoint::DisarmAll();
+
+  Result<NecessaryRunResult> resumed = RunNecessaryEndToEndResumable(
+      dp, ModelKind::kComplEx, *dataset_, predictions_, 7,
+      PredictionTarget::kTail, {Journal("kill.jnl"), true});
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+
+  auto read_all = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return std::move(buf).str();
+  };
+  const std::string full_bytes = read_all(Journal("full.jnl"));
+  const std::string resumed_bytes = read_all(Journal("kill.jnl"));
+  ASSERT_FALSE(full_bytes.empty());
+  EXPECT_EQ(full_bytes, resumed_bytes);
+
+  // Re-resuming the finished journal surfaces the summary and replays all
+  // records; the replayed run then re-appends an identical summary.
+  Result<NecessaryRunResult> replay = RunNecessaryEndToEndResumable(
+      dp, ModelKind::kComplEx, *dataset_, predictions_, 7,
+      PredictionTarget::kTail, {Journal("kill.jnl"), true});
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(read_all(Journal("kill.jnl")), full_bytes);
 }
 
 TEST_F(ResumeTest, ResumeWithDifferentPredictionsRefuses) {

@@ -16,6 +16,14 @@
 //   xp        --data DIR --model-file model.bin --scenario necessary
 //             --journal run.jnl [--resume]
 //       End-to-end experiment run with a crash-safe progress journal.
+//   metrics   [--demo] [--json] [--out FILE]
+//       Renders the process metrics registry (Prometheus text exposition,
+//       or the combined metrics + trace JSON snapshot with --json).
+//
+// `evaluate`, `explain` and `xp` accept --metrics-out FILE: the trace
+// collector is armed for the command and the combined metrics + span
+// snapshot is written as JSON when it finishes (also on failure, so
+// truncated runs keep their observability).
 //
 // Every command reports failures as a one-line `error: ...` on stderr and
 // exits nonzero; bad inputs never abort.
@@ -23,12 +31,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <string>
 
 #include "baselines/explainer.h"
 #include "common/budget.h"
 #include "common/failpoint.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "core/kelpie.h"
 #include "datagen/datasets.h"
 #include "datagen/generator.h"
@@ -69,7 +80,7 @@ class Args {
   static bool IsSwitch(const std::string& key) {
     return key == "sufficient" || key == "head-query" || key == "no-heads" ||
            key == "per-relation" || key == "no-recover" || key == "resume" ||
-           key == "retry-truncated";
+           key == "retry-truncated" || key == "json" || key == "demo";
   }
 
   const std::string& error() const { return error_; }
@@ -119,6 +130,43 @@ int Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
   return 1;
 }
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << content;
+  out.flush();
+  if (!out) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+/// --metrics-out support: arms the trace collector for the command's
+/// lifetime and writes the combined metrics + span JSON snapshot when the
+/// command finishes. The snapshot is written even when the command fails,
+/// so interrupted or truncated runs keep their observability; the
+/// command's own status wins over a snapshot write error.
+class MetricsSink {
+ public:
+  explicit MetricsSink(const Args& args) : path_(args.Get("metrics-out")) {
+    if (!path_.empty()) {
+      trace::Collector::Global().Enable();
+    }
+  }
+
+  Status Finish(Status command_status) const {
+    if (path_.empty()) return command_status;
+    Status write_status =
+        WriteTextFile(path_, trace::ObservabilitySnapshotJson(false) + "\n");
+    return command_status.ok() ? write_status : command_status;
+  }
+
+ private:
+  std::string path_;
+};
 
 Result<Dataset> LoadData(const Args& args) {
   if (!args.Has("data")) {
@@ -496,6 +544,44 @@ Status CmdXp(const Args& args) {
   return Status::Ok();
 }
 
+Status CmdMetrics(const Args& args) {
+  metrics::Registry& reg = metrics::Registry::Global();
+  if (args.Has("demo")) {
+    // A tiny deterministic workload over the instrumentation primitives, so
+    // the exposition formats can be inspected (and documented) without
+    // loading a dataset or training a model.
+    trace::Collector::Global().Enable();
+    metrics::Counter& items = reg.GetCounter(
+        "kelpie_demo_items_total", {{"outcome", "processed"}},
+        metrics::Determinism::kDeterministic, "Demo counter.");
+    metrics::Gauge& level =
+        reg.GetGauge("kelpie_demo_level", {},
+                     metrics::Determinism::kDeterministic, "Demo gauge.");
+    metrics::Histogram& sizes = reg.GetHistogram(
+        "kelpie_demo_size", metrics::LinearBuckets(1.0, 1.0, 4), {},
+        metrics::Determinism::kDeterministic, "Demo histogram.");
+    {
+      trace::Span outer("demo.run");
+      for (int i = 1; i <= 5; ++i) {
+        trace::Span inner("demo.step");
+        items.Increment();
+        level.Set(static_cast<double>(i));
+        sizes.Observe(static_cast<double>(i));
+      }
+    }
+  }
+  const std::string rendered =
+      args.Has("json") ? trace::ObservabilitySnapshotJson(false) + "\n"
+                       : reg.TextExposition(false);
+  if (args.Has("out")) {
+    KELPIE_RETURN_IF_ERROR(WriteTextFile(args.Get("out"), rendered));
+    std::printf("wrote metrics snapshot to %s\n", args.Get("out").c_str());
+    return Status::Ok();
+  }
+  std::printf("%s", rendered.c_str());
+  return Status::Ok();
+}
+
 int Usage() {
   std::printf(
       "usage: kelpie <command> [flags]\n"
@@ -504,18 +590,28 @@ int Usage() {
       "[--epochs N] [--dim N] [--grad-clip X] [--no-recover] "
       "[--max-recoveries N]\n"
       "  evaluate --data DIR --model-file FILE [--no-heads] "
-      "[--per-relation] [--threads N]\n"
+      "[--per-relation] [--threads N] [--metrics-out FILE]\n"
       "  explain  --data DIR --model-file FILE --head H --relation R "
       "--tail T [--sufficient] [--head-query] [--threads N] "
-      "[--work-budget N] [--per-prediction-timeout S]\n"
+      "[--work-budget N] [--per-prediction-timeout S] [--metrics-out FILE]\n"
       "  audit    --data DIR --model-file FILE --relation R [--limit N] "
       "[--threads N]\n"
       "  xp       --data DIR --model-file FILE --scenario "
       "necessary|sufficient --journal FILE [--resume] [--sample N] "
       "[--seed N] [--conversion-set N] [--threads N] [--work-budget N] "
-      "[--per-prediction-timeout S] [--deadline S] [--retry-truncated]\n"
+      "[--per-prediction-timeout S] [--deadline S] [--retry-truncated] "
+      "[--metrics-out FILE]\n"
+      "  metrics  [--demo] [--json] [--out FILE]\n"
       "models: TransE ComplEx ConvE DistMult RotatE\n"
       "datasets: FB15k FB15k-237 WN18 WN18RR YAGO3-10\n"
+      "observability:\n"
+      "  kelpie metrics              Prometheus text exposition of the\n"
+      "                              process registry (--json for the\n"
+      "                              combined metrics + trace snapshot;\n"
+      "                              --demo populates sample series)\n"
+      "  --metrics-out FILE          on evaluate/explain/xp: arm the trace\n"
+      "                              collector and write the JSON snapshot\n"
+      "                              when the command finishes\n"
       "bounded extraction:\n"
       "  --work-budget N             deterministic per-prediction budget in\n"
       "                              work units (1 unit = one post-training);\n"
@@ -552,13 +648,18 @@ int Run(int argc, char** argv) {
   } else if (command == "train") {
     status = CmdTrain(args);
   } else if (command == "evaluate") {
-    status = CmdEvaluate(args);
+    MetricsSink sink(args);
+    status = sink.Finish(CmdEvaluate(args));
   } else if (command == "explain") {
-    status = CmdExplain(args);
+    MetricsSink sink(args);
+    status = sink.Finish(CmdExplain(args));
   } else if (command == "audit") {
     status = CmdAudit(args);
   } else if (command == "xp") {
-    status = CmdXp(args);
+    MetricsSink sink(args);
+    status = sink.Finish(CmdXp(args));
+  } else if (command == "metrics") {
+    status = CmdMetrics(args);
   } else {
     return Usage();
   }
