@@ -14,6 +14,51 @@
 
 #include "math/stats.h"
 
+namespace {
+
+/// One table cell, kept for the optional --json=PATH summary
+/// (BENCH_fig5.json in the CI perf-smoke job).
+struct CellResult {
+  std::string dataset;
+  std::string model;
+  double nec_seq_s = 0.0;
+  double nec_par_s = 0.0;
+  double suf_seq_s = 0.0;
+  double suf_par_s = 0.0;
+  double post_trainings_per_necessary = 0.0;
+  bool deterministic = true;
+};
+
+void WriteJson(const std::string& path, size_t threads,
+               const std::vector<CellResult>& cells) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot open %s for writing\n",
+                 path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"threads\": %zu,\n  \"cells\": [\n", threads);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    std::fprintf(f,
+                 "    {\"dataset\": \"%s\", \"model\": \"%s\", "
+                 "\"necessary_seq_s\": %.4f, \"necessary_par_s\": %.4f, "
+                 "\"sufficient_seq_s\": %.4f, \"sufficient_par_s\": %.4f, "
+                 "\"post_trainings_per_necessary\": %.1f, "
+                 "\"deterministic\": %s}%s\n",
+                 c.dataset.c_str(), c.model.c_str(), c.nec_seq_s,
+                 c.nec_par_s, c.suf_seq_s, c.suf_par_s,
+                 c.post_trainings_per_necessary,
+                 c.deterministic ? "true" : "false",
+                 i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace kelpie;
   using namespace kelpie::bench;
@@ -37,6 +82,7 @@ int main(int argc, char** argv) {
            12);
   PrintRule(10, 12);
 
+  std::vector<CellResult> cells;
   for (BenchmarkDataset d : AllBenchmarkDatasets()) {
     Dataset dataset = MakeBenchmark(d, options.dataset_scale(), options.seed);
     for (ModelKind kind : options.models()) {
@@ -91,7 +137,14 @@ int main(int argc, char** argv) {
                 FormatDouble(speedup(suf1, sufN), 2) + "x",
                 FormatDouble(nec_pt.mean(), 1), all_match ? "yes" : "NO"},
                12);
+      cells.push_back({std::string(BenchmarkDatasetName(d)),
+                       std::string(ModelKindName(kind)), nec1.mean(),
+                       necN.mean(), suf1.mean(), sufN.mean(),
+                       nec_pt.mean(), all_match});
     }
+  }
+  if (!options.json_path.empty()) {
+    WriteJson(options.json_path, threads, cells);
   }
   return 0;
 }

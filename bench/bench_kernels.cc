@@ -1,0 +1,308 @@
+// Microbenchmark of the math/simd.h kernel layer and the all-candidate
+// scoring paths built on it (DESIGN.md §11). Two sections:
+//
+//  1. Kernel ns/op: each simd:: kernel through the active backend
+//     (whatever KELPIE_SIMD selected at configure time) against the
+//     always-compiled simd::scalar:: reference, at embedding-sized dims.
+//     Both produce bit-identical results by contract, so the delta is pure
+//     throughput.
+//  2. ScoreAll throughput: ScoreAllTails entities/second per model on a
+//     fixed small synthetic dataset — the post-training sweep and filtered
+//     ranking hot path.
+//
+// With --json=PATH a machine-readable summary (BENCH_kernels.json in CI)
+// is written for the perf-smoke delta report; timings vary run to run, so
+// the JSON is compared report-only against bench/baseline.json.
+#include "bench/bench_util.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "math/rng.h"
+#include "math/simd.h"
+
+namespace {
+
+using namespace kelpie;
+using namespace kelpie::bench;
+
+/// Defeats dead-code elimination of pure-result kernels without a memory
+/// barrier per call.
+float g_sink = 0.0f;
+
+struct KernelTiming {
+  std::string name;
+  size_t dim = 0;
+  double active_ns = 0.0;
+  double scalar_ns = 0.0;
+
+  double speedup() const {
+    return active_ns > 0.0 ? scalar_ns / active_ns : 0.0;
+  }
+};
+
+/// Times `op(iters)` (which must run the kernel `iters` times), returning
+/// ns per kernel call. Calibrates the iteration count to a ~60ms window and
+/// keeps the best of three repetitions to shed scheduler noise.
+template <typename Op>
+double TimeNsPerOp(Op&& op, size_t calibrate_iters = 1024) {
+  Stopwatch timer;
+  op(calibrate_iters);
+  double elapsed = timer.ElapsedSeconds();
+  const double target_seconds = 0.06;
+  size_t iters = calibrate_iters;
+  if (elapsed > 0.0 && elapsed < target_seconds) {
+    iters = static_cast<size_t>(
+        static_cast<double>(calibrate_iters) * target_seconds / elapsed);
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 3; ++rep) {
+    timer.Restart();
+    op(iters);
+    best = std::min(best, timer.ElapsedSeconds());
+  }
+  return best * 1e9 / static_cast<double>(iters);
+}
+
+std::vector<float> BenchVec(size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.UniformDouble(-1.0, 1.0));
+  return v;
+}
+
+/// Benchmarks one reduction kernel (Dot-shaped signature) through both
+/// paths.
+template <typename ActiveKernel, typename ScalarKernel>
+KernelTiming TimeReduction(const std::string& name, size_t dim, Rng& rng,
+                           ActiveKernel&& active, ScalarKernel&& scalar) {
+  std::vector<float> a = BenchVec(dim, rng);
+  std::vector<float> b = BenchVec(dim, rng);
+  KernelTiming t;
+  t.name = name;
+  t.dim = dim;
+  t.active_ns = TimeNsPerOp([&](size_t iters) {
+    float acc = 0.0f;
+    for (size_t i = 0; i < iters; ++i) acc += active(a, b);
+    g_sink += acc;
+  });
+  t.scalar_ns = TimeNsPerOp([&](size_t iters) {
+    float acc = 0.0f;
+    for (size_t i = 0; i < iters; ++i) acc += scalar(a, b);
+    g_sink += acc;
+  });
+  return t;
+}
+
+KernelTiming TimeAxpy(size_t dim, Rng& rng) {
+  std::vector<float> x = BenchVec(dim, rng);
+  std::vector<float> y = BenchVec(dim, rng);
+  // Tiny alpha keeps y bounded over millions of accumulations.
+  const float alpha = 1e-7f;
+  KernelTiming t;
+  t.name = "axpy";
+  t.dim = dim;
+  t.active_ns = TimeNsPerOp([&](size_t iters) {
+    for (size_t i = 0; i < iters; ++i) simd::Axpy(alpha, x, y);
+    g_sink += y[0];
+  });
+  t.scalar_ns = TimeNsPerOp([&](size_t iters) {
+    for (size_t i = 0; i < iters; ++i) simd::scalar::Axpy(alpha, x, y);
+    g_sink += y[0];
+  });
+  return t;
+}
+
+/// Row-sweep kernels (Gemv / SquaredDistanceRows): one "op" is a full
+/// rows x cols sweep, mirroring a ScoreAll call over the entity table.
+template <typename ActiveKernel, typename ScalarKernel>
+KernelTiming TimeRowSweep(const std::string& name, size_t rows, size_t cols,
+                          Rng& rng, ActiveKernel&& active,
+                          ScalarKernel&& scalar) {
+  std::vector<float> m = BenchVec(rows * cols, rng);
+  std::vector<float> x = BenchVec(cols, rng);
+  std::vector<float> out(rows);
+  KernelTiming t;
+  t.name = name;
+  t.dim = cols;
+  t.active_ns = TimeNsPerOp(
+      [&](size_t iters) {
+        for (size_t i = 0; i < iters; ++i) {
+          active(m.data(), rows, cols, x.data(), out.data());
+        }
+        g_sink += out[0];
+      },
+      /*calibrate_iters=*/16);
+  t.scalar_ns = TimeNsPerOp(
+      [&](size_t iters) {
+        for (size_t i = 0; i < iters; ++i) {
+          scalar(m.data(), rows, cols, x.data(), out.data());
+        }
+        g_sink += out[0];
+      },
+      /*calibrate_iters=*/16);
+  return t;
+}
+
+struct ScoreAllTiming {
+  std::string model;
+  size_t num_entities = 0;
+  size_t dim = 0;
+  double ns_per_call = 0.0;
+
+  double entities_per_second() const {
+    return ns_per_call > 0.0
+               ? static_cast<double>(num_entities) * 1e9 / ns_per_call
+               : 0.0;
+  }
+};
+
+ScoreAllTiming TimeScoreAll(ModelKind kind, const Dataset& dataset,
+                            uint64_t seed) {
+  auto model = TrainModel(kind, dataset, seed);
+  std::vector<float> scores(model->num_entities());
+  const auto& train = dataset.train();
+  ScoreAllTiming t;
+  t.model = std::string(ModelKindName(kind));
+  t.num_entities = model->num_entities();
+  t.dim = model->entity_dim();
+  size_t cursor = 0;
+  t.ns_per_call = TimeNsPerOp(
+      [&](size_t iters) {
+        for (size_t i = 0; i < iters; ++i) {
+          const Triple& q = train[cursor++ % train.size()];
+          model->ScoreAllTails(q.head, q.relation, scores);
+        }
+        g_sink += scores[0];
+      },
+      /*calibrate_iters=*/8);
+  return t;
+}
+
+void WriteJson(const std::string& path,
+               const std::vector<KernelTiming>& kernels,
+               const std::vector<ScoreAllTiming>& score_all) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot open %s for writing\n",
+                 path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"backend\": \"%s\",\n  \"kernels\": [\n",
+               std::string(simd::BackendName()).c_str());
+  for (size_t i = 0; i < kernels.size(); ++i) {
+    const KernelTiming& k = kernels[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"dim\": %zu, "
+                 "\"active_ns_per_op\": %.2f, \"scalar_ns_per_op\": %.2f, "
+                 "\"speedup\": %.3f}%s\n",
+                 k.name.c_str(), k.dim, k.active_ns, k.scalar_ns,
+                 k.speedup(), i + 1 < kernels.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"score_all\": [\n");
+  for (size_t i = 0; i < score_all.size(); ++i) {
+    const ScoreAllTiming& s = score_all[i];
+    std::fprintf(f,
+                 "    {\"model\": \"%s\", \"entities\": %zu, \"dim\": %zu, "
+                 "\"ns_per_call\": %.0f, \"entities_per_second\": %.0f}%s\n",
+                 s.model.c_str(), s.num_entities, s.dim, s.ns_per_call,
+                 s.entities_per_second(),
+                 i + 1 < score_all.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions options = ParseArgs(argc, argv);
+  Rng rng(options.seed);
+
+  std::printf("Kernel microbenchmark (backend: %s)\n\n",
+              std::string(simd::BackendName()).c_str());
+  PrintRow({"Kernel", "Dim", "Active ns", "Scalar ns", "Speedup"}, 12);
+  PrintRule(5, 12);
+
+  std::vector<KernelTiming> kernels;
+  const size_t dims[] = {64, 128, 256};
+  for (size_t dim : dims) {
+    kernels.push_back(TimeReduction(
+        "dot", dim, rng,
+        [](std::span<const float> a, std::span<const float> b) {
+          return simd::Dot(a, b);
+        },
+        [](std::span<const float> a, std::span<const float> b) {
+          return simd::scalar::Dot(a, b);
+        }));
+    kernels.push_back(TimeReduction(
+        "squared_distance", dim, rng,
+        [](std::span<const float> a, std::span<const float> b) {
+          return simd::SquaredDistance(a, b);
+        },
+        [](std::span<const float> a, std::span<const float> b) {
+          return simd::scalar::SquaredDistance(a, b);
+        }));
+    kernels.push_back(TimeReduction(
+        "l1_distance", dim, rng,
+        [](std::span<const float> a, std::span<const float> b) {
+          return simd::L1Distance(a, b);
+        },
+        [](std::span<const float> a, std::span<const float> b) {
+          return simd::scalar::L1Distance(a, b);
+        }));
+    kernels.push_back(TimeAxpy(dim, rng));
+  }
+  // Row sweeps sized like a ScoreAll over a mid-sized entity table.
+  const size_t sweep_rows = 4096;
+  for (size_t dim : dims) {
+    kernels.push_back(TimeRowSweep(
+        "gemv_row_major", sweep_rows, dim, rng,
+        [](const float* m, size_t rows, size_t cols, const float* x,
+           float* out) { simd::GemvRowMajor(m, rows, cols, x, out); },
+        [](const float* m, size_t rows, size_t cols, const float* x,
+           float* out) {
+          simd::scalar::GemvRowMajor(m, rows, cols, x, out);
+        }));
+    kernels.push_back(TimeRowSweep(
+        "squared_distance_rows", sweep_rows, dim, rng,
+        [](const float* m, size_t rows, size_t cols, const float* x,
+           float* out) { simd::SquaredDistanceRows(m, rows, cols, x, out); },
+        [](const float* m, size_t rows, size_t cols, const float* x,
+           float* out) {
+          simd::scalar::SquaredDistanceRows(m, rows, cols, x, out);
+        }));
+  }
+  for (const KernelTiming& k : kernels) {
+    PrintRow({k.name, std::to_string(k.dim), FormatDouble(k.active_ns, 1),
+              FormatDouble(k.scalar_ns, 1),
+              FormatDouble(k.speedup(), 2) + "x"},
+             12);
+  }
+
+  std::printf("\nScoreAllTails throughput (fixed small dataset)\n\n");
+  PrintRow({"Model", "Entities", "Dim", "us/call", "Ment/s"}, 12);
+  PrintRule(5, 12);
+  Dataset dataset = MakeBenchmark(BenchmarkDataset::kFb15k237,
+                                  options.dataset_scale(), options.seed);
+  std::vector<ScoreAllTiming> score_all;
+  for (ModelKind kind :
+       {ModelKind::kTransE, ModelKind::kDistMult, ModelKind::kComplEx,
+        ModelKind::kRotatE, ModelKind::kConvE}) {
+    score_all.push_back(TimeScoreAll(kind, dataset, options.seed + 1));
+    const ScoreAllTiming& s = score_all.back();
+    PrintRow({s.model, std::to_string(s.num_entities),
+              std::to_string(s.dim), FormatDouble(s.ns_per_call / 1e3, 1),
+              FormatDouble(s.entities_per_second() / 1e6, 2)},
+             12);
+  }
+
+  if (!options.json_path.empty()) {
+    WriteJson(options.json_path, kernels, score_all);
+  }
+  // Keep g_sink observable so no measured loop is optimized away.
+  std::fprintf(stderr, "[bench] checksum %.6g\n",
+               static_cast<double>(g_sink));
+  return 0;
+}

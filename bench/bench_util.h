@@ -31,6 +31,10 @@ struct BenchOptions {
   /// Benches that compare against sequential extraction run both a
   /// threads=1 and a threads=N series.
   size_t threads = 4;
+  /// When non-empty (--json=PATH), the bench also writes a machine-readable
+  /// JSON summary to this path. The CI perf-smoke job uploads these files
+  /// and diffs them against bench/baseline.json.
+  std::string json_path;
 
   double dataset_scale() const { return full ? 1.0 : 0.55; }
   size_t num_predictions() const { return full ? 40 : 10; }
@@ -54,6 +58,8 @@ inline BenchOptions ParseArgs(int argc, char** argv) {
       options.seed = std::strtoull(argv[i] + 7, nullptr, 10);
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       options.threads = std::strtoull(argv[i] + 10, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      options.json_path = argv[i] + 7;
     }
   }
   return options;

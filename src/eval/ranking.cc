@@ -6,6 +6,20 @@
 
 namespace kelpie {
 
+namespace {
+
+/// Per-thread score workspace for the all-candidate sweeps. The filtered
+/// ranks are recomputed once per candidate per post-training in the
+/// relevance engine; reusing the buffer removes a num_entities-sized
+/// allocation from every call.
+std::span<float> ScoreScratch(size_t n) {
+  thread_local std::vector<float> scratch;
+  scratch.resize(n);
+  return scratch;
+}
+
+}  // namespace
+
 int RankFromScores(std::span<const float> scores, EntityId target,
                    const std::unordered_set<EntityId>* filtered_out) {
   KELPIE_CHECK(target >= 0 && static_cast<size_t>(target) < scores.size());
@@ -25,7 +39,7 @@ int RankFromScores(std::span<const float> scores, EntityId target,
 
 int FilteredTailRank(const LinkPredictionModel& model, const Dataset& dataset,
                      const Triple& fact) {
-  std::vector<float> scores(model.num_entities());
+  std::span<float> scores = ScoreScratch(model.num_entities());
   model.ScoreAllTails(fact.head, fact.relation, scores);
   return RankFromScores(scores, fact.tail,
                         &dataset.KnownTails(fact.head, fact.relation));
@@ -33,7 +47,7 @@ int FilteredTailRank(const LinkPredictionModel& model, const Dataset& dataset,
 
 int FilteredHeadRank(const LinkPredictionModel& model, const Dataset& dataset,
                      const Triple& fact) {
-  std::vector<float> scores(model.num_entities());
+  std::span<float> scores = ScoreScratch(model.num_entities());
   model.ScoreAllHeads(fact.relation, fact.tail, scores);
   return RankFromScores(scores, fact.head,
                         &dataset.KnownHeads(fact.relation, fact.tail));
@@ -43,7 +57,7 @@ int FilteredTailRankWithHeadVec(const LinkPredictionModel& model,
                                 const Dataset& dataset, EntityId head_entity,
                                 std::span<const float> head_vec,
                                 RelationId relation, EntityId target_tail) {
-  std::vector<float> scores(model.num_entities());
+  std::span<float> scores = ScoreScratch(model.num_entities());
   model.ScoreAllTailsWithHeadVec(head_vec, relation, scores);
   return RankFromScores(scores, target_tail,
                         &dataset.KnownTails(head_entity, relation));
@@ -53,7 +67,7 @@ int FilteredHeadRankWithTailVec(const LinkPredictionModel& model,
                                 const Dataset& dataset, EntityId tail_entity,
                                 std::span<const float> tail_vec,
                                 RelationId relation, EntityId target_head) {
-  std::vector<float> scores(model.num_entities());
+  std::span<float> scores = ScoreScratch(model.num_entities());
   model.ScoreAllHeadsWithTailVec(relation, tail_vec, scores);
   return RankFromScores(scores, target_head,
                         &dataset.KnownHeads(relation, tail_entity));

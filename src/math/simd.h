@@ -1,0 +1,87 @@
+#ifndef KELPIE_MATH_SIMD_H_
+#define KELPIE_MATH_SIMD_H_
+
+#include <cstddef>
+#include <span>
+
+namespace kelpie {
+namespace simd {
+
+/// Vectorized BLAS-1/2 kernels with a *lane-determinism contract*: every
+/// backend (scalar, SSE2, AVX2) produces bit-identical floats because they
+/// all commit to the same fixed reduction order (DESIGN.md §11).
+///
+/// The contract, for every reducing kernel over n elements:
+///  - element i contributes its term to virtual lane `i & 7`, in increasing
+///    i order within the lane (8 virtual accumulator lanes regardless of
+///    the physical register width: AVX2 maps them onto one 256-bit
+///    register, SSE2 onto two 128-bit registers, scalar onto a float[8]);
+///  - each term is a separately rounded multiply followed by a separately
+///    rounded add — never an FMA (the module is compiled with
+///    -ffp-contract=off so the compiler cannot fuse them either);
+///  - the 8 lane sums reduce in the fixed tree
+///    ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)).
+///
+/// Element-wise kernels (Axpy, Scale) have no reduction and are trivially
+/// bit-identical across backends.
+///
+/// The backend is chosen at compile time by the KELPIE_SIMD CMake option
+/// (auto|avx2|sse2|off); one binary contains exactly one backend plus the
+/// scalar reference, which is always compiled so tests can assert bitwise
+/// equivalence in-process.
+
+enum class Backend { kScalar, kSse2, kAvx2 };
+
+/// The backend this binary was compiled with.
+Backend ActiveBackend();
+
+/// "scalar", "sse2", or "avx2".
+const char* BackendName();
+
+/// Inner product of `a` and `b` (equal lengths).
+float Dot(std::span<const float> a, std::span<const float> b);
+
+/// Squared Euclidean distance between `a` and `b`.
+float SquaredDistance(std::span<const float> a, std::span<const float> b);
+
+/// L1 distance between `a` and `b`.
+float L1Distance(std::span<const float> a, std::span<const float> b);
+
+/// y += alpha * x.
+void Axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/// x *= alpha.
+void Scale(std::span<float> x, float alpha);
+
+/// Row-major matrix-vector product: out[r] = Dot(row r of `matrix`, x) for
+/// r in [0, rows). Blocked over rows so candidate sweeps share the loads of
+/// `x`; each row's result is bit-identical to a standalone Dot call.
+void GemvRowMajor(const float* matrix, size_t rows, size_t cols,
+                  const float* x, float* out);
+
+/// out[r] = SquaredDistance(row r of `matrix`, x) — the distance-model
+/// (TransE/RotatE) counterpart of GemvRowMajor, same blocking and the same
+/// per-row bitwise-equivalence guarantee.
+void SquaredDistanceRows(const float* matrix, size_t rows, size_t cols,
+                         const float* x, float* out);
+
+/// Reference implementations of every kernel above, written directly
+/// against the lane contract with plain scalar code. Always compiled —
+/// the dispatching kernels must match them bit for bit on any backend
+/// (kernel_equivalence_test).
+namespace scalar {
+float Dot(std::span<const float> a, std::span<const float> b);
+float SquaredDistance(std::span<const float> a, std::span<const float> b);
+float L1Distance(std::span<const float> a, std::span<const float> b);
+void Axpy(float alpha, std::span<const float> x, std::span<float> y);
+void Scale(std::span<float> x, float alpha);
+void GemvRowMajor(const float* matrix, size_t rows, size_t cols,
+                  const float* x, float* out);
+void SquaredDistanceRows(const float* matrix, size_t rows, size_t cols,
+                         const float* x, float* out);
+}  // namespace scalar
+
+}  // namespace simd
+}  // namespace kelpie
+
+#endif  // KELPIE_MATH_SIMD_H_

@@ -4,30 +4,23 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "math/simd.h"
 
 namespace kelpie {
 
+// Dot/Axpy/Scale/SquaredDistance/L1Distance delegate to the simd layer;
+// all its backends follow the 8-lane reduction contract (math/simd.h), so
+// results are identical regardless of KELPIE_SIMD.
+
 float Dot(std::span<const float> a, std::span<const float> b) {
-  KELPIE_DCHECK(a.size() == b.size());
-  float acc = 0.0f;
-  for (size_t i = 0; i < a.size(); ++i) {
-    acc += a[i] * b[i];
-  }
-  return acc;
+  return simd::Dot(a, b);
 }
 
 void Axpy(float alpha, std::span<const float> x, std::span<float> y) {
-  KELPIE_DCHECK(x.size() == y.size());
-  for (size_t i = 0; i < x.size(); ++i) {
-    y[i] += alpha * x[i];
-  }
+  simd::Axpy(alpha, x, y);
 }
 
-void Scale(std::span<float> x, float alpha) {
-  for (float& v : x) {
-    v *= alpha;
-  }
-}
+void Scale(std::span<float> x, float alpha) { simd::Scale(x, alpha); }
 
 void Fill(std::span<float> x, float value) {
   std::fill(x.begin(), x.end(), value);
@@ -53,22 +46,11 @@ float L1Norm(std::span<const float> x) {
 }
 
 float SquaredDistance(std::span<const float> a, std::span<const float> b) {
-  KELPIE_DCHECK(a.size() == b.size());
-  float acc = 0.0f;
-  for (size_t i = 0; i < a.size(); ++i) {
-    float d = a[i] - b[i];
-    acc += d * d;
-  }
-  return acc;
+  return simd::SquaredDistance(a, b);
 }
 
 float L1Distance(std::span<const float> a, std::span<const float> b) {
-  KELPIE_DCHECK(a.size() == b.size());
-  float acc = 0.0f;
-  for (size_t i = 0; i < a.size(); ++i) {
-    acc += std::fabs(a[i] - b[i]);
-  }
-  return acc;
+  return simd::L1Distance(a, b);
 }
 
 bool ProjectToL2Ball(std::span<float> x, float radius) {

@@ -11,6 +11,10 @@ namespace kelpie {
 /// Dense float vector kernels. Embeddings are stored as contiguous float
 /// rows; these free functions implement the handful of BLAS-1 style
 /// operations the models need. All functions require equal-length spans.
+/// The reducing kernels (Dot, SquaredDistance, L1Distance) and the
+/// element-wise updates (Axpy, Scale) delegate to the vectorized backend
+/// in math/simd.h, whose lane-determinism contract keeps results
+/// bit-identical across KELPIE_SIMD settings.
 
 /// Inner product of `a` and `b`.
 float Dot(std::span<const float> a, std::span<const float> b);

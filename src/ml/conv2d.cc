@@ -1,6 +1,7 @@
 #include "ml/conv2d.h"
 
 #include "common/logging.h"
+#include "math/simd.h"
 #include "math/vec.h"
 #include "ml/embedding_table.h"
 
@@ -107,9 +108,12 @@ void DenseLayer::Forward(std::span<const float> input,
                          std::span<float> output) const {
   KELPIE_DCHECK(input.size() == in_size_);
   KELPIE_DCHECK(output.size() == out_size_);
-  for (size_t o = 0; o < out_size_; ++o) {
-    output[o] = bias_[o] + Dot(weights_.Row(o), input);
-  }
+  // Blocked gemv over the weight rows; bias_[o] + dot == dot + bias_[o]
+  // (float add is commutative), so this matches the per-row form bit for
+  // bit.
+  simd::GemvRowMajor(weights_.Data().data(), out_size_, in_size_,
+                     input.data(), output.data());
+  simd::Axpy(1.0f, bias_, output);
 }
 
 void DenseLayer::Backward(std::span<const float> input,

@@ -30,4 +30,24 @@ Triple NegativeSampler::CorruptEitherSide(const Triple& positive,
   return Corrupt(positive, rng.Bernoulli(0.5), rng);
 }
 
+void NegativeSampler::CorruptBatch(const Triple& positive, bool corrupt_tail,
+                                   size_t count, Rng& rng,
+                                   std::vector<Triple>& out) const {
+  out.clear();
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(Corrupt(positive, corrupt_tail, rng));
+  }
+}
+
+void NegativeSampler::CorruptEitherSideBatch(const Triple& positive,
+                                             size_t count, Rng& rng,
+                                             std::vector<Triple>& out) const {
+  out.clear();
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(CorruptEitherSide(positive, rng));
+  }
+}
+
 }  // namespace kelpie

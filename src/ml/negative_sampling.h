@@ -1,6 +1,8 @@
 #ifndef KELPIE_ML_NEGATIVE_SAMPLING_H_
 #define KELPIE_ML_NEGATIVE_SAMPLING_H_
 
+#include <vector>
+
 #include "kgraph/graph.h"
 #include "kgraph/triple.h"
 #include "math/rng.h"
@@ -25,6 +27,17 @@ class NegativeSampler {
 
   /// Bernoulli(0.5) choice of side, then Corrupt().
   Triple CorruptEitherSide(const Triple& positive, Rng& rng) const;
+
+  /// Fills `out` (cleared first) with `count` corruptions, drawn exactly as
+  /// `count` sequential Corrupt() calls would draw them — same RNG
+  /// consumption, same triples. Lets training loops separate the sampling
+  /// of a negatives batch from its scoring without changing results.
+  void CorruptBatch(const Triple& positive, bool corrupt_tail, size_t count,
+                    Rng& rng, std::vector<Triple>& out) const;
+
+  /// Batch form of CorruptEitherSide(), with the same RNG-order guarantee.
+  void CorruptEitherSideBatch(const Triple& positive, size_t count, Rng& rng,
+                              std::vector<Triple>& out) const;
 
  private:
   const GraphIndex& graph_;

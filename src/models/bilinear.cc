@@ -4,12 +4,25 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "math/simd.h"
 #include "math/vec.h"
 #include "ml/batcher.h"
 #include "ml/embedding_table.h"
 #include "ml/serialization.h"
 
 namespace kelpie {
+
+namespace {
+
+/// Per-thread scratch for the relation-composed query vector so the
+/// scoring paths do not allocate per call.
+std::span<float> QueryScratch(size_t dim) {
+  thread_local std::vector<float> scratch;
+  scratch.resize(dim);
+  return scratch;
+}
+
+}  // namespace
 
 BilinearModel::BilinearModel(size_t num_entities, size_t num_relations,
                              TrainConfig config)
@@ -18,7 +31,7 @@ BilinearModel::BilinearModel(size_t num_entities, size_t num_relations,
       relation_embeddings_(num_relations, config_.dim) {}
 
 float BilinearModel::Score(const Triple& t) const {
-  std::vector<float> q(entity_dim());
+  std::span<float> q = QueryScratch(entity_dim());
   TailQuery(entity_embeddings_.Row(static_cast<size_t>(t.head)),
             relation_embeddings_.Row(static_cast<size_t>(t.relation)), q);
   return Dot(q, entity_embeddings_.Row(static_cast<size_t>(t.tail)));
@@ -34,11 +47,10 @@ void BilinearModel::ScoreAllTailsWithHeadVec(std::span<const float> head_vec,
                                              RelationId r,
                                              std::span<float> out) const {
   KELPIE_DCHECK(out.size() == num_entities());
-  std::vector<float> q(entity_dim());
+  std::span<float> q = QueryScratch(entity_dim());
   TailQuery(head_vec, relation_embeddings_.Row(static_cast<size_t>(r)), q);
-  for (size_t e = 0; e < num_entities(); ++e) {
-    out[e] = Dot(q, entity_embeddings_.Row(e));
-  }
+  simd::GemvRowMajor(entity_embeddings_.Data().data(), num_entities(),
+                     entity_dim(), q.data(), out.data());
 }
 
 void BilinearModel::ScoreAllHeads(RelationId r, EntityId t,
@@ -51,11 +63,12 @@ void BilinearModel::ScoreAllHeadsWithTailVec(RelationId r,
                                              std::span<const float> tail_vec,
                                              std::span<float> out) const {
   KELPIE_DCHECK(out.size() == num_entities());
-  std::vector<float> w(entity_dim());
+  std::span<float> w = QueryScratch(entity_dim());
   HeadQuery(relation_embeddings_.Row(static_cast<size_t>(r)), tail_vec, w);
-  for (size_t e = 0; e < num_entities(); ++e) {
-    out[e] = Dot(entity_embeddings_.Row(e), w);
-  }
+  // Dot(e, w) == Dot(w, e) term for term (float multiply is commutative),
+  // so the gemv sweep is bit-identical to the per-row Dot it replaces.
+  simd::GemvRowMajor(entity_embeddings_.Data().data(), num_entities(),
+                     entity_dim(), w.data(), out.data());
 }
 
 float BilinearModel::ScoreWithEntityVec(const Triple& t, EntityId which,
@@ -66,7 +79,7 @@ float BilinearModel::ScoreWithEntityVec(const Triple& t, EntityId which,
   std::span<const float> tl =
       (t.tail == which) ? vec
                         : entity_embeddings_.Row(static_cast<size_t>(t.tail));
-  std::vector<float> q(entity_dim());
+  std::span<float> q = QueryScratch(entity_dim());
   TailQuery(h, relation_embeddings_.Row(static_cast<size_t>(t.relation)), q);
   return Dot(q, tl);
 }
@@ -146,9 +159,8 @@ Status BilinearModel::Train(const Dataset& dataset, Rng& rng) {
 
         // ---- Tail direction: -log p(t | h, r). ----
         TailQuery(entity_embeddings_.Row(h), relation_embeddings_.Row(r), q);
-        for (size_t e = 0; e < n_ent; ++e) {
-          scores[e] = Dot(q, entity_embeddings_.Row(e));
-        }
+        simd::GemvRowMajor(entity_embeddings_.Data().data(), n_ent, dim,
+                           q.data(), scores.data());
         SoftmaxInPlace(scores);
         epoch_loss += -std::log(std::max<double>(scores[t], 1e-30));
         Fill(std::span<float>(dq), 0.0f);
@@ -180,9 +192,8 @@ Status BilinearModel::Train(const Dataset& dataset, Rng& rng) {
 
         // ---- Head direction: -log p(h | r, t). ----
         HeadQuery(relation_embeddings_.Row(r), entity_embeddings_.Row(t), w);
-        for (size_t e = 0; e < n_ent; ++e) {
-          scores[e] = Dot(entity_embeddings_.Row(e), w);
-        }
+        simd::GemvRowMajor(entity_embeddings_.Data().data(), n_ent, dim,
+                           w.data(), scores.data());
         SoftmaxInPlace(scores);
         epoch_loss += -std::log(std::max<double>(scores[h], 1e-30));
         Fill(std::span<float>(dw), 0.0f);
@@ -255,9 +266,8 @@ std::vector<float> BilinearModel::PostTrainMimic(
         const size_t r = static_cast<size_t>(fact.relation);
         const size_t t = static_cast<size_t>(fact.tail);
         TailQuery(mimic, relation_embeddings_.Row(r), q);
-        for (size_t e = 0; e < n_ent; ++e) {
-          scores[e] = Dot(q, entity_embeddings_.Row(e));
-        }
+        simd::GemvRowMajor(entity_embeddings_.Data().data(), n_ent, dim,
+                           q.data(), scores.data());
         SoftmaxInPlace(scores);
         Fill(std::span<float>(dq), 0.0f);
         for (size_t e = 0; e < n_ent; ++e) {
@@ -272,9 +282,10 @@ std::vector<float> BilinearModel::PostTrainMimic(
         const size_t h = static_cast<size_t>(fact.head);
         const size_t r = static_cast<size_t>(fact.relation);
         TailQuery(entity_embeddings_.Row(h), relation_embeddings_.Row(r), q);
+        simd::GemvRowMajor(entity_embeddings_.Data().data(), n_ent, dim,
+                           q.data(), scores.data());
         double max_s = -1e30;
         for (size_t e = 0; e < n_ent; ++e) {
-          scores[e] = Dot(q, entity_embeddings_.Row(e));
           max_s = std::max<double>(max_s, scores[e]);
         }
         float mimic_score = Dot(q, mimic);

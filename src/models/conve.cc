@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "math/simd.h"
 #include "math/vec.h"
 #include "ml/batcher.h"
 #include "ml/embedding_table.h"
@@ -163,7 +164,10 @@ void ConvE::BackwardMlp(const ForwardCache& cache, std::span<const float> dv,
 }
 
 float ConvE::Score(const Triple& t) const {
-  ForwardCache cache;
+  // thread_local: the const scoring paths run millions of forwards per
+  // extraction; reusing the cache keeps them allocation-free. ForwardMlp
+  // overwrites every field it reads, so stale contents are harmless.
+  thread_local ForwardCache cache;
   ForwardMlp(entity_embeddings_.Row(static_cast<size_t>(t.head)),
              relation_embeddings_.Row(static_cast<size_t>(t.relation)),
              cache);
@@ -181,12 +185,13 @@ void ConvE::ScoreAllTailsWithHeadVec(std::span<const float> head_vec,
                                      RelationId r,
                                      std::span<float> out) const {
   KELPIE_DCHECK(out.size() == num_entities());
-  ForwardCache cache;
+  thread_local ForwardCache cache;
   ForwardMlp(head_vec, relation_embeddings_.Row(static_cast<size_t>(r)),
              cache);
-  for (size_t e = 0; e < num_entities(); ++e) {
-    out[e] = Dot(cache.v, entity_embeddings_.Row(e)) + entity_bias_[e];
-  }
+  simd::GemvRowMajor(entity_embeddings_.Data().data(), num_entities(),
+                     entity_dim(), cache.v.data(), out.data());
+  // out[e] += 1.0f * b_e adds the bias exactly as `Dot(...) + b_e` would.
+  simd::Axpy(1.0f, entity_bias_, out);
 }
 
 void ConvE::ScoreAllHeads(RelationId r, EntityId t,
@@ -212,7 +217,7 @@ float ConvE::ScoreWithEntityVec(const Triple& t, EntityId which,
   std::span<const float> tl =
       (t.tail == which) ? vec
                         : entity_embeddings_.Row(static_cast<size_t>(t.tail));
-  ForwardCache cache;
+  thread_local ForwardCache cache;
   ForwardMlp(h, relation_embeddings_.Row(static_cast<size_t>(t.relation)),
              cache);
   float bias =
@@ -221,7 +226,7 @@ float ConvE::ScoreWithEntityVec(const Triple& t, EntityId which,
 }
 
 std::vector<float> ConvE::ScoreGradWrtHead(const Triple& t) const {
-  ForwardCache cache;
+  thread_local ForwardCache cache;
   ForwardMlp(entity_embeddings_.Row(static_cast<size_t>(t.head)),
              relation_embeddings_.Row(static_cast<size_t>(t.relation)),
              cache);
@@ -233,7 +238,7 @@ std::vector<float> ConvE::ScoreGradWrtHead(const Triple& t) const {
 }
 
 std::vector<float> ConvE::ScoreGradWrtTail(const Triple& t) const {
-  ForwardCache cache;
+  thread_local ForwardCache cache;
   ForwardMlp(entity_embeddings_.Row(static_cast<size_t>(t.head)),
              relation_embeddings_.Row(static_cast<size_t>(t.relation)),
              cache);
@@ -346,10 +351,9 @@ Status ConvE::Train(const Dataset& dataset, Rng& rng) {
 
         ForwardMlp(entity_embeddings_.Row(h), relation_embeddings_.Row(r),
                    cache, &rng);
-        for (size_t e = 0; e < n_ent; ++e) {
-          scores[e] =
-              Dot(cache.v, entity_embeddings_.Row(e)) + entity_bias_[e];
-        }
+        simd::GemvRowMajor(entity_embeddings_.Data().data(), n_ent, dim,
+                           cache.v.data(), scores.data());
+        simd::Axpy(1.0f, entity_bias_, scores);
         // 1-N BCE with label smoothing; labels from train-only tails.
         std::vector<char> is_positive(n_ent, 0);
         auto it = train_tails.find(PairKey(triple.head, triple.relation));
@@ -457,10 +461,9 @@ std::vector<float> ConvE::PostTrainMimic(const Dataset& dataset,
       ForwardMlp(mimic,
                  relation_embeddings_.Row(static_cast<size_t>(sample.relation)),
                  cache, &rng);
-      for (size_t e = 0; e < n_ent; ++e) {
-        scores[e] =
-            Dot(cache.v, entity_embeddings_.Row(e)) + entity_bias_[e];
-      }
+      simd::GemvRowMajor(entity_embeddings_.Data().data(), n_ent, dim,
+                         cache.v.data(), scores.data());
+      simd::Axpy(1.0f, entity_bias_, scores);
       std::vector<char> is_positive(n_ent, 0);
       auto it = mimic_tails.find(PairKey(entity, sample.relation));
       if (it != mimic_tails.end()) {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "math/simd.h"
 #include "math/vec.h"
 #include "ml/batcher.h"
 #include "ml/embedding_table.h"
@@ -12,7 +13,17 @@
 namespace kelpie {
 
 namespace {
+
 constexpr float kDistanceEpsilon = 1e-9f;
+
+/// Per-thread scratch for the h∘r composite so the scoring paths do not
+/// allocate per call.
+std::span<float> RotatedScratch(size_t dim) {
+  thread_local std::vector<float> scratch;
+  scratch.resize(dim);
+  return scratch;
+}
+
 }  // namespace
 
 RotatE::RotatE(size_t num_entities, size_t num_relations, TrainConfig config)
@@ -50,9 +61,9 @@ void RotatE::RotateInverse(std::span<const float> t, RelationId r,
 
 float RotatE::ScoreVecs(std::span<const float> h, RelationId r,
                         std::span<const float> t) const {
-  std::vector<float> rotated(entity_dim());
+  std::span<float> rotated = RotatedScratch(entity_dim());
   Rotate(h, r, rotated);
-  return -std::sqrt(SquaredDistance(rotated, t));
+  return -std::sqrt(simd::SquaredDistance(rotated, t));
 }
 
 float RotatE::Score(const Triple& t) const {
@@ -71,10 +82,12 @@ void RotatE::ScoreAllTailsWithHeadVec(std::span<const float> head_vec,
                                       RelationId r,
                                       std::span<float> out) const {
   KELPIE_DCHECK(out.size() == num_entities());
-  std::vector<float> rotated(entity_dim());
+  std::span<float> rotated = RotatedScratch(entity_dim());
   Rotate(head_vec, r, rotated);
+  simd::SquaredDistanceRows(entity_embeddings_.Data().data(), num_entities(),
+                            entity_dim(), rotated.data(), out.data());
   for (size_t e = 0; e < num_entities(); ++e) {
-    out[e] = -std::sqrt(SquaredDistance(rotated, entity_embeddings_.Row(e)));
+    out[e] = -std::sqrt(out[e]);
   }
 }
 
@@ -89,10 +102,12 @@ void RotatE::ScoreAllHeadsWithTailVec(RelationId r,
                                       std::span<float> out) const {
   KELPIE_DCHECK(out.size() == num_entities());
   // Rotations are isometries: ||e∘r - t|| == ||e - t∘r⁻¹||.
-  std::vector<float> target(entity_dim());
+  std::span<float> target = RotatedScratch(entity_dim());
   RotateInverse(tail_vec, r, target);
+  simd::SquaredDistanceRows(entity_embeddings_.Data().data(), num_entities(),
+                            entity_dim(), target.data(), out.data());
   for (size_t e = 0; e < num_entities(); ++e) {
-    out[e] = -std::sqrt(SquaredDistance(target, entity_embeddings_.Row(e)));
+    out[e] = -std::sqrt(out[e]);
   }
 }
 
@@ -158,33 +173,31 @@ std::vector<float> RotatE::ScoreGradWrtTail(const Triple& t) const {
 
 namespace {
 
-/// Gradient pieces of one margin-loss term for RotatE. Given the residual
-/// direction u = (h∘r - t)/||h∘r - t||, the distance gradients are:
-/// ∂d/∂t = -u; ∂d/∂h = rotate⁻¹(u); ∂d/∂θ_j = u · ∂(h∘r)/∂θ_j.
-struct RotateGrads {
-  std::vector<float> unit;     // u, 2k floats (zero when d ~ 0)
-  std::vector<float> rotated;  // h∘r, cached
-};
+/// Fills `delta` with rotated - t and returns the distance d = ||delta||
+/// (8-lane reduction, matching the scoring path bit for bit). The margin
+/// test consumes the distance; NormalizeResidual() turns `delta` into the
+/// residual direction u = delta/d only for triples that violate the
+/// margin. Given u the distance gradients are: ∂d/∂t = -u; ∂d/∂h =
+/// rotate⁻¹(u); ∂d/∂θ_j = u · ∂(h∘r)/∂θ_j.
+float ResidualInto(std::span<const float> rotated, std::span<const float> t,
+                   std::vector<float>& delta) {
+  delta.resize(rotated.size());
+  for (size_t i = 0; i < delta.size(); ++i) {
+    delta[i] = rotated[i] - t[i];
+  }
+  std::span<const float> d(delta);
+  return std::sqrt(simd::Dot(d, d));
+}
 
-RotateGrads ComputeResidual(std::span<const float> rotated,
-                            std::span<const float> t) {
-  RotateGrads out;
-  out.rotated.assign(rotated.begin(), rotated.end());
-  out.unit.resize(rotated.size());
-  float norm_sq = 0.0f;
-  for (size_t i = 0; i < rotated.size(); ++i) {
-    out.unit[i] = rotated[i] - t[i];
-    norm_sq += out.unit[i] * out.unit[i];
-  }
-  float norm = std::sqrt(norm_sq);
+/// delta -> delta/norm, or zeros when the residual is degenerate (d ~ 0).
+void NormalizeResidual(std::vector<float>& delta, float norm) {
   if (norm < kDistanceEpsilon) {
-    std::fill(out.unit.begin(), out.unit.end(), 0.0f);
-  } else {
-    for (float& v : out.unit) {
-      v /= norm;
-    }
+    std::fill(delta.begin(), delta.end(), 0.0f);
+    return;
   }
-  return out;
+  for (float& v : delta) {
+    v /= norm;
+  }
 }
 
 }  // namespace
@@ -206,31 +219,32 @@ Status RotatE::Train(const Dataset& dataset, Rng& rng) {
   Batcher batcher(train.size(), config_.batch_size);
   float lr = config_.learning_rate;
   const float margin = config_.margin;
-  std::vector<float> rotated(entity_dim());
+  std::vector<float> rotated_pos(entity_dim()), rotated_neg(entity_dim());
+  std::vector<float> unit_pos, unit_neg;
+  std::vector<Triple> negatives;
 
   // Applies one side (positive: sign=+1 pulls the distance down; negative:
-  // sign=-1 pushes it up) of the margin loss.
-  auto apply = [&](const Triple& triple, float sign) {
+  // sign=-1 pushes it up) of the margin loss. `rot` is h∘r and `unit` the
+  // normalized residual of `triple`, both computed against the current
+  // (pre-update) parameters.
+  auto apply = [&](const Triple& triple, float sign,
+                   std::span<const float> rot, std::span<const float> unit) {
     const size_t h = static_cast<size_t>(triple.head);
     const size_t r = static_cast<size_t>(triple.relation);
     const size_t t = static_cast<size_t>(triple.tail);
-    Rotate(entity_embeddings_.Row(h), triple.relation, rotated);
-    RotateGrads g =
-        ComputeResidual(rotated, entity_embeddings_.Row(t));
     std::span<float> theta = relation_phases_.Row(r);
     std::span<float> head = entity_embeddings_.Row(h);
     std::span<float> tail = entity_embeddings_.Row(t);
     for (size_t j = 0; j < k; ++j) {
       const float c = std::cos(theta[j]);
       const float s = std::sin(theta[j]);
-      const float u_re = g.unit[j];
-      const float u_im = g.unit[k + j];
+      const float u_re = unit[j];
+      const float u_im = unit[k + j];
       // ∂d/∂h (inverse rotation of u).
       const float gh_re = u_re * c + u_im * s;
       const float gh_im = -u_re * s + u_im * c;
       // ∂d/∂θ = u_re * (-(h∘r)_im) + u_im * (h∘r)_re.
-      const float gtheta =
-          -u_re * g.rotated[k + j] + u_im * g.rotated[j];
+      const float gtheta = -u_re * rot[k + j] + u_im * rot[j];
       head[j] -= sign * lr * gh_re;
       head[k + j] -= sign * lr * gh_im;
       tail[j] += sign * lr * u_re;
@@ -252,14 +266,38 @@ Status RotatE::Train(const Dataset& dataset, Rng& rng) {
          batch = batcher.NextBatch()) {
       for (size_t idx : batch) {
         const Triple& pos = train[idx];
-        for (int n = 0; n < config_.negatives_per_positive; ++n) {
-          Triple neg = sampler.CorruptEitherSide(pos, rng);
-          float pos_dist = -Score(pos);
-          float neg_dist = -Score(neg);
+        // The whole negatives batch is drawn up front; per-negative
+        // processing consumes no RNG, so the draw order is unchanged.
+        sampler.CorruptEitherSideBatch(
+            pos, static_cast<size_t>(config_.negatives_per_positive), rng,
+            negatives);
+        for (const Triple& neg : negatives) {
+          Rotate(entity_embeddings_.Row(static_cast<size_t>(pos.head)),
+                 pos.relation, rotated_pos);
+          float pos_dist = ResidualInto(
+              rotated_pos,
+              entity_embeddings_.Row(static_cast<size_t>(pos.tail)), unit_pos);
+          Rotate(entity_embeddings_.Row(static_cast<size_t>(neg.head)),
+                 neg.relation, rotated_neg);
+          float neg_dist = ResidualInto(
+              rotated_neg,
+              entity_embeddings_.Row(static_cast<size_t>(neg.tail)), unit_neg);
           if (margin + pos_dist - neg_dist <= 0.0f) continue;
           epoch_loss += margin + pos_dist - neg_dist;
-          apply(pos, +1.0f);
-          apply(neg, -1.0f);
+          // The positive's rotation and residual are valid for its update
+          // (no parameters changed since they were computed)…
+          NormalizeResidual(unit_pos, pos_dist);
+          apply(pos, +1.0f, rotated_pos, unit_pos);
+          // …but apply(pos) may have touched rows the negative reads
+          // (shared head/tail/phase rows), so the negative's rotation and
+          // residual are recomputed against the updated parameters.
+          Rotate(entity_embeddings_.Row(static_cast<size_t>(neg.head)),
+                 neg.relation, rotated_neg);
+          float neg_norm = ResidualInto(
+              rotated_neg,
+              entity_embeddings_.Row(static_cast<size_t>(neg.tail)), unit_neg);
+          NormalizeResidual(unit_neg, neg_norm);
+          apply(neg, -1.0f, rotated_neg, unit_neg);
         }
       }
     }
@@ -287,21 +325,23 @@ std::vector<float> RotatE::PostTrainMimic(const Dataset& dataset,
   const float margin = config_.margin;
   std::vector<size_t> order(facts.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::vector<float> rotated(entity_dim());
+  std::vector<float> rotated_pos(entity_dim()), rotated_neg(entity_dim());
+  std::vector<float> unit_pos, unit_neg;
+  std::vector<Triple> negatives;
 
   auto resolve = [&](EntityId e) -> std::span<const float> {
     return e == entity ? std::span<const float>(mimic)
                        : entity_embeddings_.Row(static_cast<size_t>(e));
   };
-  // Accumulates only the mimic's gradient for one loss term.
-  auto apply_mimic = [&](const Triple& triple, float sign) {
-    Rotate(resolve(triple.head), triple.relation, rotated);
-    RotateGrads g = ComputeResidual(rotated, resolve(triple.tail));
+  // Accumulates only the mimic's gradient for one loss term. `unit` is the
+  // triple's normalized residual against the current mimic value.
+  auto apply_mimic = [&](const Triple& triple, float sign,
+                         std::span<const float> unit) {
     std::span<const float> theta =
         relation_phases_.Row(static_cast<size_t>(triple.relation));
     for (size_t j = 0; j < k; ++j) {
-      const float u_re = g.unit[j];
-      const float u_im = g.unit[k + j];
+      const float u_re = unit[j];
+      const float u_im = unit[k + j];
       if (triple.head == entity) {
         const float c = std::cos(theta[j]);
         const float s = std::sin(theta[j]);
@@ -319,18 +359,26 @@ std::vector<float> RotatE::PostTrainMimic(const Dataset& dataset,
     rng.Shuffle(order);
     for (size_t idx : order) {
       const Triple& pos = facts[idx];
-      for (int n = 0; n < config_.negatives_per_positive; ++n) {
-        bool mimic_is_head = (pos.head == entity);
-        Triple neg = sampler.Corrupt(pos, /*corrupt_tail=*/mimic_is_head, rng);
-        Rotate(resolve(pos.head), pos.relation, rotated);
-        float pos_dist = std::sqrt(
-            SquaredDistance(rotated, resolve(pos.tail)));
-        Rotate(resolve(neg.head), neg.relation, rotated);
-        float neg_dist = std::sqrt(
-            SquaredDistance(rotated, resolve(neg.tail)));
+      // Batch draw; processing consumes no RNG, so order is unchanged.
+      bool mimic_is_head = (pos.head == entity);
+      sampler.CorruptBatch(pos, /*corrupt_tail=*/mimic_is_head,
+                           static_cast<size_t>(config_.negatives_per_positive),
+                           rng, negatives);
+      for (const Triple& neg : negatives) {
+        Rotate(resolve(pos.head), pos.relation, rotated_pos);
+        float pos_dist = ResidualInto(rotated_pos, resolve(pos.tail), unit_pos);
+        Rotate(resolve(neg.head), neg.relation, rotated_neg);
+        float neg_dist = ResidualInto(rotated_neg, resolve(neg.tail), unit_neg);
         if (margin + pos_dist - neg_dist <= 0.0f) continue;
-        apply_mimic(pos, +1.0f);
-        apply_mimic(neg, -1.0f);
+        // The positive's rotation/residual are still valid for its update;
+        // the negative's must be recomputed because apply_mimic(pos) moves
+        // the mimic row, which the negative reads on its uncorrupted side.
+        NormalizeResidual(unit_pos, pos_dist);
+        apply_mimic(pos, +1.0f, unit_pos);
+        Rotate(resolve(neg.head), neg.relation, rotated_neg);
+        float neg_norm = ResidualInto(rotated_neg, resolve(neg.tail), unit_neg);
+        NormalizeResidual(unit_neg, neg_norm);
+        apply_mimic(neg, -1.0f, unit_neg);
       }
     }
   }

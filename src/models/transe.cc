@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "math/simd.h"
 #include "math/vec.h"
 #include "ml/batcher.h"
 #include "ml/embedding_table.h"
@@ -12,7 +13,18 @@
 namespace kelpie {
 
 namespace {
+
 constexpr float kDistanceEpsilon = 1e-9f;
+
+/// Per-thread scratch for the h + r composite, so the scoring paths do not
+/// allocate per call (RelevanceEngine issues millions of them per
+/// extraction).
+std::span<float> TranslatedScratch(size_t dim) {
+  thread_local std::vector<float> scratch;
+  scratch.resize(dim);
+  return scratch;
+}
+
 }  // namespace
 
 TransE::TransE(size_t num_entities, size_t num_relations, TrainConfig config)
@@ -22,12 +34,13 @@ TransE::TransE(size_t num_entities, size_t num_relations, TrainConfig config)
 
 float TransE::ScoreVecs(std::span<const float> h, std::span<const float> r,
                         std::span<const float> t) const {
-  float acc = 0.0f;
+  // Computed as ||(h + r) - t|| with the 8-lane reduction so that a single
+  // Score() is bit-identical to the same entity's slot in a ScoreAll sweep.
+  std::span<float> translated = TranslatedScratch(h.size());
   for (size_t i = 0; i < h.size(); ++i) {
-    float d = h[i] + r[i] - t[i];
-    acc += d * d;
+    translated[i] = h[i] + r[i];
   }
-  return -std::sqrt(acc);
+  return -std::sqrt(simd::SquaredDistance(translated, t));
 }
 
 float TransE::Score(const Triple& t) const {
@@ -48,13 +61,14 @@ void TransE::ScoreAllTailsWithHeadVec(std::span<const float> head_vec,
   KELPIE_DCHECK(out.size() == num_entities());
   std::span<const float> rel =
       relation_embeddings_.Row(static_cast<size_t>(r));
-  std::vector<float> translated(entity_dim());
+  std::span<float> translated = TranslatedScratch(entity_dim());
   for (size_t i = 0; i < translated.size(); ++i) {
     translated[i] = head_vec[i] + rel[i];
   }
+  simd::SquaredDistanceRows(entity_embeddings_.Data().data(), num_entities(),
+                            entity_dim(), translated.data(), out.data());
   for (size_t e = 0; e < num_entities(); ++e) {
-    out[e] = -std::sqrt(
-        SquaredDistance(translated, entity_embeddings_.Row(e)));
+    out[e] = -std::sqrt(out[e]);
   }
 }
 
@@ -71,13 +85,14 @@ void TransE::ScoreAllHeadsWithTailVec(RelationId r,
   std::span<const float> rel =
       relation_embeddings_.Row(static_cast<size_t>(r));
   // φ(e, r, t) = -||e - (t - r)||.
-  std::vector<float> target(entity_dim());
+  std::span<float> target = TranslatedScratch(entity_dim());
   for (size_t i = 0; i < target.size(); ++i) {
     target[i] = tail_vec[i] - rel[i];
   }
+  simd::SquaredDistanceRows(entity_embeddings_.Data().data(), num_entities(),
+                            entity_dim(), target.data(), out.data());
   for (size_t e = 0; e < num_entities(); ++e) {
-    out[e] =
-        -std::sqrt(SquaredDistance(target, entity_embeddings_.Row(e)));
+    out[e] = -std::sqrt(out[e]);
   }
 }
 
@@ -125,27 +140,32 @@ std::vector<float> TransE::ScoreGradWrtTail(const Triple& t) const {
 
 namespace {
 
-/// Computes the gradient direction of the distance d = ||h + r - t|| w.r.t.
-/// its argument vectors: ∂d/∂h = ∂d/∂r = delta/d, ∂d/∂t = -delta/d.
-/// Returns delta/d (the unit residual), or zeros when d ~ 0.
-std::vector<float> UnitResidual(std::span<const float> h,
-                                std::span<const float> r,
-                                std::span<const float> t) {
-  std::vector<float> delta(h.size());
-  float norm_sq = 0.0f;
+/// Fills `delta` with h + r - t and returns the distance d = ||delta||.
+/// One fused pass replaces the Score + UnitResidual pair the training
+/// loops used to run: the margin test consumes the returned distance, and
+/// the same residual (normalized via NormalizeResidual only for triples
+/// that violate the margin) drives the SGD update.
+float ResidualInto(std::span<const float> h, std::span<const float> r,
+                   std::span<const float> t, std::vector<float>& delta) {
+  delta.resize(h.size());
   for (size_t i = 0; i < delta.size(); ++i) {
     delta[i] = h[i] + r[i] - t[i];
-    norm_sq += delta[i] * delta[i];
   }
-  float norm = std::sqrt(norm_sq);
+  std::span<const float> d(delta);
+  return std::sqrt(simd::Dot(d, d));
+}
+
+/// Turns a ResidualInto() delta into the gradient direction of the
+/// distance w.r.t. its arguments: ∂d/∂h = ∂d/∂r = delta/d, ∂d/∂t =
+/// -delta/d. Zeros the vector when d ~ 0 (degenerate residual).
+void NormalizeResidual(std::vector<float>& delta, float norm) {
   if (norm < kDistanceEpsilon) {
     std::fill(delta.begin(), delta.end(), 0.0f);
-    return delta;
+    return;
   }
   for (float& v : delta) {
     v /= norm;
   }
-  return delta;
 }
 
 }  // namespace
@@ -174,6 +194,10 @@ Status TransE::Train(const Dataset& dataset, Rng& rng) {
     const float lr = config_.learning_rate * lr_scale;
     double epoch_loss = 0.0;
     batcher.Reshuffle(rng);
+    // Hoisted out of the loops: the negatives batch and both residuals
+    // reuse their capacity across all steps of the epoch.
+    std::vector<Triple> negatives;
+    std::vector<float> pos_dir, neg_dir;
     for (std::span<const size_t> batch = batcher.NextBatch(); !batch.empty();
          batch = batcher.NextBatch()) {
       for (size_t idx : batch) {
@@ -183,21 +207,26 @@ Status TransE::Train(const Dataset& dataset, Rng& rng) {
             entity_embeddings_.Row(static_cast<size_t>(pos.head)), 1.0f);
         ProjectToL2Ball(
             entity_embeddings_.Row(static_cast<size_t>(pos.tail)), 1.0f);
-        for (int n = 0; n < config_.negatives_per_positive; ++n) {
-          Triple neg = sampler.CorruptEitherSide(pos, rng);
-          float pos_dist = -Score(pos);
-          float neg_dist = -Score(neg);
+        // Drawing the whole negatives batch up front consumes the RNG in
+        // exactly the per-negative order (the update below draws nothing),
+        // so results are unchanged.
+        sampler.CorruptEitherSideBatch(
+            pos, static_cast<size_t>(config_.negatives_per_positive), rng,
+            negatives);
+        for (const Triple& neg : negatives) {
+          float pos_dist = ResidualInto(
+              entity_embeddings_.Row(static_cast<size_t>(pos.head)),
+              relation_embeddings_.Row(static_cast<size_t>(pos.relation)),
+              entity_embeddings_.Row(static_cast<size_t>(pos.tail)), pos_dir);
+          float neg_dist = ResidualInto(
+              entity_embeddings_.Row(static_cast<size_t>(neg.head)),
+              relation_embeddings_.Row(static_cast<size_t>(neg.relation)),
+              entity_embeddings_.Row(static_cast<size_t>(neg.tail)), neg_dir);
           if (margin + pos_dist - neg_dist <= 0.0f) continue;
           epoch_loss += margin + pos_dist - neg_dist;
           // Loss = margin + d(pos) - d(neg); descend.
-          std::vector<float> pos_dir = UnitResidual(
-              entity_embeddings_.Row(static_cast<size_t>(pos.head)),
-              relation_embeddings_.Row(static_cast<size_t>(pos.relation)),
-              entity_embeddings_.Row(static_cast<size_t>(pos.tail)));
-          std::vector<float> neg_dir = UnitResidual(
-              entity_embeddings_.Row(static_cast<size_t>(neg.head)),
-              relation_embeddings_.Row(static_cast<size_t>(neg.relation)),
-              entity_embeddings_.Row(static_cast<size_t>(neg.tail)));
+          NormalizeResidual(pos_dir, pos_dist);
+          NormalizeResidual(neg_dir, neg_dist);
           // Positive triple: pull d(pos) down.
           Axpy(-lr, pos_dir,
                entity_embeddings_.Row(static_cast<size_t>(pos.head)));
@@ -242,16 +271,21 @@ std::vector<float> TransE::PostTrainMimic(const Dataset& dataset,
   std::vector<size_t> order(facts.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
 
+  std::vector<Triple> negatives;
+  std::vector<float> pos_dir, neg_dir;
   for (size_t epoch = 0; epoch < config_.post_training_epochs; ++epoch) {
     rng.Shuffle(order);
     for (size_t idx : order) {
       const Triple& pos = facts[idx];
-      for (int n = 0; n < config_.negatives_per_positive; ++n) {
-        // Corrupt the side NOT held by the mimic so the mimic embedding
-        // receives gradient from both the positive and the negative term.
-        bool mimic_is_head = (pos.head == entity);
-        Triple neg = sampler.Corrupt(pos, /*corrupt_tail=*/mimic_is_head, rng);
-
+      // Corrupt the side NOT held by the mimic so the mimic embedding
+      // receives gradient from both the positive and the negative term.
+      // The whole batch is drawn up front; the updates below consume no
+      // RNG, so the draw order (and hence the result) is unchanged.
+      bool mimic_is_head = (pos.head == entity);
+      sampler.CorruptBatch(pos, /*corrupt_tail=*/mimic_is_head,
+                           static_cast<size_t>(config_.negatives_per_positive),
+                           rng, negatives);
+      for (const Triple& neg : negatives) {
         auto resolve = [&](EntityId e) -> std::span<const float> {
           return e == entity
                      ? std::span<const float>(mimic)
@@ -259,13 +293,13 @@ std::vector<float> TransE::PostTrainMimic(const Dataset& dataset,
         };
         std::span<const float> rel =
             relation_embeddings_.Row(static_cast<size_t>(pos.relation));
-        float pos_dist = -ScoreVecs(resolve(pos.head), rel, resolve(pos.tail));
-        float neg_dist = -ScoreVecs(resolve(neg.head), rel, resolve(neg.tail));
+        float pos_dist =
+            ResidualInto(resolve(pos.head), rel, resolve(pos.tail), pos_dir);
+        float neg_dist =
+            ResidualInto(resolve(neg.head), rel, resolve(neg.tail), neg_dir);
         if (margin + pos_dist - neg_dist <= 0.0f) continue;
-        std::vector<float> pos_dir =
-            UnitResidual(resolve(pos.head), rel, resolve(pos.tail));
-        std::vector<float> neg_dir =
-            UnitResidual(resolve(neg.head), rel, resolve(neg.tail));
+        NormalizeResidual(pos_dir, pos_dist);
+        NormalizeResidual(neg_dir, neg_dist);
         // Only the mimic row moves; frozen parameters get no updates.
         if (pos.head == entity) Axpy(-lr, pos_dir, std::span<float>(mimic));
         if (pos.tail == entity) Axpy(+lr, pos_dir, std::span<float>(mimic));

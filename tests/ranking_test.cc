@@ -2,10 +2,42 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "math/rng.h"
 #include "tests/test_util.h"
 
 namespace kelpie {
 namespace {
+
+/// Sort-based reference for paper Equation (2): sort the kept candidates'
+/// scores descending and count how many are >= the target's score. The
+/// production RankFromScores computes the same rank with a single O(n)
+/// counting pass; this pins the two against each other.
+int SortBasedRank(std::span<const float> scores, EntityId target,
+                  const std::unordered_set<EntityId>* filtered_out) {
+  std::vector<float> kept;
+  for (size_t e = 0; e < scores.size(); ++e) {
+    EntityId id = static_cast<EntityId>(e);
+    if (id != target && filtered_out != nullptr && filtered_out->count(id)) {
+      continue;
+    }
+    kept.push_back(scores[e]);
+  }
+  std::sort(kept.begin(), kept.end(), std::greater<float>());
+  const float target_score = scores[static_cast<size_t>(target)];
+  auto worse = std::lower_bound(kept.begin(), kept.end(), target_score,
+                                std::greater<float>());
+  // `worse` points past the >= prefix in descending order... not quite:
+  // lower_bound with greater<> finds the first element NOT > target_score,
+  // so advance through the ties manually to count the >= prefix.
+  int rank = static_cast<int>(worse - kept.begin());
+  while (worse != kept.end() && *worse == target_score) {
+    ++rank;
+    ++worse;
+  }
+  return rank;
+}
 
 TEST(RankFromScoresTest, BestScoreRanksFirst) {
   std::vector<float> scores{0.1f, 0.9f, 0.5f};
@@ -34,6 +66,28 @@ TEST(RankFromScoresTest, TargetNeverFiltersItself) {
   std::unordered_set<EntityId> known{0, 1};
   EXPECT_EQ(RankFromScores(scores, 1, &known), 1);
   EXPECT_EQ(RankFromScores(scores, 0, &known), 1);
+}
+
+TEST(RankFromScoresTest, MatchesSortBasedReferenceOnRandomVectorsWithTies) {
+  Rng rng(424242);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t n = 1 + rng.UniformUint64(50);
+    std::vector<float> scores(n);
+    for (float& s : scores) {
+      // Quantized draws so ties are common.
+      s = static_cast<float>(rng.UniformUint64(8)) / 4.0f;
+    }
+    std::unordered_set<EntityId> filtered;
+    for (size_t e = 0; e < n; ++e) {
+      if (rng.Bernoulli(0.25)) filtered.insert(static_cast<EntityId>(e));
+    }
+    const EntityId target = static_cast<EntityId>(rng.UniformUint64(n));
+    const std::unordered_set<EntityId>* filter =
+        rng.Bernoulli(0.5) ? &filtered : nullptr;
+    EXPECT_EQ(RankFromScores(scores, target, filter),
+              SortBasedRank(scores, target, filter))
+        << "trial " << trial << " n=" << n << " target=" << target;
+  }
 }
 
 class FilteredRankTest : public ::testing::Test {

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Report-only comparison of a bench_kernels JSON run against a baseline.
+
+Usage:
+    bench_compare.py --baseline bench/baseline.json \
+        --current BENCH_kernels.json [--threshold 0.25] [--out report.md]
+
+Prints a markdown delta table (suitable for $GITHUB_STEP_SUMMARY) showing,
+per kernel and per model, the current timing versus the committed baseline.
+Rows whose regression exceeds the threshold are flagged, but the script
+ALWAYS exits 0: CI perf numbers on shared runners are too noisy to gate
+merges on, so the job surfaces the table and leaves judgement to the
+reviewer (EXPERIMENTS.md, "perf-smoke").
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"bench_compare: cannot read {path}: {err}", file=sys.stderr)
+        return None
+
+
+def fmt_delta(current, base):
+    """Relative change as a signed percentage; positive = slower."""
+    if base <= 0:
+        return "n/a", 0.0
+    rel = (current - base) / base
+    return f"{rel:+.1%}", rel
+
+
+def kernel_rows(baseline, current, threshold):
+    base_by_key = {
+        (k["name"], k["dim"]): k for k in baseline.get("kernels", [])
+    }
+    rows = []
+    for k in current.get("kernels", []):
+        key = (k["name"], k["dim"])
+        base = base_by_key.get(key)
+        if base is None:
+            rows.append((f"{k['name']}/{k['dim']}",
+                         f"{k['active_ns_per_op']:.1f}", "-", "new", ""))
+            continue
+        delta, rel = fmt_delta(k["active_ns_per_op"],
+                               base["active_ns_per_op"])
+        flag = ":warning:" if rel > threshold else ""
+        rows.append((f"{k['name']}/{k['dim']}",
+                     f"{k['active_ns_per_op']:.1f}",
+                     f"{base['active_ns_per_op']:.1f}", delta, flag))
+    return rows
+
+
+def score_all_rows(baseline, current, threshold):
+    base_by_model = {
+        s["model"]: s for s in baseline.get("score_all", [])
+    }
+    rows = []
+    for s in current.get("score_all", []):
+        base = base_by_model.get(s["model"])
+        if base is None:
+            rows.append((s["model"], f"{s['ns_per_call']:.0f}", "-", "new",
+                         ""))
+            continue
+        delta, rel = fmt_delta(s["ns_per_call"], base["ns_per_call"])
+        flag = ":warning:" if rel > threshold else ""
+        rows.append((s["model"], f"{s['ns_per_call']:.0f}",
+                     f"{base['ns_per_call']:.0f}", delta, flag))
+    return rows
+
+
+def markdown_table(header, rows):
+    lines = ["| " + " | ".join(header) + " |",
+             "|" + "|".join("---" for _ in header) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="relative slowdown that earns a warning flag")
+    parser.add_argument("--out", default=None,
+                        help="also append the report to this file")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    if baseline is None or current is None:
+        # Missing or malformed inputs must not fail the job: report and
+        # exit clean.
+        print("bench_compare: skipping comparison (see stderr)")
+        return 0
+
+    out = ["## Kernel bench vs baseline", ""]
+    cur_backend = current.get("backend", "?")
+    base_backend = baseline.get("backend", "?")
+    out.append(f"Backend: `{cur_backend}` (baseline: `{base_backend}`)")
+    if cur_backend != base_backend:
+        out.append("")
+        out.append("Backends differ — deltas reflect the backend change, "
+                   "not a regression.")
+    out.append("")
+    out.append(markdown_table(
+        ("Kernel/dim", "ns/op", "baseline", "delta", ""),
+        kernel_rows(baseline, current, args.threshold)))
+    out.append("")
+    out.append("### ScoreAllTails")
+    out.append("")
+    out.append(markdown_table(
+        ("Model", "ns/call", "baseline", "delta", ""),
+        score_all_rows(baseline, current, args.threshold)))
+    out.append("")
+    out.append(f"Rows slower than baseline by more than "
+               f"{args.threshold:.0%} are flagged. Report-only: this step "
+               f"never fails the build.")
+    report = "\n".join(out)
+
+    print(report)
+    if args.out:
+        with open(args.out, "a") as f:
+            f.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
