@@ -1,0 +1,177 @@
+// Serving-layer benchmark (DESIGN.md §12): score round-trip throughput and
+// explain dispatch latency through serve::Server, at pool sizes 1 and 2.
+// Requests flow the full production path — bounded queue, batch coalescing,
+// round-robin pool lease — so the numbers capture queueing and dispatch
+// overhead on top of raw model cost.
+//
+// With --json=PATH a machine-readable summary (BENCH_serve.json in CI) is
+// written for the perf-smoke delta report; timings vary run to run, so the
+// JSON is compared report-only against the "serve" section of
+// bench/baseline.json.
+#include "bench/bench_util.h"
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/stopwatch.h"
+#include "models/model_store.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace kelpie;
+using namespace kelpie::bench;
+
+struct ServeTiming {
+  std::string name;
+  size_t pool = 0;
+  size_t requests = 0;
+  double ns_per_request = 0.0;
+
+  double requests_per_second() const {
+    return ns_per_request > 0.0 ? 1e9 / ns_per_request : 0.0;
+  }
+};
+
+std::unique_ptr<serve::Server> MakeServer(const std::string& model_path,
+                                          const Dataset& dataset,
+                                          const BenchOptions& bench,
+                                          size_t pool_size) {
+  serve::ServerOptions options;
+  options.pool_size = pool_size;
+  options.dispatchers = pool_size;
+  // The bench front-loads the whole workload, so admission must not shed:
+  // an unbounded queue measures throughput rather than load-shedding policy.
+  options.max_queue_depth = 0;
+  options.kelpie = MakeKelpieOptions(bench);
+  Result<std::unique_ptr<serve::Server>> server =
+      serve::Server::Create(model_path, dataset, options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "[bench] server: %s\n",
+                 server.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(server).value();
+}
+
+/// Submits `count` score requests cycling the test split, waits for every
+/// future; the whole window (submit + queue + dispatch + score) divided by
+/// `count` is the round-trip cost.
+ServeTiming TimeScoreRoundTrip(serve::Server& server, const Dataset& dataset,
+                               size_t pool, size_t count) {
+  const std::vector<Triple>& test = dataset.test();
+  std::vector<std::future<serve::ScoreResult>> futures;
+  futures.reserve(count);
+  Stopwatch timer;
+  for (size_t i = 0; i < count; ++i) {
+    futures.push_back(server.Submit({test[i % test.size()], Deadline()}));
+  }
+  for (std::future<serve::ScoreResult>& f : futures) {
+    serve::ScoreResult result = f.get();
+    if (!result.status.ok()) {
+      std::fprintf(stderr, "[bench] score: %s\n",
+                   result.status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  return {"score_roundtrip", pool, count,
+          timer.ElapsedSeconds() * 1e9 / static_cast<double>(count)};
+}
+
+/// Dispatches `count` necessary explains concurrently; per-request cost is
+/// dominated by post-training but includes the full admission path.
+ServeTiming TimeExplainDispatch(serve::Server& server, const Dataset& dataset,
+                                size_t pool, size_t count) {
+  const std::vector<Triple>& test = dataset.test();
+  std::vector<std::future<serve::ExplainResult>> futures;
+  futures.reserve(count);
+  Stopwatch timer;
+  for (size_t i = 0; i < count; ++i) {
+    serve::ExplainRequest request;
+    request.prediction = test[i % test.size()];
+    futures.push_back(server.SubmitExplain(std::move(request)));
+  }
+  for (std::future<serve::ExplainResult>& f : futures) {
+    serve::ExplainResult result = f.get();
+    if (!result.status.ok()) {
+      std::fprintf(stderr, "[bench] explain: %s\n",
+                   result.status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  return {"explain_necessary", pool, count,
+          timer.ElapsedSeconds() * 1e9 / static_cast<double>(count)};
+}
+
+void WriteJson(const std::string& path,
+               const std::vector<ServeTiming>& timings) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"serve\": [\n");
+  for (size_t i = 0; i < timings.size(); ++i) {
+    const ServeTiming& t = timings[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"pool\": %zu, \"requests\": %zu, "
+                 "\"ns_per_request\": %.0f, \"requests_per_second\": %.0f}%s\n",
+                 t.name.c_str(), t.pool, t.requests, t.ns_per_request,
+                 t.requests_per_second(), i + 1 < timings.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions options = ParseArgs(argc, argv);
+
+  Dataset dataset = MakeBenchmark(BenchmarkDataset::kFb15k237,
+                                  options.dataset_scale(), options.seed);
+  std::unique_ptr<LinkPredictionModel> model =
+      TrainModel(ModelKind::kTransE, dataset, options.seed);
+  const std::string model_path =
+      "/tmp/kelpie_bench_serve_" + std::to_string(getpid()) + ".model";
+  Status saved = SaveModel(*model, ModelKind::kTransE, model_path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "[bench] save: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+
+  const size_t score_requests = options.full ? 8192 : 2048;
+  const size_t explain_requests = options.full ? 8 : 4;
+
+  std::printf("Serve round-trip benchmark (TransE, %s scale %.2f)\n\n",
+              dataset.name().c_str(), options.dataset_scale());
+  PrintRow({"Bench", "Pool", "Requests", "us/req", "req/s"}, 14);
+  PrintRule(5, 14);
+
+  std::vector<ServeTiming> timings;
+  for (size_t pool : {size_t{1}, size_t{2}}) {
+    std::unique_ptr<serve::Server> server =
+        MakeServer(model_path, dataset, options, pool);
+    timings.push_back(
+        TimeScoreRoundTrip(*server, dataset, pool, score_requests));
+    timings.push_back(
+        TimeExplainDispatch(*server, dataset, pool, explain_requests));
+    server->Stop();
+  }
+  for (const ServeTiming& t : timings) {
+    PrintRow({t.name, std::to_string(t.pool), std::to_string(t.requests),
+              FormatDouble(t.ns_per_request / 1e3, 1),
+              FormatDouble(t.requests_per_second(), 0)},
+             14);
+  }
+
+  if (!options.json_path.empty()) {
+    WriteJson(options.json_path, timings);
+  }
+  std::remove(model_path.c_str());
+  return 0;
+}

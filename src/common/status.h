@@ -23,6 +23,7 @@ enum class StatusCode {
   kAborted,
   kCancelled,
   kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a status code ("Ok",
@@ -93,6 +94,12 @@ class Status {
   /// kCancelled, any partial results are consistent best-so-far values.
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// The service cannot take the request right now (admission control shed
+  /// it — queue full or shutting down). Retrying later may succeed; nothing
+  /// was executed on the request's behalf.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -300,6 +300,11 @@ double RelevanceEngine::SufficientRelevance(
 
 std::vector<EntityId> RelevanceEngine::SampleConversionSet(
     const Triple& prediction, PredictionTarget target) {
+  return SampleConversionSet(prediction, target, rng_);
+}
+
+std::vector<EntityId> RelevanceEngine::SampleConversionSet(
+    const Triple& prediction, PredictionTarget target, Rng& rng) {
   const EntityId source = SourceEntity(prediction, target);
   const EntityId predicted = PredictedEntity(prediction, target);
   std::vector<EntityId> out;
@@ -311,7 +316,7 @@ std::vector<EntityId> RelevanceEngine::SampleConversionSet(
   while (out.size() < options_.conversion_set_size &&
          attempts < max_attempts) {
     ++attempts;
-    EntityId c = static_cast<EntityId>(rng_.UniformUint64(n));
+    EntityId c = static_cast<EntityId>(rng.UniformUint64(n));
     if (c == source || c == predicted) continue;
     if (std::find(out.begin(), out.end(), c) != out.end()) continue;
     if (dataset_.train_graph().Degree(c) == 0) continue;

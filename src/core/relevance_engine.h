@@ -107,6 +107,18 @@ class RelevanceEngine {
   std::vector<EntityId> SampleConversionSet(const Triple& prediction,
                                             PredictionTarget target);
 
+  /// SampleConversionSet drawing from a caller-provided RNG instead of the
+  /// engine's member stream. A long-lived engine (a serving-pool instance)
+  /// passes a fresh `Rng(options().seed)` per request to draw exactly the
+  /// set a fresh engine's first SampleConversionSet call would draw — the
+  /// member-stream variant advances `rng_` across calls, so its Nth request
+  /// would diverge from a one-shot process. Same single-threaded contract
+  /// as SampleConversionSet.
+  std::vector<EntityId> SampleConversionSet(const Triple& prediction,
+                                            PredictionTarget target, Rng& rng);
+
+  const RelevanceEngineOptions& options() const { return options_; }
+
   /// Filtered rank of the predicted entity when the source entity is
   /// represented by `mimic_vec`. Exposed for tests.
   int RankWithMimic(const Triple& prediction, PredictionTarget target,

@@ -1,0 +1,135 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "serve/line_protocol.h"
+
+namespace kelpie {
+namespace serve {
+
+namespace {
+
+struct ConnectionOutcome {
+  Status status = Status::Ok();
+  std::vector<std::string> responses;
+};
+
+/// Writes `lines` to a fresh connection, half-closes the write side, and
+/// collects response lines until the server closes its side.
+ConnectionOutcome DriveConnection(const ClientOptions& options,
+                                  const std::vector<std::string>& lines) {
+  ConnectionOutcome out;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    out.status = Status::IoError(std::string("socket: ") + std::strerror(errno));
+    return out;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    out.status = Status::InvalidArgument("bad host: " + options.host);
+    return out;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    out.status = Status::IoError("connect " + options.host + ":" +
+                                 std::to_string(options.port) + ": " +
+                                 std::strerror(errno));
+    return out;
+  }
+
+  // Reader in a separate thread so a full server send buffer can never
+  // deadlock against our (blocking) writes.
+  std::string received;
+  std::thread reader([fd, &received] {
+    char chunk[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+      received.append(chunk, static_cast<size_t>(n));
+    }
+  });
+
+  for (const std::string& line : lines) {
+    std::string wire = line;
+    wire.push_back('\n');
+    size_t off = 0;
+    while (off < wire.size()) {
+      ssize_t n = ::send(fd, wire.data() + off, wire.size() - off,
+                         MSG_NOSIGNAL);
+      if (n <= 0) {
+        out.status = Status::IoError("connection broke mid-request");
+        break;
+      }
+      off += static_cast<size_t>(n);
+    }
+    if (!out.status.ok()) break;
+  }
+  ::shutdown(fd, SHUT_WR);
+  reader.join();
+  ::close(fd);
+  if (!out.status.ok()) return out;
+
+  size_t start = 0;
+  while (start < received.size()) {
+    size_t end = received.find('\n', start);
+    if (end == std::string::npos) end = received.size();
+    if (end > start) out.responses.push_back(received.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> RunClientBatch(
+    const ClientOptions& options, const std::vector<std::string>& lines) {
+  const size_t connections =
+      std::max<size_t>(1, std::min(options.connections,
+                                   std::max<size_t>(1, lines.size())));
+  std::vector<std::vector<std::string>> shards(connections);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    shards[i % connections].push_back(lines[i]);
+  }
+
+  std::vector<ConnectionOutcome> outcomes(connections);
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  for (size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      outcomes[c] = DriveConnection(options, shards[c]);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  std::vector<std::string> all;
+  for (ConnectionOutcome& outcome : outcomes) {
+    if (!outcome.status.ok()) return outcome.status;
+    for (std::string& line : outcome.responses) all.push_back(std::move(line));
+  }
+  if (all.size() != lines.size()) {
+    return Status::IoError("response count mismatch: sent " +
+                           std::to_string(lines.size()) + " lines, got " +
+                           std::to_string(all.size()) + " responses");
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const std::string& a, const std::string& b) {
+                     const uint64_t ia = PeekLineId(a);
+                     const uint64_t ib = PeekLineId(b);
+                     if (ia != ib) return ia < ib;
+                     return a < b;
+                   });
+  return all;
+}
+
+}  // namespace serve
+}  // namespace kelpie

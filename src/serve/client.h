@@ -1,0 +1,35 @@
+#ifndef KELPIE_SERVE_CLIENT_H_
+#define KELPIE_SERVE_CLIENT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace kelpie {
+namespace serve {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Concurrent TCP connections the request lines are spread across.
+  size_t connections = 1;
+};
+
+/// Drives a `kelpie serve` endpoint with a batch of request lines and
+/// returns every response line, sorted by response id (then textually for
+/// id-less lines) so the output is stable no matter how requests interleave
+/// across connections. Lines are distributed round-robin over
+/// `options.connections` connections; each connection writes its share,
+/// half-closes, and reads to EOF.
+///
+/// Fails if any connection breaks before EOF or the response count does not
+/// match the request count.
+Result<std::vector<std::string>> RunClientBatch(
+    const ClientOptions& options, const std::vector<std::string>& lines);
+
+}  // namespace serve
+}  // namespace kelpie
+
+#endif  // KELPIE_SERVE_CLIENT_H_

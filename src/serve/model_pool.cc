@@ -1,0 +1,49 @@
+#include "serve/model_pool.h"
+
+#include <utility>
+
+#include "models/model_store.h"
+
+namespace kelpie {
+namespace serve {
+
+Result<std::unique_ptr<ModelPool>> ModelPool::LoadFromFile(
+    const std::string& model_path, const Dataset& dataset, size_t pool_size,
+    const KelpieOptions& options) {
+  if (pool_size == 0) {
+    return Status::InvalidArgument("model pool size must be >= 1");
+  }
+  auto pool = std::unique_ptr<ModelPool>(new ModelPool());
+  pool->instances_.reserve(pool_size);
+  for (size_t i = 0; i < pool_size; ++i) {
+    Result<std::unique_ptr<LinkPredictionModel>> model = LoadModel(model_path);
+    if (!model.ok()) return model.status();
+    if ((*model)->num_entities() != dataset.num_entities() ||
+        (*model)->num_relations() != dataset.num_relations()) {
+      return Status::InvalidArgument(
+          "model/dataset mismatch: model has " +
+          std::to_string((*model)->num_entities()) + " entities / " +
+          std::to_string((*model)->num_relations()) + " relations, dataset '" +
+          std::string(dataset.name()) + "' has " +
+          std::to_string(dataset.num_entities()) + " / " +
+          std::to_string(dataset.num_relations()));
+    }
+    auto instance = std::make_unique<Instance>();
+    instance->model = std::move(model).value();
+    instance->kelpie =
+        std::make_unique<Kelpie>(*instance->model, dataset, options);
+    pool->instances_.push_back(std::move(instance));
+  }
+  return pool;
+}
+
+ModelPool::Lease ModelPool::Acquire() {
+  const size_t index = static_cast<size_t>(
+      next_.fetch_add(1, std::memory_order_relaxed) % instances_.size());
+  Instance* instance = instances_[index].get();
+  instance->mu.lock();
+  return Lease(instance, index);
+}
+
+}  // namespace serve
+}  // namespace kelpie

@@ -1,0 +1,104 @@
+#ifndef KELPIE_SERVE_REQUEST_QUEUE_H_
+#define KELPIE_SERVE_REQUEST_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace kelpie {
+namespace serve {
+
+/// Bounded MPMC request queue with admission control — the waiting room of
+/// the serving layer. Producers (`Submit` call sites, connection handlers)
+/// `TryPush`; a full or closed queue rejects immediately instead of
+/// blocking, which is what lets the server shed load under pressure rather
+/// than buffering unboundedly. Consumers (dispatcher threads) `PopBatch`:
+/// everything queued at wake-up time, up to `max_batch`, comes out in one
+/// call, which is how concurrent requests coalesce into batches executed
+/// under a single model-pool lease.
+///
+/// `T` needs to be movable only (requests carry `std::promise`s).
+template <typename T>
+class RequestQueue {
+ public:
+  /// `max_depth` bounds the number of queued items; 0 = unbounded.
+  explicit RequestQueue(size_t max_depth = 0) : max_depth_(max_depth) {}
+
+  /// Enqueues `item` unless the queue is full or closed; returns whether the
+  /// item was accepted. Never blocks — rejection is the shed signal. On
+  /// rejection `item` is left untouched, so the caller can still fulfil the
+  /// promise it carries.
+  bool TryPush(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
+      if (max_depth_ > 0 && items_.size() >= max_depth_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until at least one item is available (or the queue is closed and
+  /// drained), then moves up to `max_batch` items into `out` (cleared
+  /// first). Returns the number of items popped; 0 means closed-and-empty —
+  /// the consumer's signal to exit. `max_batch` 0 means "everything queued".
+  size_t PopBatch(std::vector<T>* out, size_t max_batch) {
+    out->clear();
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [&] { return !items_.empty() || closed_; });
+    const size_t take = max_batch == 0
+                            ? items_.size()
+                            : std::min(items_.size(), max_batch);
+    for (size_t i = 0; i < take; ++i) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    if (!items_.empty()) {
+      // More work remains: wake another consumer so batches drain in
+      // parallel across dispatchers.
+      ready_.notify_one();
+    }
+    return take;
+  }
+
+  /// Closes admission: every later TryPush fails, every PopBatch drains what
+  /// is left and then returns 0. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t max_depth() const { return max_depth_; }
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+ private:
+  const size_t max_depth_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace serve
+}  // namespace kelpie
+
+#endif  // KELPIE_SERVE_REQUEST_QUEUE_H_

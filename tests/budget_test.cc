@@ -10,6 +10,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -59,6 +60,17 @@ TEST(WorkBudgetTest, ResetReinitializesLimitAndUsage) {
   EXPECT_TRUE(budget.TryCharge(4));
 }
 
+TEST(WorkBudgetTest, ZeroCapacityChargesNothingButFreeCharges) {
+  WorkBudget budget(0);
+  EXPECT_FALSE(budget.unlimited());
+  EXPECT_EQ(budget.limit(), 0u);
+  EXPECT_EQ(budget.remaining(), 0u);
+  EXPECT_FALSE(budget.TryCharge(1));
+  // A zero-unit charge always fits — even a spent (or empty) budget.
+  EXPECT_TRUE(budget.TryCharge(0));
+  EXPECT_EQ(budget.used(), 0u);
+}
+
 TEST(DeadlineTest, DefaultIsInfinite) {
   Deadline d;
   EXPECT_TRUE(d.infinite());
@@ -90,6 +102,16 @@ TEST(DeadlineTest, EarliestPicksTheSoonerDeadline) {
                   .infinite());
 }
 
+TEST(DeadlineTest, EarliestWithAlreadyExpiredDeadlineIsExpiredEitherWay) {
+  const Deadline expired = Deadline::After(-1.0);
+  const Deadline future = Deadline::After(3600.0);
+  EXPECT_TRUE(Deadline::Earliest(expired, future).Expired());
+  EXPECT_TRUE(Deadline::Earliest(future, expired).Expired());
+  // The composed deadline is finite, not saturated.
+  EXPECT_FALSE(Deadline::Earliest(expired, future).infinite());
+  EXPECT_LE(Deadline::Earliest(expired, future).RemainingSeconds(), 0.0);
+}
+
 TEST(CancelTokenTest, CopiesShareOneStickyFlag) {
   CancelToken token;
   CancelToken copy = token;
@@ -100,6 +122,23 @@ TEST(CancelTokenTest, CopiesShareOneStickyFlag) {
   EXPECT_TRUE(copy.cancelled());
   // A fresh token is independent.
   EXPECT_FALSE(CancelToken().cancelled());
+}
+
+// Two signals racing to cancel the same token (e.g. SIGINT and a serve
+// shutdown) must both observe a consistent sticky flag.
+TEST(CancelTokenTest, ConcurrentRequestCancelFromTwoThreadsIsSticky) {
+  for (int round = 0; round < 50; ++round) {
+    CancelToken token;
+    CancelToken a = token;
+    CancelToken b = token;
+    std::thread ta([&] { a.RequestCancel(); });
+    std::thread tb([&] { b.RequestCancel(); });
+    ta.join();
+    tb.join();
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_TRUE(a.cancelled());
+    EXPECT_TRUE(b.cancelled());
+  }
 }
 
 TEST(ExtractionControlTest, DefaultImposesNoLimits) {

@@ -1,0 +1,129 @@
+// The serving layer's waiting room: bounded admission (TryPush never
+// blocks; rejection is the shed signal and must leave the caller's item
+// intact), batch coalescing (PopBatch takes everything queued up to
+// max_batch), and close-and-drain shutdown.
+#include "serve/request_queue.h"
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace kelpie {
+namespace serve {
+namespace {
+
+TEST(RequestQueueTest, PushPopRoundTripInFifoOrder) {
+  RequestQueue<int> queue;
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_TRUE(queue.TryPush(3));
+  EXPECT_EQ(queue.depth(), 3u);
+  std::vector<int> batch;
+  EXPECT_EQ(queue.PopBatch(&batch, 0), 3u);
+  EXPECT_EQ(batch, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(queue.depth(), 0u);
+}
+
+TEST(RequestQueueTest, MaxBatchCapsTheCoalescedTake) {
+  RequestQueue<int> queue;
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.TryPush(int(i)));
+  std::vector<int> batch;
+  EXPECT_EQ(queue.PopBatch(&batch, 2), 2u);
+  EXPECT_EQ(batch, (std::vector<int>{0, 1}));
+  EXPECT_EQ(queue.PopBatch(&batch, 2), 2u);
+  EXPECT_EQ(batch, (std::vector<int>{2, 3}));
+  EXPECT_EQ(queue.PopBatch(&batch, 2), 1u);
+  EXPECT_EQ(batch, (std::vector<int>{4}));
+}
+
+TEST(RequestQueueTest, BoundedQueueShedsBeyondMaxDepth) {
+  RequestQueue<int> queue(2);
+  EXPECT_EQ(queue.max_depth(), 2u);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));
+  // Draining one slot re-opens admission.
+  std::vector<int> batch;
+  EXPECT_EQ(queue.PopBatch(&batch, 1), 1u);
+  EXPECT_TRUE(queue.TryPush(3));
+}
+
+// The shed path fulfils the promise the rejected request carries, so a
+// rejected move-in must leave the item untouched (not moved-from).
+TEST(RequestQueueTest, RejectedItemIsLeftIntact) {
+  RequestQueue<std::unique_ptr<std::string>> queue(1);
+  EXPECT_TRUE(queue.TryPush(std::make_unique<std::string>("first")));
+  auto second = std::make_unique<std::string>("second");
+  EXPECT_FALSE(queue.TryPush(std::move(second)));
+  ASSERT_NE(second, nullptr) << "rejection must not consume the item";
+  EXPECT_EQ(*second, "second");
+}
+
+TEST(RequestQueueTest, CloseRejectsPushesAndDrainsRemainder) {
+  RequestQueue<int> queue;
+  EXPECT_TRUE(queue.TryPush(7));
+  queue.Close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.TryPush(8));
+  std::vector<int> batch;
+  EXPECT_EQ(queue.PopBatch(&batch, 0), 1u);
+  EXPECT_EQ(batch, (std::vector<int>{7}));
+  // Closed and drained: consumers get their exit signal, repeatedly.
+  EXPECT_EQ(queue.PopBatch(&batch, 0), 0u);
+  EXPECT_EQ(queue.PopBatch(&batch, 0), 0u);
+}
+
+TEST(RequestQueueTest, PopBlocksUntilAPushArrives) {
+  RequestQueue<int> queue;
+  std::vector<int> batch;
+  std::thread consumer([&] { queue.PopBatch(&batch, 0); });
+  queue.TryPush(42);
+  consumer.join();
+  EXPECT_EQ(batch, (std::vector<int>{42}));
+}
+
+// Concurrent producers and consumers: every accepted item comes out exactly
+// once, across any batch partitioning, and Close() releases all consumers.
+TEST(RequestQueueTest, ConcurrentProducersAndConsumersLoseNothing) {
+  RequestQueue<int> queue;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  std::atomic<int> popped{0};
+  std::atomic<long long> sum{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      std::vector<int> batch;
+      while (queue.PopBatch(&batch, 16) > 0) {
+        for (int v : batch) {
+          sum.fetch_add(v);
+          popped.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.TryPush(p * kPerProducer + i));
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  queue.Close();
+  for (std::thread& t : consumers) t.join();
+
+  constexpr int kTotal = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), kTotal);
+  EXPECT_EQ(sum.load(), static_cast<long long>(kTotal) * (kTotal - 1) / 2);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace kelpie

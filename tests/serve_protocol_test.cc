@@ -1,0 +1,198 @@
+// The serve wire format: flat newline-delimited JSON. Parsing must accept
+// exactly the documented subset (flat object, unknown keys ignored) with
+// byte-offset diagnostics, and rendering must be deterministic — the
+// serve-smoke CI job byte-compares served responses against one-shot CLI
+// output, so these strings are a compatibility surface.
+#include "serve/line_protocol.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace kelpie {
+namespace serve {
+namespace {
+
+// ------------------------------------------------------------- parsing ----
+
+TEST(ParseRequestLineTest, ScoreRequestWithAllFields) {
+  Result<LineRequest> r = ParseRequestLine(
+      R"({"id":7,"op":"score","head":"Person_8","relation":"nationality",)"
+      R"("tail":"Country_4","shed_after":0.25})");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->id, 7u);
+  EXPECT_EQ(r->op, "score");
+  EXPECT_EQ(r->head, "Person_8");
+  EXPECT_EQ(r->relation, "nationality");
+  EXPECT_EQ(r->tail, "Country_4");
+  EXPECT_DOUBLE_EQ(r->shed_after_seconds, 0.25);
+  // Explain-only fields keep their defaults.
+  EXPECT_FALSE(r->sufficient);
+  EXPECT_FALSE(r->head_query);
+  EXPECT_EQ(r->work_budget, 0u);
+  EXPECT_DOUBLE_EQ(r->timeout_seconds, 0.0);
+}
+
+TEST(ParseRequestLineTest, ExplainRequestWithLimits) {
+  Result<LineRequest> r = ParseRequestLine(
+      R"({"id":2,"op":"explain","head":"a","relation":"b","tail":"c",)"
+      R"("sufficient":true,"head_query":true,"work_budget":200,)"
+      R"("timeout":1.5})");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->sufficient);
+  EXPECT_TRUE(r->head_query);
+  EXPECT_EQ(r->work_budget, 200u);
+  EXPECT_DOUBLE_EQ(r->timeout_seconds, 1.5);
+  // No shed_after means no admission deadline.
+  EXPECT_LT(r->shed_after_seconds, 0.0);
+}
+
+TEST(ParseRequestLineTest, ControlOpsNeedNoTriple) {
+  for (const char* op : {"ping", "stats", "shutdown"}) {
+    Result<LineRequest> r = ParseRequestLine(
+        std::string(R"({"id":1,"op":")") + op + R"("})");
+    ASSERT_TRUE(r.ok()) << op << ": " << r.status().ToString();
+    EXPECT_EQ(r->op, op);
+  }
+}
+
+TEST(ParseRequestLineTest, UnknownKeysAreIgnoredForForwardCompatibility) {
+  Result<LineRequest> r = ParseRequestLine(
+      R"({"id":1,"op":"ping","future_field":"x","another":3,"flag":null})");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST(ParseRequestLineTest, EscapesInStringsRoundTrip) {
+  Result<LineRequest> r = ParseRequestLine(
+      R"({"id":1,"op":"score","head":"a\tb","relation":"r\"q\\","tail":"t\n"})");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->head, "a\tb");
+  EXPECT_EQ(r->relation, "r\"q\\");
+  EXPECT_EQ(r->tail, "t\n");
+}
+
+TEST(ParseRequestLineTest, RejectsMalformedLines) {
+  // Each entry: line, substring expected in the diagnostic.
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {"", "expected '{'"},
+      {"not json", "expected '{'"},
+      {R"({"id":1,"op":"score"} trailing)", "trailing bytes"},
+      {R"({"id":1})", "missing \"op\""},
+      {R"({"id":1,"op":"frobnicate"})", "unknown op"},
+      {R"({"id":1,"op":"score"})", "needs \"head\""},
+      {R"({"id":1,"op":"explain","head":"a","relation":"b"})",
+       "needs \"head\""},
+      {R"({"id":1,"op":"ping","nested":{"x":1}})", "nested"},
+      {R"({"id":1,"op":"ping","arr":[1]})", "nested"},
+      {R"({"id":-1,"op":"ping"})", "non-negative"},
+      {R"({"id":1,"op":"ping","work_budget":-5})", "non-negative"},
+      {R"({"id":1,"op":"explain","head":"a","relation":"b","tail":"c",)"
+       R"("timeout":-1})",
+       "non-negative"},
+      {R"({"id":1,"op":"ping","sufficient":"yes"})", "must be a boolean"},
+      {R"({"id":1,"op":"ping","timeout":"fast"})", "must be a number"},
+      {R"({"id":1,"op":"ping","head":"unterminated)", "unterminated"},
+      {R"({"id":1,"op":"ping","head":"bad\Aescape"})", "escape"},
+  };
+  for (const auto& [line, want] : cases) {
+    Result<LineRequest> r = ParseRequestLine(line);
+    ASSERT_FALSE(r.ok()) << "accepted: " << line;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << line;
+    EXPECT_NE(r.status().message().find(want), std::string::npos)
+        << "diagnostic for `" << line << "` was: " << r.status().message();
+  }
+}
+
+TEST(PeekLineIdTest, ExtractsIdWithoutFullParse) {
+  EXPECT_EQ(PeekLineId(R"({"id":42,"op":"ping"})"), 42u);
+  EXPECT_EQ(PeekLineId(R"({"ok":false,"id":7})"), 7u);
+  EXPECT_EQ(PeekLineId("garbage without an id"), 0u);
+  EXPECT_EQ(PeekLineId(""), 0u);
+}
+
+// ----------------------------------------------------------- rendering ----
+
+TEST(ResponseLineTest, ScoreIsRoundTripPrecise) {
+  EXPECT_EQ(ScoreResponseLine(3, 0.5f),
+            R"({"id":3,"ok":true,"op":"score","score":0.5})");
+  // %.17g spells non-dyadic floats exactly; the bytes are the contract.
+  EXPECT_EQ(ScoreResponseLine(1, 0.1f),
+            R"({"id":1,"ok":true,"op":"score","score":0.10000000149011612})");
+}
+
+TEST(ResponseLineTest, ControlResponses) {
+  EXPECT_EQ(PingResponseLine(4), R"({"id":4,"ok":true,"op":"ping"})");
+  EXPECT_EQ(ShutdownResponseLine(9),
+            R"({"id":9,"ok":true,"op":"shutdown"})");
+  EXPECT_EQ(StatsResponseLine(5, 3, 2, 256),
+            R"({"id":5,"ok":true,"op":"stats","queue_depth":3,)"
+            R"("pool_size":2,"max_queue_depth":256})");
+}
+
+TEST(ResponseLineTest, ErrorCarriesCodeAndEscapedMessage) {
+  EXPECT_EQ(
+      ErrorResponseLine(8, Status::Unavailable("queue \"full\"")),
+      R"({"id":8,"ok":false,"code":"Unavailable","error":"queue \"full\""})");
+  EXPECT_EQ(ErrorResponseLine(0, Status::DeadlineExceeded("late")),
+            R"({"id":0,"ok":false,"code":"DeadlineExceeded","error":"late"})");
+}
+
+TEST(ResponseLineTest, ExplainRendersNamesAndOmitsWallClockFields) {
+  Dataset dataset = testing_util::MakeToyDataset();
+  const int32_t person = dataset.entities().Find("Person_3").value();
+  const int32_t born = dataset.relations().Find("born_in").value();
+  const int32_t city = dataset.entities().Find("City_3").value();
+
+  Explanation x;
+  x.kind = ExplanationKind::kNecessary;
+  x.facts = {Triple(person, born, city)};
+  x.relevance = 1.5;
+  x.accepted = true;
+  x.completeness = Completeness::kComplete;
+  x.skipped_candidates = 2;
+  // Schedule-dependent fields must never reach the wire.
+  x.post_trainings = 999;
+  x.seconds = 123.456;
+
+  EXPECT_EQ(ExplainResponseLine(6, x, {}, dataset),
+            R"({"id":6,"ok":true,"op":"explain","kind":"necessary",)"
+            R"("accepted":true,"completeness":"Complete","relevance":1.5,)"
+            R"("facts":["Person_3\tborn_in\tCity_3"],"skipped":2})");
+}
+
+TEST(ResponseLineTest, SufficientExplainIncludesConversionSet) {
+  Dataset dataset = testing_util::MakeToyDataset();
+  Explanation x;
+  x.kind = ExplanationKind::kSufficient;
+  x.completeness = Completeness::kTruncatedBudget;
+  std::vector<EntityId> conversion = {
+      dataset.entities().Find("Person_1").value(),
+      dataset.entities().Find("Person_2").value()};
+
+  const std::string line = ExplainResponseLine(1, x, conversion, dataset);
+  EXPECT_EQ(line,
+            R"({"id":1,"ok":true,"op":"explain","kind":"sufficient",)"
+            R"("accepted":false,"completeness":"TruncatedBudget",)"
+            R"("relevance":0,"facts":[],"skipped":0,)"
+            R"("conversion":["Person_1","Person_2"]})");
+}
+
+// The client orders responses by PeekLineId, so every renderer must emit an
+// id the peek recovers.
+TEST(ResponseLineTest, PeekRecoversTheIdOfEveryRenderedLine) {
+  uint64_t id = 1;
+  for (const std::string& line :
+       {PingResponseLine(1), ShutdownResponseLine(2),
+        StatsResponseLine(3, 0, 1, 0), ScoreResponseLine(4, 1.25f),
+        ErrorResponseLine(5, Status::Internal("x"))}) {
+    EXPECT_EQ(PeekLineId(line), id) << line;
+    ++id;
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace kelpie

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/budget.h"
 #include "eval/evaluator.h"
 #include "tests/test_util.h"
 
@@ -139,6 +140,40 @@ TEST(CancellableParallelForTest, EntryInterruptStartsNothing) {
   EXPECT_EQ(outcome.status.code(), StatusCode::kCancelled);
   EXPECT_EQ(outcome.completed, 0u);
   EXPECT_EQ(ran.load(), 0);
+}
+
+// A token cancelled before the batch starts: nothing runs, and the pool is
+// fully reusable afterwards — a serve dispatcher reuses its pool for the
+// next request after a cancelled extraction.
+TEST(CancellableParallelForTest, PreCancelledTokenLeavesPoolUsable) {
+  ThreadPool pool(4);
+  CancelToken cancel;
+  cancel.RequestCancel();
+  std::atomic<int> ran{0};
+  ParallelOutcome outcome = CancellableParallelFor(
+      pool, 64, [&](size_t) { ran.fetch_add(1); },
+      [&]() -> Status {
+        return cancel.cancelled() ? Status::Cancelled("pre-cancelled")
+                                  : Status::Ok();
+      });
+  EXPECT_EQ(outcome.status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(outcome.completed, 0u);
+  EXPECT_EQ(ran.load(), 0);
+
+  // The same pool must run follow-up work to completion (fresh token).
+  CancelToken fresh;
+  ParallelOutcome next = CancellableParallelFor(
+      pool, 64, [&](size_t) { ran.fetch_add(1); },
+      [&]() -> Status {
+        return fresh.cancelled() ? Status::Cancelled("unexpected")
+                                 : Status::Ok();
+      });
+  EXPECT_TRUE(next.status.ok());
+  EXPECT_EQ(next.completed, 64u);
+  EXPECT_EQ(ran.load(), 64);
+  pool.Submit([&] { ran.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 65);
 }
 
 TEST(CancellableParallelForTest, MidwayInterruptDrainsContiguousPrefix) {

@@ -1,12 +1,17 @@
 #!/usr/bin/env python3
-"""Report-only comparison of a bench_kernels JSON run against a baseline.
+"""Report-only comparison of a bench JSON run against a baseline.
 
 Usage:
     bench_compare.py --baseline bench/baseline.json \
         --current BENCH_kernels.json [--threshold 0.25] [--out report.md]
+    bench_compare.py --baseline bench/baseline.json \
+        --current BENCH_serve.json [--out report.md]
 
-Prints a markdown delta table (suitable for $GITHUB_STEP_SUMMARY) showing,
-per kernel and per model, the current timing versus the committed baseline.
+Sections are matched by key: a bench_kernels run carries "kernels" and
+"score_all", a bench_serve run carries "serve"; only the sections present
+in --current are reported. Prints a markdown delta table (suitable for
+$GITHUB_STEP_SUMMARY) showing the current timing versus the committed
+baseline.
 Rows whose regression exceeds the threshold are flagged, but the script
 ALWAYS exits 0: CI perf numbers on shared runners are too noisy to gate
 merges on, so the job surfaces the table and leaves judgement to the
@@ -74,6 +79,26 @@ def score_all_rows(baseline, current, threshold):
     return rows
 
 
+def serve_rows(baseline, current, threshold):
+    base_by_key = {
+        (s["name"], s["pool"]): s for s in baseline.get("serve", [])
+    }
+    rows = []
+    for s in current.get("serve", []):
+        key = (s["name"], s["pool"])
+        label = f"{s['name']}/pool{s['pool']}"
+        base = base_by_key.get(key)
+        if base is None:
+            rows.append((label, f"{s['ns_per_request']:.0f}", "-", "new",
+                         ""))
+            continue
+        delta, rel = fmt_delta(s["ns_per_request"], base["ns_per_request"])
+        flag = ":warning:" if rel > threshold else ""
+        rows.append((label, f"{s['ns_per_request']:.0f}",
+                     f"{base['ns_per_request']:.0f}", delta, flag))
+    return rows
+
+
 def markdown_table(header, rows):
     lines = ["| " + " | ".join(header) + " |",
              "|" + "|".join("---" for _ in header) + "|"]
@@ -100,25 +125,37 @@ def main():
         print("bench_compare: skipping comparison (see stderr)")
         return 0
 
-    out = ["## Kernel bench vs baseline", ""]
-    cur_backend = current.get("backend", "?")
-    base_backend = baseline.get("backend", "?")
-    out.append(f"Backend: `{cur_backend}` (baseline: `{base_backend}`)")
-    if cur_backend != base_backend:
+    if "serve" in current and "kernels" not in current:
+        out = ["## Serve bench vs baseline", ""]
+    else:
+        out = ["## Kernel bench vs baseline", ""]
+    if "kernels" in current:
+        cur_backend = current.get("backend", "?")
+        base_backend = baseline.get("backend", "?")
+        out.append(f"Backend: `{cur_backend}` (baseline: `{base_backend}`)")
+        if cur_backend != base_backend:
+            out.append("")
+            out.append("Backends differ — deltas reflect the backend "
+                       "change, not a regression.")
         out.append("")
-        out.append("Backends differ — deltas reflect the backend change, "
-                   "not a regression.")
-    out.append("")
-    out.append(markdown_table(
-        ("Kernel/dim", "ns/op", "baseline", "delta", ""),
-        kernel_rows(baseline, current, args.threshold)))
-    out.append("")
-    out.append("### ScoreAllTails")
-    out.append("")
-    out.append(markdown_table(
-        ("Model", "ns/call", "baseline", "delta", ""),
-        score_all_rows(baseline, current, args.threshold)))
-    out.append("")
+        out.append(markdown_table(
+            ("Kernel/dim", "ns/op", "baseline", "delta", ""),
+            kernel_rows(baseline, current, args.threshold)))
+        out.append("")
+    if "score_all" in current:
+        out.append("### ScoreAllTails")
+        out.append("")
+        out.append(markdown_table(
+            ("Model", "ns/call", "baseline", "delta", ""),
+            score_all_rows(baseline, current, args.threshold)))
+        out.append("")
+    if "serve" in current:
+        out.append("### Serve round-trips")
+        out.append("")
+        out.append(markdown_table(
+            ("Bench/pool", "ns/req", "baseline", "delta", ""),
+            serve_rows(baseline, current, args.threshold)))
+        out.append("")
     out.append(f"Rows slower than baseline by more than "
                f"{args.threshold:.0%} are flagged. Report-only: this step "
                f"never fails the build.")

@@ -16,6 +16,15 @@
 //   xp        --data DIR --model-file model.bin --scenario necessary
 //             --journal run.jnl [--resume]
 //       End-to-end experiment run with a crash-safe progress journal.
+//   score     --data DIR --model-file model.bin --head H --relation R
+//             --tail T [--canonical]
+//       Scores one triple (--canonical prints the serve wire format).
+//   serve     --data DIR --model-file model.bin [--port N] [--pool N]
+//       Serves score/explain requests over newline-delimited JSON on TCP,
+//       batching them across a pool of pre-loaded model instances.
+//   serve-client --port N [--connections N] [--in FILE]
+//       Drives a serve endpoint with request lines; prints responses
+//       sorted by id.
 //   metrics   [--demo] [--json] [--out FILE]
 //       Renders the process metrics registry (Prometheus text exposition,
 //       or the combined metrics + trace JSON snapshot with --json).
@@ -32,10 +41,12 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <string>
 
 #include "baselines/explainer.h"
+#include "common/atomic_file.h"
 #include "common/budget.h"
 #include "common/failpoint.h"
 #include "common/metrics.h"
@@ -48,6 +59,10 @@
 #include "kgraph/io.h"
 #include "models/factory.h"
 #include "models/model_store.h"
+#include "serve/client.h"
+#include "serve/line_protocol.h"
+#include "serve/server.h"
+#include "serve/tcp_server.h"
 #include "xp/pattern_miner.h"
 #include "xp/pipeline.h"
 
@@ -80,7 +95,8 @@ class Args {
   static bool IsSwitch(const std::string& key) {
     return key == "sufficient" || key == "head-query" || key == "no-heads" ||
            key == "per-relation" || key == "no-recover" || key == "resume" ||
-           key == "retry-truncated" || key == "json" || key == "demo";
+           key == "retry-truncated" || key == "json" || key == "demo" ||
+           key == "canonical";
   }
 
   const std::string& error() const { return error_; }
@@ -131,17 +147,12 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+/// Crash-safe text output: snapshot files (metrics, rendered reports) go
+/// through the same temp-file + rename discipline as model/journal writers,
+/// so a reader never sees a torn snapshot and an interrupted run keeps the
+/// previous one.
 Status WriteTextFile(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    return Status::IoError("cannot open for writing: " + path);
-  }
-  out << content;
-  out.flush();
-  if (!out) {
-    return Status::IoError("write failed: " + path);
-  }
-  return Status::Ok();
+  return WriteFileAtomic(path, content);
 }
 
 /// --metrics-out support: arms the trace collector for the command's
@@ -354,15 +365,31 @@ Status CmdExplain(const Args& args) {
   ExtractionLimits limits;
   KELPIE_ASSIGN_OR_RETURN(limits, ParseExtractionLimits(args, cancel));
   Kelpie kelpie(**model, *dataset, options);
+  uint64_t canonical_id = 0;
+  KELPIE_ASSIGN_OR_RETURN(canonical_id, args.GetU64("id", 0));
   Explanation x;
+  std::vector<EntityId> converted;
   if (args.Has("sufficient")) {
-    std::vector<EntityId> converted;
     x = kelpie.ExplainSufficient(*prediction, target, &converted, nullptr,
                                  limits);
+  } else {
+    x = kelpie.ExplainNecessary(*prediction, target, nullptr, limits);
+  }
+  if (args.Has("canonical")) {
+    // The exact bytes `kelpie serve` sends for this request: the serve-smoke
+    // CI job diffs this one-shot output against the served responses.
+    std::printf("%s\n",
+                serve::ExplainResponseLine(canonical_id, x, converted, *dataset)
+                    .c_str());
+    if (x.completeness == Completeness::kCancelled) {
+      return Status::Cancelled("extraction cancelled");
+    }
+    return Status::Ok();
+  }
+  if (args.Has("sufficient")) {
     std::printf("sufficient explanation (over %zu conversion entities):\n",
                 converted.size());
   } else {
-    x = kelpie.ExplainNecessary(*prediction, target, nullptr, limits);
     std::printf("necessary explanation:\n");
   }
   if (x.empty()) {
@@ -387,6 +414,117 @@ Status CmdExplain(const Args& args) {
               x.post_trainings, x.seconds, CompletenessSummary(x).c_str());
   if (x.completeness == Completeness::kCancelled) {
     return Status::Cancelled("extraction cancelled; best-so-far shown above");
+  }
+  return Status::Ok();
+}
+
+Status CmdScore(const Args& args) {
+  Result<Dataset> dataset = LoadData(args);
+  if (!dataset.ok()) return dataset.status();
+  Result<std::unique_ptr<LinkPredictionModel>> model =
+      LoadModel(args.Get("model-file"));
+  if (!model.ok()) return model.status();
+  Result<Triple> prediction = ParsePredictionFlags(args, *dataset);
+  if (!prediction.ok()) return prediction.status();
+  const float score = (*model)->Score(*prediction);
+  if (args.Has("canonical")) {
+    uint64_t id = 0;
+    KELPIE_ASSIGN_OR_RETURN(id, args.GetU64("id", 0));
+    std::printf("%s\n", serve::ScoreResponseLine(id, score).c_str());
+  } else {
+    std::printf("%s scores %s\n",
+                dataset->TripleToString(*prediction).c_str(),
+                metrics::FormatDouble(score).c_str());
+  }
+  return Status::Ok();
+}
+
+Status CmdServe(const Args& args) {
+  Result<Dataset> dataset = LoadData(args);
+  if (!dataset.ok()) return dataset.status();
+  if (!args.Has("model-file")) {
+    return Status::InvalidArgument("--model-file FILE is required");
+  }
+
+  serve::ServerOptions options;
+  uint64_t pool = 0, dispatchers = 0, max_queue = 0, max_batch = 0,
+           threads = 0;
+  KELPIE_ASSIGN_OR_RETURN(pool, args.GetU64("pool", 2));
+  KELPIE_ASSIGN_OR_RETURN(dispatchers, args.GetU64("dispatchers", 0));
+  KELPIE_ASSIGN_OR_RETURN(max_queue, args.GetU64("max-queue", 256));
+  KELPIE_ASSIGN_OR_RETURN(max_batch, args.GetU64("max-batch", 16));
+  KELPIE_ASSIGN_OR_RETURN(threads, args.GetU64("threads", 1));
+  if (pool == 0) return Status::InvalidArgument("--pool must be >= 1");
+  if (max_batch == 0) {
+    return Status::InvalidArgument("--max-batch must be >= 1");
+  }
+  options.pool_size = pool;
+  options.dispatchers = dispatchers;
+  options.max_queue_depth = max_queue;
+  options.max_batch = max_batch;
+  options.kelpie.num_threads = threads;
+  CancelToken cancel;
+  WireCancelToSignals(cancel);
+  options.cancel = cancel;
+
+  Result<std::unique_ptr<serve::Server>> server =
+      serve::Server::Create(args.Get("model-file"), *dataset, options);
+  if (!server.ok()) return server.status();
+
+  serve::TcpServerOptions tcp;
+  tcp.host = args.Get("host", "127.0.0.1");
+  uint64_t port = 0;
+  KELPIE_ASSIGN_OR_RETURN(port, args.GetU64("port", 0));
+  if (port > 65535) return Status::InvalidArgument("--port must be <= 65535");
+  tcp.port = static_cast<int>(port);
+  tcp.cancel = cancel;
+  serve::TcpServer front(**server, tcp);
+  KELPIE_RETURN_IF_ERROR(front.Start());
+  std::printf("serving on %s:%d (pool %zu, queue %zu, batch %zu)\n",
+              tcp.host.c_str(), front.port(), options.pool_size,
+              options.max_queue_depth, options.max_batch);
+  std::fflush(stdout);
+  front.Run();
+  (*server)->Stop();
+  std::printf("serve stopped\n");
+  return Status::Ok();
+}
+
+Status CmdServeClient(const Args& args) {
+  serve::ClientOptions options;
+  options.host = args.Get("host", "127.0.0.1");
+  uint64_t port = 0, connections = 0;
+  KELPIE_ASSIGN_OR_RETURN(port, args.GetU64("port", 0));
+  if (port == 0 || port > 65535) {
+    return Status::InvalidArgument("--port PORT is required");
+  }
+  options.port = static_cast<int>(port);
+  KELPIE_ASSIGN_OR_RETURN(connections, args.GetU64("connections", 1));
+  options.connections = connections;
+
+  std::vector<std::string> lines;
+  if (args.Has("in")) {
+    std::ifstream in(args.Get("in"));
+    if (!in) return Status::IoError("cannot open " + args.Get("in"));
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) lines.push_back(line);
+    }
+  } else {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!line.empty()) lines.push_back(line);
+    }
+  }
+  if (lines.empty()) {
+    return Status::InvalidArgument(
+        "no request lines (pass --in FILE or pipe them on stdin)");
+  }
+  Result<std::vector<std::string>> responses =
+      serve::RunClientBatch(options, lines);
+  if (!responses.ok()) return responses.status();
+  for (const std::string& response : *responses) {
+    std::printf("%s\n", response.c_str());
   }
   return Status::Ok();
 }
@@ -593,7 +731,14 @@ int Usage() {
       "[--per-relation] [--threads N] [--metrics-out FILE]\n"
       "  explain  --data DIR --model-file FILE --head H --relation R "
       "--tail T [--sufficient] [--head-query] [--threads N] "
-      "[--work-budget N] [--per-prediction-timeout S] [--metrics-out FILE]\n"
+      "[--work-budget N] [--per-prediction-timeout S] [--metrics-out FILE] "
+      "[--canonical] [--id N]\n"
+      "  score    --data DIR --model-file FILE --head H --relation R "
+      "--tail T [--canonical] [--id N]\n"
+      "  serve    --data DIR --model-file FILE [--host ADDR] [--port N] "
+      "[--pool N] [--dispatchers N] [--max-queue N] [--max-batch N] "
+      "[--threads N] [--metrics-out FILE]\n"
+      "  serve-client --port N [--host ADDR] [--connections N] [--in FILE]\n"
       "  audit    --data DIR --model-file FILE --relation R [--limit N] "
       "[--threads N]\n"
       "  xp       --data DIR --model-file FILE --scenario "
@@ -602,6 +747,17 @@ int Usage() {
       "[--per-prediction-timeout S] [--deadline S] [--retry-truncated] "
       "[--metrics-out FILE]\n"
       "  metrics  [--demo] [--json] [--out FILE]\n"
+      "serving:\n"
+      "  kelpie serve                newline-delimited-JSON TCP service over\n"
+      "                              a pool of pre-loaded model instances\n"
+      "                              (score/explain/ping/stats/shutdown ops;\n"
+      "                              port 0 picks an ephemeral port).\n"
+      "                              Responses are byte-identical to the\n"
+      "                              one-shot `score --canonical` /\n"
+      "                              `explain --canonical` output\n"
+      "  kelpie serve-client         sends request lines (stdin or --in) over\n"
+      "                              N connections, prints responses sorted\n"
+      "                              by id\n"
       "models: TransE ComplEx ConvE DistMult RotatE\n"
       "datasets: FB15k FB15k-237 WN18 WN18RR YAGO3-10\n"
       "observability:\n"
@@ -653,6 +809,13 @@ int Run(int argc, char** argv) {
   } else if (command == "explain") {
     MetricsSink sink(args);
     status = sink.Finish(CmdExplain(args));
+  } else if (command == "score") {
+    status = CmdScore(args);
+  } else if (command == "serve") {
+    MetricsSink sink(args);
+    status = sink.Finish(CmdServe(args));
+  } else if (command == "serve-client") {
+    status = CmdServeClient(args);
   } else if (command == "audit") {
     status = CmdAudit(args);
   } else if (command == "xp") {
