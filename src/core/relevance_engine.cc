@@ -138,17 +138,25 @@ RelevanceEngine::RelevanceEngine(const LinkPredictionModel& model,
 
 std::vector<float> RelevanceEngine::PostTrain(
     EntityId entity, const std::vector<Triple>& facts) {
-  post_training_count_.fetch_add(1, std::memory_order_relaxed);
-  Rng rng(PostTrainSeed(options_.seed, entity, facts));
-  std::vector<float> mimic = model_.PostTrainMimic(dataset_, entity, facts, rng);
-  // Fault injection: simulate an unrecoverable per-candidate divergence.
-  // Keyed on the entity so tests can poison one baseline deterministically.
-  if (failpoint::Fire("engine.post_train.diverge",
-                      static_cast<uint64_t>(static_cast<uint32_t>(entity))) &&
-      !mimic.empty()) {
-    mimic[0] = std::numeric_limits<float>::quiet_NaN();
-  }
-  return mimic;
+  auto compute = [&]() -> std::vector<float> {
+    post_training_count_.fetch_add(1, std::memory_order_relaxed);
+    Rng rng(PostTrainSeed(options_.seed, entity, facts));
+    std::vector<float> mimic =
+        model_.PostTrainMimic(dataset_, entity, facts, rng);
+    // Fault injection: simulate an unrecoverable per-candidate divergence.
+    // Keyed on the entity so tests can poison one baseline deterministically.
+    if (failpoint::Fire("engine.post_train.diverge",
+                        static_cast<uint64_t>(static_cast<uint32_t>(entity))) &&
+        !mimic.empty()) {
+      mimic[0] = std::numeric_limits<float>::quiet_NaN();
+    }
+    return mimic;
+  };
+  // The mimic is a pure function of (model parameters, seed, entity, facts),
+  // so a persistent-cache answer is bitwise identical to computing: caching
+  // changes latency and post_training_count(), never result bytes.
+  if (options_.relevance_cache == nullptr) return compute();
+  return options_.relevance_cache->GetOrCompute(entity, facts, compute);
 }
 
 int RelevanceEngine::RankWithMimic(const Triple& prediction,

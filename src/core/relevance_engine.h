@@ -12,6 +12,7 @@
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "core/explanation.h"
+#include "core/relevance_cache.h"
 #include "kgraph/dataset.h"
 #include "math/rng.h"
 #include "models/model.h"
@@ -48,6 +49,15 @@ struct RelevanceEngineOptions {
   /// any thread count produces the same relevances as num_threads = 1.
   /// 1 = sequential (no pool is created).
   size_t num_threads = 1;
+  /// Optional persistent cross-request post-training cache (DESIGN.md §13).
+  /// When set, PostTrain answers from the cache where possible; because a
+  /// mimic is a pure function of (model parameters, seed, entity, facts), a
+  /// cached answer is bitwise identical to a recompute and explanations are
+  /// byte-identical with the cache off, cold or warm. The cache must have
+  /// been opened with ComputeModelFingerprint(model, seed) of *this* engine's
+  /// model and seed; engines of a serving pool share one instance, which
+  /// extends single-flight across concurrent extractions.
+  std::shared_ptr<RelevanceCache> relevance_cache;
 };
 
 /// The Relevance Engine (Section 4.2) estimates the effect that adding or

@@ -2,6 +2,7 @@
 #define KELPIE_SERVE_CLIENT_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -15,19 +16,45 @@ struct ClientOptions {
   int port = 0;
   /// Concurrent TCP connections the request lines are spread across.
   size_t connections = 1;
+  /// Re-send budget per request for retriable failures: an `Unavailable`
+  /// response (admission shed), a connection reset before the response
+  /// arrived, or a refused connect. 0 = fail fast (one attempt).
+  size_t max_retries = 3;
+  /// First retry delay; doubles per round up to the cap. Jitter is
+  /// deterministic, derived from (retry_seed, connection, round) — a
+  /// replayed batch backs off identically.
+  double retry_backoff_seconds = 0.05;
+  double retry_backoff_cap_seconds = 1.0;
+  uint64_t retry_seed = 1;
 };
 
-/// Drives a `kelpie serve` endpoint with a batch of request lines and
-/// returns every response line, sorted by response id (then textually for
-/// id-less lines) so the output is stable no matter how requests interleave
-/// across connections. Lines are distributed round-robin over
-/// `options.connections` connections; each connection writes its share,
-/// half-closes, and reads to EOF.
+struct ClientBatchResult {
+  /// Exactly one response line per request line, sorted by response id
+  /// (then textually for id-less lines). A request whose retries were
+  /// exhausted carries its last error response — or a synthesized
+  /// {"ok":false,"code":"Unavailable",...} line if the connection died
+  /// before any response arrived.
+  std::vector<std::string> responses;
+  /// Re-send attempts performed across all requests.
+  size_t retries = 0;
+  /// Requests that exhausted their retry budget (the CLI exits nonzero
+  /// only when this is > 0).
+  size_t exhausted = 0;
+};
+
+/// Drives a `kelpie serve` endpoint with a batch of request lines. Lines
+/// are distributed round-robin over `options.connections` connections; each
+/// connection writes its share, half-closes, and reads to EOF. Responses
+/// match requests positionally per connection (the server answers each
+/// connection FIFO), so shed and reset requests are identified exactly and
+/// retried with capped exponential backoff — one failing request degrades
+/// to its own error line instead of aborting the whole batch.
 ///
-/// Fails if any connection breaks before EOF or the response count does not
-/// match the request count.
-Result<std::vector<std::string>> RunClientBatch(
-    const ClientOptions& options, const std::vector<std::string>& lines);
+/// Fails (Result error) only on invalid arguments (e.g. a bad host);
+/// network-level failures surface as per-request error lines and the
+/// `exhausted` counter.
+Result<ClientBatchResult> RunClientBatch(const ClientOptions& options,
+                                         const std::vector<std::string>& lines);
 
 }  // namespace serve
 }  // namespace kelpie

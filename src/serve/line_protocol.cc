@@ -240,7 +240,7 @@ Result<LineRequest> ParseRequestLine(std::string_view line) {
     return Status::InvalidArgument("request line is missing \"op\"");
   }
   if (req.op != "score" && req.op != "explain" && req.op != "ping" &&
-      req.op != "stats" && req.op != "shutdown") {
+      req.op != "stats" && req.op != "shutdown" && req.op != "health") {
     return Status::InvalidArgument("unknown op '" + req.op + "'");
   }
   KELPIE_ASSIGN_OR_RETURN(req.head, ReadString(fields, "head"));
@@ -337,6 +337,14 @@ std::string StatsResponseLine(uint64_t id, size_t queue_depth,
   AppendField(&out, "pool_size", std::to_string(pool_size), false);
   AppendField(&out, "max_queue_depth", std::to_string(max_queue_depth),
               false);
+  out.push_back('}');
+  return out;
+}
+
+std::string HealthResponseLine(uint64_t id, bool draining) {
+  std::string out = LinePrefix(id, true);
+  AppendField(&out, "op", "health", true);
+  AppendField(&out, "state", draining ? "draining" : "ready", true);
   out.push_back('}');
   return out;
 }

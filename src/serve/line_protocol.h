@@ -37,7 +37,7 @@ namespace serve {
 
 struct LineRequest {
   uint64_t id = 0;
-  /// "score", "explain", "ping", "stats" or "shutdown".
+  /// "score", "explain", "ping", "stats", "health" or "shutdown".
   std::string op;
   std::string head;
   std::string relation;
@@ -80,6 +80,10 @@ std::string ErrorResponseLine(uint64_t id, const Status& status);
 std::string PingResponseLine(uint64_t id);
 std::string StatsResponseLine(uint64_t id, size_t queue_depth,
                               size_t pool_size, size_t max_queue_depth);
+/// {"id":N,"ok":true,"op":"health","state":"ready"|"draining"} — draining
+/// once shutdown has been requested (drain in progress, no new
+/// connections); ready otherwise.
+std::string HealthResponseLine(uint64_t id, bool draining);
 std::string ShutdownResponseLine(uint64_t id);
 
 /// Extracts the "id" field of a response (or request) line without a full

@@ -1,5 +1,6 @@
 #include "serve/server.h"
 
+#include <cstdio>
 #include <exception>
 #include <utility>
 
@@ -105,6 +106,15 @@ void Server::Stop() {
   queue_.Close();
   for (std::thread& t : dispatchers_) t.join();
   dispatchers_.clear();
+  // Drained: persist the shared relevance cache so the warm state survives
+  // the restart. A failed flush only costs the next process its warm start.
+  if (options_.kelpie.engine.relevance_cache != nullptr) {
+    Status flushed = options_.kelpie.engine.relevance_cache->Flush();
+    if (!flushed.ok()) {
+      std::fprintf(stderr, "serve: relevance-cache flush failed: %s\n",
+                   flushed.ToString().c_str());
+    }
+  }
 }
 
 bool Server::Enqueue(Pending& pending) {

@@ -154,6 +154,14 @@ void TcpServer::HandleLine(const std::string& line, ConnectionPipeline& out) {
     out.Push(std::move(slot));
     return;
   }
+  if (req.op == "health") {
+    // Readiness for load balancers and the chaos-smoke job: "draining"
+    // once shutdown was requested (pipelined lines received before the
+    // drain still get answers; new connections are refused).
+    slot.ready = HealthResponseLine(req.id, shutdown_requested());
+    out.Push(std::move(slot));
+    return;
+  }
   if (req.op == "stats") {
     slot.ready = StatsResponseLine(req.id, server_.queue_depth(),
                                    server_.pool().size(),
@@ -253,8 +261,10 @@ void TcpServer::HandleConnection(int fd) {
       buffer.erase(0, newline + 1);
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
+      // Lines already buffered are in-flight work: a drain (shutdown op or
+      // SIGTERM) finishes them instead of dropping them mid-parse — the
+      // outer loop stops *reading* once shutdown is requested.
       HandleLine(line, pipeline);
-      if (shutdown_requested()) break;
     }
   }
   pipeline.Finish();

@@ -156,6 +156,19 @@ def main():
             ("Bench/pool", "ns/req", "baseline", "delta", ""),
             serve_rows(baseline, current, args.threshold)))
         out.append("")
+    if "warm_cache" in current:
+        w = current["warm_cache"]
+        base_w = baseline.get("warm_cache")
+        base_speedup = (f"{base_w['speedup']:.1f}x"
+                        if base_w is not None else "-")
+        out.append("### Warm relevance cache (repeated explains)")
+        out.append("")
+        out.append(markdown_table(
+            ("cold ns/req", "warm ns/req", "speedup", "baseline speedup"),
+            [(f"{w['cold_ns_per_request']:.0f}",
+              f"{w['warm_ns_per_request']:.0f}",
+              f"{w['speedup']:.1f}x", base_speedup)]))
+        out.append("")
     out.append(f"Rows slower than baseline by more than "
                f"{args.threshold:.0%} are flagged. Report-only: this step "
                f"never fails the build.")

@@ -1,0 +1,197 @@
+#!/usr/bin/env bash
+# chaos-smoke: fault-injection end-to-end check of the relevance cache and
+# the serving layer's resilience (EXPERIMENTS.md, "chaos-smoke").
+#
+#   1. Generates a toy dataset, trains a TransE model, and records the
+#      reference `explain --canonical` bytes with no cache.
+#   2. Replays the same explain with the persistent relevance cache cold,
+#      warm, and after every corruption failpoint (torn tail, bit flip,
+#      stale fingerprint, crashed atomic write) — every run must produce
+#      byte-identical output and exit 0: corruption is a cache miss, never
+#      an error.
+#   3. Inspects the corrupted files with `kelpie cache stats` and purges
+#      with `kelpie cache purge` (idempotent).
+#   4. Serve resilience: health answers "ready"; a pipelined
+#      shutdown+health answers "draining"; the server drains buffered work
+#      and exits 0 on SIGTERM; a shedding server (queue depth 1) is
+#      absorbed by serve-client retries (exit 0, every response ok); a
+#      dead endpoint exhausts retries into per-request error lines and a
+#      nonzero exit.
+#
+# Usage: tools/chaos_smoke.sh [path/to/kelpie]
+set -euo pipefail
+
+KELPIE="${1:-build/tools/kelpie}"
+WORK="$(mktemp -d /tmp/kelpie_chaos_smoke.XXXXXX)"
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "chaos-smoke: FAIL: $1" >&2
+  echo "--- serve log ---" >&2
+  cat "$WORK/serve.log" >&2 || true
+  exit 1
+}
+
+echo "== generate + train toy model"
+"$KELPIE" generate --dataset FB15k-237 --scale 0.4 --seed 7 \
+  --out "$WORK/data"
+"$KELPIE" train --data "$WORK/data" --model TransE --seed 42 \
+  --epochs 40 --dim 32 --out "$WORK/model.bin"
+
+HEAD=Person_8
+REL=nationality
+TAIL=Country_4
+CACHE="$WORK/relevance.kelprc"
+
+explain_canonical() {  # $1 = output file, extra args follow
+  local out="$1"; shift
+  "$KELPIE" explain --data "$WORK/data" --model-file "$WORK/model.bin" \
+    --head "$HEAD" --relation "$REL" --tail "$TAIL" \
+    --canonical --id 3 "$@" > "$out" \
+    || fail "explain exited non-zero ($*)"
+}
+
+echo "== reference bytes (no cache)"
+explain_canonical "$WORK/reference.txt"
+
+echo "== cold cache run"
+explain_canonical "$WORK/cold.txt" --relevance-cache "$CACHE"
+diff -u "$WORK/reference.txt" "$WORK/cold.txt" \
+  || fail "cold cache changed the explanation bytes"
+[ -s "$CACHE" ] || fail "cold run did not write the cache file"
+
+echo "== warm cache run"
+explain_canonical "$WORK/warm.txt" --relevance-cache "$CACHE"
+diff -u "$WORK/reference.txt" "$WORK/warm.txt" \
+  || fail "warm cache changed the explanation bytes"
+"$KELPIE" cache stats --file "$CACHE" > "$WORK/stats_warm.txt"
+grep -Eq 'header +ok' "$WORK/stats_warm.txt" \
+  || fail "warm cache header not ok: $(cat "$WORK/stats_warm.txt")"
+grep -Eq 'torn tail +no' "$WORK/stats_warm.txt" \
+  || fail "warm cache unexpectedly torn"
+
+echo "== corruption matrix: every failpoint recovers to identical bytes"
+# Each round: one run with the failpoint armed leaves a damaged file
+# behind (the explanation itself must already be unaffected), then an
+# unarmed run loads the damage, recovers, and rewrites a clean file.
+for fp in cache.partial_write cache.bit_flip 'cache.stale_fingerprint:*:forever'; do
+  name="${fp%%:*}"
+  echo "   -- $name"
+  KELPIE_FAILPOINTS="$fp" \
+    explain_canonical "$WORK/inject_$name.txt" --relevance-cache "$CACHE"
+  diff -u "$WORK/reference.txt" "$WORK/inject_$name.txt" \
+    || fail "$name: bytes changed during the injection run"
+  "$KELPIE" cache stats --file "$CACHE" > "$WORK/stats_$name.txt" \
+    || fail "$name: cache stats failed on the damaged file"
+  explain_canonical "$WORK/recover_$name.txt" --relevance-cache "$CACHE"
+  diff -u "$WORK/reference.txt" "$WORK/recover_$name.txt" \
+    || fail "$name: bytes changed after recovery"
+done
+grep -Eq 'torn tail +yes' "$WORK/stats_cache.partial_write.txt" \
+  || fail "partial_write left no torn tail: $(cat "$WORK/stats_cache.partial_write.txt")"
+grep -Eq 'corrupt +1' "$WORK/stats_cache.bit_flip.txt" \
+  || fail "bit_flip left no corrupt entry: $(cat "$WORK/stats_cache.bit_flip.txt")"
+
+echo "== crashed atomic write keeps the previous file"
+BEFORE="$(wc -c < "$CACHE")"
+KELPIE_FAILPOINTS=atomic_file.partial_write \
+  explain_canonical "$WORK/crash.txt" --relevance-cache "$CACHE"
+diff -u "$WORK/reference.txt" "$WORK/crash.txt" \
+  || fail "crashed flush changed the explanation bytes"
+AFTER="$(wc -c < "$CACHE")"
+[ "$BEFORE" = "$AFTER" ] \
+  || fail "crashed flush altered the cache file ($BEFORE -> $AFTER bytes)"
+
+echo "== cache purge is idempotent"
+"$KELPIE" cache purge --file "$CACHE" || fail "purge failed"
+[ ! -e "$CACHE" ] || fail "purge left the cache file behind"
+"$KELPIE" cache purge --file "$CACHE" || fail "second purge failed"
+
+start_serve() {  # extra serve flags follow
+  : > "$WORK/serve.log"
+  "$KELPIE" serve --data "$WORK/data" --model-file "$WORK/model.bin" \
+    --port 0 "$@" > "$WORK/serve.log" &
+  SERVE_PID=$!
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT="$(sed -n 's/^serving on [^:]*:\([0-9]*\).*/\1/p' "$WORK/serve.log")"
+    [ -n "$PORT" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || fail "server exited during startup"
+    sleep 0.2
+  done
+  [ -n "$PORT" ] || fail "server did not announce a port"
+}
+
+echo "== serve: health, drain via shutdown, warm cache across requests"
+start_serve --pool 2 --threads 2 --relevance-cache "$CACHE"
+echo '{"id":1,"op":"health"}' | \
+  "$KELPIE" serve-client --port "$PORT" > "$WORK/health.txt"
+grep -q '"state":"ready"' "$WORK/health.txt" \
+  || fail "health did not answer ready: $(cat "$WORK/health.txt")"
+cat > "$WORK/explains.txt" <<EOF
+{"id":2,"op":"explain","head":"$HEAD","relation":"$REL","tail":"$TAIL"}
+{"id":3,"op":"explain","head":"$HEAD","relation":"$REL","tail":"$TAIL"}
+EOF
+"$KELPIE" serve-client --port "$PORT" --in "$WORK/explains.txt" \
+  > "$WORK/served_explains.txt"
+# Both served lines (cold then cache-warm) must match the one-shot bytes
+# (the reference carries id 3; normalize the served ids before diffing).
+sed 's/"id":2/"id":3/' "$WORK/served_explains.txt" | sort -u \
+  > "$WORK/served_unique.txt"
+[ "$(wc -l < "$WORK/served_unique.txt")" = "1" ] \
+  || fail "repeated served explains differ from each other"
+diff -u "$WORK/reference.txt" "$WORK/served_unique.txt" \
+  || fail "served explain differs from one-shot bytes"
+# Pipelined shutdown+health on one connection: the drain finishes buffered
+# lines, so the health line gets an answer — and it must say draining.
+printf '{"id":8,"op":"shutdown"}\n{"id":9,"op":"health"}\n' | \
+  "$KELPIE" serve-client --port "$PORT" > "$WORK/drain.txt"
+grep -q '"id":9.*"state":"draining"' "$WORK/drain.txt" \
+  || fail "health during drain did not answer draining: $(cat "$WORK/drain.txt")"
+wait "$SERVE_PID" || fail "server exited non-zero after shutdown drain"
+SERVE_PID=""
+[ -s "$CACHE" ] || fail "server did not flush the relevance cache on stop"
+
+echo "== serve: SIGTERM drains and exits 0"
+start_serve --pool 1
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || fail "server exited non-zero on SIGTERM"
+SERVE_PID=""
+grep -q 'serve stopped' "$WORK/serve.log" \
+  || fail "server did not report a clean stop"
+
+echo "== serve-client: retries absorb admission shedding"
+start_serve --pool 1 --max-queue 1 --threads 1
+: > "$WORK/burst.txt"
+for i in $(seq 1 16); do
+  echo "{\"id\":$i,\"op\":\"explain\",\"head\":\"$HEAD\",\"relation\":\"$REL\",\"tail\":\"$TAIL\"}" \
+    >> "$WORK/burst.txt"
+done
+"$KELPIE" serve-client --port "$PORT" --connections 8 --retries 10 \
+  --retry-backoff 0.02 --in "$WORK/burst.txt" \
+  > "$WORK/burst_responses.txt" 2> "$WORK/burst_err.txt" \
+  || fail "retrying client exited non-zero: $(cat "$WORK/burst_err.txt")"
+[ "$(grep -c '"ok":true' "$WORK/burst_responses.txt")" = "16" ] \
+  || fail "not every burst request succeeded after retries"
+echo '{"id":99,"op":"shutdown"}' | \
+  "$KELPIE" serve-client --port "$PORT" > /dev/null
+wait "$SERVE_PID" || fail "server exited non-zero"
+SERVE_PID=""
+
+echo "== serve-client: a dead endpoint exhausts retries into error lines"
+set +e
+echo '{"id":1,"op":"ping"}' | \
+  "$KELPIE" serve-client --port "$PORT" --retries 1 --retry-backoff 0.01 \
+  > "$WORK/dead.txt" 2> "$WORK/dead_err.txt"
+DEAD_RC=$?
+set -e
+[ "$DEAD_RC" -ne 0 ] || fail "client exited 0 against a dead endpoint"
+grep -q '"id":1.*"ok":false.*"code":"Unavailable"' "$WORK/dead.txt" \
+  || fail "no per-request error line for the dead endpoint: $(cat "$WORK/dead.txt")"
+
+echo "chaos-smoke: OK"

@@ -52,6 +52,7 @@
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "core/kelpie.h"
+#include "core/relevance_cache.h"
 #include "datagen/datasets.h"
 #include "datagen/generator.h"
 #include "eval/breakdown.h"
@@ -73,8 +74,10 @@ namespace {
 /// takes a value except the boolean switches listed in IsSwitch.
 class Args {
  public:
-  Args(int argc, char** argv) {
-    for (int i = 2; i < argc; ++i) {
+  /// `start` is the first argv index to parse — 2 for `kelpie <cmd> ...`,
+  /// 3 for commands with a verb (`kelpie cache stats ...`).
+  Args(int argc, char** argv, int start = 2) {
+    for (int i = start; i < argc; ++i) {
       std::string key = argv[i];
       if (key.rfind("--", 0) != 0) {
         error_ = "unexpected argument: " + key;
@@ -178,6 +181,35 @@ class MetricsSink {
  private:
   std::string path_;
 };
+
+/// --relevance-cache / --cache-bytes support (explain, serve): opens the
+/// persistent post-training cache keyed by the model's fingerprint.
+/// Returns nullptr when the flag is absent.
+Result<std::shared_ptr<RelevanceCache>> OpenCacheFlag(
+    const Args& args, const LinkPredictionModel& model, uint64_t engine_seed) {
+  if (!args.Has("relevance-cache")) {
+    return std::shared_ptr<RelevanceCache>(nullptr);
+  }
+  RelevanceCacheOptions options;
+  options.path = args.Get("relevance-cache");
+  options.fingerprint = ComputeModelFingerprint(model, engine_seed);
+  uint64_t max_bytes = 0;
+  KELPIE_ASSIGN_OR_RETURN(max_bytes,
+                          args.GetU64("cache-bytes", 64ull << 20));
+  options.max_bytes = max_bytes;
+  return RelevanceCache::Open(std::move(options));
+}
+
+/// Persists the cache at command end. A failed flush costs the next run its
+/// warm start, never this run's result — warn and move on.
+void FlushCache(const std::shared_ptr<RelevanceCache>& cache) {
+  if (cache == nullptr) return;
+  Status flushed = cache->Flush();
+  if (!flushed.ok()) {
+    std::fprintf(stderr, "warning: relevance-cache flush failed: %s\n",
+                 flushed.ToString().c_str());
+  }
+}
 
 Result<Dataset> LoadData(const Args& args) {
   if (!args.Has("data")) {
@@ -360,6 +392,9 @@ Status CmdExplain(const Args& args) {
   uint64_t threads = 0;
   KELPIE_ASSIGN_OR_RETURN(threads, args.GetU64("threads", 1));
   options.num_threads = threads;
+  KELPIE_ASSIGN_OR_RETURN(
+      options.engine.relevance_cache,
+      OpenCacheFlag(args, **model, options.engine.seed));
   CancelToken cancel;
   WireCancelToSignals(cancel);
   ExtractionLimits limits;
@@ -375,6 +410,9 @@ Status CmdExplain(const Args& args) {
   } else {
     x = kelpie.ExplainNecessary(*prediction, target, nullptr, limits);
   }
+  // Persist before printing: every exit path below (including cancelled
+  // best-effort results) keeps the relevance work it already paid for.
+  FlushCache(options.engine.relevance_cache);
   if (args.Has("canonical")) {
     // The exact bytes `kelpie serve` sends for this request: the serve-smoke
     // CI job diffs this one-shot output against the served responses.
@@ -463,9 +501,22 @@ Status CmdServe(const Args& args) {
   options.max_queue_depth = max_queue;
   options.max_batch = max_batch;
   options.kelpie.num_threads = threads;
-  CancelToken cancel;
-  WireCancelToSignals(cancel);
-  options.cancel = cancel;
+  if (args.Has("relevance-cache")) {
+    // The pool loads its own model copies; this load exists only to compute
+    // the cache fingerprint, and is dropped before the server starts.
+    Result<std::unique_ptr<LinkPredictionModel>> model =
+        LoadModel(args.Get("model-file"));
+    if (!model.ok()) return model.status();
+    KELPIE_ASSIGN_OR_RETURN(
+        options.kelpie.engine.relevance_cache,
+        OpenCacheFlag(args, **model, options.kelpie.engine.seed));
+  }
+  // SIGTERM/SIGINT drain the front-end only: the listener stops accepting
+  // and reading, but in-flight extractions keep an untriggered cancel token
+  // so buffered requests finish before the process exits 0.
+  CancelToken drain;
+  WireCancelToSignals(drain);
+  options.cancel = CancelToken();
 
   Result<std::unique_ptr<serve::Server>> server =
       serve::Server::Create(args.Get("model-file"), *dataset, options);
@@ -477,7 +528,7 @@ Status CmdServe(const Args& args) {
   KELPIE_ASSIGN_OR_RETURN(port, args.GetU64("port", 0));
   if (port > 65535) return Status::InvalidArgument("--port must be <= 65535");
   tcp.port = static_cast<int>(port);
-  tcp.cancel = cancel;
+  tcp.cancel = drain;
   serve::TcpServer front(**server, tcp);
   KELPIE_RETURN_IF_ERROR(front.Start());
   std::printf("serving on %s:%d (pool %zu, queue %zu, batch %zu)\n",
@@ -501,6 +552,19 @@ Status CmdServeClient(const Args& args) {
   options.port = static_cast<int>(port);
   KELPIE_ASSIGN_OR_RETURN(connections, args.GetU64("connections", 1));
   options.connections = connections;
+  uint64_t retries = 0, retry_seed = 0;
+  KELPIE_ASSIGN_OR_RETURN(retries, args.GetU64("retries", 3));
+  KELPIE_ASSIGN_OR_RETURN(retry_seed, args.GetU64("retry-seed", 1));
+  options.max_retries = retries;
+  options.retry_seed = retry_seed;
+  KELPIE_ASSIGN_OR_RETURN(options.retry_backoff_seconds,
+                          args.GetDouble("retry-backoff", 0.05));
+  KELPIE_ASSIGN_OR_RETURN(options.retry_backoff_cap_seconds,
+                          args.GetDouble("retry-backoff-cap", 1.0));
+  if (options.retry_backoff_seconds < 0.0 ||
+      options.retry_backoff_cap_seconds < 0.0) {
+    return Status::InvalidArgument("retry backoff values must be >= 0");
+  }
 
   std::vector<std::string> lines;
   if (args.Has("in")) {
@@ -520,13 +584,64 @@ Status CmdServeClient(const Args& args) {
     return Status::InvalidArgument(
         "no request lines (pass --in FILE or pipe them on stdin)");
   }
-  Result<std::vector<std::string>> responses =
+  Result<serve::ClientBatchResult> batch =
       serve::RunClientBatch(options, lines);
-  if (!responses.ok()) return responses.status();
-  for (const std::string& response : *responses) {
+  if (!batch.ok()) return batch.status();
+  for (const std::string& response : batch->responses) {
     std::printf("%s\n", response.c_str());
   }
+  if (batch->retries > 0) {
+    std::fprintf(stderr, "serve-client: %zu retries performed\n",
+                 batch->retries);
+  }
+  if (batch->exhausted > 0) {
+    // Every request still produced a response line above; the nonzero exit
+    // tells scripts that some of them are the synthesized/final errors.
+    return Status::Unavailable(std::to_string(batch->exhausted) +
+                               " request(s) exhausted their retry budget");
+  }
   return Status::Ok();
+}
+
+/// `kelpie cache <verb> --file PATH`: offline maintenance of a relevance
+/// cache file. `stats` parses it with the loader's recovery rules (against
+/// its own header fingerprint) and reports what a matching model would
+/// load; `purge` deletes it (missing is fine — purge is idempotent).
+Status CmdCache(const std::string& verb, const Args& args) {
+  if (!args.Has("file")) {
+    return Status::InvalidArgument("--file PATH is required");
+  }
+  const std::string path = args.Get("file");
+  if (verb == "stats") {
+    Result<RelevanceCacheFileInfo> info = RelevanceCache::Inspect(path);
+    if (!info.ok()) return info.status();
+    std::printf("file          %s\n", path.c_str());
+    std::printf("file bytes    %zu\n", info->file_bytes);
+    std::printf("header        %s\n", info->header_ok ? "ok" : "corrupt");
+    if (!info->header_ok) {
+      std::printf("(a matching model loads this file as an empty cache)\n");
+      return Status::Ok();
+    }
+    std::printf("fingerprint   %016llx\n",
+                static_cast<unsigned long long>(info->fingerprint));
+    std::printf("entries       %zu\n", info->entries);
+    std::printf("payload bytes %zu\n", info->payload_bytes);
+    std::printf("corrupt       %llu\n",
+                static_cast<unsigned long long>(info->corrupt_entries));
+    std::printf("torn tail     %s\n", info->torn_tail ? "yes" : "no");
+    return Status::Ok();
+  }
+  if (verb == "purge") {
+    std::error_code ec;
+    const bool removed = std::filesystem::remove(path, ec);
+    if (ec) {
+      return Status::IoError("purge " + path + ": " + ec.message());
+    }
+    std::printf(removed ? "purged %s\n" : "no cache at %s\n", path.c_str());
+    return Status::Ok();
+  }
+  return Status::InvalidArgument("unknown cache verb '" + verb +
+                                 "' (expected stats|purge)");
 }
 
 Status CmdAudit(const Args& args) {
@@ -732,13 +847,17 @@ int Usage() {
       "  explain  --data DIR --model-file FILE --head H --relation R "
       "--tail T [--sufficient] [--head-query] [--threads N] "
       "[--work-budget N] [--per-prediction-timeout S] [--metrics-out FILE] "
-      "[--canonical] [--id N]\n"
+      "[--canonical] [--id N] [--relevance-cache FILE] [--cache-bytes N]\n"
       "  score    --data DIR --model-file FILE --head H --relation R "
       "--tail T [--canonical] [--id N]\n"
       "  serve    --data DIR --model-file FILE [--host ADDR] [--port N] "
       "[--pool N] [--dispatchers N] [--max-queue N] [--max-batch N] "
-      "[--threads N] [--metrics-out FILE]\n"
-      "  serve-client --port N [--host ADDR] [--connections N] [--in FILE]\n"
+      "[--threads N] [--metrics-out FILE] [--relevance-cache FILE] "
+      "[--cache-bytes N]\n"
+      "  serve-client --port N [--host ADDR] [--connections N] [--in FILE] "
+      "[--retries N] [--retry-backoff S] [--retry-backoff-cap S] "
+      "[--retry-seed N]\n"
+      "  cache    stats|purge --file FILE\n"
       "  audit    --data DIR --model-file FILE --relation R [--limit N] "
       "[--threads N]\n"
       "  xp       --data DIR --model-file FILE --scenario "
@@ -750,14 +869,27 @@ int Usage() {
       "serving:\n"
       "  kelpie serve                newline-delimited-JSON TCP service over\n"
       "                              a pool of pre-loaded model instances\n"
-      "                              (score/explain/ping/stats/shutdown ops;\n"
-      "                              port 0 picks an ephemeral port).\n"
-      "                              Responses are byte-identical to the\n"
-      "                              one-shot `score --canonical` /\n"
-      "                              `explain --canonical` output\n"
+      "                              (score/explain/ping/health/stats/\n"
+      "                              shutdown ops; port 0 picks an ephemeral\n"
+      "                              port). Responses are byte-identical to\n"
+      "                              the one-shot `score --canonical` /\n"
+      "                              `explain --canonical` output.\n"
+      "                              SIGTERM/shutdown drain: buffered\n"
+      "                              requests finish, new connections are\n"
+      "                              refused, health answers \"draining\"\n"
       "  kelpie serve-client         sends request lines (stdin or --in) over\n"
       "                              N connections, prints responses sorted\n"
-      "                              by id\n"
+      "                              by id; shed (Unavailable) and reset\n"
+      "                              requests are retried with capped\n"
+      "                              exponential backoff + deterministic\n"
+      "                              jitter; exits nonzero only when a\n"
+      "                              request exhausts --retries\n"
+      "  --relevance-cache FILE      on explain/serve: persistent CRC-framed\n"
+      "                              post-training cache keyed by the model\n"
+      "                              fingerprint; corruption degrades to\n"
+      "                              recomputing (never wrong bytes).\n"
+      "                              `kelpie cache stats|purge --file FILE`\n"
+      "                              inspects or deletes it offline\n"
       "models: TransE ComplEx ConvE DistMult RotatE\n"
       "datasets: FB15k FB15k-237 WN18 WN18RR YAGO3-10\n"
       "observability:\n"
@@ -785,7 +917,9 @@ int Usage() {
       "  is a value or '*', times a count or 'forever'. Known failpoints:\n"
       "    train.diverge (value = epoch), engine.post_train.diverge\n"
       "    (value = entity id), pipeline.interrupt (value = prediction\n"
-      "    index), atomic_file.partial_write, atomic_file.rename\n");
+      "    index), atomic_file.partial_write, atomic_file.rename,\n"
+      "    cache.partial_write (torn tail), cache.bit_flip (payload\n"
+      "    corruption), cache.stale_fingerprint (wrong-model header)\n");
   return 2;
 }
 
@@ -795,9 +929,16 @@ int Run(int argc, char** argv) {
     Status status = failpoint::ArmFromSpec(spec);
     if (!status.ok()) return Fail(status.ToString());
   }
+  std::string command = argv[1];
+  if (command == "cache") {
+    if (argc < 3) return Usage();
+    Args verb_args(argc, argv, 3);
+    if (!verb_args.error().empty()) return Fail(verb_args.error());
+    Status status = CmdCache(argv[2], verb_args);
+    return status.ok() ? 0 : Fail(status.ToString());
+  }
   Args args(argc, argv);
   if (!args.error().empty()) return Fail(args.error());
-  std::string command = argv[1];
   Status status = Status::Ok();
   if (command == "generate") {
     status = CmdGenerate(args);
