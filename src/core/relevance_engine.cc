@@ -141,8 +141,11 @@ std::vector<float> RelevanceEngine::PostTrain(
   auto compute = [&]() -> std::vector<float> {
     post_training_count_.fetch_add(1, std::memory_order_relaxed);
     Rng rng(PostTrainSeed(options_.seed, entity, facts));
+    const std::span<const float> warm_init =
+        options_.warm_start_mimics ? model_.EntityEmbedding(entity)
+                                   : std::span<const float>{};
     std::vector<float> mimic =
-        model_.PostTrainMimic(dataset_, entity, facts, rng);
+        model_.PostTrainMimic(dataset_, entity, facts, rng, warm_init);
     // Fault injection: simulate an unrecoverable per-candidate divergence.
     // Keyed on the entity so tests can poison one baseline deterministically.
     if (failpoint::Fire("engine.post_train.diverge",

@@ -58,6 +58,15 @@ struct RelevanceEngineOptions {
   /// model and seed; engines of a serving pool share one instance, which
   /// extends single-flight across concurrent extractions.
   std::shared_ptr<RelevanceCache> relevance_cache;
+  /// Warm-start post-trainings: seed every mimic row from the stored
+  /// embedding of the entity it imitates instead of the architecture's
+  /// random init. The mimic then starts from a converged point, which is
+  /// the post-training analogue of resuming training from a checkpointed
+  /// base state. Changes mimic values (deterministically — warm runs are
+  /// reproducible among themselves), so a persistent relevance cache must
+  /// be opened with a warm-specific fingerprint (the CLI salts it) to keep
+  /// cold and warm entries from mixing.
+  bool warm_start_mimics = false;
 };
 
 /// The Relevance Engine (Section 4.2) estimates the effect that adding or

@@ -113,6 +113,20 @@ std::vector<size_t> Rng::SampleWithoutReplacement(size_t population,
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
+RngState Rng::SaveState() const {
+  RngState state;
+  for (int i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.has_cached_normal = has_cached_normal_;
+  state.cached_normal = cached_normal_;
+  return state;
+}
+
+void Rng::LoadState(const RngState& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 size_t SampleZipf(Rng& rng, size_t n, double exponent) {
   KELPIE_CHECK(n > 0);
   KELPIE_CHECK(exponent > 1.0);

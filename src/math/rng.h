@@ -8,6 +8,20 @@
 
 namespace kelpie {
 
+/// Complete serializable state of an Rng stream. Capturing it and loading
+/// it into any Rng (same process or a later one) continues the stream at
+/// exactly the draw where it was captured — the substrate of byte-identical
+/// training checkpoint resume (ml/checkpoint.h).
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  /// Box–Muller keeps a cached second normal; it is part of the stream
+  /// position (dropping it would shift every later Normal() draw).
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+
+  friend bool operator==(const RngState&, const RngState&) = default;
+};
+
 /// Deterministic pseudo-random number generator (xoshiro256**), seeded via
 /// SplitMix64. All stochastic steps in the library — embedding
 /// initialization, batch shuffling, negative sampling, the Explanation
@@ -62,6 +76,12 @@ class Rng {
   /// of this generator's state; used to give parallelizable sub-tasks their
   /// own streams.
   Rng Fork();
+
+  /// Captures the full stream position. LoadState(SaveState()) is a no-op;
+  /// a generator loaded with a captured state produces exactly the sequence
+  /// the capturing generator would have produced next.
+  RngState SaveState() const;
+  void LoadState(const RngState& state);
 
  private:
   uint64_t s_[4];

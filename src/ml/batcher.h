@@ -21,8 +21,17 @@ class Batcher {
     }
   }
 
-  /// Shuffles the visiting order and rewinds to the first batch.
+  /// Shuffles the visiting order and rewinds to the first batch. The order
+  /// is re-derived from identity on every call, so an epoch's batches are a
+  /// pure function of the RNG state — not of how many epochs ran before.
+  /// (Shuffling the previous order in place would make the permutation
+  /// depend on hidden accumulated state, which is exactly what breaks
+  /// byte-identical checkpoint resume; a Fisher–Yates pass from any fixed
+  /// starting arrangement is still a uniformly random permutation.)
   void Reshuffle(Rng& rng) {
+    for (size_t i = 0; i < order_.size(); ++i) {
+      order_[i] = i;
+    }
     rng.Shuffle(order_);
     cursor_ = 0;
   }

@@ -34,6 +34,7 @@ class RowAdagrad {
   /// Scales the effective learning rate (guarded training backs this off
   /// after a divergence). 1.0 is a bitwise no-op.
   void set_lr_scale(float scale) { lr_scale_ = scale; }
+  float lr_scale() const { return lr_scale_; }
 
   /// Accumulator state, exposed so guarded training can snapshot/rewind it
   /// together with the parameters it conditions.
@@ -71,6 +72,7 @@ class DenseAdam {
 
   /// See RowAdagrad::set_lr_scale.
   void set_lr_scale(float scale) { lr_scale_ = scale; }
+  float lr_scale() const { return lr_scale_; }
 
   /// Moment state and step counter, exposed for guarded-training
   /// snapshot/rewind (the counter must rewind with the moments or the bias

@@ -109,7 +109,8 @@ void BilinearModel::AddN3Gradient(std::span<const float> row,
   }
 }
 
-Status BilinearModel::Train(const Dataset& dataset, Rng& rng) {
+Status BilinearModel::Train(const Dataset& dataset, Rng& rng,
+                            const TrainControl& control) {
   InitMatrix(entity_embeddings_, InitScheme::kNormal, 0.1, rng);
   InitMatrix(relation_embeddings_, InitScheme::kNormal, 0.1, rng);
   last_train_report_ = TrainReport{};
@@ -222,7 +223,11 @@ Status BilinearModel::Train(const Dataset& dataset, Rng& rng) {
     return epoch_loss;
   };
 
-  Result<TrainReport> report = RunGuardedEpochs(MakeGuardConfig(), hooks);
+  hooks.save_rng = [&] { return rng.SaveState(); };
+  hooks.restore_rng = [&](const RngState& state) { rng.LoadState(state); };
+
+  Result<TrainReport> report =
+      RunGuardedEpochs(MakeGuardConfig(control), hooks);
   metrics::Registry::Global()
       .GetCounter("kelpie_train_grad_clip_total", {},
                   metrics::Determinism::kDeterministic,
@@ -235,12 +240,17 @@ Status BilinearModel::Train(const Dataset& dataset, Rng& rng) {
 
 std::vector<float> BilinearModel::PostTrainMimic(
     const Dataset& dataset, EntityId entity,
-    const std::vector<Triple>& facts, Rng& rng) const {
+    const std::vector<Triple>& facts, Rng& rng,
+    std::span<const float> warm_init) const {
   (void)dataset;
   const size_t n_ent = num_entities();
   const size_t dim = entity_dim();
   std::vector<float> mimic(dim);
-  InitRow(mimic, InitScheme::kNormal, 0.1, rng);
+  if (warm_init.size() == mimic.size()) {
+    std::copy(warm_init.begin(), warm_init.end(), mimic.begin());
+  } else {
+    InitRow(mimic, InitScheme::kNormal, 0.1, rng);
+  }
   if (facts.empty()) return mimic;
 
   const float lr = config_.post_training_lr > 0 ? config_.post_training_lr

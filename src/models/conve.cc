@@ -245,7 +245,8 @@ std::vector<float> ConvE::ScoreGradWrtTail(const Triple& t) const {
   return cache.v;  // φ is linear in the tail embedding.
 }
 
-Status ConvE::Train(const Dataset& dataset, Rng& rng) {
+Status ConvE::Train(const Dataset& dataset, Rng& rng,
+                    const TrainControl& control) {
   InitMatrix(entity_embeddings_, InitScheme::kNormal, 0.1, rng);
   InitMatrix(relation_embeddings_, InitScheme::kNormal, 0.1, rng);
   std::fill(entity_bias_.begin(), entity_bias_.end(), 0.0f);
@@ -398,7 +399,11 @@ Status ConvE::Train(const Dataset& dataset, Rng& rng) {
     return epoch_loss;
   };
 
-  Result<TrainReport> report = RunGuardedEpochs(MakeGuardConfig(), hooks);
+  hooks.save_rng = [&] { return rng.SaveState(); };
+  hooks.restore_rng = [&](const RngState& state) { rng.LoadState(state); };
+
+  Result<TrainReport> report =
+      RunGuardedEpochs(MakeGuardConfig(control), hooks);
   metrics::Registry::Global()
       .GetCounter("kelpie_train_grad_clip_total", {},
                   metrics::Determinism::kDeterministic,
@@ -412,12 +417,18 @@ Status ConvE::Train(const Dataset& dataset, Rng& rng) {
 std::vector<float> ConvE::PostTrainMimic(const Dataset& dataset,
                                          EntityId entity,
                                          const std::vector<Triple>& facts,
-                                         Rng& rng) const {
+                                         Rng& rng,
+                                         std::span<const float> warm_init)
+    const {
   (void)dataset;
   const size_t n_ent = num_entities();
   const size_t dim = config_.dim;
   std::vector<float> mimic(dim);
-  InitRow(mimic, InitScheme::kNormal, 0.1, rng);
+  if (warm_init.size() == mimic.size()) {
+    std::copy(warm_init.begin(), warm_init.end(), mimic.begin());
+  } else {
+    InitRow(mimic, InitScheme::kNormal, 0.1, rng);
+  }
   if (facts.empty()) return mimic;
 
   const float lr = config_.post_training_lr > 0 ? config_.post_training_lr

@@ -108,7 +108,15 @@ class LinkPredictionModel {
   /// state, never NaN/Inf garbage. Not marked [[nodiscard]]: call sites
   /// that train with known-stable configs may ignore the result, and a
   /// diverged model still holds finite parameters.
-  virtual Status Train(const Dataset& dataset, Rng& rng) = 0;
+  ///
+  /// `control` optionally wires in crash-safe checkpointing and cooperative
+  /// cancellation (ml/checkpoint.h, ml/train_guard.h). The default —
+  /// no checkpointer, never cancelled — is exactly the historical behavior.
+  /// With a checkpointer in resume mode, a run interrupted at any point
+  /// (`kill -9` included) and re-run with the same dataset/config/seed
+  /// converges to bitwise-identical final parameters.
+  virtual Status Train(const Dataset& dataset, Rng& rng,
+                       const TrainControl& control = {}) = 0;
 
   /// Guardrail report (epochs run, recoveries, backoff events) of the most
   /// recent Train() call on this model. Empty before the first call.
@@ -164,9 +172,26 @@ class LinkPredictionModel {
   /// call is safe to run concurrently with other post-trainings. The
   /// Relevance Engine seeds `rng` from (engine seed, entity, fact set)
   /// alone, which makes parallel extraction schedules bitwise-reproducible.
-  virtual std::vector<float> PostTrainMimic(
-      const Dataset& dataset, EntityId entity,
-      const std::vector<Triple>& facts, Rng& rng) const = 0;
+  ///
+  /// `warm_init`, when non-empty and of entity_dim floats, seeds the mimic
+  /// row from that vector instead of the architecture's random init scheme
+  /// (the RNG draws the init would have consumed are still skipped — warm
+  /// and cold mimics are separately, not mutually, deterministic). The
+  /// Relevance Engine's warm-start mode passes the stored embedding of the
+  /// entity being mimicked, giving post-training a converged starting point.
+  virtual std::vector<float> PostTrainMimic(const Dataset& dataset,
+                                            EntityId entity,
+                                            const std::vector<Triple>& facts,
+                                            Rng& rng,
+                                            std::span<const float> warm_init)
+      const = 0;
+
+  /// Cold-start convenience overload (the historical 4-argument call).
+  std::vector<float> PostTrainMimic(const Dataset& dataset, EntityId entity,
+                                    const std::vector<Triple>& facts,
+                                    Rng& rng) const {
+    return PostTrainMimic(dataset, entity, facts, rng, {});
+  }
 
   /// Stored embedding row of entity `e`.
   virtual std::span<const float> EntityEmbedding(EntityId e) const = 0;
@@ -188,14 +213,17 @@ class LinkPredictionModel {
   explicit LinkPredictionModel(TrainConfig config)
       : config_(std::move(config)) {}
 
-  /// GuardConfig mirror of this model's robustness fields.
-  GuardConfig MakeGuardConfig() const {
+  /// GuardConfig mirror of this model's robustness fields, carrying the
+  /// caller's checkpointing/cancellation control into the guard.
+  GuardConfig MakeGuardConfig(const TrainControl& control = {}) const {
     GuardConfig guard;
     guard.epochs = config_.epochs;
     guard.check_finite = config_.check_finite;
     guard.recover_on_divergence = config_.recover_on_divergence;
     guard.max_recoveries = config_.max_recoveries;
     guard.lr_backoff = config_.lr_backoff;
+    guard.checkpointer = control.checkpointer;
+    guard.cancel = control.cancel;
     return guard;
   }
 

@@ -5,6 +5,7 @@
 
 #include "common/atomic_file.h"
 #include "common/crc32c.h"
+#include "common/logging.h"
 #include "ml/serialization.h"
 #include "models/complex.h"
 #include "models/conve.h"
@@ -204,6 +205,27 @@ Result<std::unique_ptr<LinkPredictionModel>> LoadModel(
   }
   KELPIE_RETURN_IF_ERROR(model->LoadParameters(payload));
   return model;
+}
+
+uint64_t ComputeTrainFingerprint(ModelKind kind, const TrainConfig& config,
+                                 const Dataset& dataset, uint64_t seed) {
+  std::ostringstream out;
+  Status s = WriteString(out, ModelKindName(kind));
+  if (s.ok()) s = WriteU64(out, dataset.num_entities());
+  if (s.ok()) s = WriteU64(out, dataset.num_relations());
+  if (s.ok()) s = WriteU64(out, seed);
+  if (s.ok()) s = WriteConfig(out, config);
+  // In-memory serialization of a fixed-shape struct cannot fail.
+  KELPIE_CHECK(s.ok());
+  const uint32_t crc_setup = Crc32c(std::move(out).str());
+  uint32_t crc_triples = 0;
+  for (const Triple& t : dataset.train()) {
+    const uint64_t key[3] = {static_cast<uint64_t>(t.head),
+                             static_cast<uint64_t>(t.relation),
+                             static_cast<uint64_t>(t.tail)};
+    crc_triples = Crc32cExtend(crc_triples, key, sizeof(key));
+  }
+  return (static_cast<uint64_t>(crc_setup) << 32) | crc_triples;
 }
 
 }  // namespace kelpie

@@ -46,6 +46,16 @@ std::unique_ptr<LinkPredictionModel> CreateModelWithSizes(
     ModelKind kind, size_t num_entities, size_t num_relations,
     const TrainConfig& config);
 
+/// Fingerprint of a training setup: the architecture, every TrainConfig
+/// field (serialized exactly as SaveModel stores it, epochs included), the
+/// dataset shape and train split contents, and the training seed. Two runs
+/// with equal fingerprints and the same binary produce bitwise-identical
+/// parameters, which is what makes resuming a training checkpoint
+/// (ml/checkpoint.h) safe: a stale fingerprint means the checkpointed
+/// trajectory belongs to a different run and must be discarded.
+uint64_t ComputeTrainFingerprint(ModelKind kind, const TrainConfig& config,
+                                 const Dataset& dataset, uint64_t seed);
+
 }  // namespace kelpie
 
 #endif  // KELPIE_MODELS_MODEL_STORE_H_

@@ -202,7 +202,8 @@ void NormalizeResidual(std::vector<float>& delta, float norm) {
 
 }  // namespace
 
-Status RotatE::Train(const Dataset& dataset, Rng& rng) {
+Status RotatE::Train(const Dataset& dataset, Rng& rng,
+                     const TrainControl& control) {
   const size_t k = rank();
   InitMatrix(entity_embeddings_, InitScheme::kUniform, 0.5, rng);
   // Phases uniform over [-π, π].
@@ -304,7 +305,11 @@ Status RotatE::Train(const Dataset& dataset, Rng& rng) {
     return epoch_loss;
   };
 
-  Result<TrainReport> report = RunGuardedEpochs(MakeGuardConfig(), hooks);
+  hooks.save_rng = [&] { return rng.SaveState(); };
+  hooks.restore_rng = [&](const RngState& state) { rng.LoadState(state); };
+
+  Result<TrainReport> report =
+      RunGuardedEpochs(MakeGuardConfig(control), hooks);
   if (!report.ok()) return report.status();
   last_train_report_ = std::move(report.value());
   return Status::Ok();
@@ -313,10 +318,16 @@ Status RotatE::Train(const Dataset& dataset, Rng& rng) {
 std::vector<float> RotatE::PostTrainMimic(const Dataset& dataset,
                                           EntityId entity,
                                           const std::vector<Triple>& facts,
-                                          Rng& rng) const {
+                                          Rng& rng,
+                                          std::span<const float> warm_init)
+    const {
   const size_t k = rank();
   std::vector<float> mimic(entity_dim());
-  InitRow(mimic, InitScheme::kUniform, 0.5, rng);
+  if (warm_init.size() == mimic.size()) {
+    std::copy(warm_init.begin(), warm_init.end(), mimic.begin());
+  } else {
+    InitRow(mimic, InitScheme::kUniform, 0.5, rng);
+  }
   if (facts.empty()) return mimic;
 
   NegativeSampler sampler(dataset.train_graph(), /*filtered=*/false);

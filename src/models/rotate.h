@@ -35,7 +35,8 @@ class RotatE final : public LinkPredictionModel {
   /// Complex rank k (= dim / 2).
   size_t rank() const { return entity_dim() / 2; }
 
-  Status Train(const Dataset& dataset, Rng& rng) override;
+  Status Train(const Dataset& dataset, Rng& rng,
+               const TrainControl& control = {}) override;
 
   float Score(const Triple& t) const override;
   void ScoreAllTails(EntityId h, RelationId r,
@@ -51,9 +52,12 @@ class RotatE final : public LinkPredictionModel {
                            std::span<const float> vec) const override;
   std::vector<float> ScoreGradWrtHead(const Triple& t) const override;
   std::vector<float> ScoreGradWrtTail(const Triple& t) const override;
+  using LinkPredictionModel::PostTrainMimic;
   std::vector<float> PostTrainMimic(const Dataset& dataset, EntityId entity,
                                     const std::vector<Triple>& facts,
-                                    Rng& rng) const override;
+                                    Rng& rng,
+                                    std::span<const float> warm_init)
+      const override;
   Status SaveParameters(std::ostream& out) const override;
   Status LoadParameters(std::istream& in) override;
 

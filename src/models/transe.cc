@@ -170,7 +170,8 @@ void NormalizeResidual(std::vector<float>& delta, float norm) {
 
 }  // namespace
 
-Status TransE::Train(const Dataset& dataset, Rng& rng) {
+Status TransE::Train(const Dataset& dataset, Rng& rng,
+                     const TrainControl& control) {
   const double init_bound = 6.0 / std::sqrt(static_cast<double>(config_.dim));
   InitMatrix(entity_embeddings_, InitScheme::kUniform, init_bound, rng);
   InitMatrix(relation_embeddings_, InitScheme::kUniform, init_bound, rng);
@@ -247,7 +248,11 @@ Status TransE::Train(const Dataset& dataset, Rng& rng) {
     return epoch_loss;
   };
 
-  Result<TrainReport> report = RunGuardedEpochs(MakeGuardConfig(), hooks);
+  hooks.save_rng = [&] { return rng.SaveState(); };
+  hooks.restore_rng = [&](const RngState& state) { rng.LoadState(state); };
+
+  Result<TrainReport> report =
+      RunGuardedEpochs(MakeGuardConfig(control), hooks);
   if (!report.ok()) return report.status();
   last_train_report_ = std::move(report.value());
   return Status::Ok();
@@ -256,10 +261,17 @@ Status TransE::Train(const Dataset& dataset, Rng& rng) {
 std::vector<float> TransE::PostTrainMimic(const Dataset& dataset,
                                           EntityId entity,
                                           const std::vector<Triple>& facts,
-                                          Rng& rng) const {
-  const double init_bound = 6.0 / std::sqrt(static_cast<double>(config_.dim));
+                                          Rng& rng,
+                                          std::span<const float> warm_init)
+    const {
   std::vector<float> mimic(entity_dim());
-  InitRow(mimic, InitScheme::kUniform, init_bound, rng);
+  if (warm_init.size() == mimic.size()) {
+    std::copy(warm_init.begin(), warm_init.end(), mimic.begin());
+  } else {
+    const double init_bound =
+        6.0 / std::sqrt(static_cast<double>(config_.dim));
+    InitRow(mimic, InitScheme::kUniform, init_bound, rng);
+  }
   ProjectToL2Ball(mimic, 1.0f);
   if (facts.empty()) return mimic;
 

@@ -341,10 +341,13 @@ std::string StatsResponseLine(uint64_t id, size_t queue_depth,
   return out;
 }
 
-std::string HealthResponseLine(uint64_t id, bool draining) {
+std::string HealthResponseLine(uint64_t id, bool draining, bool warm_mimics,
+                               size_t cache_entries) {
   std::string out = LinePrefix(id, true);
   AppendField(&out, "op", "health", true);
   AppendField(&out, "state", draining ? "draining" : "ready", true);
+  AppendField(&out, "warm_mimics", warm_mimics ? "true" : "false", false);
+  AppendField(&out, "cache_entries", std::to_string(cache_entries), false);
   out.push_back('}');
   return out;
 }

@@ -80,10 +80,16 @@ std::string ErrorResponseLine(uint64_t id, const Status& status);
 std::string PingResponseLine(uint64_t id);
 std::string StatsResponseLine(uint64_t id, size_t queue_depth,
                               size_t pool_size, size_t max_queue_depth);
-/// {"id":N,"ok":true,"op":"health","state":"ready"|"draining"} — draining
-/// once shutdown has been requested (drain in progress, no new
-/// connections); ready otherwise.
-std::string HealthResponseLine(uint64_t id, bool draining);
+/// {"id":N,"ok":true,"op":"health","state":"ready"|"draining",
+///  "warm_mimics":bool,"cache_entries":N} — draining once shutdown has
+/// been requested (drain in progress, no new connections); ready
+/// otherwise. `warm_mimics` reports whether the pool post-trains from
+/// warm-started (stored-embedding-seeded) mimics, `cache_entries` the
+/// ready entries of the shared relevance cache (0 when no cache is
+/// configured) — together the serving tier's warm state, so a balancer
+/// can prefer instances with a hot cache.
+std::string HealthResponseLine(uint64_t id, bool draining, bool warm_mimics,
+                               size_t cache_entries);
 std::string ShutdownResponseLine(uint64_t id);
 
 /// Extracts the "id" field of a response (or request) line without a full

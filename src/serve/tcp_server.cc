@@ -157,8 +157,17 @@ void TcpServer::HandleLine(const std::string& line, ConnectionPipeline& out) {
   if (req.op == "health") {
     // Readiness for load balancers and the chaos-smoke job: "draining"
     // once shutdown was requested (pipelined lines received before the
-    // drain still get answers; new connections are refused).
-    slot.ready = HealthResponseLine(req.id, shutdown_requested());
+    // drain still get answers; new connections are refused). Warm state
+    // rides along: the mimic warm-start flag and the relevance cache's
+    // ready-entry count.
+    const auto& engine_options = server_.options().kelpie.engine;
+    const size_t cache_entries =
+        engine_options.relevance_cache != nullptr
+            ? engine_options.relevance_cache->stats().entries
+            : 0;
+    slot.ready = HealthResponseLine(req.id, shutdown_requested(),
+                                    engine_options.warm_start_mimics,
+                                    cache_entries);
     out.Push(std::move(slot));
     return;
   }

@@ -10,6 +10,7 @@
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "eval/ranking.h"
+#include "ml/checkpoint.h"
 
 namespace kelpie {
 
@@ -73,7 +74,8 @@ uint64_t ComputeRunId(std::string_view scenario, ModelKind kind,
                       const Dataset& dataset,
                       const std::vector<Triple>& predictions,
                       PredictionTarget target, uint64_t retrain_seed,
-                      size_t conversion_set_size, uint64_t conversion_seed) {
+                      size_t conversion_set_size, uint64_t conversion_seed,
+                      const RetrainOptions& retrain = {}) {
   std::string s(scenario);
   s += '|';
   s += ModelKindName(kind);
@@ -87,6 +89,14 @@ uint64_t ComputeRunId(std::string_view scenario, ModelKind kind,
   s += std::to_string(conversion_set_size);
   s += '|';
   s += std::to_string(conversion_seed);
+  // Appended only when warm start is on: cold runs keep the ids their
+  // journals were written with.
+  if (!retrain.warm_start_checkpoint.empty()) {
+    s += "|warm:";
+    s += retrain.warm_start_checkpoint;
+    s += ':';
+    s += std::to_string(retrain.warm_epochs);
+  }
   uint64_t id = Crc32c(s);
   for (const Triple& p : predictions) {
     id = Mix64(id ^ p.Key());
@@ -227,7 +237,8 @@ LpMetrics RetrainAndMeasure(ModelKind kind, const Dataset& dataset,
                             const std::vector<Triple>& predictions,
                             const std::vector<Triple>& removed,
                             const std::vector<Triple>& added,
-                            PredictionTarget target, uint64_t retrain_seed) {
+                            PredictionTarget target, uint64_t retrain_seed,
+                            const RetrainOptions& retrain) {
   trace::Span span("xp.retrain");
   metrics::Registry::Global()
       .GetCounter("kelpie_xp_retrains_total", {},
@@ -235,10 +246,24 @@ LpMetrics RetrainAndMeasure(ModelKind kind, const Dataset& dataset,
                   "Full model retrainings for end-to-end verification.")
       .Increment();
   Dataset modified = dataset.WithModifiedTraining(removed, added);
+  TrainConfig config = DefaultConfig(kind, modified);
+  const bool warm = !retrain.warm_start_checkpoint.empty();
+  if (warm && retrain.warm_epochs > 0) config.epochs = retrain.warm_epochs;
   std::unique_ptr<LinkPredictionModel> model =
-      CreateModel(kind, modified, DefaultConfig(kind, modified));
+      CreateModel(kind, modified, config);
   Rng rng(retrain_seed);
-  model->Train(modified, rng);
+  if (warm) {
+    CheckpointOptions ckpt_options;
+    ckpt_options.directory = retrain.warm_start_checkpoint;
+    ckpt_options.resume = true;
+    ckpt_options.mode = CheckpointMode::kWarmStart;
+    TrainCheckpointer checkpointer(ckpt_options);
+    TrainControl control;
+    control.checkpointer = &checkpointer;
+    model->Train(modified, rng, control);
+  } else {
+    model->Train(modified, rng);
+  }
   MetricsAccumulator acc;
   for (const Triple& p : predictions) {
     acc.AddRank(FilteredRank(*model, modified, p, target));
@@ -367,7 +392,7 @@ Result<NecessaryRunResult> RunNecessaryEndToEndResumable(
   const uint64_t run_id =
       ComputeRunId("necessary", kind, dataset, predictions, target,
                    retrain_seed, /*conversion_set_size=*/0,
-                   /*conversion_seed=*/0);
+                   /*conversion_seed=*/0, control.retrain);
   RunJournal journal;
   KELPIE_ASSIGN_OR_RETURN(
       journal,
@@ -439,7 +464,7 @@ Result<NecessaryRunResult> RunNecessaryEndToEndResumable(
   KELPIE_RETURN_IF_ERROR(
       CheckRunInterrupt(control, predictions.size(), predictions.size()));
   result.after = RetrainAndMeasure(kind, dataset, predictions, to_remove, {},
-                                   target, retrain_seed);
+                                   target, retrain_seed, control.retrain);
   if (journal.supports_summary()) {
     KELPIE_RETURN_IF_ERROR(
         journal.AppendSummary(SummaryOfExplanations(result.explanations)));
@@ -456,7 +481,8 @@ Result<SufficientRunResult> RunSufficientEndToEndResumable(
   trace::Span run_span("xp.sufficient");
   const uint64_t run_id =
       ComputeRunId("sufficient", kind, dataset, predictions, target,
-                   retrain_seed, conversion_set_size, conversion_seed);
+                   retrain_seed, conversion_set_size, conversion_seed,
+                   control.retrain);
   RunJournal journal;
   KELPIE_ASSIGN_OR_RETURN(
       journal,
@@ -544,7 +570,7 @@ Result<SufficientRunResult> RunSufficientEndToEndResumable(
   std::vector<Triple> added = TransferredFacts(
       predictions, result.explanations, result.conversion_sets, target);
   result.after = RetrainAndMeasure(kind, dataset, converted, {}, added,
-                                   target, retrain_seed);
+                                   target, retrain_seed, control.retrain);
   if (journal.supports_summary()) {
     KELPIE_RETURN_IF_ERROR(
         journal.AppendSummary(SummaryOfExplanations(result.explanations)));

@@ -46,15 +46,34 @@ std::vector<EntityId> SampleConversionEntities(
     const Triple& prediction, PredictionTarget target, size_t count,
     Rng& rng);
 
+/// Warm-start policy of end-to-end verification retrains. Default (empty
+/// checkpoint path) = historical behavior: every retrain starts from random
+/// initialization with the full default epoch schedule.
+struct RetrainOptions {
+  /// Directory of a training checkpoint (ml/checkpoint.h) written by a
+  /// base-model `kelpie train --checkpoint` run. When non-empty, each
+  /// verification retrain seeds its parameters and optimizer state from
+  /// that checkpoint (warm start, load-only) instead of random init, then
+  /// trains on the modified dataset. Deterministic: every retrain loads the
+  /// same base state, so warm runs are reproducible among themselves.
+  std::string warm_start_checkpoint;
+  /// Epoch count override for warm-started retrains (0 = keep the default
+  /// schedule). A converged base state typically needs far fewer epochs to
+  /// adapt to a few removed/added facts — this is where the warm-start
+  /// speedup comes from (EXPERIMENTS.md).
+  size_t warm_epochs = 0;
+};
+
 /// (H@1, MRR) of the predictions in `predictions` (measured on the
 /// `target` side) under a model retrained on `dataset` modified by
 /// removing `removed` and adding `added`. Retraining uses
-/// DefaultConfig(kind, ...) and `retrain_seed`.
+/// DefaultConfig(kind, ...) and `retrain_seed`, warm-started per `retrain`.
 LpMetrics RetrainAndMeasure(ModelKind kind, const Dataset& dataset,
                             const std::vector<Triple>& predictions,
                             const std::vector<Triple>& removed,
                             const std::vector<Triple>& added,
-                            PredictionTarget target, uint64_t retrain_seed);
+                            PredictionTarget target, uint64_t retrain_seed,
+                            const RetrainOptions& retrain = {});
 
 /// Tail-direction convenience wrapper.
 LpMetrics RetrainAndMeasureTails(ModelKind kind, const Dataset& dataset,
@@ -154,6 +173,11 @@ struct RunControl {
   /// run extracted with a cache warmed by the predictions the retry run
   /// merely replays.
   bool retry_truncated = false;
+  /// Warm-start policy of the run's verification retrains. Non-default
+  /// options are folded into the journal run id (cold runs keep their
+  /// historical ids), so a warm journal never resumes a cold run or vice
+  /// versa.
+  RetrainOptions retrain;
 };
 
 /// Journaled variant of RunNecessaryEndToEnd: each prediction's extracted

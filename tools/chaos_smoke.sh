@@ -11,12 +11,20 @@
 #      an error.
 #   3. Inspects the corrupted files with `kelpie cache stats` and purges
 #      with `kelpie cache purge` (idempotent).
-#   4. Serve resilience: health answers "ready"; a pipelined
-#      shutdown+health answers "draining"; the server drains buffered work
-#      and exits 0 on SIGTERM; a shedding server (queue depth 1) is
-#      absorbed by serve-client retries (exit 0, every response ok); a
-#      dead endpoint exhausts retries into per-request error lines and a
-#      nonzero exit.
+#   4. Crash-safe training: a checkpointed run killed with SIGKILL at
+#      seeded-random points (plus a deterministic `train.interrupt`
+#      failpoint round) and resumed with `--resume` converges to a model
+#      file byte-identical to an uninterrupted run; every checkpoint
+#      corruption failpoint (partial write, bit flip, stale config)
+#      degrades to retraining from scratch with the same bytes; SIGTERM
+#      drains the in-flight epoch, flushes a final checkpoint, and the
+#      resume completes byte-identically.
+#   5. Serve resilience: health answers "ready" (and reports the
+#      warm-mimics state); a pipelined shutdown+health answers "draining";
+#      the server drains buffered work and exits 0 on SIGTERM; a shedding
+#      server (queue depth 1) is absorbed by serve-client retries (exit 0,
+#      every response ok); a dead endpoint exhausts retries into
+#      per-request error lines and a nonzero exit.
 #
 # Usage: tools/chaos_smoke.sh [path/to/kelpie]
 set -euo pipefail
@@ -112,6 +120,106 @@ echo "== cache purge is idempotent"
 [ ! -e "$CACHE" ] || fail "purge left the cache file behind"
 "$KELPIE" cache purge --file "$CACHE" || fail "second purge failed"
 
+# --- crash-safe training -------------------------------------------------
+
+# A schedule long enough that signals land mid-train; the golden bytes are
+# the uninterrupted run's.
+CRASH_EPOCHS=2000
+CKPT="$WORK/ckpt"
+train_crashable() {  # $1 = output model, extra args follow
+  local out="$1"; shift
+  "$KELPIE" train --data "$WORK/data" --model TransE --seed 42 \
+    --epochs "$CRASH_EPOCHS" --dim 32 --out "$out" "$@"
+}
+train_crashable_bg() {  # $1 = log file, $2 = output model, extra args follow
+  # The & lives here so TRAIN_PID is the kelpie binary itself, not a bash
+  # subshell wrapping it — killing the wrapper would orphan the trainer,
+  # which keeps writing checkpoints (the start_serve helper has the same
+  # shape for the same reason).
+  local log="$1" out="$2"; shift 2
+  "$KELPIE" train --data "$WORK/data" --model TransE --seed 42 \
+    --epochs "$CRASH_EPOCHS" --dim 32 --out "$out" "$@" \
+    > "$log" 2>&1 &
+  TRAIN_PID=$!
+}
+
+echo "== train: checkpointing changes no bytes"
+train_crashable "$WORK/crash_ref.bin" \
+  || fail "uninterrupted reference train failed"
+train_crashable "$WORK/crash_ckpt.bin" --checkpoint "$CKPT" \
+  || fail "checkpointed train failed"
+cmp -s "$WORK/crash_ref.bin" "$WORK/crash_ckpt.bin" \
+  || fail "checkpointed train produced different bytes"
+
+echo "== train: SIGKILL + --resume converges byte-identically"
+rm -rf "$CKPT"
+# Seeded LCG: the kill times are random-looking but reproducible, so a
+# failing round can be replayed.
+LCG=987654321
+for round in 1 2 3; do
+  LCG=$(( (LCG * 1103515245 + 12345) % 2147483648 ))
+  DELAY="0.$(( 100 + LCG % 700 ))"  # 0.100s .. 0.799s
+  train_crashable_bg "$WORK/kill_$round.log" "$WORK/crash_out.bin" \
+    --checkpoint "$CKPT" --resume
+  sleep "$DELAY"
+  kill -9 "$TRAIN_PID" 2>/dev/null || true
+  wait "$TRAIN_PID" 2>/dev/null || true
+  echo "   -- round $round: SIGKILL after ${DELAY}s"
+done
+train_crashable "$WORK/crash_resumed.bin" --checkpoint "$CKPT" --resume \
+  || fail "final resume failed"
+cmp -s "$WORK/crash_ref.bin" "$WORK/crash_resumed.bin" \
+  || fail "kill-resume model differs from the uninterrupted run"
+
+echo "== train: deterministic interrupt failpoint + --resume"
+rm -rf "$CKPT"
+if KELPIE_FAILPOINTS=train.interrupt:500 \
+    train_crashable /dev/null --checkpoint "$CKPT" 2> /dev/null; then
+  fail "train.interrupt armed but train exited 0"
+fi
+train_crashable "$WORK/crash_fp.bin" --checkpoint "$CKPT" --resume \
+  > "$WORK/fp_resume.log" \
+  || fail "resume after failpoint interrupt failed"
+grep -q 'resumed from checkpoint at epoch 501' "$WORK/fp_resume.log" \
+  || fail "resume did not pick up at the interrupt epoch: $(cat "$WORK/fp_resume.log")"
+cmp -s "$WORK/crash_ref.bin" "$WORK/crash_fp.bin" \
+  || fail "failpoint-resume model differs from the uninterrupted run"
+
+echo "== train: checkpoint corruption degrades to scratch, same bytes"
+for fp in checkpoint.partial_write checkpoint.bit_flip \
+          checkpoint.stale_config; do
+  echo "   -- $fp"
+  rm -rf "$CKPT"
+  if KELPIE_FAILPOINTS="train.interrupt:500,$fp:*:forever" \
+      train_crashable /dev/null --checkpoint "$CKPT" 2> /dev/null; then
+    fail "$fp: interrupt armed but train exited 0"
+  fi
+  train_crashable "$WORK/crash_$fp.bin" --checkpoint "$CKPT" --resume \
+    > "$WORK/corrupt_$fp.log" \
+    || fail "$fp: resume over a damaged checkpoint exited non-zero"
+  grep -q 'trained from scratch' "$WORK/corrupt_$fp.log" \
+    || fail "$fp: damaged checkpoint was not degraded to scratch: $(cat "$WORK/corrupt_$fp.log")"
+  cmp -s "$WORK/crash_ref.bin" "$WORK/crash_$fp.bin" \
+    || fail "$fp: degraded run produced different bytes"
+done
+
+echo "== train: SIGTERM drains, checkpoints, resumes byte-identically"
+rm -rf "$CKPT"
+train_crashable_bg "$WORK/drain_train.log" "$WORK/drain_out.bin" \
+  --checkpoint "$CKPT"
+sleep 0.4
+kill -TERM "$TRAIN_PID"
+if wait "$TRAIN_PID"; then
+  fail "drained train exited 0 (expected the Cancelled exit)"
+fi
+grep -q 'completeness: Cancelled' "$WORK/drain_train.log" \
+  || fail "drained train did not report Cancelled: $(cat "$WORK/drain_train.log")"
+[ -s "$CKPT/train.ckpt" ] || fail "drained train left no checkpoint"
+train_crashable "$WORK/drain_resumed.bin" --checkpoint "$CKPT" --resume \
+  || fail "resume after drain failed"
+cmp -s "$WORK/crash_ref.bin" "$WORK/drain_resumed.bin" \
+  || fail "drain-resume model differs from the uninterrupted run"
+
 start_serve() {  # extra serve flags follow
   : > "$WORK/serve.log"
   "$KELPIE" serve --data "$WORK/data" --model-file "$WORK/model.bin" \
@@ -133,6 +241,8 @@ echo '{"id":1,"op":"health"}' | \
   "$KELPIE" serve-client --port "$PORT" > "$WORK/health.txt"
 grep -q '"state":"ready"' "$WORK/health.txt" \
   || fail "health did not answer ready: $(cat "$WORK/health.txt")"
+grep -q '"warm_mimics":false' "$WORK/health.txt" \
+  || fail "health did not report the (cold) warm-mimics state: $(cat "$WORK/health.txt")"
 cat > "$WORK/explains.txt" <<EOF
 {"id":2,"op":"explain","head":"$HEAD","relation":"$REL","tail":"$TAIL"}
 {"id":3,"op":"explain","head":"$HEAD","relation":"$REL","tail":"$TAIL"}
@@ -156,6 +266,17 @@ grep -q '"id":9.*"state":"draining"' "$WORK/drain.txt" \
 wait "$SERVE_PID" || fail "server exited non-zero after shutdown drain"
 SERVE_PID=""
 [ -s "$CACHE" ] || fail "server did not flush the relevance cache on stop"
+
+echo "== serve: warm-mimics mode is reported by health"
+start_serve --pool 1 --warm-mimics
+echo '{"id":1,"op":"health"}' | \
+  "$KELPIE" serve-client --port "$PORT" > "$WORK/health_warm.txt"
+grep -q '"warm_mimics":true' "$WORK/health_warm.txt" \
+  || fail "health did not report warm mimics: $(cat "$WORK/health_warm.txt")"
+echo '{"id":2,"op":"shutdown"}' | \
+  "$KELPIE" serve-client --port "$PORT" > /dev/null
+wait "$SERVE_PID" || fail "warm server exited non-zero after shutdown"
+SERVE_PID=""
 
 echo "== serve: SIGTERM drains and exits 0"
 start_serve --pool 1

@@ -50,6 +50,7 @@
 #include "common/budget.h"
 #include "common/failpoint.h"
 #include "common/metrics.h"
+#include "common/stopwatch.h"
 #include "common/trace.h"
 #include "core/kelpie.h"
 #include "core/relevance_cache.h"
@@ -58,6 +59,7 @@
 #include "eval/breakdown.h"
 #include "eval/evaluator.h"
 #include "kgraph/io.h"
+#include "ml/checkpoint.h"
 #include "models/factory.h"
 #include "models/model_store.h"
 #include "serve/client.h"
@@ -99,7 +101,7 @@ class Args {
     return key == "sufficient" || key == "head-query" || key == "no-heads" ||
            key == "per-relation" || key == "no-recover" || key == "resume" ||
            key == "retry-truncated" || key == "json" || key == "demo" ||
-           key == "canonical";
+           key == "canonical" || key == "warm-mimics";
   }
 
   const std::string& error() const { return error_; }
@@ -184,15 +186,21 @@ class MetricsSink {
 
 /// --relevance-cache / --cache-bytes support (explain, serve): opens the
 /// persistent post-training cache keyed by the model's fingerprint.
-/// Returns nullptr when the flag is absent.
+/// Returns nullptr when the flag is absent. Warm-start mimics produce
+/// different (still deterministic) values than cold ones, so the warm mode
+/// salts the fingerprint: cold and warm entries never answer each other.
 Result<std::shared_ptr<RelevanceCache>> OpenCacheFlag(
-    const Args& args, const LinkPredictionModel& model, uint64_t engine_seed) {
+    const Args& args, const LinkPredictionModel& model, uint64_t engine_seed,
+    bool warm_mimics = false) {
   if (!args.Has("relevance-cache")) {
     return std::shared_ptr<RelevanceCache>(nullptr);
   }
   RelevanceCacheOptions options;
   options.path = args.Get("relevance-cache");
   options.fingerprint = ComputeModelFingerprint(model, engine_seed);
+  if (warm_mimics) {
+    options.fingerprint ^= 0x57A1213BD5A11EDull;  // "warm salt"
+  }
   uint64_t max_bytes = 0;
   KELPIE_ASSIGN_OR_RETURN(max_bytes,
                           args.GetU64("cache-bytes", 64ull << 20));
@@ -330,14 +338,70 @@ Status CmdTrain(const Args& args) {
   uint64_t seed = 0;
   KELPIE_ASSIGN_OR_RETURN(seed, args.GetU64("seed", 42));
   Rng rng(seed);
+
+  // Crash-safe checkpointing: --checkpoint DIR writes train.ckpt at every
+  // interval boundary; --resume picks a matching checkpoint back up, and a
+  // resumed run converges to a model byte-identical to an uninterrupted
+  // one. The fingerprint ties the checkpoint to this exact setup.
+  std::unique_ptr<TrainCheckpointer> checkpointer;
+  TrainControl control;
+  if (args.Has("checkpoint")) {
+    CheckpointOptions ckpt;
+    ckpt.directory = args.Get("checkpoint");
+    uint64_t interval = 0;
+    KELPIE_ASSIGN_OR_RETURN(interval, args.GetU64("checkpoint-interval", 1));
+    ckpt.interval_epochs = static_cast<size_t>(interval);
+    ckpt.resume = args.Has("resume");
+    ckpt.fingerprint =
+        ComputeTrainFingerprint(kind.value(), config, *dataset, seed);
+    checkpointer = std::make_unique<TrainCheckpointer>(std::move(ckpt));
+    control.checkpointer = checkpointer.get();
+  } else if (args.Has("resume")) {
+    return Status::InvalidArgument("--resume requires --checkpoint DIR");
+  }
+  // Drain semantics, mirroring serve: the first SIGINT/SIGTERM finishes
+  // the in-flight epoch, flushes the last-good state (checkpoint or
+  // .partial model below), and exits clean; a second signal exits hard.
+  WireCancelToSignals(control.cancel);
+
   std::printf("training %s on %zu facts (%zu epochs, dim %zu)...\n",
               args.Get("model", "ComplEx").c_str(), dataset->train().size(),
               config.epochs, config.dim);
-  KELPIE_RETURN_IF_ERROR(model->Train(*dataset, rng));
+  KELPIE_RETURN_IF_ERROR(model->Train(*dataset, rng, control));
+  if (checkpointer != nullptr && checkpointer->options().resume) {
+    if (checkpointer->last_restore_outcome() ==
+        CheckpointRestoreOutcome::kRestored) {
+      std::printf("resumed from checkpoint at epoch %llu\n",
+                  static_cast<unsigned long long>(
+                      checkpointer->restored_epoch()));
+    } else {
+      std::printf(
+          "checkpoint restore: %s; trained from scratch\n",
+          std::string(CheckpointRestoreOutcomeName(
+                          checkpointer->last_restore_outcome()))
+              .c_str());
+    }
+  }
   const TrainReport& report = model->last_train_report();
   if (report.recoveries > 0) {
     std::printf("recovered from %d divergence(s); final lr scale %.4f\n",
                 report.recoveries, report.lr_scale);
+  }
+  std::printf("completeness: %s\n",
+              std::string(CompletenessName(report.completeness)).c_str());
+  if (report.completeness == Completeness::kCancelled) {
+    // Cancelled runs never overwrite --out. The last-good state is already
+    // durable in the checkpoint when one is configured; otherwise flush it
+    // next to the target so the epochs run so far are not discarded.
+    if (checkpointer != nullptr) {
+      std::printf("cancelled; resume with --resume (checkpoint in %s)\n",
+                  args.Get("checkpoint").c_str());
+    } else {
+      const std::string partial = args.Get("out") + ".partial";
+      KELPIE_RETURN_IF_ERROR(SaveModel(*model, kind.value(), partial));
+      std::printf("cancelled; partial model saved to %s\n", partial.c_str());
+    }
+    return Status::Cancelled("training cancelled by signal");
   }
   KELPIE_RETURN_IF_ERROR(SaveModel(*model, kind.value(), args.Get("out")));
   std::printf("saved to %s\n", args.Get("out").c_str());
@@ -392,9 +456,11 @@ Status CmdExplain(const Args& args) {
   uint64_t threads = 0;
   KELPIE_ASSIGN_OR_RETURN(threads, args.GetU64("threads", 1));
   options.num_threads = threads;
+  options.engine.warm_start_mimics = args.Has("warm-mimics");
   KELPIE_ASSIGN_OR_RETURN(
       options.engine.relevance_cache,
-      OpenCacheFlag(args, **model, options.engine.seed));
+      OpenCacheFlag(args, **model, options.engine.seed,
+                    options.engine.warm_start_mimics));
   CancelToken cancel;
   WireCancelToSignals(cancel);
   ExtractionLimits limits;
@@ -501,6 +567,7 @@ Status CmdServe(const Args& args) {
   options.max_queue_depth = max_queue;
   options.max_batch = max_batch;
   options.kelpie.num_threads = threads;
+  options.kelpie.engine.warm_start_mimics = args.Has("warm-mimics");
   if (args.Has("relevance-cache")) {
     // The pool loads its own model copies; this load exists only to compute
     // the cache fingerprint, and is dropped before the server starts.
@@ -509,7 +576,8 @@ Status CmdServe(const Args& args) {
     if (!model.ok()) return model.status();
     KELPIE_ASSIGN_OR_RETURN(
         options.kelpie.engine.relevance_cache,
-        OpenCacheFlag(args, **model, options.kelpie.engine.seed));
+        OpenCacheFlag(args, **model, options.kelpie.engine.seed,
+                      options.kelpie.engine.warm_start_mimics));
   }
   // SIGTERM/SIGINT drain the front-end only: the listener stops accepting
   // and reading, but in-flight extractions keep an untriggered cancel token
@@ -749,6 +817,19 @@ Status CmdXp(const Args& args) {
     return Status::InvalidArgument(
         "--retry-truncated only makes sense with --resume");
   }
+  // Warm-start end-to-end retrains from a training checkpoint (the base
+  // model's --checkpoint directory): the retrain resumes from the converged
+  // parameters and runs only --warm-epochs epochs instead of a full
+  // from-scratch schedule. Changes the measured deltas (they answer "what
+  // does a short continuation from the converged state do"), so journals of
+  // warm runs get a distinct run id and never mix with cold ones.
+  control.retrain.warm_start_checkpoint = args.Get("warm-start");
+  uint64_t warm_epochs = 0;
+  KELPIE_ASSIGN_OR_RETURN(warm_epochs, args.GetU64("warm-epochs", 0));
+  control.retrain.warm_epochs = warm_epochs;
+  if (warm_epochs > 0 && control.retrain.warm_start_checkpoint.empty()) {
+    return Status::InvalidArgument("--warm-epochs needs --warm-start DIR");
+  }
   double deadline_seconds = 0.0;
   KELPIE_ASSIGN_OR_RETURN(deadline_seconds, args.GetDouble("deadline", 0.0));
   if (deadline_seconds < 0.0) {
@@ -766,6 +847,9 @@ Status CmdXp(const Args& args) {
   const uint64_t retrain_seed = seed + 1;
   const uint64_t conversion_seed = seed + 2;
 
+  // Wall-clock over the whole run (extraction + end-to-end retrain): the
+  // number EXPERIMENTS.md quotes for the warm-start retrain speedup.
+  Stopwatch run_timer;
   if (scenario == "necessary") {
     Result<NecessaryRunResult> result = RunNecessaryEndToEndResumable(
         explainer, kind.value(), *dataset, predictions, retrain_seed,
@@ -794,6 +878,10 @@ Status CmdXp(const Args& args) {
                 result->delta_h1(), result->delta_mrr());
     PrintTruncationSummary(result->explanations);
   }
+  std::printf("  wall time: %.2fs%s\n", run_timer.ElapsedSeconds(),
+              control.retrain.warm_start_checkpoint.empty()
+                  ? ""
+                  : " (warm-start retrain)");
   return Status::Ok();
 }
 
@@ -841,19 +929,21 @@ int Usage() {
       "  generate --dataset NAME --scale S --seed N --out DIR\n"
       "  train    --data DIR --model NAME --seed N --out FILE "
       "[--epochs N] [--dim N] [--grad-clip X] [--no-recover] "
-      "[--max-recoveries N]\n"
+      "[--max-recoveries N] [--checkpoint DIR] [--checkpoint-interval N] "
+      "[--resume]\n"
       "  evaluate --data DIR --model-file FILE [--no-heads] "
       "[--per-relation] [--threads N] [--metrics-out FILE]\n"
       "  explain  --data DIR --model-file FILE --head H --relation R "
       "--tail T [--sufficient] [--head-query] [--threads N] "
       "[--work-budget N] [--per-prediction-timeout S] [--metrics-out FILE] "
-      "[--canonical] [--id N] [--relevance-cache FILE] [--cache-bytes N]\n"
+      "[--canonical] [--id N] [--relevance-cache FILE] [--cache-bytes N] "
+      "[--warm-mimics]\n"
       "  score    --data DIR --model-file FILE --head H --relation R "
       "--tail T [--canonical] [--id N]\n"
       "  serve    --data DIR --model-file FILE [--host ADDR] [--port N] "
       "[--pool N] [--dispatchers N] [--max-queue N] [--max-batch N] "
       "[--threads N] [--metrics-out FILE] [--relevance-cache FILE] "
-      "[--cache-bytes N]\n"
+      "[--cache-bytes N] [--warm-mimics]\n"
       "  serve-client --port N [--host ADDR] [--connections N] [--in FILE] "
       "[--retries N] [--retry-backoff S] [--retry-backoff-cap S] "
       "[--retry-seed N]\n"
@@ -864,7 +954,7 @@ int Usage() {
       "necessary|sufficient --journal FILE [--resume] [--sample N] "
       "[--seed N] [--conversion-set N] [--threads N] [--work-budget N] "
       "[--per-prediction-timeout S] [--deadline S] [--retry-truncated] "
-      "[--metrics-out FILE]\n"
+      "[--metrics-out FILE] [--warm-start DIR] [--warm-epochs N]\n"
       "  metrics  [--demo] [--json] [--out FILE]\n"
       "serving:\n"
       "  kelpie serve                newline-delimited-JSON TCP service over\n"
@@ -890,6 +980,27 @@ int Usage() {
       "                              recomputing (never wrong bytes).\n"
       "                              `kelpie cache stats|purge --file FILE`\n"
       "                              inspects or deletes it offline\n"
+      "  --warm-mimics               on explain/serve: seed every mimic from\n"
+      "                              the stored embedding it imitates (warm\n"
+      "                              cache entries are salted apart from\n"
+      "                              cold ones)\n"
+      "crash-safe training:\n"
+      "  train --checkpoint DIR      atomic CRC-framed checkpoint after each\n"
+      "                              epoch (or every --checkpoint-interval\n"
+      "                              epochs): parameters, optimizer state,\n"
+      "                              RNG stream, recovery ledger\n"
+      "  train --resume              restore from DIR and continue; a run\n"
+      "                              killed at any point converges to the\n"
+      "                              byte-identical model of an\n"
+      "                              uninterrupted run. Corrupt or stale\n"
+      "                              checkpoints degrade to retraining from\n"
+      "                              scratch, never an error.\n"
+      "                              SIGINT/SIGTERM finish the epoch, write\n"
+      "                              a final checkpoint, exit clean\n"
+      "  xp --warm-start DIR         end-to-end retrains resume from the\n"
+      "                              checkpointed base state and run\n"
+      "                              --warm-epochs N epochs (journals get a\n"
+      "                              distinct warm run id)\n"
       "models: TransE ComplEx ConvE DistMult RotatE\n"
       "datasets: FB15k FB15k-237 WN18 WN18RR YAGO3-10\n"
       "observability:\n"
@@ -915,11 +1026,15 @@ int Usage() {
       "fault injection (tests):\n"
       "  KELPIE_FAILPOINTS=name[:match[:times]],...  arm failpoints; match\n"
       "  is a value or '*', times a count or 'forever'. Known failpoints:\n"
-      "    train.diverge (value = epoch), engine.post_train.diverge\n"
-      "    (value = entity id), pipeline.interrupt (value = prediction\n"
-      "    index), atomic_file.partial_write, atomic_file.rename,\n"
+      "    train.diverge (value = epoch), train.interrupt (value = epoch,\n"
+      "    aborts after that epoch's checkpoint — kill -9 stand-in),\n"
+      "    engine.post_train.diverge (value = entity id),\n"
+      "    pipeline.interrupt (value = prediction index),\n"
+      "    atomic_file.partial_write, atomic_file.rename,\n"
       "    cache.partial_write (torn tail), cache.bit_flip (payload\n"
-      "    corruption), cache.stale_fingerprint (wrong-model header)\n");
+      "    corruption), cache.stale_fingerprint (wrong-model header),\n"
+      "    checkpoint.partial_write, checkpoint.bit_flip,\n"
+      "    checkpoint.stale_config (checkpoint corruption matrix)\n");
   return 2;
 }
 
