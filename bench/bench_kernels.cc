@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "math/matrix.h"
+#include "math/quant.h"
 #include "math/rng.h"
 #include "math/simd.h"
 
@@ -144,6 +146,83 @@ KernelTiming TimeRowSweep(const std::string& name, size_t rows, size_t cols,
   return t;
 }
 
+/// Quantized-shortlist sweeps (math/quant.h, DESIGN.md §15): the int8
+/// certified-interval candidate sweep against the exact float sweep it
+/// prunes for, at paper-benchmark entity counts (FB15k-237 has 14541
+/// entities). The *_shortlist rows additionally time the per-call query
+/// quantization and the guaranteed-superset top-K selection — the full
+/// work the quantized rank path does before exact re-scoring.
+struct QuantTiming {
+  std::string name;
+  size_t rows = 0;
+  size_t dim = 0;
+  double exact_ns = 0.0;
+  double quant_ns = 0.0;
+
+  double speedup() const {
+    return quant_ns > 0.0 ? exact_ns / quant_ns : 0.0;
+  }
+};
+
+QuantTiming TimeQuantSweep(const std::string& name, size_t rows, size_t cols,
+                           Rng& rng, bool dot, bool shortlist) {
+  Matrix table(rows, cols);
+  {
+    std::span<float> data = table.Data();
+    for (float& v : data) {
+      v = static_cast<float>(rng.UniformDouble(-1.0, 1.0));
+    }
+  }
+  const Matrix& ctable = table;
+  std::vector<float> x = BenchVec(cols, rng);
+  // Table quantization is amortized across every rank call by the
+  // per-model TableCache, so it stays outside the timed region; the query
+  // is quantized per call, so it stays inside.
+  std::shared_ptr<const quant::QuantizedTable> qtable =
+      quant::QuantizeRowMajor(ctable);
+  std::vector<float> exact_out(rows);
+  std::vector<double> approx(rows);
+  std::vector<double> err(rows);
+
+  QuantTiming t;
+  t.name = name;
+  t.rows = rows;
+  t.dim = cols;
+  t.exact_ns = TimeNsPerOp(
+      [&](size_t iters) {
+        for (size_t i = 0; i < iters; ++i) {
+          if (dot) {
+            simd::GemvRowMajor(ctable.Data().data(), rows, cols, x.data(),
+                               exact_out.data());
+          } else {
+            simd::SquaredDistanceRows(ctable.Data().data(), rows, cols,
+                                      x.data(), exact_out.data());
+          }
+        }
+        g_sink += exact_out[0];
+      },
+      /*calibrate_iters=*/4);
+  t.quant_ns = TimeNsPerOp(
+      [&](size_t iters) {
+        for (size_t i = 0; i < iters; ++i) {
+          quant::QuantizedVec qx = quant::QuantizeVec(x);
+          if (dot) {
+            quant::ApproxDots(*qtable, qx, approx, err);
+          } else {
+            quant::ApproxSquaredDistances(*qtable, qx, approx, err);
+          }
+          if (shortlist) {
+            std::vector<size_t> keep = quant::SelectShortlist(
+                approx, err, /*k=*/10, /*slack=*/16, /*largest=*/dot);
+            g_sink += static_cast<float>(keep.size());
+          }
+        }
+        g_sink += static_cast<float>(approx[0]);
+      },
+      /*calibrate_iters=*/4);
+  return t;
+}
+
 struct ScoreAllTiming {
   std::string model;
   size_t num_entities = 0;
@@ -181,6 +260,7 @@ ScoreAllTiming TimeScoreAll(ModelKind kind, const Dataset& dataset,
 
 void WriteJson(const std::string& path,
                const std::vector<KernelTiming>& kernels,
+               const std::vector<QuantTiming>& quant,
                const std::vector<ScoreAllTiming>& score_all) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -198,6 +278,16 @@ void WriteJson(const std::string& path,
                  "\"speedup\": %.3f}%s\n",
                  k.name.c_str(), k.dim, k.active_ns, k.scalar_ns,
                  k.speedup(), i + 1 < kernels.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"quant\": [\n");
+  for (size_t i = 0; i < quant.size(); ++i) {
+    const QuantTiming& q = quant[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"rows\": %zu, \"dim\": %zu, "
+                 "\"exact_ns_per_op\": %.0f, \"quant_ns_per_op\": %.0f, "
+                 "\"speedup\": %.3f}%s\n",
+                 q.name.c_str(), q.rows, q.dim, q.exact_ns, q.quant_ns,
+                 q.speedup(), i + 1 < quant.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"score_all\": [\n");
   for (size_t i = 0; i < score_all.size(); ++i) {
@@ -281,6 +371,34 @@ int main(int argc, char** argv) {
              12);
   }
 
+  // Quantized candidate sweep vs the exact float sweep it prunes for, at
+  // FB15k-237 entity count (DESIGN.md §15 sets a >= 2x target for the
+  // sweep itself).
+  const size_t quant_rows = 14541;
+  std::printf("\nQuantized shortlist sweep (%zu rows)\n\n", quant_rows);
+  PrintRow({"Sweep", "Dim", "Exact ns", "Quant ns", "Speedup"}, 16);
+  PrintRule(5, 16);
+  std::vector<QuantTiming> quant;
+  // Paper-scale embedding widths (the reference models run 200-1000-float
+  // entity rows); below ~128 the stat-array streams cap the win.
+  const size_t quant_dims[] = {128, 256, 512};
+  for (size_t dim : quant_dims) {
+    quant.push_back(TimeQuantSweep("quant_dot_sweep", quant_rows, dim, rng,
+                                   /*dot=*/true, /*shortlist=*/false));
+    quant.push_back(TimeQuantSweep("quant_distance_sweep", quant_rows, dim,
+                                   rng, /*dot=*/false, /*shortlist=*/false));
+  }
+  quant.push_back(TimeQuantSweep("quant_dot_shortlist", quant_rows, 256, rng,
+                                 /*dot=*/true, /*shortlist=*/true));
+  quant.push_back(TimeQuantSweep("quant_distance_shortlist", quant_rows, 256,
+                                 rng, /*dot=*/false, /*shortlist=*/true));
+  for (const QuantTiming& q : quant) {
+    PrintRow({q.name, std::to_string(q.dim), FormatDouble(q.exact_ns, 0),
+              FormatDouble(q.quant_ns, 0),
+              FormatDouble(q.speedup(), 2) + "x"},
+             16);
+  }
+
   std::printf("\nScoreAllTails throughput (fixed small dataset)\n\n");
   PrintRow({"Model", "Entities", "Dim", "us/call", "Ment/s"}, 12);
   PrintRule(5, 12);
@@ -299,7 +417,7 @@ int main(int argc, char** argv) {
   }
 
   if (!options.json_path.empty()) {
-    WriteJson(options.json_path, kernels, score_all);
+    WriteJson(options.json_path, kernels, quant, score_all);
   }
   // Keep g_sink observable so no measured loop is optimized away.
   std::fprintf(stderr, "[bench] checksum %.6g\n",

@@ -165,12 +165,15 @@ std::vector<float> RelevanceEngine::PostTrain(
 int RelevanceEngine::RankWithMimic(const Triple& prediction,
                                    PredictionTarget target, EntityId source,
                                    std::span<const float> mimic_vec) const {
+  const RankingOptions ranking{options_.quantized_shortlist};
   if (target == PredictionTarget::kTail) {
     return FilteredTailRankWithHeadVec(model_, dataset_, source, mimic_vec,
-                                       prediction.relation, prediction.tail);
+                                       prediction.relation, prediction.tail,
+                                       ranking);
   }
   return FilteredHeadRankWithTailVec(model_, dataset_, source, mimic_vec,
-                                     prediction.relation, prediction.head);
+                                     prediction.relation, prediction.head,
+                                     ranking);
 }
 
 int RelevanceEngine::HomologousRank(EntityId entity, const Triple& prediction,
@@ -338,7 +341,8 @@ std::vector<EntityId> RelevanceEngine::SampleConversionSet(
       converted.tail = c;
     }
     if (dataset_.IsKnown(converted)) continue;
-    int rank = FilteredRank(model_, dataset_, converted, target);
+    int rank = FilteredRank(model_, dataset_, converted, target,
+                            RankingOptions{options_.quantized_shortlist});
     if (rank <= 1) continue;  // model already predicts it; nothing to convert
     out.push_back(c);
   }

@@ -13,6 +13,7 @@
 #include "common/thread_pool.h"
 #include "core/explanation.h"
 #include "core/relevance_cache.h"
+#include "eval/ranking.h"
 #include "kgraph/dataset.h"
 #include "math/rng.h"
 #include "models/model.h"
@@ -67,6 +68,11 @@ struct RelevanceEngineOptions {
   /// be opened with a warm-specific fingerprint (the CLI salts it) to keep
   /// cold and warm entries from mixing.
   bool warm_start_mimics = false;
+  /// Serve every filtered rank the engine computes (mimic ranks, conversion
+  /// set sampling) through the certified int8 shortlist. Byte-identical to
+  /// the exact sweep (RankingOptions::quantized_shortlist), so relevances
+  /// and explanations are unchanged; defaults to the process-wide setting.
+  bool quantized_shortlist = DefaultQuantizedShortlist();
 };
 
 /// The Relevance Engine (Section 4.2) estimates the effect that adding or

@@ -56,11 +56,14 @@ EvalResult EvaluateImpl(const LinkPredictionModel& model,
                         const std::vector<Triple>& facts,
                         const EvalOptions& options) {
   EvalResult result;
+  const RankingOptions ranking{options.quantized_shortlist};
   if (options.num_threads <= 1 || facts.size() < 2) {
     for (const Triple& fact : facts) {
-      result.tail_ranks.AddRank(FilteredTailRank(model, dataset, fact));
+      result.tail_ranks.AddRank(
+          FilteredTailRank(model, dataset, fact, ranking));
       if (options.include_heads) {
-        result.head_ranks.AddRank(FilteredHeadRank(model, dataset, fact));
+        result.head_ranks.AddRank(
+            FilteredHeadRank(model, dataset, fact, ranking));
       }
     }
     return result;
@@ -71,9 +74,9 @@ EvalResult EvaluateImpl(const LinkPredictionModel& model,
   std::vector<int> head_ranks(options.include_heads ? facts.size() : 0);
   ThreadPool pool(options.num_threads);
   ParallelFor(pool, facts.size(), [&](size_t i) {
-    tail_ranks[i] = FilteredTailRank(model, dataset, facts[i]);
+    tail_ranks[i] = FilteredTailRank(model, dataset, facts[i], ranking);
     if (options.include_heads) {
-      head_ranks[i] = FilteredHeadRank(model, dataset, facts[i]);
+      head_ranks[i] = FilteredHeadRank(model, dataset, facts[i], ranking);
     }
   });
   for (size_t i = 0; i < facts.size(); ++i) {

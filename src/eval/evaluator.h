@@ -20,6 +20,11 @@ struct EvalOptions {
   /// to sequential (ranks are accumulated in fact order regardless of
   /// completion order). 1 = sequential.
   size_t num_threads = 1;
+  /// Serve each rank through the certified int8 shortlist (byte-identical
+  /// results; see RankingOptions::quantized_shortlist). Defaults to the
+  /// process-wide setting so CLI-constructed options pick up
+  /// --quant-shortlist automatically.
+  bool quantized_shortlist = DefaultQuantizedShortlist();
 };
 
 /// Result of evaluating a model over a set of facts.

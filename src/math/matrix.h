@@ -1,7 +1,9 @@
 #ifndef KELPIE_MATH_MATRIX_H_
 #define KELPIE_MATH_MATRIX_H_
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -13,6 +15,15 @@ namespace kelpie {
 /// tables and for the small neural weights of ConvE. It is a plain
 /// container: all numerical work happens in the vec.h kernels operating on
 /// row spans.
+///
+/// The matrix carries a monotonically increasing `version()` counter that
+/// advances on every mutable access (row/element/buffer views, fills,
+/// resets, assignments). Derived read-only artifacts — the quantized
+/// shortlist tables of math/quant.h — key their caches on it, so any write
+/// path (training steps, post-training mimic updates, baseline
+/// perturbations, LoadParameters) invalidates them without the writer
+/// having to know they exist. Versioning follows the same thread contract
+/// as the data: mutation is single-writer, concurrent readers only.
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}
@@ -21,19 +32,42 @@ class Matrix {
   Matrix(size_t rows, size_t cols)
       : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
 
-  Matrix(const Matrix&) = default;
-  Matrix& operator=(const Matrix&) = default;
+  Matrix(const Matrix& other) = default;
   Matrix(Matrix&&) noexcept = default;
-  Matrix& operator=(Matrix&&) noexcept = default;
+  /// Assignment replaces the contents, so the version must advance past
+  /// both operands' histories (LoadParameters swaps in whole tables this
+  /// way).
+  Matrix& operator=(const Matrix& other) {
+    if (this != &other) {
+      rows_ = other.rows_;
+      cols_ = other.cols_;
+      data_ = other.data_;
+      version_ = std::max(version_, other.version_) + 1;
+    }
+    return *this;
+  }
+  Matrix& operator=(Matrix&& other) noexcept {
+    if (this != &other) {
+      rows_ = other.rows_;
+      cols_ = other.cols_;
+      data_ = std::move(other.data_);
+      version_ = std::max(version_, other.version_) + 1;
+    }
+    return *this;
+  }
 
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
   size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
+  /// Mutation counter (see class comment).
+  uint64_t version() const { return version_; }
+
   /// Mutable view of row `r`.
   std::span<float> Row(size_t r) {
     KELPIE_DCHECK(r < rows_);
+    ++version_;
     return std::span<float>(data_.data() + r * cols_, cols_);
   }
 
@@ -45,6 +79,7 @@ class Matrix {
 
   float& At(size_t r, size_t c) {
     KELPIE_DCHECK(r < rows_ && c < cols_);
+    ++version_;
     return data_[r * cols_ + c];
   }
   float At(size_t r, size_t c) const {
@@ -53,14 +88,21 @@ class Matrix {
   }
 
   /// Whole backing buffer (row-major).
-  std::span<float> Data() { return data_; }
+  std::span<float> Data() {
+    ++version_;
+    return data_;
+  }
   std::span<const float> Data() const { return data_; }
 
   /// Sets every element to `value`.
-  void Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+  void Fill(float value) {
+    ++version_;
+    std::fill(data_.begin(), data_.end(), value);
+  }
 
   /// Resizes to rows x cols, zero-filling; existing contents are discarded.
   void Reset(size_t rows, size_t cols) {
+    ++version_;
     rows_ = rows;
     cols_ = cols;
     data_.assign(rows * cols, 0.0f);
@@ -70,6 +112,7 @@ class Matrix {
   size_t rows_;
   size_t cols_;
   std::vector<float> data_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace kelpie

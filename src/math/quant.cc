@@ -1,0 +1,452 @@
+#include "math/quant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+// Backend selection, mirroring simd.cc: exactly one of the three is
+// compiled into the dispatching kernel; the scalar reference is always
+// compiled. The int8 kernel accumulates in int32, which is exact, so every
+// backend returns identical integers by construction — the macros exist so
+// the KELPIE_SIMD=off/sse2 builds stay honest about what they execute.
+#if defined(KELPIE_SIMD_DISABLE)
+#define KELPIE_QUANT_BACKEND 0
+#elif defined(KELPIE_SIMD_FORCE_SSE2) && defined(__SSE2__)
+#define KELPIE_QUANT_BACKEND 1
+#elif defined(__AVX2__)
+#define KELPIE_QUANT_BACKEND 2
+#elif defined(__SSE2__)
+#define KELPIE_QUANT_BACKEND 1
+#else
+#define KELPIE_QUANT_BACKEND 0
+#endif
+
+#if KELPIE_QUANT_BACKEND > 0
+#include <immintrin.h>
+#endif
+
+// The bound sweeps stream half a dozen per-row stat arrays; without a
+// no-alias promise the compiler must assume the output spans overlap them
+// and gives up on vectorizing the double math.
+#if defined(_MSC_VER)
+#define KELPIE_QUANT_RESTRICT __restrict
+#else
+#define KELPIE_QUANT_RESTRICT __restrict__
+#endif
+
+namespace kelpie {
+namespace quant {
+
+// ---------------------------------------------------------------------------
+// Scalar reference.
+// ---------------------------------------------------------------------------
+
+namespace scalar {
+
+void GemvRowMajorI8(const int8_t* matrix, size_t rows, size_t cols,
+                    const int8_t* x, int32_t* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    const int8_t* row = matrix + r * cols;
+    int32_t acc = 0;
+    for (size_t j = 0; j < cols; ++j) {
+      acc += static_cast<int32_t>(row[j]) * static_cast<int32_t>(x[j]);
+    }
+    out[r] = acc;
+  }
+}
+
+}  // namespace scalar
+
+// ---------------------------------------------------------------------------
+// SIMD backends. Never _mm*_maddubs_epi16 here: it is u8 x s8 with
+// saturating pair adds. Sign-extend to int16 and use madd_epi16, whose
+// int32 pair sums are exact for |q| <= 127.
+// ---------------------------------------------------------------------------
+
+#if KELPIE_QUANT_BACKEND == 2
+
+namespace {
+namespace avx2 {
+
+int32_t DotI8(const int8_t* a, const int8_t* b, size_t n) {
+  const __m256i ones = _mm256_set1_epi16(1);
+  __m256i acc = _mm256_setzero_si256();
+  __m256i acc2 = _mm256_setzero_si256();
+  size_t i = 0;
+  // 32 codes per step via |a| (u8) x sign(b, a): the products equal
+  // a_j*b_j exactly, and with codes clamped to [-127, 127] each i16 pair
+  // sum of maddubs is at most 2*127*127 = 32258 < 32767, so the saturating
+  // instruction never actually saturates. -128 never occurs (quantize
+  // clamps), which maddubs with abs/sign would get wrong. Two independent
+  // accumulators hide the add latency chain; integer adds are exact, so
+  // the split cannot change the result.
+  for (; i + 64 <= n; i += 64) {
+    const __m256i av =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i bv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i aw =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i + 32));
+    const __m256i bw =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i + 32));
+    const __m256i pairs =
+        _mm256_maddubs_epi16(_mm256_abs_epi8(av), _mm256_sign_epi8(bv, av));
+    const __m256i pairs2 =
+        _mm256_maddubs_epi16(_mm256_abs_epi8(aw), _mm256_sign_epi8(bw, aw));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(pairs, ones));
+    acc2 = _mm256_add_epi32(acc2, _mm256_madd_epi16(pairs2, ones));
+  }
+  acc = _mm256_add_epi32(acc, acc2);
+  for (; i + 32 <= n; i += 32) {
+    const __m256i av =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i bv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i pairs =
+        _mm256_maddubs_epi16(_mm256_abs_epi8(av), _mm256_sign_epi8(bv, av));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(pairs, ones));
+  }
+  for (; i + 16 <= n; i += 16) {
+    const __m256i av = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)));
+    const __m256i bv = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(av, bv));
+  }
+  // Integer adds are associative, so any reduction order is exact; the
+  // fixed tree just mirrors the float kernels' style.
+  alignas(32) int32_t lanes[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  int32_t sum = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+                ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+  for (; i < n; ++i) {
+    sum += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return sum;
+}
+
+}  // namespace avx2
+}  // namespace
+
+#endif  // KELPIE_QUANT_BACKEND == 2
+
+#if KELPIE_QUANT_BACKEND == 1
+
+namespace {
+namespace sse2 {
+
+int32_t DotI8(const int8_t* a, const int8_t* b, size_t n) {
+  const __m128i zero = _mm_setzero_si128();
+  __m128i acc = _mm_setzero_si128();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i av =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i bv =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    // SSE2 has no cvtepi8_epi16; sign-extend by interleaving with the
+    // comparison mask (all-ones bytes for negative inputs).
+    const __m128i sa = _mm_cmpgt_epi8(zero, av);
+    const __m128i sb = _mm_cmpgt_epi8(zero, bv);
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(_mm_unpacklo_epi8(av, sa),
+                                            _mm_unpacklo_epi8(bv, sb)));
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(_mm_unpackhi_epi8(av, sa),
+                                            _mm_unpackhi_epi8(bv, sb)));
+  }
+  alignas(16) int32_t lanes[4];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes), acc);
+  int32_t sum = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; i < n; ++i) {
+    sum += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return sum;
+}
+
+}  // namespace sse2
+}  // namespace
+
+#endif  // KELPIE_QUANT_BACKEND == 1
+
+void GemvRowMajorI8(const int8_t* matrix, size_t rows, size_t cols,
+                    const int8_t* x, int32_t* out) {
+#if KELPIE_QUANT_BACKEND == 2
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = avx2::DotI8(matrix + r * cols, x, cols);
+  }
+#elif KELPIE_QUANT_BACKEND == 1
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = sse2::DotI8(matrix + r * cols, x, cols);
+  }
+#else
+  scalar::GemvRowMajorI8(matrix, rows, cols, x, out);
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Quantization (backend-independent; all statistics in double).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Quantizes one row into `q`, filling the per-row statistics. Returns
+/// false when the row contains NaN/Inf (q is zeroed, stats left 0).
+bool QuantizeRow(std::span<const float> row, int8_t* q, double& scale,
+                 double& recon_l1, double& max_abs, double& l1_norm,
+                 double& sq_norm) {
+  scale = recon_l1 = max_abs = l1_norm = sq_norm = 0.0;
+  double m = 0.0;
+  for (float v : row) {
+    if (!std::isfinite(v)) {
+      std::fill(q, q + row.size(), static_cast<int8_t>(0));
+      return false;
+    }
+    m = std::max(m, std::fabs(static_cast<double>(v)));
+  }
+  max_abs = m;
+  if (m == 0.0) {
+    std::fill(q, q + row.size(), static_cast<int8_t>(0));
+    return true;
+  }
+  scale = m / 127.0;
+  for (size_t j = 0; j < row.size(); ++j) {
+    const double v = static_cast<double>(row[j]);
+    long code = std::lround(v / scale);
+    code = std::clamp<long>(code, -127, 127);
+    q[j] = static_cast<int8_t>(code);
+    recon_l1 += std::fabs(v - scale * static_cast<double>(code));
+    l1_norm += std::fabs(v);
+    sq_norm += v * v;
+  }
+  return true;
+}
+
+/// Relative cushion multiplying every certified bound: covers the double
+/// rounding of the bound arithmetic itself plus the sub-ULP slivers the
+/// derivation's inequalities ignore (DESIGN.md §15). Tightness only affects
+/// pruning rate, never correctness, so it is deliberately generous.
+constexpr double kBoundInflation = 1.0002;
+/// Absolute double-rounding allowance relative to the magnitudes involved.
+constexpr double kDoubleRounding = 1e-12;
+
+// Quantization error of the *real* dot product against the integer
+// approximation: |sum(r.x) - s_r*s_x*dot_q| <= E with
+//   E = max_abs_r * recon_l1_x + max_abs_x * recon_l1_r
+//       + 0.5 * s_r * recon_l1_x.
+// Inlined into both sweeps below (the restrict-pointer loops keep the
+// exact same evaluation order).
+
+/// Forward-error coefficient of the exact float kernel's 8-lane reduction
+/// over n terms: each lane runs ~n/8 sequential adds plus the 3-level tree
+/// plus one rounding per multiply; (n/8 + 8) * 2^-23 doubles the textbook
+/// count as cushion.
+double FloatSweepGamma(size_t n, double extra) {
+  return (static_cast<double>(n) / 8.0 + 8.0 + extra) *
+         std::ldexp(1.0, -23);
+}
+
+}  // namespace
+
+std::shared_ptr<const QuantizedTable> QuantizeRowMajor(const Matrix& table) {
+  if (table.cols() > kMaxQuantCols) return nullptr;
+  auto out = std::make_shared<QuantizedTable>();
+  const size_t rows = table.rows();
+  const size_t cols = table.cols();
+  out->rows = rows;
+  out->cols = cols;
+  out->data.resize(rows * cols);
+  out->scale.resize(rows);
+  out->recon_l1.resize(rows);
+  out->max_abs.resize(rows);
+  out->l1_norm.resize(rows);
+  out->sq_norm.resize(rows);
+  out->finite.resize(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    out->finite[r] = QuantizeRow(table.Row(r), out->data.data() + r * cols,
+                                 out->scale[r], out->recon_l1[r],
+                                 out->max_abs[r], out->l1_norm[r],
+                                 out->sq_norm[r])
+                         ? 1
+                         : 0;
+  }
+  out->source_version = table.version();
+  return out;
+}
+
+QuantizedVec QuantizeVec(std::span<const float> x) {
+  QuantizedVec out;
+  out.cols = x.size();
+  out.data.resize(x.size());
+  out.finite = QuantizeRow(x, out.data.data(), out.scale, out.recon_l1,
+                           out.max_abs, out.l1_norm, out.sq_norm);
+  return out;
+}
+
+void ApproxDots(const QuantizedTable& table, const QuantizedVec& x,
+                std::span<double> approx, std::span<double> err) {
+  KELPIE_CHECK(x.cols == table.cols);
+  KELPIE_CHECK(approx.size() == table.rows && err.size() == table.rows);
+  thread_local std::vector<int32_t> dots;
+  dots.resize(table.rows);
+  GemvRowMajorI8(table.data.data(), table.rows, table.cols, x.data.data(),
+                 dots.data());
+  const double inf = std::numeric_limits<double>::infinity();
+  const double gamma = FloatSweepGamma(table.cols, 0.0);
+  // Branch-free body over restrict pointers so the compiler can vectorize
+  // the double math; the non-finite-row select compiles to a blend.
+  const size_t rows = table.rows;
+  const double* KELPIE_QUANT_RESTRICT t_scale = table.scale.data();
+  const double* KELPIE_QUANT_RESTRICT t_recon = table.recon_l1.data();
+  const double* KELPIE_QUANT_RESTRICT t_max = table.max_abs.data();
+  const double* KELPIE_QUANT_RESTRICT t_l1 = table.l1_norm.data();
+  const uint8_t* KELPIE_QUANT_RESTRICT t_fin = table.finite.data();
+  const int32_t* KELPIE_QUANT_RESTRICT d = dots.data();
+  double* KELPIE_QUANT_RESTRICT ap = approx.data();
+  double* KELPIE_QUANT_RESTRICT ep = err.data();
+  const double x_scale = x.scale;
+  const double x_recon = x.recon_l1;
+  const double x_max = x.max_abs;
+  const double x_l1 = x.l1_norm;
+  const bool x_fin = x.finite;
+  for (size_t r = 0; r < rows; ++r) {
+    const double a = t_scale[r] * x_scale * static_cast<double>(d[r]);
+    ap[r] = a;
+    const double e_quant =
+        t_max[r] * x_recon + x_max * t_recon[r] + 0.5 * t_scale[r] * x_recon;
+    // The float kernel's accumulation error is relative to the sum of
+    // absolute products, bounded either way around.
+    const double s_abs = std::min(t_max[r] * x_l1, x_max * t_l1[r]);
+    const double bound = kBoundInflation * (e_quant + gamma * s_abs) +
+                         kDoubleRounding * std::fabs(a);
+    ep[r] = (t_fin[r] != 0 && x_fin) ? bound : inf;
+  }
+}
+
+void ApproxSquaredDistances(const QuantizedTable& table,
+                            const QuantizedVec& x, std::span<double> approx,
+                            std::span<double> err) {
+  KELPIE_CHECK(x.cols == table.cols);
+  KELPIE_CHECK(approx.size() == table.rows && err.size() == table.rows);
+  thread_local std::vector<int32_t> dots;
+  dots.resize(table.rows);
+  GemvRowMajorI8(table.data.data(), table.rows, table.cols, x.data.data(),
+                 dots.data());
+  const double inf = std::numeric_limits<double>::infinity();
+  // The float kernel rounds the subtraction and the square before the
+  // 8-lane accumulation; the extra per-term roundings ride in `extra`.
+  const double gamma = FloatSweepGamma(table.cols, 4.0);
+  // Branch-free over restrict pointers, as in ApproxDots.
+  const size_t rows = table.rows;
+  const double* KELPIE_QUANT_RESTRICT t_scale = table.scale.data();
+  const double* KELPIE_QUANT_RESTRICT t_recon = table.recon_l1.data();
+  const double* KELPIE_QUANT_RESTRICT t_max = table.max_abs.data();
+  const double* KELPIE_QUANT_RESTRICT t_sq = table.sq_norm.data();
+  const uint8_t* KELPIE_QUANT_RESTRICT t_fin = table.finite.data();
+  const int32_t* KELPIE_QUANT_RESTRICT d = dots.data();
+  double* KELPIE_QUANT_RESTRICT ap = approx.data();
+  double* KELPIE_QUANT_RESTRICT ep = err.data();
+  const double x_scale = x.scale;
+  const double x_recon = x.recon_l1;
+  const double x_max = x.max_abs;
+  const double x_sq = x.sq_norm;
+  const bool x_fin = x.finite;
+  for (size_t r = 0; r < rows; ++r) {
+    // ||r - x||^2 = ||r||^2 - 2<r,x> + ||x||^2 with cached double norms.
+    const double a = t_sq[r] -
+                     2.0 * t_scale[r] * x_scale * static_cast<double>(d[r]) +
+                     x_sq;
+    ap[r] = a;
+    const double e_dot =
+        2.0 * (t_max[r] * x_recon + x_max * t_recon[r] +
+               0.5 * t_scale[r] * x_recon);
+    // The real distance is nonnegative and <= a + e_dot; that also bounds
+    // the float kernel's sum of (a_j - b_j)^2 terms.
+    const double d_max = std::max(0.0, a + e_dot);
+    const double bound = kBoundInflation * (e_dot + gamma * d_max) +
+                         kDoubleRounding * (std::fabs(a) + d_max);
+    ep[r] = (t_fin[r] != 0 && x_fin) ? bound : inf;
+  }
+}
+
+std::vector<size_t> SelectShortlist(std::span<const double> approx,
+                                    std::span<const double> err, size_t k,
+                                    size_t slack, bool largest) {
+  KELPIE_CHECK(approx.size() == err.size());
+  const size_t n = approx.size();
+  std::vector<size_t> out;
+  if (n == 0 || k == 0) return out;
+  const size_t k_wide = std::min(n, k + slack);
+  if (k_wide >= n) {
+    out.resize(n);
+    for (size_t i = 0; i < n; ++i) out[i] = i;
+    return out;
+  }
+  // Guard band absorbing float sqrt rounding collisions for the distance
+  // models' -sqrt transform: distinct distances within this relative band
+  // can round to equal final scores, so they must not be pruned apart.
+  // 2*2^-24 relative on sqrt => ~5e-7 on the squares; 1e-5 is generous.
+  constexpr double kSqrtGuard = 1e-5;
+  // The threshold is the k_wide-th best certified bound — an order
+  // statistic, so a size-k_wide heap over one pass beats nth_element's
+  // full-array partition by a wide margin at shortlist sizes (k_wide is
+  // tens, n is the entity count). Heap scratch is reused across calls.
+  thread_local std::vector<double> heap;
+  heap.clear();
+  heap.reserve(k_wide);
+  if (largest) {
+    // Threshold: the k_wide-th largest certified lower bound (min-heap of
+    // the k_wide largest keys; the root is the threshold). Any row whose
+    // exact value could reach it stays.
+    const auto cmp = std::greater<double>();
+    for (size_t i = 0; i < n; ++i) {
+      const double key = approx[i] - err[i];
+      if (heap.size() < k_wide) {
+        heap.push_back(key);
+        std::push_heap(heap.begin(), heap.end(), cmp);
+      } else if (key > heap.front()) {
+        std::pop_heap(heap.begin(), heap.end(), cmp);
+        heap.back() = key;
+        std::push_heap(heap.begin(), heap.end(), cmp);
+      }
+    }
+    const double kth = heap.front();
+    for (size_t i = 0; i < n; ++i) {
+      if (approx[i] + err[i] >= kth) out.push_back(i);
+    }
+  } else {
+    // Distances: the k_wide-th smallest certified upper bound (max-heap of
+    // the k_wide smallest keys), widened by the sqrt guard band.
+    for (size_t i = 0; i < n; ++i) {
+      const double key = approx[i] + err[i];
+      if (heap.size() < k_wide) {
+        heap.push_back(key);
+        std::push_heap(heap.begin(), heap.end());
+      } else if (key < heap.front()) {
+        std::pop_heap(heap.begin(), heap.end());
+        heap.back() = key;
+        std::push_heap(heap.begin(), heap.end());
+      }
+    }
+    const double kth = heap.front();
+    const double limit = kth >= 0.0 ? kth * (1.0 + kSqrtGuard) : kth;
+    for (size_t i = 0; i < n; ++i) {
+      if (approx[i] - err[i] <= limit) out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::shared_ptr<const QuantizedTable> TableCache::Get(
+    const Matrix& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cached_ != nullptr && cached_->source_version == table.version() &&
+      cached_->rows == table.rows() && cached_->cols == table.cols()) {
+    return cached_;
+  }
+  cached_ = QuantizeRowMajor(table);
+  return cached_;
+}
+
+}  // namespace quant
+}  // namespace kelpie

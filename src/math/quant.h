@@ -1,0 +1,162 @@
+#ifndef KELPIE_MATH_QUANT_H_
+#define KELPIE_MATH_QUANT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "math/matrix.h"
+
+namespace kelpie {
+namespace quant {
+
+/// Per-row symmetric int8 quantization of embedding tables, int8 candidate
+/// sweeps, and certified error bounds (DESIGN.md §15).
+///
+/// The quantized sweep is a *pruner, never a source of truth*: it returns,
+/// for every row r, a double `approx[r]` and a double `err[r]` such that the
+/// value the exact float kernel (simd::GemvRowMajor /
+/// simd::SquaredDistanceRows) would compute for that row is guaranteed to
+/// lie in [approx[r] - err[r], approx[r] + err[r]]. Callers classify rows
+/// against that interval and re-score only the uncertain band through the
+/// exact kernels, so every reported score, rank and shortlist stays
+/// byte-identical with the quantized path on or off.
+///
+/// The int8 kernels accumulate in int32, which is exact (|q| <= 127, so a
+/// row of up to ~130k columns cannot overflow); they are therefore
+/// trivially bit-identical across the scalar/SSE2/AVX2 backends. All the
+/// double-precision scaling and bound arithmetic lives in shared
+/// backend-independent code, so approx/err are byte-identical on every
+/// backend too (kernel_equivalence_test pins this).
+
+/// cols above which the int32 accumulator of a +/-127 x +/-127 product
+/// stream could overflow; quantization refuses larger tables.
+inline constexpr size_t kMaxQuantCols = (1u << 31) / (127u * 127u);
+
+/// A per-row symmetrically quantized matrix plus the cached per-row
+/// statistics the error bounds need. Immutable once built.
+struct QuantizedTable {
+  size_t rows = 0;
+  size_t cols = 0;
+  /// Row-major int8 codes; row r is data[r*cols .. r*cols+cols).
+  std::vector<int8_t> data;
+  /// Per-row scale s_r = max|row| / 127 (0 for all-zero rows).
+  std::vector<double> scale;
+  /// Per-row exact reconstruction L1 error B_r = sum_j |row_j - s_r*q_j|,
+  /// accumulated in double at quantize time.
+  std::vector<double> recon_l1;
+  /// Per-row max_j |row_j| (double).
+  std::vector<double> max_abs;
+  /// Per-row sum_j |row_j| (double).
+  std::vector<double> l1_norm;
+  /// Per-row sum_j row_j^2 (double) — the ||r||² term of the squared
+  /// distance decomposition.
+  std::vector<double> sq_norm;
+  /// Per-row finiteness flag; rows containing NaN/Inf get err = +Inf from
+  /// the sweeps (always re-checked exactly).
+  std::vector<uint8_t> finite;
+  /// Matrix::version() of the source table at build time (staleness check).
+  uint64_t source_version = 0;
+
+  std::span<const int8_t> Row(size_t r) const {
+    return std::span<const int8_t>(data.data() + r * cols, cols);
+  }
+};
+
+/// A quantized query vector with the same per-vector statistics.
+struct QuantizedVec {
+  size_t cols = 0;
+  std::vector<int8_t> data;
+  double scale = 0.0;
+  double recon_l1 = 0.0;
+  double max_abs = 0.0;
+  double l1_norm = 0.0;
+  double sq_norm = 0.0;
+  bool finite = true;
+};
+
+/// Quantizes `table` row by row. Returns nullptr when the shape cannot be
+/// quantized safely (cols > kMaxQuantCols). Non-finite rows are stored as
+/// zero codes with finite=false.
+std::shared_ptr<const QuantizedTable> QuantizeRowMajor(const Matrix& table);
+
+/// Quantizes a query vector. `out.finite` is false when the vector contains
+/// NaN/Inf (callers must fall back to the exact sweep).
+QuantizedVec QuantizeVec(std::span<const float> x);
+
+/// out[r] = sum_j matrix_q[r][j] * x_q[j], exact int32 accumulation.
+/// Bit-identical across backends by construction. Codes must lie in
+/// [-127, 127] (the quantizer clamps): the AVX2 path's abs/sign maddubs
+/// pairing is exact on that range but would misread -128.
+void GemvRowMajorI8(const int8_t* matrix, size_t rows, size_t cols,
+                    const int8_t* x, int32_t* out);
+
+/// Approximate dot sweep: for every row r, approx[r] estimates the exact
+/// float kernel value fl(Dot(row_r, x)) and err[r] certifies
+///   fl(Dot(row_r, x)) ∈ [approx[r] - err[r], approx[r] + err[r]].
+/// Non-finite rows/queries get err = +Inf.
+void ApproxDots(const QuantizedTable& table, const QuantizedVec& x,
+                std::span<double> approx, std::span<double> err);
+
+/// Approximate squared-distance sweep (the SquaredDistanceRowsI8
+/// counterpart): the same certified-interval contract against
+/// fl(SquaredDistance(row_r, x)). approx[r] may be slightly negative; the
+/// exact float value is still inside the interval.
+void ApproxSquaredDistances(const QuantizedTable& table,
+                            const QuantizedVec& x, std::span<double> approx,
+                            std::span<double> err);
+
+/// Guaranteed-superset top-K shortlist over certified intervals.
+///
+/// `largest` = true: rows are ranked by value descending (dot-model
+/// scores); false: ascending (distances — smaller is better). Let S be the
+/// set of rows whose *exact* float kernel value ties or beats the K-th best
+/// exact value (the strongest, tie-break-proof form of "true top-K"). The
+/// returned index list always contains S. `slack` widens the threshold to
+/// the (K+slack)-th certified bound for extra safety margin; the list is in
+/// ascending row order.
+///
+/// For `largest` = false the guarantee additionally survives the -sqrt
+/// transform the distance models apply after the sweep: a multiplicative
+/// guard band absorbs float sqrt rounding collisions, so the shortlist is a
+/// superset of the top-K by *final score* as well.
+std::vector<size_t> SelectShortlist(std::span<const double> approx,
+                                    std::span<const double> err, size_t k,
+                                    size_t slack, bool largest);
+
+/// Thread-safe per-model cache of one QuantizedTable, invalidated by the
+/// source Matrix's version counter. Models hold one as a mutable member;
+/// post-training mimic updates, baseline perturbations and LoadParameters
+/// all bump the matrix version, so the next Get() rebuilds instead of
+/// serving a stale table (relevance_engine_test pins this).
+class TableCache {
+ public:
+  TableCache() = default;
+  /// Copying a model must not share or carry over the cache.
+  TableCache(const TableCache&) {}
+  TableCache& operator=(const TableCache&) { return *this; }
+
+  /// The quantized form of `table`, rebuilt iff table.version() differs
+  /// from the cached build. Returns nullptr when `table` is not quantizable
+  /// (see QuantizeRowMajor).
+  std::shared_ptr<const QuantizedTable> Get(const Matrix& table) const;
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::shared_ptr<const QuantizedTable> cached_;
+};
+
+/// Reference implementation of the int8 kernel, plain code, always
+/// compiled; the dispatching kernel must match it bit for bit on any
+/// backend (kernel_equivalence_test).
+namespace scalar {
+void GemvRowMajorI8(const int8_t* matrix, size_t rows, size_t cols,
+                    const int8_t* x, int32_t* out);
+}  // namespace scalar
+
+}  // namespace quant
+}  // namespace kelpie
+
+#endif  // KELPIE_MATH_QUANT_H_

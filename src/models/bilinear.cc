@@ -71,6 +71,27 @@ void BilinearModel::ScoreAllHeadsWithTailVec(RelationId r,
                      entity_dim(), w.data(), out.data());
 }
 
+std::optional<CandidateSweep> BilinearModel::TailSweepWithHeadVec(
+    std::span<const float> head_vec, RelationId r) const {
+  // TailQuery() is the exact composite the gemv sweep consumes.
+  CandidateSweep sweep;
+  sweep.kernel = CandidateSweep::Kernel::kDot;
+  sweep.query.resize(entity_dim());
+  TailQuery(head_vec, relation_embeddings_.Row(static_cast<size_t>(r)),
+            sweep.query);
+  return sweep;
+}
+
+std::optional<CandidateSweep> BilinearModel::HeadSweepWithTailVec(
+    RelationId r, std::span<const float> tail_vec) const {
+  CandidateSweep sweep;
+  sweep.kernel = CandidateSweep::Kernel::kDot;
+  sweep.query.resize(entity_dim());
+  HeadQuery(relation_embeddings_.Row(static_cast<size_t>(r)), tail_vec,
+            sweep.query);
+  return sweep;
+}
+
 float BilinearModel::ScoreWithEntityVec(const Triple& t, EntityId which,
                                         std::span<const float> vec) const {
   std::span<const float> h =

@@ -2,6 +2,7 @@
 #define KELPIE_MODELS_BILINEAR_H_
 
 #include "math/matrix.h"
+#include "math/quant.h"
 #include "ml/optimizer.h"
 #include "models/model.h"
 
@@ -63,6 +64,16 @@ class BilinearModel : public LinkPredictionModel {
     return entity_embeddings_.Row(static_cast<size_t>(e));
   }
 
+  std::optional<CandidateSweep> TailSweepWithHeadVec(
+      std::span<const float> head_vec, RelationId r) const override;
+  std::optional<CandidateSweep> HeadSweepWithTailVec(
+      RelationId r, std::span<const float> tail_vec) const override;
+  const Matrix* EntityTable() const override { return &entity_embeddings_; }
+  std::shared_ptr<const quant::QuantizedTable> QuantizedEntityTable()
+      const override {
+    return quant_cache_.Get(entity_embeddings_);
+  }
+
  protected:
   BilinearModel(size_t num_entities, size_t num_relations,
                 TrainConfig config);
@@ -93,6 +104,8 @@ class BilinearModel : public LinkPredictionModel {
  private:
   /// Adds the N3 regularization gradient λ·3·|x|·x to `grad`.
   void AddN3Gradient(std::span<const float> row, std::span<float> grad) const;
+
+  quant::TableCache quant_cache_;
 };
 
 }  // namespace kelpie

@@ -209,6 +209,24 @@ void ConvE::ScoreAllHeadsWithTailVec(RelationId r,
   ScoreAllTailsWithHeadVec(tail_vec, ReciprocalOf(r), out);
 }
 
+std::optional<CandidateSweep> ConvE::TailSweepWithHeadVec(
+    std::span<const float> head_vec, RelationId r) const {
+  thread_local ForwardCache cache;
+  ForwardMlp(head_vec, relation_embeddings_.Row(static_cast<size_t>(r)),
+             cache);
+  CandidateSweep sweep;
+  sweep.kernel = CandidateSweep::Kernel::kDot;
+  sweep.query.assign(cache.v.begin(), cache.v.end());
+  sweep.bias = std::span<const float>(entity_bias_);
+  return sweep;
+}
+
+std::optional<CandidateSweep> ConvE::HeadSweepWithTailVec(
+    RelationId r, std::span<const float> tail_vec) const {
+  // Same reciprocal-relation trick as ScoreAllHeadsWithTailVec.
+  return TailSweepWithHeadVec(tail_vec, ReciprocalOf(r));
+}
+
 float ConvE::ScoreWithEntityVec(const Triple& t, EntityId which,
                                 std::span<const float> vec) const {
   std::span<const float> h =

@@ -2,6 +2,7 @@
 #define KELPIE_MODELS_CONVE_H_
 
 #include "math/matrix.h"
+#include "math/quant.h"
 #include "ml/conv2d.h"
 #include "models/model.h"
 
@@ -74,6 +75,16 @@ class ConvE final : public LinkPredictionModel {
   /// Per-entity output bias b_e (exposed for tests).
   const std::vector<float>& entity_bias() const { return entity_bias_; }
 
+  std::optional<CandidateSweep> TailSweepWithHeadVec(
+      std::span<const float> head_vec, RelationId r) const override;
+  std::optional<CandidateSweep> HeadSweepWithTailVec(
+      RelationId r, std::span<const float> tail_vec) const override;
+  const Matrix* EntityTable() const override { return &entity_embeddings_; }
+  std::shared_ptr<const quant::QuantizedTable> QuantizedEntityTable()
+      const override {
+    return quant_cache_.Get(entity_embeddings_);
+  }
+
  private:
   /// Intermediate activations of one (head, relation) forward pass, kept
   /// for the backward pass. When dropout is active (training only), the
@@ -121,6 +132,7 @@ class ConvE final : public LinkPredictionModel {
   std::vector<float> entity_bias_;
   Conv2d conv_;
   DenseLayer fc_;
+  quant::TableCache quant_cache_;
 };
 
 }  // namespace kelpie

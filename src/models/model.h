@@ -3,6 +3,7 @@
 
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -15,6 +16,35 @@
 #include "ml/train_guard.h"
 
 namespace kelpie {
+
+class Matrix;
+namespace quant {
+struct QuantizedTable;
+}  // namespace quant
+
+/// Closed-form description of an all-candidates sweep: every model's
+/// ScoreAll* path reduces to "build one composite query vector, run one
+/// entity-table kernel, apply a fixed transform". Exposing that shape lets
+/// the quantized-shortlist rank path (eval/ranking.cc) classify candidates
+/// against certified int8 bounds and re-score only the uncertain band.
+///
+/// Contract: `query` must be built with the *exact same float arithmetic*
+/// as the model's ScoreAll* composite, so that
+///   kDot:             fl(Dot(row_e, query)) [+ bias_e]
+///   kSquaredDistance: -sqrt(fl(SquaredDistance(row_e, query)))
+/// evaluated per row through the simd kernels reproduces the sweep output
+/// for entity e bit for bit (the PR 5 per-row equivalence guarantee).
+struct CandidateSweep {
+  enum class Kernel { kDot, kSquaredDistance };
+  Kernel kernel = Kernel::kDot;
+  /// The composite query vector (entity_dim floats).
+  std::vector<float> query;
+  /// Per-entity additive bias applied after the dot kernel (ConvE's b_e;
+  /// added as `score += 1.0f * bias[e]`, matching the sweep's Axpy). Empty
+  /// for models without one. Points into model-owned storage and is only
+  /// valid while the model is alive and unmodified.
+  std::span<const float> bias;
+};
 
 /// Hyperparameters shared by all model trainers. Every model reads the
 /// fields that apply to its architecture and ignores the rest; the factory
@@ -191,6 +221,38 @@ class LinkPredictionModel {
                                     const std::vector<Triple>& facts,
                                     Rng& rng) const {
     return PostTrainMimic(dataset, entity, facts, rng, {});
+  }
+
+  /// Closed-form sweep descriptor of ScoreAllTailsWithHeadVec (see
+  /// CandidateSweep). Default: nullopt — no closed form; callers must use
+  /// the exact ScoreAll* path. All five built-in models implement it.
+  virtual std::optional<CandidateSweep> TailSweepWithHeadVec(
+      std::span<const float> head_vec, RelationId r) const {
+    (void)head_vec;
+    (void)r;
+    return std::nullopt;
+  }
+
+  /// Closed-form sweep descriptor of ScoreAllHeadsWithTailVec.
+  virtual std::optional<CandidateSweep> HeadSweepWithTailVec(
+      RelationId r, std::span<const float> tail_vec) const {
+    (void)r;
+    (void)tail_vec;
+    return std::nullopt;
+  }
+
+  /// The entity table the CandidateSweep kernels run against (row e =
+  /// entity e's embedding), or nullptr when the model has no single such
+  /// table. Only valid while the model is alive.
+  virtual const Matrix* EntityTable() const { return nullptr; }
+
+  /// Per-row int8 quantization of EntityTable(), cached per model and
+  /// invalidated whenever the table mutates (post-training mimic updates,
+  /// baseline perturbations, LoadParameters — anything that bumps
+  /// Matrix::version()). nullptr when unavailable. Thread-safe.
+  virtual std::shared_ptr<const quant::QuantizedTable> QuantizedEntityTable()
+      const {
+    return nullptr;
   }
 
   /// Stored embedding row of entity `e`.

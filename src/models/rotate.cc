@@ -111,6 +111,25 @@ void RotatE::ScoreAllHeadsWithTailVec(RelationId r,
   }
 }
 
+std::optional<CandidateSweep> RotatE::TailSweepWithHeadVec(
+    std::span<const float> head_vec, RelationId r) const {
+  // Rotate() is the exact composite ScoreAllTailsWithHeadVec builds.
+  CandidateSweep sweep;
+  sweep.kernel = CandidateSweep::Kernel::kSquaredDistance;
+  sweep.query.resize(entity_dim());
+  Rotate(head_vec, r, sweep.query);
+  return sweep;
+}
+
+std::optional<CandidateSweep> RotatE::HeadSweepWithTailVec(
+    RelationId r, std::span<const float> tail_vec) const {
+  CandidateSweep sweep;
+  sweep.kernel = CandidateSweep::Kernel::kSquaredDistance;
+  sweep.query.resize(entity_dim());
+  RotateInverse(tail_vec, r, sweep.query);
+  return sweep;
+}
+
 float RotatE::ScoreWithEntityVec(const Triple& t, EntityId which,
                                  std::span<const float> vec) const {
   std::span<const float> h =

@@ -2,6 +2,7 @@
 #define KELPIE_MODELS_ROTATE_H_
 
 #include "math/matrix.h"
+#include "math/quant.h"
 #include "models/model.h"
 
 namespace kelpie {
@@ -68,6 +69,16 @@ class RotatE final : public LinkPredictionModel {
     return entity_embeddings_.Row(static_cast<size_t>(e));
   }
 
+  std::optional<CandidateSweep> TailSweepWithHeadVec(
+      std::span<const float> head_vec, RelationId r) const override;
+  std::optional<CandidateSweep> HeadSweepWithTailVec(
+      RelationId r, std::span<const float> tail_vec) const override;
+  const Matrix* EntityTable() const override { return &entity_embeddings_; }
+  std::shared_ptr<const quant::QuantizedTable> QuantizedEntityTable()
+      const override {
+    return quant_cache_.Get(entity_embeddings_);
+  }
+
  private:
   /// out = h rotated by relation r's phases (2k floats).
   void Rotate(std::span<const float> h, RelationId r,
@@ -82,6 +93,7 @@ class RotatE final : public LinkPredictionModel {
 
   Matrix entity_embeddings_;  // num_entities x 2k
   Matrix relation_phases_;    // num_relations x k
+  quant::TableCache quant_cache_;
 };
 
 }  // namespace kelpie

@@ -96,6 +96,34 @@ void TransE::ScoreAllHeadsWithTailVec(RelationId r,
   }
 }
 
+std::optional<CandidateSweep> TransE::TailSweepWithHeadVec(
+    std::span<const float> head_vec, RelationId r) const {
+  // Same composite arithmetic as ScoreAllTailsWithHeadVec, element for
+  // element, so the per-row exact re-score matches the sweep bit for bit.
+  CandidateSweep sweep;
+  sweep.kernel = CandidateSweep::Kernel::kSquaredDistance;
+  sweep.query.resize(entity_dim());
+  std::span<const float> rel =
+      relation_embeddings_.Row(static_cast<size_t>(r));
+  for (size_t i = 0; i < sweep.query.size(); ++i) {
+    sweep.query[i] = head_vec[i] + rel[i];
+  }
+  return sweep;
+}
+
+std::optional<CandidateSweep> TransE::HeadSweepWithTailVec(
+    RelationId r, std::span<const float> tail_vec) const {
+  CandidateSweep sweep;
+  sweep.kernel = CandidateSweep::Kernel::kSquaredDistance;
+  sweep.query.resize(entity_dim());
+  std::span<const float> rel =
+      relation_embeddings_.Row(static_cast<size_t>(r));
+  for (size_t i = 0; i < sweep.query.size(); ++i) {
+    sweep.query[i] = tail_vec[i] - rel[i];
+  }
+  return sweep;
+}
+
 float TransE::ScoreWithEntityVec(const Triple& t, EntityId which,
                                  std::span<const float> vec) const {
   std::span<const float> h =

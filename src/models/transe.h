@@ -2,6 +2,7 @@
 #define KELPIE_MODELS_TRANSE_H_
 
 #include "math/matrix.h"
+#include "math/quant.h"
 #include "models/model.h"
 
 namespace kelpie {
@@ -56,12 +57,23 @@ class TransE final : public LinkPredictionModel {
     return entity_embeddings_.Row(static_cast<size_t>(e));
   }
 
+  std::optional<CandidateSweep> TailSweepWithHeadVec(
+      std::span<const float> head_vec, RelationId r) const override;
+  std::optional<CandidateSweep> HeadSweepWithTailVec(
+      RelationId r, std::span<const float> tail_vec) const override;
+  const Matrix* EntityTable() const override { return &entity_embeddings_; }
+  std::shared_ptr<const quant::QuantizedTable> QuantizedEntityTable()
+      const override {
+    return quant_cache_.Get(entity_embeddings_);
+  }
+
  private:
   float ScoreVecs(std::span<const float> h, std::span<const float> r,
                   std::span<const float> t) const;
 
   Matrix entity_embeddings_;
   Matrix relation_embeddings_;
+  quant::TableCache quant_cache_;
 };
 
 }  // namespace kelpie

@@ -15,6 +15,8 @@
 #include <limits>
 #include <vector>
 
+#include "math/matrix.h"
+#include "math/quant.h"
 #include "math/rng.h"
 #include "math/vec.h"
 
@@ -242,6 +244,169 @@ TEST(KernelEquivalenceTest, VecEntryPointsDelegate) {
                  "vec SquaredDistance");
   ExpectBitEqual(L1Distance(a, b), simd::L1Distance(a, b), "vec L1Distance");
   ExpectBitEqual(SquaredNorm(a), simd::Dot(a, a), "vec SquaredNorm");
+}
+
+// ---------------------------------------------------------------------------
+// int8 quantized kernels (math/quant.h). The accumulation is exact int32,
+// so the dispatching kernel must equal the scalar reference to the integer
+// on every backend — no tolerance, no lane contract needed.
+// ---------------------------------------------------------------------------
+
+std::vector<int8_t> RandomI8(size_t n, Rng& rng) {
+  std::vector<int8_t> v(n);
+  for (int8_t& x : v) {
+    x = static_cast<int8_t>(
+        std::lround(rng.UniformDouble(-127.49, 127.49)));
+  }
+  return v;
+}
+
+TEST(QuantKernelEquivalenceTest, GemvI8MatchesScalarReferenceAllDims) {
+  Rng rng(201);
+  for (size_t rows = 1; rows <= 19; ++rows) {
+    for (size_t cols : {1u, 2u, 3u, 7u, 8u, 9u, 15u, 16u, 17u, 31u, 33u,
+                        64u, 67u}) {
+      std::vector<int8_t> m = RandomI8(rows * cols, rng);
+      std::vector<int8_t> x = RandomI8(cols, rng);
+      std::vector<int32_t> out(rows), ref(rows);
+      quant::GemvRowMajorI8(m.data(), rows, cols, x.data(), out.data());
+      quant::scalar::GemvRowMajorI8(m.data(), rows, cols, x.data(),
+                                    ref.data());
+      for (size_t r = 0; r < rows; ++r) {
+        EXPECT_EQ(out[r], ref[r]) << "GemvI8 rows=" << rows
+                                  << " cols=" << cols << " r=" << r;
+      }
+    }
+  }
+}
+
+/// Saturation extremes: every code at +/-127 maximizes the products. A
+/// maddubs-based kernel (u8 x s8, saturating pair adds) breaks exactly
+/// here; the sign-extended madd path must return the analytic integer.
+TEST(QuantKernelEquivalenceTest, GemvI8SaturationExtremes) {
+  for (size_t cols : {1u, 15u, 16u, 17u, 64u, 67u, 128u, 1024u}) {
+    std::vector<int8_t> pos(cols, static_cast<int8_t>(127));
+    std::vector<int8_t> neg(cols, static_cast<int8_t>(-127));
+    int32_t out = 0;
+    quant::GemvRowMajorI8(pos.data(), 1, cols, neg.data(), &out);
+    EXPECT_EQ(out, -16129 * static_cast<int32_t>(cols)) << "cols=" << cols;
+    quant::GemvRowMajorI8(neg.data(), 1, cols, neg.data(), &out);
+    EXPECT_EQ(out, 16129 * static_cast<int32_t>(cols)) << "cols=" << cols;
+    // Alternating signs cancel pairwise within madd's 16-bit pair sums.
+    std::vector<int8_t> alt(cols);
+    for (size_t j = 0; j < cols; ++j) {
+      alt[j] = static_cast<int8_t>(j % 2 == 0 ? 127 : -127);
+    }
+    quant::GemvRowMajorI8(alt.data(), 1, cols, pos.data(), &out);
+    const int32_t expected =
+        16129 * static_cast<int32_t>((cols + 1) / 2) -
+        16129 * static_cast<int32_t>(cols / 2);
+    EXPECT_EQ(out, expected) << "cols=" << cols;
+  }
+}
+
+/// Degenerate rows: all-zero (zero scale), all-equal, and non-finite rows
+/// must quantize to the documented canonical forms on every backend.
+TEST(QuantKernelEquivalenceTest, QuantizeDegenerateRows) {
+  Matrix m(4, 8);
+  // Row 0 stays all-zero. Row 1: all elements equal.
+  for (size_t j = 0; j < 8; ++j) m.At(1, j) = -0.625f;
+  // Row 2: one NaN poisons the row.
+  m.At(2, 3) = std::numeric_limits<float>::quiet_NaN();
+  m.At(2, 0) = 1.0f;
+  // Row 3: ordinary values.
+  for (size_t j = 0; j < 8; ++j) m.At(3, j) = 0.125f * static_cast<float>(j);
+  std::shared_ptr<const quant::QuantizedTable> qt = quant::QuantizeRowMajor(m);
+  ASSERT_NE(qt, nullptr);
+  EXPECT_EQ(qt->scale[0], 0.0);
+  EXPECT_EQ(qt->recon_l1[0], 0.0);
+  EXPECT_TRUE(qt->finite[0]);
+  for (int8_t c : qt->Row(0)) EXPECT_EQ(c, 0);
+  // All-equal row: every code is exactly -127, reconstruction exact in
+  // double (|v| = scale * 127 by construction).
+  EXPECT_TRUE(qt->finite[1]);
+  for (int8_t c : qt->Row(1)) EXPECT_EQ(c, -127);
+  EXPECT_LT(qt->recon_l1[1], 1e-12);
+  // Non-finite row: zero codes, finite flag cleared.
+  EXPECT_FALSE(qt->finite[2]);
+  for (int8_t c : qt->Row(2)) EXPECT_EQ(c, 0);
+  EXPECT_TRUE(qt->finite[3]);
+}
+
+uint64_t Bits64(double d) { return std::bit_cast<uint64_t>(d); }
+
+/// The certified-interval contract: for every row, the exact float kernel
+/// value lies within [approx - err, approx + err]. Exercised over random
+/// tables, duplicated rows, near-ties, and degenerate rows — this is the
+/// inequality the byte-identical quantized rank path rests on.
+TEST(QuantKernelEquivalenceTest, CertifiedIntervalContainsExactKernelValue) {
+  Rng rng(202);
+  for (size_t cols : {1u, 3u, 8u, 16u, 17u, 33u, 64u, 67u}) {
+    Matrix m(23, cols);
+    for (size_t r = 0; r < 20; ++r) {
+      for (size_t j = 0; j < cols; ++j) {
+        m.At(r, j) = static_cast<float>(rng.UniformDouble(-2.0, 2.0));
+      }
+    }
+    // Row 20 duplicates row 0; row 21 is row 0 nudged by one ulp in one
+    // element (adversarial near-tie); row 22 stays all-zero.
+    for (size_t j = 0; j < cols; ++j) {
+      m.At(20, j) = m.At(0, j);
+      m.At(21, j) = m.At(0, j);
+    }
+    m.At(21, 0) = std::nextafter(m.At(0, 0), 10.0f);
+    std::vector<float> x(cols);
+    for (float& v : x) v = static_cast<float>(rng.UniformDouble(-2.0, 2.0));
+
+    std::shared_ptr<const quant::QuantizedTable> qt =
+        quant::QuantizeRowMajor(m);
+    ASSERT_NE(qt, nullptr);
+    quant::QuantizedVec qx = quant::QuantizeVec(x);
+    ASSERT_TRUE(qx.finite);
+    std::vector<double> approx(m.rows()), err(m.rows());
+    quant::ApproxDots(*qt, qx, approx, err);
+    for (size_t r = 0; r < m.rows(); ++r) {
+      const double exact = static_cast<double>(simd::Dot(m.Row(r), x));
+      EXPECT_LE(std::fabs(exact - approx[r]), err[r])
+          << "dot cols=" << cols << " r=" << r;
+    }
+    std::vector<double> approx_d(m.rows()), err_d(m.rows());
+    quant::ApproxSquaredDistances(*qt, qx, approx_d, err_d);
+    for (size_t r = 0; r < m.rows(); ++r) {
+      const double exact =
+          static_cast<double>(simd::SquaredDistance(m.Row(r), x));
+      EXPECT_LE(std::fabs(exact - approx_d[r]), err_d[r])
+          << "sqdist cols=" << cols << " r=" << r;
+    }
+    // approx/err are pure double arithmetic over exact integers: a second
+    // evaluation must reproduce them bit for bit (the backends only differ
+    // in the int32 kernel, already pinned above).
+    std::vector<double> approx2(m.rows()), err2(m.rows());
+    quant::ApproxDots(*qt, qx, approx2, err2);
+    for (size_t r = 0; r < m.rows(); ++r) {
+      EXPECT_EQ(Bits64(approx[r]), Bits64(approx2[r]));
+      EXPECT_EQ(Bits64(err[r]), Bits64(err2[r]));
+    }
+  }
+}
+
+/// Non-finite table rows get err = +Inf — never a finite bound that could
+/// silently misclassify them.
+TEST(QuantKernelEquivalenceTest, NonFiniteRowsGetInfiniteError) {
+  Matrix m(2, 8);
+  for (size_t j = 0; j < 8; ++j) m.At(0, j) = 1.0f;
+  m.At(1, 0) = std::numeric_limits<float>::infinity();
+  std::vector<float> x(8, 0.5f);
+  std::shared_ptr<const quant::QuantizedTable> qt = quant::QuantizeRowMajor(m);
+  ASSERT_NE(qt, nullptr);
+  quant::QuantizedVec qx = quant::QuantizeVec(x);
+  std::vector<double> approx(2), err(2);
+  quant::ApproxDots(*qt, qx, approx, err);
+  EXPECT_TRUE(std::isfinite(err[0]));
+  EXPECT_TRUE(std::isinf(err[1]));
+  quant::ApproxSquaredDistances(*qt, qx, approx, err);
+  EXPECT_TRUE(std::isfinite(err[0]));
+  EXPECT_TRUE(std::isinf(err[1]));
 }
 
 }  // namespace

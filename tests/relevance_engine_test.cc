@@ -6,6 +6,7 @@
 
 #include "common/metrics.h"
 #include "eval/ranking.h"
+#include "math/quant.h"
 #include "tests/test_util.h"
 
 namespace kelpie {
@@ -291,6 +292,57 @@ TEST_F(RelevanceEngineTest, SequentialSufficientCountersAreExact) {
             set.size());
   EXPECT_EQ(reg.CounterFamilyTotal("kelpie_engine_post_trainings_total"),
             engine.post_training_count());
+}
+
+// The easiest silent-wrongness bug in the quantized-shortlist design: an
+// entity row mutates (post-training-style writes, baseline perturbations)
+// and the next sweep is served from a stale int8 table, classifying
+// candidates against embeddings that no longer exist. MutableEntityEmbedding
+// bumps the Matrix version; the per-model TableCache must rebuild before
+// the next sweep, keeping quantized ranks equal to exact ranks across the
+// mutation.
+TEST_F(RelevanceEngineTest, QuantizedTableInvalidatedByEntityRowMutation) {
+  ASSERT_TRUE(found_);
+  const RankingOptions on{true};
+  const RankingOptions off{false};
+  const int before_on = FilteredTailRank(*model_, *dataset_, prediction_, on);
+  const int before_off =
+      FilteredTailRank(*model_, *dataset_, prediction_, off);
+  EXPECT_EQ(before_on, before_off);
+  // The quantized table is now cached for the current embeddings.
+  std::shared_ptr<const quant::QuantizedTable> cached =
+      model_->QuantizedEntityTable();
+  ASSERT_NE(cached, nullptr);
+
+  // Pick a competitor the filter keeps, and overwrite its row with the
+  // target's: an engineered exact tie that must worsen the rank by one —
+  // but only if the sweep sees the *new* row.
+  const auto& filtered =
+      dataset_->KnownTails(prediction_.head, prediction_.relation);
+  EntityId competitor = kNoEntity;
+  for (size_t e = 0; e < model_->num_entities(); ++e) {
+    EntityId id = static_cast<EntityId>(e);
+    if (id != prediction_.tail && filtered.count(id) == 0) {
+      competitor = id;
+      break;
+    }
+  }
+  ASSERT_NE(competitor, kNoEntity);
+  std::span<const float> target_row = model_->EntityEmbedding(prediction_.tail);
+  std::vector<float> copy(target_row.begin(), target_row.end());
+  std::copy(copy.begin(), copy.end(),
+            model_->MutableEntityEmbedding(competitor).begin());
+
+  const int after_off = FilteredTailRank(*model_, *dataset_, prediction_, off);
+  const int after_on = FilteredTailRank(*model_, *dataset_, prediction_, on);
+  EXPECT_EQ(after_off, before_off + 1);  // the tie counts against the target
+  EXPECT_EQ(after_on, after_off) << "quantized sweep served a stale table";
+  // The cache really rebuilt rather than the ranks agreeing by luck.
+  std::shared_ptr<const quant::QuantizedTable> rebuilt =
+      model_->QuantizedEntityTable();
+  ASSERT_NE(rebuilt, nullptr);
+  EXPECT_NE(rebuilt.get(), cached.get());
+  EXPECT_GT(rebuilt->source_version, cached->source_version);
 }
 
 TEST(TransferFactTest, ReplacesSourceEntityOnEitherSide) {

@@ -79,6 +79,32 @@ def score_all_rows(baseline, current, threshold):
     return rows
 
 
+def quant_rows(baseline, current, threshold):
+    base_by_key = {
+        (q["name"], q["dim"]): q for q in baseline.get("quant", [])
+    }
+    rows = []
+    for q in current.get("quant", []):
+        key = (q["name"], q["dim"])
+        label = f"{q['name']}/{q['dim']}"
+        speedup = f"{q['speedup']:.2f}x"
+        base = base_by_key.get(key)
+        if base is None:
+            rows.append((label, f"{q['quant_ns_per_op']:.0f}", "-", "new",
+                         speedup, ""))
+            continue
+        delta, rel = fmt_delta(q["quant_ns_per_op"],
+                               base["quant_ns_per_op"])
+        # The sweep exists to beat the exact kernel; losing 2x is worth a
+        # flag even when the absolute timing did not regress.
+        flag = (":warning:" if rel > threshold or q["speedup"] < 2.0
+                else "")
+        rows.append((label, f"{q['quant_ns_per_op']:.0f}",
+                     f"{base['quant_ns_per_op']:.0f}", delta, speedup,
+                     flag))
+    return rows
+
+
 def serve_rows(baseline, current, threshold):
     base_by_key = {
         (s["name"], s["pool"]): s for s in baseline.get("serve", [])
@@ -141,6 +167,14 @@ def main():
         out.append(markdown_table(
             ("Kernel/dim", "ns/op", "baseline", "delta", ""),
             kernel_rows(baseline, current, args.threshold)))
+        out.append("")
+    if "quant" in current:
+        out.append("### Quantized shortlist sweep")
+        out.append("")
+        out.append(markdown_table(
+            ("Sweep/dim", "quant ns/op", "baseline", "delta", "vs exact",
+             ""),
+            quant_rows(baseline, current, args.threshold)))
         out.append("")
     if "score_all" in current:
         out.append("### ScoreAllTails")

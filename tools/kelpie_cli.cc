@@ -101,7 +101,8 @@ class Args {
     return key == "sufficient" || key == "head-query" || key == "no-heads" ||
            key == "per-relation" || key == "no-recover" || key == "resume" ||
            key == "retry-truncated" || key == "json" || key == "demo" ||
-           key == "canonical" || key == "warm-mimics";
+           key == "canonical" || key == "warm-mimics" ||
+           key == "quant-shortlist";
   }
 
   const std::string& error() const { return error_; }
@@ -932,18 +933,19 @@ int Usage() {
       "[--max-recoveries N] [--checkpoint DIR] [--checkpoint-interval N] "
       "[--resume]\n"
       "  evaluate --data DIR --model-file FILE [--no-heads] "
-      "[--per-relation] [--threads N] [--metrics-out FILE]\n"
+      "[--per-relation] [--threads N] [--metrics-out FILE] "
+      "[--quant-shortlist]\n"
       "  explain  --data DIR --model-file FILE --head H --relation R "
       "--tail T [--sufficient] [--head-query] [--threads N] "
       "[--work-budget N] [--per-prediction-timeout S] [--metrics-out FILE] "
       "[--canonical] [--id N] [--relevance-cache FILE] [--cache-bytes N] "
-      "[--warm-mimics]\n"
+      "[--warm-mimics] [--quant-shortlist]\n"
       "  score    --data DIR --model-file FILE --head H --relation R "
       "--tail T [--canonical] [--id N]\n"
       "  serve    --data DIR --model-file FILE [--host ADDR] [--port N] "
       "[--pool N] [--dispatchers N] [--max-queue N] [--max-batch N] "
       "[--threads N] [--metrics-out FILE] [--relevance-cache FILE] "
-      "[--cache-bytes N] [--warm-mimics]\n"
+      "[--cache-bytes N] [--warm-mimics] [--quant-shortlist]\n"
       "  serve-client --port N [--host ADDR] [--connections N] [--in FILE] "
       "[--retries N] [--retry-backoff S] [--retry-backoff-cap S] "
       "[--retry-seed N]\n"
@@ -954,7 +956,8 @@ int Usage() {
       "necessary|sufficient --journal FILE [--resume] [--sample N] "
       "[--seed N] [--conversion-set N] [--threads N] [--work-budget N] "
       "[--per-prediction-timeout S] [--deadline S] [--retry-truncated] "
-      "[--metrics-out FILE] [--warm-start DIR] [--warm-epochs N]\n"
+      "[--metrics-out FILE] [--warm-start DIR] [--warm-epochs N] "
+      "[--quant-shortlist]\n"
       "  metrics  [--demo] [--json] [--out FILE]\n"
       "serving:\n"
       "  kelpie serve                newline-delimited-JSON TCP service over\n"
@@ -984,6 +987,12 @@ int Usage() {
       "                              the stored embedding it imitates (warm\n"
       "                              cache entries are salted apart from\n"
       "                              cold ones)\n"
+      "  --quant-shortlist           serve filtered ranks through the int8\n"
+      "                              candidate sweep with certified error\n"
+      "                              bounds and exact re-scoring of the\n"
+      "                              uncertain band; ranks, explanations and\n"
+      "                              journals are byte-identical with the\n"
+      "                              flag on or off (DESIGN.md §15)\n"
       "crash-safe training:\n"
       "  train --checkpoint DIR      atomic CRC-framed checkpoint after each\n"
       "                              epoch (or every --checkpoint-interval\n"
@@ -1054,6 +1063,10 @@ int Run(int argc, char** argv) {
   }
   Args args(argc, argv);
   if (!args.error().empty()) return Fail(args.error());
+  // Set before any command constructs EvalOptions / engine options: their
+  // quantized_shortlist fields default from this process-wide setting.
+  // Byte-identical by design, so the flag only changes speed, never output.
+  SetDefaultQuantizedShortlist(args.Has("quant-shortlist"));
   Status status = Status::Ok();
   if (command == "generate") {
     status = CmdGenerate(args);

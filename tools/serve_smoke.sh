@@ -98,6 +98,23 @@ extract 4 "$WORK/served_sufficient.txt"
 diff -u "$WORK/oneshot_sufficient.txt" "$WORK/served_sufficient.txt" \
   || fail "served sufficient explain differs from one-shot"
 
+echo "== quant-shortlist golden cell: one-shot output byte-identical with --quant-shortlist"
+"$KELPIE" score --data "$WORK/data" --model-file "$WORK/model.bin" \
+  --head "$HEAD" --relation "$REL" --tail "$TAIL" \
+  --canonical --id 2 --quant-shortlist > "$WORK/quant_score.txt"
+diff -u "$WORK/oneshot_score.txt" "$WORK/quant_score.txt" \
+  || fail "score differs with --quant-shortlist"
+"$KELPIE" explain --data "$WORK/data" --model-file "$WORK/model.bin" \
+  --head "$HEAD" --relation "$REL" --tail "$TAIL" \
+  --canonical --id 3 --quant-shortlist > "$WORK/quant_necessary.txt"
+diff -u "$WORK/oneshot_necessary.txt" "$WORK/quant_necessary.txt" \
+  || fail "necessary explain differs with --quant-shortlist"
+"$KELPIE" explain --data "$WORK/data" --model-file "$WORK/model.bin" \
+  --head "$HEAD" --relation "$REL" --tail "$TAIL" --sufficient \
+  --canonical --id 4 --quant-shortlist > "$WORK/quant_sufficient.txt"
+diff -u "$WORK/oneshot_sufficient.txt" "$WORK/quant_sufficient.txt" \
+  || fail "sufficient explain differs with --quant-shortlist"
+
 echo "== assert the shed_after:0 request was deadline-shed"
 extract 5 "$WORK/served_shed.txt"
 grep -q '"ok":false,"code":"DeadlineExceeded"' "$WORK/served_shed.txt" \
@@ -116,5 +133,32 @@ grep -q 'kelpie_serve_requests_total' "$WORK/serve_metrics.json" \
 if [ -n "${SERVE_SMOKE_METRICS_OUT:-}" ]; then
   cp "$WORK/serve_metrics.json" "$SERVE_SMOKE_METRICS_OUT"
 fi
+
+echo "== quant-shortlist golden cell: served responses byte-identical too"
+"$KELPIE" serve --data "$WORK/data" --model-file "$WORK/model.bin" \
+  --port 0 --pool 2 --threads 2 --quant-shortlist \
+  > "$WORK/serve_quant.log" &
+SERVE_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/^serving on [^:]*:\([0-9]*\).*/\1/p' "$WORK/serve_quant.log")"
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || fail "quant server exited during startup"
+  sleep 0.2
+done
+[ -n "$PORT" ] || fail "quant server did not announce a port"
+"$KELPIE" serve-client --port "$PORT" --connections 2 \
+  --in "$WORK/requests.txt" > "$WORK/responses_quant.txt"
+for id in 2 3 4; do
+  grep "^{\"id\":$id," "$WORK/responses_quant.txt" > "$WORK/quant_served_$id.txt" \
+    || fail "no quant-serve response for id $id"
+  grep "^{\"id\":$id," "$WORK/responses.txt" > "$WORK/plain_served_$id.txt"
+  diff -u "$WORK/plain_served_$id.txt" "$WORK/quant_served_$id.txt" \
+    || fail "served response $id differs under --quant-shortlist"
+done
+echo '{"id":99,"op":"shutdown"}' | \
+  "$KELPIE" serve-client --port "$PORT" > /dev/null
+wait "$SERVE_PID" || fail "quant server exited non-zero"
+SERVE_PID=""
 
 echo "serve-smoke: OK"
