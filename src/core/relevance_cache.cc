@@ -5,6 +5,7 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 #include <utility>
 
 #include "common/atomic_file.h"
@@ -435,6 +436,46 @@ Status RelevanceCache::Purge() {
   }
   if (options_.path.empty()) return Status::Ok();
   return WriteFileAtomic(options_.path, SerializeHeader(options_.fingerprint));
+}
+
+size_t RelevanceCache::PurgeEntities(const std::vector<EntityId>& entities) {
+  std::unordered_set<EntityId> affected(entities.begin(), entities.end());
+  if (affected.empty()) return 0;
+  size_t dropped = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = index_.begin(); it != index_.end();) {
+    const std::shared_ptr<Entry>& entry = it->second;
+    // In-flight slots (another thread mid-compute) are skipped: their
+    // result is accounted later by AccountAndEvict against the then-current
+    // index, and callers purge before serving against updated parameters.
+    if (!entry->done.load(std::memory_order_acquire)) {
+      ++it;
+      continue;
+    }
+    bool hit = affected.count(entry->entity) > 0;
+    if (!hit) {
+      for (const Triple& fact : entry->facts) {
+        if (affected.count(fact.head) > 0 || affected.count(fact.tail) > 0) {
+          hit = true;
+          break;
+        }
+      }
+    }
+    if (!hit) {
+      ++it;
+      continue;
+    }
+    if (entry->in_lru) {
+      lru_.erase(entry->lru_pos);
+      entry->in_lru = false;
+      bytes_ -= entry->bytes;
+      --ready_entries_;
+    }
+    it = index_.erase(it);
+    ++dropped;
+  }
+  UpdateGaugesLocked();
+  return dropped;
 }
 
 RelevanceCacheStats RelevanceCache::stats() const {

@@ -127,6 +127,15 @@ class RelevanceCache {
   /// (header-only) cache.
   Status Purge();
 
+  /// Structural invalidation after an incremental KG update (DESIGN.md
+  /// §16): drops every ready entry whose mimicked entity is in `entities`
+  /// or whose stored fact sequence mentions one of them — those keys hash
+  /// fact sets that no longer exist in the updated graph, so they could
+  /// never be hit again and would otherwise linger until LRU eviction.
+  /// Memory-only (call Flush to persist); in-flight computations are left
+  /// alone. Returns the number of entries dropped.
+  size_t PurgeEntities(const std::vector<EntityId>& entities);
+
   RelevanceCacheStats stats() const;
 
   const RelevanceCacheOptions& options() const { return options_; }

@@ -18,8 +18,13 @@ namespace kelpie {
 namespace {
 
 constexpr std::string_view kMagic = "KELPCKP1";
-constexpr uint64_t kVersion = 1;
-constexpr uint64_t kSectionCount = 4;
+// v2 appends the "sparse" section (sparse optimizer blob). v1 files —
+// written before sparse updates existed, necessarily by dense trainers —
+// are still accepted on read and restore with an empty sparse blob.
+constexpr uint64_t kVersion = 2;
+constexpr uint64_t kSectionCount = 5;
+constexpr uint64_t kVersionV1 = 1;
+constexpr uint64_t kSectionCountV1 = 4;
 constexpr std::string_view kFileName = "train.ckpt";
 /// Upper bound on one section's payload (the largest legitimate payload is
 /// the params section of a big model; a corrupt header must not drive a
@@ -298,7 +303,9 @@ std::optional<CheckpointState> TrainCheckpointer::TryRestore() {
   Status header = ReadU64(payload, version);
   if (header.ok()) header = ReadU64(payload, fingerprint);
   if (header.ok()) header = ReadU64(payload, sections);
-  if (!header.ok() || version != kVersion || sections != kSectionCount) {
+  const bool is_v1 = version == kVersionV1 && sections == kSectionCountV1;
+  const bool is_v2 = version == kVersion && sections == kSectionCount;
+  if (!header.ok() || (!is_v1 && !is_v2)) {
     return degrade(CheckpointRestoreOutcome::kCorrupt,
                    "unreadable or wrong-version header");
   }
@@ -320,6 +327,12 @@ std::optional<CheckpointState> TrainCheckpointer::TryRestore() {
   if (parsed.ok()) parsed = ParseCountersSection(section, state.counters);
   if (parsed.ok()) parsed = ReadSection(payload, "params", section);
   if (parsed.ok()) parsed = ParseParamsSection(section, state.params);
+  if (parsed.ok() && is_v2) {
+    // The sparse section payload is the opaque save_sparse blob itself;
+    // the trainer's restore_sparse hook is its parser.
+    parsed = ReadSection(payload, "sparse", section);
+    if (parsed.ok()) state.sparse = std::move(section);
+  }
   if (!parsed.ok()) {
     return degrade(CheckpointRestoreOutcome::kCorrupt, parsed.ToString());
   }
@@ -348,6 +361,7 @@ Status TrainCheckpointer::Save(const CheckpointState& state) {
   const size_t params_start = static_cast<size_t>(out.tellp());
   KELPIE_RETURN_IF_ERROR(SerializeParamsSection(state.params, section));
   KELPIE_RETURN_IF_ERROR(WriteSection(out, "params", section));
+  KELPIE_RETURN_IF_ERROR(WriteSection(out, "sparse", state.sparse));
   std::string image = std::move(out).str();
 
   if (failpoint::Fire("checkpoint.bit_flip")) {

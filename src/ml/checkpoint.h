@@ -20,8 +20,11 @@ namespace kelpie {
 /// trainer exposes (embedding tables AND optimizer accumulators/moments —
 /// at a commit boundary this equals the divergence-rewind snapshot, so one
 /// section persists both), the non-float optimizer counters (Adam step
-/// counts), the RNG stream position, the epoch counter and the full
-/// recovery ledger (lr_scale, remaining recovery budget, recorded events).
+/// counts), the sparse optimizer blob (touched-row Adagrad/Adam state when
+/// TrainConfig::sparse_updates is on — format v2's fifth section; v1 files
+/// without it still restore, with fresh sparse state), the RNG stream
+/// position, the epoch counter and the full recovery ledger (lr_scale,
+/// remaining recovery budget, recorded events).
 /// Resuming from it therefore converges to final parameters bitwise
 /// identical to an uninterrupted run — the same guarantee class as the
 /// experiment journal's replay.
@@ -108,6 +111,10 @@ struct CheckpointState {
   std::vector<uint64_t> counters;
   /// One entry per hooks.params() span, same order and sizes.
   std::vector<std::vector<float>> params;
+  /// Opaque sparse optimizer blob (GuardedTrainHooks::save_sparse); empty
+  /// for dense-only trainers and for files written before the sparse
+  /// section existed (format v1, still accepted on read).
+  std::string sparse;
 };
 
 /// Serializer/deserializer for one training run's checkpoint file. Owned by

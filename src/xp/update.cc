@@ -1,0 +1,445 @@
+#include "xp/update.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/atomic_file.h"
+#include "common/crc32c.h"
+#include "core/relevance_cache.h"
+#include "math/rng.h"
+
+namespace kelpie::xp {
+
+namespace {
+
+/// Update journal layout (host-endian, single-host artifact):
+///   magic "KELPIEUD" | u64 version | u64 run_id | u32 crc32c(header)
+/// followed by one frame per completed row:
+///   u64 payload_len | payload | u32 crc32c(payload)
+/// payload = u64 entity | u64 dim | dim * f32
+/// The run id binds the journal to (model parameters, delta, seed); frames
+/// replay in any order, so a torn tail only costs recomputing its row.
+constexpr char kJournalMagic[8] = {'K', 'E', 'L', 'P', 'I', 'E', 'U', 'D'};
+constexpr uint64_t kJournalVersion = 1;
+constexpr size_t kJournalHeaderSize = 8 + 8 + 8 + 4;
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+template <typename T>
+void AppendRaw(std::string& out, T value) {
+  const char* p = reinterpret_cast<const char*>(&value);
+  out.append(p, sizeof(T));
+}
+
+template <typename T>
+bool ReadRaw(std::string_view bytes, size_t& off, T* value) {
+  if (bytes.size() - off < sizeof(T)) return false;
+  std::memcpy(value, bytes.data() + off, sizeof(T));
+  off += sizeof(T);
+  return true;
+}
+
+/// Seed of one affected entity's post-training stream: a pure function of
+/// the update seed, the entity, and its exact updated fact sequence — the
+/// same chain shape as the relevance engine's PostTrainSeed and the
+/// cache's KeyHash, under a third salt so the three streams stay
+/// independent.
+uint64_t UpdateRowSeed(uint64_t seed, EntityId entity,
+                       const std::vector<Triple>& facts) {
+  uint64_t h = Mix64(seed ^ 0x1d0ba7e5ca1ab1e5ULL);
+  h = Mix64(h ^ static_cast<uint64_t>(static_cast<uint32_t>(entity)));
+  h = Mix64(h ^ static_cast<uint64_t>(facts.size()));
+  for (const Triple& f : facts) {
+    h = Mix64(h ^ f.Key());
+  }
+  return h;
+}
+
+/// Run id binding a journal to this exact update: pre-update parameter
+/// fingerprint (already covers architecture, shapes and seedless state),
+/// the update seed, and a CRC over the canonical delta bytes.
+uint64_t ComputeRunId(uint64_t params_fingerprint, uint64_t seed,
+                      const KgDelta& delta) {
+  std::string canon;
+  AppendRaw(canon, static_cast<uint64_t>(delta.add.size()));
+  for (const Triple& t : delta.add) {
+    AppendRaw(canon, t.head);
+    AppendRaw(canon, t.relation);
+    AppendRaw(canon, t.tail);
+  }
+  AppendRaw(canon, static_cast<uint64_t>(delta.remove.size()));
+  for (const Triple& t : delta.remove) {
+    AppendRaw(canon, t.head);
+    AppendRaw(canon, t.relation);
+    AppendRaw(canon, t.tail);
+  }
+  uint64_t h = Mix64(params_fingerprint ^ 0x5eed0fUL);
+  h = Mix64(h ^ seed);
+  h = Mix64(h ^ static_cast<uint64_t>(Crc32c(canon)));
+  return h;
+}
+
+std::string SerializeJournalHeader(uint64_t run_id) {
+  std::string out(kJournalMagic, sizeof(kJournalMagic));
+  AppendRaw(out, kJournalVersion);
+  AppendRaw(out, run_id);
+  AppendRaw(out, Crc32c(out.data(), out.size()));
+  return out;
+}
+
+std::string SerializeRowFrame(EntityId entity,
+                              const std::vector<float>& row) {
+  std::string payload;
+  AppendRaw(payload, static_cast<uint64_t>(static_cast<uint32_t>(entity)));
+  AppendRaw(payload, static_cast<uint64_t>(row.size()));
+  payload.append(reinterpret_cast<const char*>(row.data()),
+                 row.size() * sizeof(float));
+  std::string frame;
+  AppendRaw(frame, static_cast<uint64_t>(payload.size()));
+  frame += payload;
+  AppendRaw(frame, Crc32c(payload));
+  return frame;
+}
+
+/// What a resume recovered from an existing journal file.
+struct JournalRecovery {
+  /// Rows whose frames verified; replayed byte-identically.
+  std::unordered_map<EntityId, std::vector<float>> rows;
+  /// The verified prefix (header + good frames) to rewrite, dropping any
+  /// torn or corrupt tail.
+  std::string verified_prefix;
+  bool header_ok = false;
+  uint64_t run_id = 0;
+};
+
+/// Parses with the persistence-is-untrusted rules of the checkpoint and
+/// relevance-cache files: a bad header loads as empty, a bad frame
+/// truncates the tail. Only a *verifying* header with the wrong run id is
+/// reported by the caller as FailedPrecondition — that file is healthy, it
+/// just belongs to a different update.
+JournalRecovery RecoverJournal(const std::string& bytes, size_t dim,
+                               size_t num_entities) {
+  JournalRecovery out;
+  if (bytes.size() < kJournalHeaderSize) return out;
+  size_t off = 0;
+  if (std::memcmp(bytes.data(), kJournalMagic, sizeof(kJournalMagic)) != 0) {
+    return out;
+  }
+  off = sizeof(kJournalMagic);
+  uint64_t version = 0;
+  uint32_t header_crc = 0;
+  if (!ReadRaw(bytes, off, &version)) return out;
+  if (!ReadRaw(bytes, off, &out.run_id)) return out;
+  if (!ReadRaw(bytes, off, &header_crc)) return out;
+  if (version != kJournalVersion ||
+      header_crc != Crc32c(bytes.data(), kJournalHeaderSize - 4)) {
+    return out;
+  }
+  out.header_ok = true;
+  size_t verified_end = off;
+  while (off < bytes.size()) {
+    const size_t frame_start = off;
+    uint64_t payload_len = 0;
+    if (!ReadRaw(bytes, off, &payload_len)) break;
+    if (payload_len < 16 || payload_len > bytes.size() - off) break;
+    const std::string_view payload(bytes.data() + off, payload_len);
+    off += payload_len;
+    uint32_t crc = 0;
+    if (!ReadRaw(bytes, off, &crc)) break;
+    if (crc != Crc32c(payload.data(), payload.size())) break;
+    size_t poff = 0;
+    uint64_t entity_raw = 0;
+    uint64_t row_dim = 0;
+    ReadRaw(payload, poff, &entity_raw);
+    ReadRaw(payload, poff, &row_dim);
+    if (entity_raw >= num_entities || row_dim != dim ||
+        payload.size() - poff != dim * sizeof(float)) {
+      break;
+    }
+    std::vector<float> row(dim);
+    std::memcpy(row.data(), payload.data() + poff, dim * sizeof(float));
+    out.rows.emplace(static_cast<EntityId>(entity_raw), std::move(row));
+    verified_end = off;
+    (void)frame_start;
+  }
+  out.verified_prefix = bytes.substr(0, verified_end);
+  return out;
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("cannot read " + path);
+  return buffer.str();
+}
+
+/// One tab-separated field; empty fields are malformed (caught by the
+/// caller's count check plus the name lookups).
+std::vector<std::string_view> SplitTabs(std::string_view line) {
+  std::vector<std::string_view> fields;
+  size_t start = 0;
+  while (true) {
+    const size_t tab = line.find('\t', start);
+    if (tab == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+Status DeltaLineError(std::string_view source, size_t line_number,
+                      const std::string& what) {
+  std::ostringstream msg;
+  msg << source << ":" << line_number << ": " << what;
+  return Status::InvalidArgument(msg.str());
+}
+
+}  // namespace
+
+Result<KgDelta> ParseKgDelta(std::string_view text, const Dataset& dataset,
+                             std::string_view source) {
+  KgDelta delta;
+  size_t line_number = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty() || line.front() == '#') continue;
+    const std::vector<std::string_view> fields = SplitTabs(line);
+    if (fields.size() != 4) {
+      return DeltaLineError(source, line_number,
+                            "expected 4 tab-separated fields "
+                            "(op, head, relation, tail), got " +
+                                std::to_string(fields.size()));
+    }
+    const std::string_view op = fields[0];
+    const bool is_add = op == "add" || op == "+";
+    const bool is_remove = op == "remove" || op == "-";
+    if (!is_add && !is_remove) {
+      return DeltaLineError(source, line_number,
+                            "unknown operation '" + std::string(op) +
+                                "' (expected add/remove)");
+    }
+    Result<int32_t> head = dataset.entities().Find(fields[1]);
+    if (!head.ok()) {
+      return DeltaLineError(source, line_number,
+                            "unknown entity '" + std::string(fields[1]) +
+                                "' (incremental update does not grow the "
+                                "vocabulary)");
+    }
+    Result<int32_t> relation = dataset.relations().Find(fields[2]);
+    if (!relation.ok()) {
+      return DeltaLineError(source, line_number,
+                            "unknown relation '" + std::string(fields[2]) +
+                                "'");
+    }
+    Result<int32_t> tail = dataset.entities().Find(fields[3]);
+    if (!tail.ok()) {
+      return DeltaLineError(source, line_number,
+                            "unknown entity '" + std::string(fields[3]) +
+                                "' (incremental update does not grow the "
+                                "vocabulary)");
+    }
+    const Triple t{*head, *relation, *tail};
+    (is_add ? delta.add : delta.remove).push_back(t);
+  }
+  return delta;
+}
+
+std::vector<EntityId> AffectedEntities(const KgDelta& delta) {
+  std::vector<EntityId> affected;
+  affected.reserve(2 * (delta.add.size() + delta.remove.size()));
+  for (const std::vector<Triple>* list : {&delta.add, &delta.remove}) {
+    for (const Triple& t : *list) {
+      affected.push_back(t.head);
+      affected.push_back(t.tail);
+    }
+  }
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+  return affected;
+}
+
+Result<UpdateReport> ApplyKgUpdate(LinkPredictionModel& model,
+                                   const Dataset& dataset,
+                                   const KgDelta& delta,
+                                   const UpdateOptions& options) {
+  if (model.num_entities() != dataset.num_entities() ||
+      model.num_relations() != dataset.num_relations()) {
+    return Status::InvalidArgument(
+        "model/dataset vocabulary mismatch: model has " +
+        std::to_string(model.num_entities()) + " entities / " +
+        std::to_string(model.num_relations()) + " relations, dataset has " +
+        std::to_string(dataset.num_entities()) + " / " +
+        std::to_string(dataset.num_relations()));
+  }
+
+  // Validate before touching anything: ids in range, removes present in
+  // (and adds absent from) the training split, no duplicates, no triple on
+  // both sides. ParseKgDelta guarantees the range checks for parsed
+  // deltas; programmatic ones get them here.
+  const auto check_range = [&](const Triple& t) -> Status {
+    if (t.head < 0 || t.tail < 0 || t.relation < 0 ||
+        static_cast<size_t>(t.head) >= dataset.num_entities() ||
+        static_cast<size_t>(t.tail) >= dataset.num_entities() ||
+        static_cast<size_t>(t.relation) >= dataset.num_relations()) {
+      return Status::InvalidArgument("delta triple out of vocabulary range");
+    }
+    return Status::Ok();
+  };
+  std::unordered_set<Triple, TripleHash> seen_add;
+  std::unordered_set<Triple, TripleHash> seen_remove;
+  const GraphIndex& train = dataset.train_graph();
+  for (const Triple& t : delta.add) {
+    Status s = check_range(t);
+    if (!s.ok()) return s;
+    if (!seen_add.insert(t).second) {
+      return Status::InvalidArgument("duplicate added triple " +
+                                     dataset.TripleToString(t));
+    }
+    if (train.Contains(t)) {
+      return Status::InvalidArgument("added triple already in training set: " +
+                                     dataset.TripleToString(t));
+    }
+  }
+  for (const Triple& t : delta.remove) {
+    Status s = check_range(t);
+    if (!s.ok()) return s;
+    if (!seen_remove.insert(t).second) {
+      return Status::InvalidArgument("duplicate removed triple " +
+                                     dataset.TripleToString(t));
+    }
+    if (seen_add.count(t) > 0) {
+      return Status::InvalidArgument(
+          "triple both added and removed: " + dataset.TripleToString(t));
+    }
+    if (!train.Contains(t)) {
+      return Status::InvalidArgument(
+          "removed triple not in training set: " + dataset.TripleToString(t));
+    }
+  }
+
+  UpdateReport report;
+  report.triples_added = delta.add.size();
+  report.triples_removed = delta.remove.size();
+  report.affected = AffectedEntities(delta);
+  report.fingerprint_before = ComputeModelFingerprint(model, options.seed);
+  report.fingerprint_after = report.fingerprint_before;
+  if (delta.empty()) return report;
+
+  const size_t dim = model.entity_dim();
+  const Dataset updated = dataset.WithModifiedTraining(delta.remove, delta.add);
+  const uint64_t run_id =
+      ComputeRunId(report.fingerprint_before, options.seed, delta);
+
+  // Rows completed so far, staged off to the side: every PostTrainMimic
+  // below sees the original parameters, which is what makes the schedule
+  // (and a crash/resume split) irrelevant to the final bytes.
+  std::unordered_map<EntityId, std::vector<float>> staged;
+
+  std::ofstream journal;
+  if (!options.journal_path.empty()) {
+    std::string prefix = SerializeJournalHeader(run_id);
+    if (options.resume) {
+      Result<std::string> bytes = ReadWholeFile(options.journal_path);
+      if (bytes.ok()) {
+        JournalRecovery recovered =
+            RecoverJournal(*bytes, dim, model.num_entities());
+        if (recovered.header_ok && recovered.run_id != run_id) {
+          return Status::FailedPrecondition(
+              "journal " + options.journal_path +
+              " belongs to a different update run (model, delta or seed "
+              "changed); delete it or point --journal elsewhere");
+        }
+        if (recovered.header_ok) {
+          staged = std::move(recovered.rows);
+          report.rows_replayed = staged.size();
+          prefix = std::move(recovered.verified_prefix);
+        }
+      }
+    }
+    // Rewrite the verified prefix (or a fresh header) atomically, then
+    // append: a torn tail from a previous crash is dropped exactly once.
+    Status s = WriteFileAtomic(options.journal_path, prefix);
+    if (!s.ok()) return s;
+    journal.open(options.journal_path,
+                 std::ios::binary | std::ios::app);
+    if (!journal) {
+      return Status::IoError("cannot append to journal " +
+                             options.journal_path);
+    }
+  }
+
+  for (EntityId entity : report.affected) {
+    if (updated.train_graph().Degree(entity) == 0) {
+      // The delta removed this entity's last triple: there is nothing to
+      // post-train against, so its row stays bitwise put (and is never
+      // journaled — replaying a resume reaches the same conclusion).
+      report.isolated.push_back(entity);
+      continue;
+    }
+    if (staged.count(entity) > 0) continue;
+    if (options.cancel.cancelled()) {
+      return Status::Cancelled(
+          "update cancelled; completed rows are journaled, re-run with "
+          "--resume");
+    }
+    const std::vector<Triple> facts = updated.train_graph().FactsOf(entity);
+    Rng rng(UpdateRowSeed(options.seed, entity, facts));
+    std::span<const float> current = model.EntityEmbedding(entity);
+    std::vector<float> row =
+        model.PostTrainMimic(updated, entity, facts, rng, current);
+    if (row.size() != dim) {
+      return Status::Internal("post-training returned a row of " +
+                              std::to_string(row.size()) + " floats, want " +
+                              std::to_string(dim));
+    }
+    if (journal.is_open()) {
+      const std::string frame = SerializeRowFrame(entity, row);
+      journal.write(frame.data(),
+                    static_cast<std::streamsize>(frame.size()));
+      journal.flush();
+      if (!journal) {
+        return Status::IoError("failed appending to journal " +
+                               options.journal_path);
+      }
+    }
+    staged.emplace(entity, std::move(row));
+    ++report.rows_recomputed;
+  }
+
+  // Commit: all rows verified present, swap them in together. Isolated
+  // entities have no staged row — theirs stay bitwise put.
+  for (EntityId entity : report.affected) {
+    auto it = staged.find(entity);
+    if (it == staged.end()) continue;
+    const std::vector<float>& row = it->second;
+    std::span<float> dst = model.MutableEntityEmbedding(entity);
+    std::copy(row.begin(), row.end(), dst.begin());
+  }
+  report.fingerprint_after = ComputeModelFingerprint(model, options.seed);
+  report.params_changed =
+      report.fingerprint_after != report.fingerprint_before;
+  return report;
+}
+
+}  // namespace kelpie::xp

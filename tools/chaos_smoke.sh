@@ -19,7 +19,14 @@
 #      degrades to retraining from scratch with the same bytes; SIGTERM
 #      drains the in-flight epoch, flushes a final checkpoint, and the
 #      resume completes byte-identically.
-#   5. Serve resilience: health answers "ready" (and reports the
+#   5. Incremental updates: a `kelpie update` killed with SIGKILL
+#      mid-run and re-run with `--resume` over its journal converges to a
+#      model byte-identical to an uninterrupted update (the journal's
+#      verified prefix replays, the rest recomputes); a corrupted delta
+#      file fails cleanly with a named InvalidArgument status and a
+#      nonzero exit, leaving the model untouched; the relevance cache is
+#      reconciled (wholesale invalidation when parameters changed).
+#   6. Serve resilience: health answers "ready" (and reports the
 #      warm-mimics state); a pipelined shutdown+health answers "draining";
 #      the server drains buffered work and exits 0 on SIGTERM; a shedding
 #      server (queue depth 1) is absorbed by serve-client retries (exit 0,
@@ -219,6 +226,79 @@ train_crashable "$WORK/drain_resumed.bin" --checkpoint "$CKPT" --resume \
   || fail "resume after drain failed"
 cmp -s "$WORK/crash_ref.bin" "$WORK/drain_resumed.bin" \
   || fail "drain-resume model differs from the uninterrupted run"
+
+DELTA="$WORK/delta.tsv"
+UPD_JOURNAL="$WORK/update.jnl"
+run_update() {  # $1 = output model, extra args follow
+  local out="$1"; shift
+  "$KELPIE" update --data "$WORK/data" --model-file "$WORK/model.bin" \
+    --delta "$DELTA" --seed 5 --out "$out" "$@"
+}
+
+echo "== update: reference incremental update"
+# Remove the first two training facts verbatim; the TSV fields carry over.
+head -2 "$WORK/data/train.txt" | sed 's/^/remove\t/' > "$DELTA"
+run_update "$WORK/updated_ref.bin" > "$WORK/update_ref.log" \
+  || fail "reference update failed"
+grep -q 'applied' "$WORK/update_ref.log" \
+  || fail "update did not report the applied delta: $(cat "$WORK/update_ref.log")"
+
+echo "== update: SIGKILL mid-update + --resume converges byte-identically"
+run_update "$WORK/updated_kill.bin" --journal "$UPD_JOURNAL" \
+  > "$WORK/update_kill.log" 2>&1 &
+UPD_PID=$!
+sleep 0.05
+kill -9 "$UPD_PID" 2>/dev/null || true
+wait "$UPD_PID" 2>/dev/null || true
+# A journal means the kill landed mid-run: resume replays its verified
+# prefix. No journal means the run already finished (and spent it) —
+# rerunning recomputes everything; order-independence makes both paths
+# land on the same bytes.
+RESUME_FLAG=""
+[ -f "$UPD_JOURNAL" ] && RESUME_FLAG="--resume"
+run_update "$WORK/updated_kill.bin" --journal "$UPD_JOURNAL" $RESUME_FLAG \
+  > "$WORK/update_resume.log" \
+  || fail "update resume after SIGKILL failed"
+cmp -s "$WORK/updated_ref.bin" "$WORK/updated_kill.bin" \
+  || fail "kill-resume update differs from the uninterrupted update"
+[ -f "$UPD_JOURNAL" ] && fail "completed update left its journal behind"
+
+echo "== update: corrupted delta fails cleanly with a named status"
+MODEL_SUM="$(cksum "$WORK/model.bin")"
+printf 'frobnicate\tPerson_8\tnationality\tCountry_4\n' > "$WORK/bad_delta.tsv"
+if "$KELPIE" update --data "$WORK/data" --model-file "$WORK/model.bin" \
+    --delta "$WORK/bad_delta.tsv" --out "$WORK/bad_out.bin" \
+    2> "$WORK/bad_delta.err"; then
+  fail "corrupted delta exited 0"
+fi
+grep -q 'InvalidArgument' "$WORK/bad_delta.err" \
+  || fail "corrupted delta did not fail with InvalidArgument: $(cat "$WORK/bad_delta.err")"
+head -c 64 /dev/urandom > "$WORK/bad_delta2.tsv"
+if "$KELPIE" update --data "$WORK/data" --model-file "$WORK/model.bin" \
+    --delta "$WORK/bad_delta2.tsv" --out "$WORK/bad_out.bin" \
+    2> "$WORK/bad_delta2.err"; then
+  fail "binary-garbage delta exited 0"
+fi
+grep -q 'InvalidArgument' "$WORK/bad_delta2.err" \
+  || fail "binary-garbage delta did not fail with InvalidArgument: $(cat "$WORK/bad_delta2.err")"
+[ -f "$WORK/bad_out.bin" ] && fail "failed update wrote an output model"
+[ "$MODEL_SUM" = "$(cksum "$WORK/model.bin")" ] \
+  || fail "failed update modified the input model"
+
+echo "== update: relevance cache is reconciled"
+# Warm a fresh cache against the pre-update model, then reconcile it
+# through the update (the params change, so it invalidates wholesale).
+explain_canonical "$WORK/update_cache_warm.txt" \
+  --relevance-cache "$WORK/update_cache.kelprc"
+[ -s "$WORK/update_cache.kelprc" ] || fail "warm-up did not write the cache"
+run_update "$WORK/updated_cache.bin" \
+  --relevance-cache "$WORK/update_cache.kelprc" \
+  > "$WORK/update_cache.log" \
+  || fail "update with --relevance-cache failed"
+grep -q 'relevance cache:' "$WORK/update_cache.log" \
+  || fail "update did not report cache reconciliation: $(cat "$WORK/update_cache.log")"
+cmp -s "$WORK/updated_ref.bin" "$WORK/updated_cache.bin" \
+  || fail "cache reconciliation changed the updated model bytes"
 
 start_serve() {  # extra serve flags follow
   : > "$WORK/serve.log"

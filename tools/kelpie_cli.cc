@@ -25,6 +25,11 @@
 //   serve-client --port N [--connections N] [--in FILE]
 //       Drives a serve endpoint with request lines; prints responses
 //       sorted by id.
+//   update    --data DIR --model-file model.bin --delta FILE
+//             [--out model.bin] [--journal FILE] [--resume]
+//       Applies a KG delta (added/removed training triples) to a trained
+//       model by incrementally re-fitting the affected entities' rows —
+//       no full retrain. Journaled, resumable, cache-invalidating.
 //   metrics   [--demo] [--json] [--out FILE]
 //       Renders the process metrics registry (Prometheus text exposition,
 //       or the combined metrics + trace JSON snapshot with --json).
@@ -68,6 +73,7 @@
 #include "serve/tcp_server.h"
 #include "xp/pattern_miner.h"
 #include "xp/pipeline.h"
+#include "xp/update.h"
 
 namespace kelpie {
 namespace {
@@ -102,7 +108,7 @@ class Args {
            key == "per-relation" || key == "no-recover" || key == "resume" ||
            key == "retry-truncated" || key == "json" || key == "demo" ||
            key == "canonical" || key == "warm-mimics" ||
-           key == "quant-shortlist";
+           key == "quant-shortlist" || key == "sparse";
   }
 
   const std::string& error() const { return error_; }
@@ -333,6 +339,10 @@ Status CmdTrain(const Args& args) {
                   static_cast<uint64_t>(config.max_recoveries)));
   config.max_recoveries = static_cast<int>(max_recoveries);
   if (args.Has("no-recover")) config.recover_on_divergence = false;
+  // Route embedding gradients through the touched-row sparse optimizers.
+  // Byte-identical to the dense path by construction, so the flag only
+  // changes memory behavior, never the saved model.
+  if (args.Has("sparse")) config.sparse_updates = true;
   KELPIE_RETURN_IF_ERROR(ValidateConfig(kind.value(), config));
 
   auto model = CreateModel(kind.value(), *dataset, config);
@@ -713,6 +723,112 @@ Status CmdCache(const std::string& verb, const Args& args) {
                                  "' (expected stats|purge)");
 }
 
+/// `kelpie update`: incremental KG maintenance (DESIGN.md §16). Ingests a
+/// delta file of added/removed training triples, re-fits the affected
+/// entities' embedding rows from a warm start against the updated graph
+/// (all other parameters frozen), and atomically rewrites the model — the
+/// cost scales with the delta, not the graph. With --journal the operation
+/// survives a mid-run kill: completed rows are CRC-framed on disk and a
+/// --resume re-run replays them byte-identically. With --relevance-cache
+/// the persistent post-training cache is reconciled: changed parameters
+/// invalidate it wholesale (every mimic depends on the full parameter
+/// vector), an unchanged-parameter update garbage-collects the affected
+/// entities' now-unreachable entries.
+Status CmdUpdate(const Args& args) {
+  Result<Dataset> dataset = LoadData(args);
+  if (!dataset.ok()) return dataset.status();
+  Result<std::unique_ptr<LinkPredictionModel>> model =
+      LoadModel(args.Get("model-file"));
+  if (!model.ok()) return model.status();
+  Result<ModelKind> kind = ParseModelKind((*model)->Name());
+  if (!kind.ok()) return kind.status();
+  if (!args.Has("delta")) {
+    return Status::InvalidArgument("--delta FILE is required");
+  }
+  const std::string delta_path = args.Get("delta");
+  std::ifstream delta_in(delta_path, std::ios::binary);
+  if (!delta_in) return Status::IoError("cannot open " + delta_path);
+  std::ostringstream delta_buffer;
+  delta_buffer << delta_in.rdbuf();
+  if (delta_in.bad()) return Status::IoError("cannot read " + delta_path);
+  Result<xp::KgDelta> delta =
+      xp::ParseKgDelta(delta_buffer.str(), *dataset, delta_path);
+  if (!delta.ok()) return delta.status();
+
+  xp::UpdateOptions options;
+  KELPIE_ASSIGN_OR_RETURN(options.seed, args.GetU64("seed", 7));
+  options.journal_path = args.Get("journal");
+  options.resume = args.Has("resume");
+  if (options.resume && options.journal_path.empty()) {
+    return Status::InvalidArgument("--resume requires --journal FILE");
+  }
+  // First signal finishes the in-flight row and exits with every completed
+  // row journaled; a second exits hard. Mirrors train/xp drain semantics.
+  WireCancelToSignals(options.cancel);
+
+  Stopwatch timer;
+  Result<xp::UpdateReport> report =
+      xp::ApplyKgUpdate(**model, *dataset, *delta, options);
+  if (!report.ok()) return report.status();
+
+  const std::string out = args.Get("out", args.Get("model-file"));
+  KELPIE_RETURN_IF_ERROR(SaveModel(**model, kind.value(), out));
+  if (args.Has("out-data")) {
+    const Dataset updated =
+        dataset->WithModifiedTraining(delta->remove, delta->add);
+    std::error_code ec;
+    std::filesystem::create_directories(args.Get("out-data"), ec);
+    if (ec) {
+      return Status::IoError("cannot create " + args.Get("out-data") + ": " +
+                             ec.message());
+    }
+    KELPIE_RETURN_IF_ERROR(SaveDatasetTsv(updated, args.Get("out-data")));
+  }
+  // The journal is spent once the updated model is durable: its run id
+  // binds to the pre-update parameters, so leaving it behind would only
+  // trip a later unrelated --resume.
+  if (!options.journal_path.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(options.journal_path, ec);
+  }
+
+  std::printf("applied %s: +%zu/-%zu training facts, %zu affected "
+              "entities (%zu isolated)\n",
+              delta_path.c_str(), report->triples_added,
+              report->triples_removed, report->affected.size(),
+              report->isolated.size());
+  std::printf("  rows: %zu recomputed, %zu replayed from journal\n",
+              report->rows_recomputed, report->rows_replayed);
+  std::printf("  parameters %s (fingerprint %016llx -> %016llx)\n",
+              report->params_changed ? "changed" : "unchanged",
+              static_cast<unsigned long long>(report->fingerprint_before),
+              static_cast<unsigned long long>(report->fingerprint_after));
+
+  if (args.Has("relevance-cache")) {
+    // Open against the post-update fingerprint: a parameter change makes
+    // the loader invalidate the old file wholesale (tier 1); otherwise the
+    // entries load and the affected entities' dead keys are collected
+    // (tier 2). Either way the flushed file is consistent with the model
+    // just saved.
+    std::shared_ptr<RelevanceCache> cache;
+    KELPIE_ASSIGN_OR_RETURN(cache,
+                            OpenCacheFlag(args, **model, options.seed,
+                                          args.Has("warm-mimics")));
+    const size_t purged = cache->PurgeEntities(report->affected);
+    const RelevanceCacheStats stats = cache->stats();
+    if (stats.evict_fingerprint > 0) {
+      std::printf("  relevance cache: invalidated wholesale (parameters "
+                  "changed)\n");
+    } else {
+      std::printf("  relevance cache: %zu stale entr%s purged, %zu kept\n",
+                  purged, purged == 1 ? "y" : "ies", stats.entries);
+    }
+    FlushCache(cache);
+  }
+  std::printf("  saved to %s (%.2fs)\n", out.c_str(), timer.ElapsedSeconds());
+  return Status::Ok();
+}
+
 Status CmdAudit(const Args& args) {
   Result<Dataset> dataset = LoadData(args);
   if (!dataset.ok()) return dataset.status();
@@ -931,7 +1047,7 @@ int Usage() {
       "  train    --data DIR --model NAME --seed N --out FILE "
       "[--epochs N] [--dim N] [--grad-clip X] [--no-recover] "
       "[--max-recoveries N] [--checkpoint DIR] [--checkpoint-interval N] "
-      "[--resume]\n"
+      "[--resume] [--sparse]\n"
       "  evaluate --data DIR --model-file FILE [--no-heads] "
       "[--per-relation] [--threads N] [--metrics-out FILE] "
       "[--quant-shortlist]\n"
@@ -950,6 +1066,9 @@ int Usage() {
       "[--retries N] [--retry-backoff S] [--retry-backoff-cap S] "
       "[--retry-seed N]\n"
       "  cache    stats|purge --file FILE\n"
+      "  update   --data DIR --model-file FILE --delta FILE [--out FILE] "
+      "[--out-data DIR] [--seed N] [--journal FILE] [--resume] "
+      "[--relevance-cache FILE] [--cache-bytes N] [--warm-mimics]\n"
       "  audit    --data DIR --model-file FILE --relation R [--limit N] "
       "[--threads N]\n"
       "  xp       --data DIR --model-file FILE --scenario "
@@ -1010,6 +1129,21 @@ int Usage() {
       "                              checkpointed base state and run\n"
       "                              --warm-epochs N epochs (journals get a\n"
       "                              distinct warm run id)\n"
+      "  train --sparse              touched-row sparse optimizer state for\n"
+      "                              embedding gradients; byte-identical to\n"
+      "                              the dense path, O(touched rows) memory\n"
+      "incremental updates:\n"
+      "  kelpie update               ingest a KG delta file (lines\n"
+      "                              'add<TAB>h<TAB>r<TAB>t' and\n"
+      "                              'remove<TAB>h<TAB>r<TAB>t') and re-fit\n"
+      "                              only the affected entities' rows from a\n"
+      "                              warm start — cost scales with the delta,\n"
+      "                              not the graph. --journal makes it crash-\n"
+      "                              safe (--resume replays completed rows\n"
+      "                              byte-identically); --relevance-cache\n"
+      "                              reconciles the post-training cache\n"
+      "                              (wholesale on parameter change, dead-key\n"
+      "                              GC otherwise)\n"
       "models: TransE ComplEx ConvE DistMult RotatE\n"
       "datasets: FB15k FB15k-237 WN18 WN18RR YAGO3-10\n"
       "observability:\n"
@@ -1085,6 +1219,8 @@ int Run(int argc, char** argv) {
     status = sink.Finish(CmdServe(args));
   } else if (command == "serve-client") {
     status = CmdServeClient(args);
+  } else if (command == "update") {
+    status = CmdUpdate(args);
   } else if (command == "audit") {
     status = CmdAudit(args);
   } else if (command == "xp") {
